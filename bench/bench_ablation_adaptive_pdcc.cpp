@@ -1,0 +1,90 @@
+/// Ablation — adaptive cross-checking (§1: "This overhead can be
+/// dynamically adjusted and potentially reduced to zero when the system is
+/// healthy"). The paper states the property without evaluating it; this
+/// bench quantifies the trade-off:
+///   * healthy system: adaptive p_dcc decays towards 0 and the verification
+///     overhead approaches the ack-only floor (Table 5's p_dcc = 0 column);
+///   * 10% freeriders: the working p_dcc snaps back up on suspicion, so
+///     detection survives (slower, but far cheaper than always-on).
+
+#include <cstdio>
+#include <thread>
+
+#include "common/table.hpp"
+#include "runtime/experiment.hpp"
+#include "stats/summary.hpp"
+
+namespace {
+
+struct Outcome {
+  double overhead_ratio = 0.0;
+  double detection = 0.0;
+  double false_positive = 0.0;
+  double mean_pdcc = 0.0;
+};
+
+Outcome run(bool adaptive, bool with_freeriders) {
+  auto cfg = lifting::runtime::ScenarioConfig::planetlab();
+  cfg.duration = lifting::seconds(40.0);
+  cfg.stream.duration = lifting::seconds(40.0);
+  if (!with_freeriders) cfg.freerider_fraction = 0.0;
+  cfg.lifting.adaptive_pdcc = adaptive;
+  cfg.lifting.adaptive_min_pdcc = 0.0;
+  lifting::runtime::Experiment ex(cfg);
+  ex.run();
+  Outcome out;
+  out.overhead_ratio = ex.overhead().verification_ratio();
+  const auto det = ex.detection_at(cfg.lifting.eta);
+  out.detection = det.detection;
+  out.false_positive = det.false_positive;
+  lifting::stats::Summary pdcc;
+  for (std::uint32_t i = 0; i < cfg.nodes; ++i) {
+    pdcc.add(ex.agent(lifting::NodeId{i}).current_pdcc());
+  }
+  out.mean_pdcc = pdcc.mean();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: adaptive p_dcc (PlanetLab preset, 40 s) ===\n\n");
+
+  Outcome healthy_fixed;
+  Outcome healthy_adaptive;
+  Outcome cheats_fixed;
+  Outcome cheats_adaptive;
+  {
+    std::jthread t1([&] { healthy_fixed = run(false, false); });
+    std::jthread t2([&] { healthy_adaptive = run(true, false); });
+    std::jthread t3([&] { cheats_fixed = run(false, true); });
+    std::jthread t4([&] { cheats_adaptive = run(true, true); });
+  }
+
+  lifting::TextTable table({"scenario", "p_dcc policy", "final mean p_dcc",
+                            "verif. overhead", "detection", "false pos."});
+  const auto row = [&](const char* scen, const char* policy,
+                       const Outcome& o, bool detection_applies) {
+    table.add_row({scen, policy, lifting::TextTable::num(o.mean_pdcc, 2),
+                   lifting::TextTable::num(o.overhead_ratio * 100, 2) + "%",
+                   detection_applies ? lifting::TextTable::num(o.detection, 2)
+                                     : std::string("n/a"),
+                   lifting::TextTable::num(o.false_positive, 3)});
+  };
+  row("healthy", "fixed p_dcc=1", healthy_fixed, false);
+  row("healthy", "adaptive", healthy_adaptive, false);
+  row("10% freeriders", "fixed p_dcc=1", cheats_fixed, true);
+  row("10% freeriders", "adaptive", cheats_adaptive, true);
+  table.print();
+
+  std::printf(
+      "\nreading: adaptivity cuts the verification overhead substantially "
+      "in a healthy\nsystem (toward Table 5's ack-only floor) at the cost "
+      "of detection latency when\nfreeriders are present — with a reduced "
+      "working p_dcc the per-period blame gap\nshrinks (cf. Fig. 14's "
+      "p_dcc = 0.5 runs). The paper frames p_dcc as exactly this\noperator "
+      "knob: \"never (p_dcc = 0) if the system is considered healthy\", "
+      "cranked\nback up to purge (§5); the local controller automates the "
+      "healthy-direction half\nand a purge remains an operator decision.\n");
+  return 0;
+}

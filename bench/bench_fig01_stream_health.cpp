@@ -1,0 +1,130 @@
+/// Figure 1 — system efficiency in the presence of freeriders: fraction of
+/// (honest) nodes viewing a clear stream vs stream lag, for
+///   (a) no freeriders,
+///   (b) 25% freeriders without LiFTinG (the system collapses),
+///   (c) 25% freeriders with LiFTinG (stays close to the baseline).
+///
+/// The paper's freeriders are *wise* (§1): they "decrease their contribution
+/// as much as possible while keeping the probability of being caught lower
+/// than 50%". Without LiFTinG nothing can catch them, so they freeride
+/// maximally (δ = 0.9) and the bandwidth-tight system collapses; with
+/// LiFTinG active they restrain to δ ≈ 0.035 (the 50%-detection point of
+/// Fig. 12) and the system stays near the baseline, with expulsion mopping
+/// up whoever is caught regardless.
+///
+/// Packet-level simulation of the PlanetLab-like deployment: 300 nodes,
+/// 674 kbps stream, f = 7, Tg = 500 ms.
+
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "common/table.hpp"
+#include "runtime/experiment.hpp"
+
+namespace {
+
+lifting::runtime::ScenarioConfig base_config() {
+  auto cfg = lifting::runtime::ScenarioConfig::planetlab();
+  cfg.duration = lifting::seconds(90.0);
+  cfg.stream.duration = lifting::seconds(88.0);
+  // Bandwidth-tight, heterogeneous uplinks as on 2009-era PlanetLab: the
+  // baseline fits, but losing 25% of the push capacity to freeriders drives
+  // the marginal capacity mass into queueing collapse — the effect Fig. 1
+  // shows (calibrated by a capacity scan; see EXPERIMENTS.md).
+  cfg.link.upload_capacity_bps = 2.2e6;
+  cfg.weak_link.upload_capacity_bps = 1.2e6;
+  cfg.weak_fraction = 0.35;
+  return cfg;
+}
+
+lifting::gossip::PlaybackConfig playback_config() {
+  lifting::gossip::PlaybackConfig playback;
+  // "Clear" = 95% of chunks on time: the three-phase protocol has no
+  // retransmission channel (the paper's system [6] repairs losses), so a
+  // few percent of chunks never arrive even in a healthy system.
+  playback.clear_threshold = 0.95;
+  // Judge the steady state: with LiFTinG active the freeriders are expelled
+  // within the first ~20 s and the eligible window must postdate that.
+  playback.warmup = lifting::seconds(25.0);
+  return playback;
+}
+
+struct RunResult {
+  std::vector<lifting::gossip::HealthPoint> curve;
+  std::size_t expelled_freeriders = 0;
+  std::size_t expelled_honest = 0;
+};
+
+RunResult run(lifting::runtime::ScenarioConfig cfg,
+              const std::vector<double>& lags) {
+  lifting::runtime::Experiment ex(cfg);
+  ex.run();
+  RunResult result;
+  result.curve = ex.health_curve(lags, /*honest_only=*/true,
+                                 playback_config());
+  for (const auto& rec : ex.expulsions()) {
+    (rec.was_freerider ? result.expelled_freeriders
+                       : result.expelled_honest)++;
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<double> lags{1, 2, 3, 5, 8, 12, 20, 30};
+
+  auto baseline_cfg = base_config();
+
+  auto collapse_cfg = base_config();
+  collapse_cfg.freerider_fraction = 0.25;
+  // Nothing deters the freeriders in this arm, so they freeride hard.
+  collapse_cfg.freerider_behavior =
+      lifting::gossip::BehaviorSpec::freerider(0.9);
+  collapse_cfg.lifting_enabled = false;
+
+  auto protected_cfg = collapse_cfg;
+  protected_cfg.lifting_enabled = true;
+  // Deterrence: wise freeriders throttle to the 50%-detection operating
+  // point once LiFTinG is active (Fig. 12: δ ≈ 0.035 at 10% gain). The
+  // score/expulsion machinery itself is exercised by bench_fig14 and the
+  // examples; here a third of the population is *legitimately* capacity-
+  // starved, and expelling them (the paper would — §7.3) would conflate the
+  // deterrence effect this figure isolates.
+  protected_cfg.freerider_behavior =
+      lifting::gossip::BehaviorSpec::freerider(0.035);
+  protected_cfg.lifting.score_check_probability = 0.5;
+  protected_cfg.lifting.min_periods_before_detection = 20;
+
+  RunResult baseline;
+  RunResult collapse;
+  RunResult protected_run;
+  {
+    std::jthread t1([&] { baseline = run(baseline_cfg, lags); });
+    std::jthread t2([&] { collapse = run(collapse_cfg, lags); });
+    std::jthread t3([&] { protected_run = run(protected_cfg, lags); });
+  }
+
+  std::printf("=== Figure 1: fraction of honest nodes viewing a clear "
+              "stream vs lag ===\n");
+  std::printf("n=300, 674 kbps, f=7, Tg=500 ms; freeriders delta=0.9 (unchecked) vs 0.035 (deterred)\n\n");
+
+  lifting::TextTable table({"lag (s)", "no freeriders", "25% freeriders",
+                            "25% freeriders (LiFTinG)"});
+  for (std::size_t i = 0; i < lags.size(); ++i) {
+    table.add_row({lifting::TextTable::num(lags[i], 0),
+                   lifting::TextTable::num(baseline.curve[i].fraction_clear, 3),
+                   lifting::TextTable::num(collapse.curve[i].fraction_clear, 3),
+                   lifting::TextTable::num(
+                       protected_run.curve[i].fraction_clear, 3)});
+  }
+  table.print();
+
+  std::printf("\nLiFTinG run expelled %zu freeriders and %zu honest nodes\n",
+              protected_run.expelled_freeriders,
+              protected_run.expelled_honest);
+  std::printf("paper shape: without LiFTinG the curve collapses; with "
+              "LiFTinG it tracks the baseline.\n");
+  return 0;
+}

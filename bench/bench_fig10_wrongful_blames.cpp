@@ -1,0 +1,54 @@
+/// Figure 10 — "Impact of message losses": distribution of compensated
+/// scores after ONE gossip period across 10,000 honest nodes, with
+/// p_l = 7%, f = 12, |R| = 4, p_dcc = 1.
+///
+/// Paper: scores compensated by b̃ = 72.95 center at ~0 (<0.01) with an
+/// experimental standard deviation of 25.6.
+
+#include <cmath>
+#include <cstdio>
+
+#include "analysis/formulas.hpp"
+#include "analysis/sampler.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "stats/histogram.hpp"
+#include "stats/summary.hpp"
+
+int main() {
+  using namespace lifting;
+  using namespace lifting::analysis;
+
+  const ProtocolModel model{0.07, 12, 4, 1.0};
+  const double b_tilde = expected_wrongful_blame(model);
+  const double sigma_model = std::sqrt(variance_wrongful_blame(model));
+
+  std::printf("=== Figure 10: impact of message losses on honest scores ===\n");
+  std::printf("n=10000 honest nodes, one gossip period, p_l=7%%, f=12, "
+              "|R|=4, p_dcc=1\n\n");
+  std::printf("compensation b~ (Eq. 5): %.2f   (paper: 72.95)\n", b_tilde);
+  std::printf("model sigma(b):          %.2f   (paper observed: 25.6)\n\n",
+              sigma_model);
+
+  BlameSampler sampler(model);
+  Pcg32 rng{20101};
+  stats::Summary summary;
+  stats::Histogram hist(-250.0, 50.0, 60);
+  const int nodes = 10000;
+  for (int i = 0; i < nodes; ++i) {
+    // Score after one period: s = -(b - b̃).
+    const double score = -(sampler.sample_honest(rng) - b_tilde);
+    summary.add(score);
+    hist.add(score);
+  }
+
+  std::printf("measured over %d sampled nodes:\n", nodes);
+  std::printf("  mean score     %+8.3f   (paper: |mean| < 0.01... ~0)\n",
+              summary.mean());
+  std::printf("  std deviation  %8.3f   (paper: 25.6)\n", summary.stddev());
+  std::printf("  range          [%.1f, %.1f]\n\n", summary.min(),
+              summary.max());
+  std::printf("score pdf (fraction of nodes per bin):\n%s\n",
+              hist.render(48).c_str());
+  return 0;
+}

@@ -1,0 +1,72 @@
+/// Figure 11 — distribution of normalized scores in the presence of
+/// freeriders: 10,000 nodes, 1,000 of them freeriding with
+/// Δ = (0.1, 0.1, 0.1), after r = 50 gossip periods.
+///
+/// Paper: the pdf splits into two disjoint modes (freeriders left, honest
+/// right); at η = -9.75 the cdf yields high detection with ~1% false
+/// positives.
+
+#include <cstdio>
+
+#include "analysis/formulas.hpp"
+#include "analysis/sampler.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "stats/empirical.hpp"
+#include "stats/histogram.hpp"
+
+int main() {
+  using namespace lifting;
+  using namespace lifting::analysis;
+
+  const ProtocolModel model{0.07, 12, 4, 1.0};
+  const std::uint32_t r = 50;
+  const double eta = -9.75;
+  const auto degree = FreeriderDegree::uniform(0.1);
+
+  std::printf("=== Figure 11: normalized scores with 1000/10000 freeriders "
+              "===\n");
+  std::printf("delta=(0.1,0.1,0.1), r=%u periods, eta=%.2f\n\n", r, eta);
+
+  BlameSampler sampler(model);
+  Pcg32 rng{20111};
+  stats::Empirical honest;
+  stats::Empirical cheats;
+  stats::Histogram pdf_honest(-50.0, 10.0, 60);
+  stats::Histogram pdf_cheats(-50.0, 10.0, 60);
+  for (int i = 0; i < 9000; ++i) {
+    const double s = sampler.sample_score(rng, FreeriderDegree{}, r);
+    honest.add(s);
+    pdf_honest.add(s);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    const double s = sampler.sample_score(rng, degree, r);
+    cheats.add(s);
+    pdf_cheats.add(s);
+  }
+
+  std::printf("honest:    mean around %.2f, 1%%..99%% = [%.2f, %.2f]\n",
+              honest.quantile(0.5), honest.quantile(0.01),
+              honest.quantile(0.99));
+  std::printf("freerider: mean around %.2f, 1%%..99%% = [%.2f, %.2f]\n\n",
+              cheats.quantile(0.5), cheats.quantile(0.01),
+              cheats.quantile(0.99));
+
+  std::printf("(a) pdf — honest nodes:\n%s\n", pdf_honest.render(40).c_str());
+  std::printf("(a) pdf — freeriders:\n%s\n", pdf_cheats.render(40).c_str());
+
+  std::printf("(b) cdf at selected scores:\n");
+  TextTable table({"score", "cdf honest", "cdf freeriders"});
+  for (const double x : {-40.0, -30.0, -20.0, -15.0, -9.75, -5.0, 0.0, 5.0}) {
+    table.add_row({TextTable::num(x, 2), TextTable::num(honest.cdf(x), 4),
+                   TextTable::num(cheats.cdf(x), 4)});
+  }
+  table.print();
+
+  std::printf("\nat eta=%.2f: detection alpha=%.3f, false positives "
+              "beta=%.4f\n",
+              eta, cheats.cdf_strict(eta), honest.cdf_strict(eta));
+  std::printf("paper: two disjoint modes separated by a gap at the "
+              "threshold.\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+/// Figure 14 — cumulative distribution of scores on the (simulated)
+/// PlanetLab deployment at t = 25/30/35 s for p_dcc = 1 and p_dcc = 0.5.
+///
+/// Paper setup (§7.1): 300 nodes, 674 kbps, f = 7, Tg = 500 ms, M = 25
+/// managers, 10% freeriders with Δ = (1/7, 0.1, 0.1); compensation uses the
+/// observed ~4% loss. Landmarks: at 30 s with p_dcc = 1 and η = -9.75,
+/// detection ≈ 86%, false positives ≈ 12% (weak honest nodes); p_dcc = 0.5
+/// at 35 s is comparable to p_dcc = 1 at 30 s.
+
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "common/table.hpp"
+#include "runtime/experiment.hpp"
+#include "stats/empirical.hpp"
+
+namespace {
+
+struct SnapshotRow {
+  double at_seconds;
+  double eta;
+  lifting::runtime::DetectionStats detection;
+  lifting::runtime::Experiment::ScoreSnapshot scores;
+};
+
+std::vector<SnapshotRow> run(double p_dcc) {
+  auto cfg = lifting::runtime::ScenarioConfig::planetlab();
+  cfg.lifting.p_dcc = p_dcc;
+  cfg.duration = lifting::seconds(36.0);
+  cfg.stream.duration = lifting::seconds(36.0);
+  lifting::runtime::Experiment ex(cfg);
+  std::vector<SnapshotRow> rows;
+  for (const double t : {25.0, 30.0, 35.0}) {
+    ex.run_until(lifting::kSimEpoch + lifting::seconds(t));
+    rows.push_back(SnapshotRow{t, cfg.lifting.eta,
+                               ex.detection_at(cfg.lifting.eta),
+                               ex.snapshot_scores()});
+  }
+  return rows;
+}
+
+void print_cdfs(const std::vector<SnapshotRow>& rows, double p_dcc) {
+  std::printf("\n--- p_dcc = %.1f ---\n", p_dcc);
+  for (const auto& row : rows) {
+    lifting::stats::Empirical honest(row.scores.honest);
+    lifting::stats::Empirical cheats(row.scores.freeriders);
+    std::printf("\nafter %.0f s: detection %.0f%%, false positives %.0f%% "
+                "(eta = %.2f — the paper's -9.75 scaled to this "
+                "deployment's activity)\n",
+                row.at_seconds, row.detection.detection * 100,
+                row.detection.false_positive * 100, row.eta);
+    lifting::TextTable table({"score", "cdf honest", "cdf freeriders"});
+    for (const double x :
+         {-20.0, -10.0, -7.0, -5.0, row.eta, -2.0, -1.0, 0.0, 2.0}) {
+      table.add_row({lifting::TextTable::num(x, 2),
+                     lifting::TextTable::num(honest.cdf(x), 3),
+                     lifting::TextTable::num(cheats.cdf(x), 3)});
+    }
+    table.print();
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 14: PlanetLab-like score CDFs (n=300, 10%% "
+              "freeriders, delta=(1/7,0.1,0.1)) ===\n");
+
+  std::vector<SnapshotRow> full;
+  std::vector<SnapshotRow> half;
+  {
+    std::jthread t1([&] { full = run(1.0); });
+    std::jthread t2([&] { half = run(0.5); });
+  }
+  print_cdfs(full, 1.0);
+  print_cdfs(half, 0.5);
+
+  std::printf("\npaper landmarks: p_dcc=1 @30s: ~86%% detection, ~12%% false "
+              "positives (weak nodes);\np_dcc=0.5 @35s comparable to "
+              "p_dcc=1 @30s (partial serves are caught without "
+              "cross-checks).\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+/// Micro-benchmarks of the substrate hot paths (google-benchmark):
+/// event queue throughput, entropy computation, RNG sampling, the blame
+/// sampler, and message size computation.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "analysis/sampler.hpp"
+#include "common/rng.hpp"
+#include "gossip/message.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/simulator.hpp"
+#include "stats/entropy.hpp"
+
+namespace {
+
+using namespace lifting;
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Pcg32 rng{1};
+  for (auto _ : state) {
+    sim::EventQueue q;
+    for (std::size_t i = 0; i < n; ++i) {
+      q.push(kSimEpoch + microseconds(rng.below(1'000'000)), [] {});
+    }
+    while (!q.empty()) {
+      benchmark::DoNotOptimize(q.pop());
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EventQueuePushPop)->Arg(1024)->Arg(16384);
+
+void BM_SimulatorSelfScheduling(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    int count = 0;
+    std::function<void()> tick = [&] {
+      if (++count < 10000) sim.schedule_after(microseconds(10), [&] { tick(); });
+    };
+    sim.schedule_after(microseconds(1), [&] { tick(); });
+    sim.run();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          10000);
+}
+BENCHMARK(BM_SimulatorSelfScheduling);
+
+void BM_ShannonEntropy(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Pcg32 rng{2};
+  std::vector<std::uint64_t> counts(n);
+  for (auto& c : counts) c = rng.below(20) + 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::shannon_entropy(counts));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ShannonEntropy)->Arg(600)->Arg(10000);
+
+void BM_MultisetEntropy(benchmark::State& state) {
+  Pcg32 rng{3};
+  std::vector<NodeId> multiset;
+  for (int i = 0; i < 600; ++i) multiset.push_back(NodeId{rng.below(10000)});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        stats::multiset_entropy<NodeId>({multiset.data(), multiset.size()}));
+  }
+}
+BENCHMARK(BM_MultisetEntropy);
+
+void BM_SampleKDistinct(benchmark::State& state) {
+  Pcg32 rng{4};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sample_k_distinct(rng, 10000, 12));
+  }
+}
+BENCHMARK(BM_SampleKDistinct);
+
+void BM_BlameSamplerHonestPeriod(benchmark::State& state) {
+  const analysis::ProtocolModel model{0.07, 12, 4, 1.0};
+  analysis::BlameSampler sampler(model);
+  Pcg32 rng{5};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.sample_honest(rng));
+  }
+}
+BENCHMARK(BM_BlameSamplerHonestPeriod);
+
+void BM_WireSizePropose(benchmark::State& state) {
+  gossip::ProposeMsg msg;
+  msg.period = 1;
+  for (std::uint64_t i = 0; i < 10; ++i) msg.chunks.push_back(ChunkId{i});
+  const gossip::Message m{msg};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gossip::wire_size(m));
+  }
+}
+BENCHMARK(BM_WireSizePropose);
+
+}  // namespace

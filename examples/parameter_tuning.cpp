@@ -1,0 +1,78 @@
+/// Parameter tuning with the analytical model (paper §6): pick η from a
+/// false-positive budget and predict detection across freeriding degrees —
+/// "a theoretical analysis that allows system designers to set parameters
+/// to their optimal values" (§9).
+///
+///   $ ./parameter_tuning
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "analysis/formulas.hpp"
+#include "analysis/sampler.hpp"
+#include "common/table.hpp"
+#include "stats/summary.hpp"
+
+int main() {
+  using namespace lifting;
+  using namespace lifting::analysis;
+
+  // Deployment parameters (the paper's §6 setting).
+  const ProtocolModel model{0.07, 12, 4, 1.0};
+  const std::uint32_t r = 50;  // periods a node has been in the system
+
+  const double b_tilde = expected_wrongful_blame(model);
+  const double sigma = std::sqrt(variance_wrongful_blame(model));
+  std::printf("expected wrongful blame per period b~ = %.2f (Eq. 5)\n",
+              b_tilde);
+  std::printf("sigma(b) = %.2f (closed form, cf. paper's empirical 25.6)\n\n",
+              sigma);
+
+  // Two ways to choose η for a 1% false-positive budget after r periods:
+  //  (a) Chebyshev (distribution-free, conservative):
+  //      beta <= sigma² / (r·eta²)  =>  |eta| >= sigma / sqrt(r·beta);
+  //  (b) empirical (the paper's approach): the 1% quantile of simulated
+  //      honest scores.
+  const double beta_budget = 0.01;
+  const double eta_cheb =
+      -sigma / std::sqrt(static_cast<double>(r) * beta_budget);
+  BlameSampler sampler(model);
+  Pcg32 rng{5150};
+  std::vector<double> honest_scores;
+  for (int i = 0; i < 4000; ++i) {
+    honest_scores.push_back(
+        sampler.sample_score(rng, FreeriderDegree{}, r));
+  }
+  std::sort(honest_scores.begin(), honest_scores.end());
+  const double eta = honest_scores[honest_scores.size() / 100];
+  std::printf("for beta <= %.0f%% after r=%u periods:\n", beta_budget * 100,
+              r);
+  std::printf("  Chebyshev bound (conservative): eta = %.2f\n", eta_cheb);
+  std::printf("  empirical 1%% quantile:          eta = %.2f\n", eta);
+  std::printf("(the paper picks eta = -9.75 from its simulated curves)\n\n");
+
+  // Predict detection across degrees with both the bound and Monte-Carlo.
+  TextTable table({"delta", "gain", "alpha bound", "alpha (MC)", "beta (MC)"});
+  for (const double delta : {0.02, 0.035, 0.05, 0.10, 0.15}) {
+    const auto d = FreeriderDegree::uniform(delta);
+    stats::Summary per_period;
+    for (int i = 0; i < 20000; ++i) {
+      per_period.add(sampler.sample_period(rng, d));
+    }
+    const double excess = expected_blame_freerider(model, d) - b_tilde;
+    const double alpha_bound =
+        detection_bound(excess, per_period.stddev(), eta, r);
+    const auto mc = estimate_detection(sampler, d, eta, r, 1200, rng);
+    table.add_row({TextTable::num(delta, 3), TextTable::num(d.gain(), 3),
+                   TextTable::num(alpha_bound, 3),
+                   TextTable::num(mc.detection, 3),
+                   TextTable::num(mc.false_positive, 3)});
+  }
+  table.print();
+  std::printf("\nLesson: a freerider aiming for ~10%% bandwidth savings "
+              "(delta=0.035)\nis caught about half the time every %u periods "
+              "— and detection compounds.\n", r);
+  return 0;
+}

@@ -1,0 +1,48 @@
+#include "analysis/entropy_model.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace lifting::analysis {
+
+double biased_history_entropy(double p_m, std::uint32_t coalition_size,
+                              std::uint32_t history_size) {
+  LIFTING_ASSERT(p_m >= 0.0 && p_m <= 1.0, "p_m must be in [0,1]");
+  LIFTING_ASSERT(coalition_size > 0 && coalition_size < history_size,
+                 "need 0 < m' < n_h*f");
+  const double m = static_cast<double>(coalition_size);
+  const double rest = static_cast<double>(history_size - coalition_size);
+  double h = 0.0;
+  if (p_m > 0.0) h -= p_m * std::log2(p_m / m);
+  if (p_m < 1.0) h -= (1.0 - p_m) * std::log2((1.0 - p_m) / rest);
+  return h;
+}
+
+double max_undetected_bias(double gamma, std::uint32_t coalition_size,
+                           std::uint32_t history_size) {
+  const double uniform_rate = static_cast<double>(coalition_size) /
+                              static_cast<double>(history_size);
+  // H is concave with maximum log2(N) at p_m = m'/N and decreases toward
+  // log2(m') at p_m = 1.
+  if (gamma <= biased_history_entropy(1.0, coalition_size, history_size)) {
+    return 1.0;  // even a fully coalition-directed history passes
+  }
+  if (gamma >= biased_history_entropy(uniform_rate, coalition_size,
+                                      history_size)) {
+    return uniform_rate;  // no bias beyond the natural rate passes
+  }
+  double lo = uniform_rate;
+  double hi = 1.0;
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (biased_history_entropy(mid, coalition_size, history_size) >= gamma) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace lifting::analysis

@@ -1,0 +1,36 @@
+#ifndef LIFTING_ANALYSIS_ENTROPY_MODEL_HPP
+#define LIFTING_ANALYSIS_ENTROPY_MODEL_HPP
+
+#include <cstdint>
+
+/// Analytical model of the entropy-based audit (paper §6.3.2, Eq. 7).
+///
+/// A freerider that picks a coalition member with probability p_m (uniform
+/// within each class — the entropy-maximizing strategy) produces a history
+/// whose expected entropy is
+///   H(p_m) = -p_m·log2(p_m/m') - (1-p_m)·log2((1-p_m)/(N-m'))
+/// with m' the coalition size and N = n_h·f the history length. Inverting
+/// H(p*) = γ yields the maximum bias that passes the audit.
+
+namespace lifting::analysis {
+
+/// Eq. 7's right-hand side: the (asymptotic) entropy of a history of size
+/// `history_size` biased toward a coalition of `coalition_size` with
+/// per-slot probability `p_m`.
+[[nodiscard]] double biased_history_entropy(double p_m,
+                                            std::uint32_t coalition_size,
+                                            std::uint32_t history_size);
+
+/// Largest p_m whose biased history still reaches entropy γ — the paper's
+/// p*_m (γ = 8.95, m' = 25, N = 600 gives ≈ 0.21). Solved by bisection on
+/// the decreasing branch [m'/N, 1]. Returns:
+///  - 1.0 when even full bias passes (γ ≤ log2(m'));
+///  - coalition_size/history_size (the unbiased rate) when γ exceeds the
+///    achievable maximum log2(N).
+[[nodiscard]] double max_undetected_bias(double gamma,
+                                         std::uint32_t coalition_size,
+                                         std::uint32_t history_size);
+
+}  // namespace lifting::analysis
+
+#endif  // LIFTING_ANALYSIS_ENTROPY_MODEL_HPP

@@ -1,0 +1,194 @@
+#include "analysis/formulas.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace lifting::analysis {
+
+namespace {
+
+[[nodiscard]] double ipow(double base, std::uint32_t exp) {
+  double out = 1.0;
+  for (std::uint32_t i = 0; i < exp; ++i) out *= base;
+  return out;
+}
+
+}  // namespace
+
+double expected_blame_direct_verification(const ProtocolModel& m) {
+  // Eq. 2: per partner, blame f when the proposal arrives but the request
+  // is lost (pr(1-pr)); blame (f/|R|) per lost serve when the exchange
+  // happens (pr²·|R|(1-pr)·f/|R|). Summed over the f partners:
+  //   b̃_dv = f·[pr(1-pr)f + pr²(1-pr)f] = pr(1-pr²)·f².
+  const double pr = m.pr();
+  const double f = static_cast<double>(m.fanout);
+  return pr * (1.0 - pr * pr) * f * f;
+}
+
+double expected_blame_cross_check(const ProtocolModel& m) {
+  // Eq. 3, p_dcc-generalized. Per verifier (f on average), conditioned on
+  // the exchange happening (pr²):
+  //  (a) some serve or the ack lost (1-pr^{|R|+1}): the ack cannot cover the
+  //      served chunks → blame f. Ack inspection is always on.
+  //  (b) otherwise, with probability p_dcc the confirm round runs and each
+  //      of the f witness chains (propose-to-witness, confirm, response)
+  //      fails independently with probability 1-pr³ → blame 1 each.
+  const double pr = m.pr();
+  const double f = static_cast<double>(m.fanout);
+  const double surviving = ipow(pr, m.request_size + 1);
+  return f * pr * pr *
+         ((1.0 - surviving) * f +
+          m.p_dcc * surviving * f * (1.0 - ipow(pr, 3)));
+}
+
+double expected_wrongful_blame(const ProtocolModel& m) {
+  // Eq. 5: b̃ = b̃_dv + b̃_dcc. At p_dcc = 1 this equals
+  // pr(1+pr-pr²-pr^{|R|+5})·f² (the paper's closed form).
+  return expected_blame_direct_verification(m) +
+         expected_blame_cross_check(m);
+}
+
+double expected_blame_apcc(const ProtocolModel& m,
+                           std::uint32_t history_periods) {
+  // Eq. 4: each of the n_h·f history entries goes unconfirmed when the
+  // original proposal was lost (probability 1-pr); the poll itself runs
+  // over TCP and is loss-free.
+  return (1.0 - m.pr()) * static_cast<double>(history_periods) *
+         static_cast<double>(m.fanout);
+}
+
+double variance_blame_direct_verification(const ProtocolModel& m) {
+  // Per partner X = f·1[A1] + (f/|R|)·K·1[A2], A1/A2 disjoint,
+  // P(A1)=pr(1-pr), P(A2)=pr², K ~ Binomial(|R|, 1-pr).
+  const double pr = m.pr();
+  const double q = 1.0 - pr;
+  const double f = static_cast<double>(m.fanout);
+  const double R = static_cast<double>(m.request_size);
+  const double a1 = pr * q;
+  const double a2 = pr * pr;
+  const double mean_k = R * q;
+  const double mean_k2 = R * q * pr + mean_k * mean_k;
+  const double e1 = a1 * f + a2 * (f / R) * mean_k;
+  const double e2 = a1 * f * f + a2 * (f / R) * (f / R) * mean_k2;
+  const double var_per_partner = e2 - e1 * e1;
+  // The f partners' losses are independent (distinct links).
+  return f * var_per_partner;
+}
+
+double variance_blame_cross_check(const ProtocolModel& m) {
+  // Per verifier, conditioned on the exchange (pr²):
+  //   bad ack (prob 1-pr^{|R|+1})           -> blame f
+  //   else, triggered (p_dcc): Binomial(f, 1-pr³) witness failures.
+  // Three variance contributions (see header): within-verifier mixture,
+  // Poisson in-degree, and the shared-witness covariance across verifiers.
+  const double pr = m.pr();
+  const double q = 1.0 - pr;
+  const double f = static_cast<double>(m.fanout);
+  const double p_ex = pr * pr;
+  const double p_good = ipow(pr, m.request_size + 1);
+  const double w = 1.0 - ipow(pr, 3);
+
+  const double mean_b = f * w;
+  const double mean_b2 = f * w * (1.0 - w) + mean_b * mean_b;
+  const double ey = p_ex * ((1.0 - p_good) * f + p_good * m.p_dcc * mean_b);
+  const double ey2 =
+      p_ex * ((1.0 - p_good) * f * f + p_good * m.p_dcc * mean_b2);
+  const double var_y = ey2 - ey * ey;
+
+  // In-degree V ~ Poisson(f): Var(Σ Y_v) = E[V]·Var(Y) + Var(V)·E[Y]²
+  //                                      + E[V(V-1)]·Cov(Y_v, Y_v').
+  // For Poisson, E[V] = Var(V) = f and E[V(V-1)] = f².
+  // Cov(Y_v, Y_v') through the shared witness set: each witness w
+  // contributes Cov(W_vw, W_v'w) = pr⁵(1-pr), active only when both
+  // verifiers run the full confirm round (probability p_A each, with
+  // p_A = p_dcc·pr^{|R|+3}).
+  const double p_a = m.p_dcc * ipow(pr, m.request_size + 3);
+  const double cov_pair = p_a * p_a * f * ipow(pr, 5) * q;
+  return f * var_y + f * ey * ey + f * f * cov_pair;
+}
+
+double variance_wrongful_blame(const ProtocolModel& m) {
+  // Cov(b_dv, b_dcc) < 0 through shared proposal-to-partner losses: a
+  // partner that never received our proposal neither blames us via direct
+  // verification nor can confirm as a witness (blaming us 1 via every
+  // verifier's confirm round):
+  //   Cov = -f³ · p_A · pr³ · (1-pr)² · (1+pr).
+  const double pr = m.pr();
+  const double q = 1.0 - pr;
+  const double f = static_cast<double>(m.fanout);
+  const double p_a = m.p_dcc * ipow(pr, m.request_size + 3);
+  const double cov = -f * f * f * p_a * ipow(pr, 3) * q * q * (1.0 + pr);
+  return variance_blame_direct_verification(m) +
+         variance_blame_cross_check(m) + 2.0 * cov;
+}
+
+double expected_blame_freerider(const ProtocolModel& m,
+                                const FreeriderDegree& d) {
+  // This implementation's blame rules (DESIGN.md), deviation convention.
+  // f̂ = (1-δ1)f partners; blame components:
+  //   dv:  per partner, pr(1-pr)·f (request lost) +
+  //        pr²·f·(1-pr(1-δ3)) (undelivered fraction of the request);
+  //   dcc: per server (f on average), given the exchange (pr²):
+  //        bad ack (1-pr^{|R|+1}) → f;
+  //        else fanout shortfall (f-f̂) plus, with p_dcc, the witness round:
+  //        dropped servers (δ2) are contradicted by all f̂ witnesses,
+  //        truthful ones fail per witness chain with 1-pr³.
+  const double pr = m.pr();
+  const double f = static_cast<double>(m.fanout);
+  const double f_hat = (1.0 - d.delta_fanout) * f;
+  const double p_good = ipow(pr, m.request_size + 1);
+
+  const double dv =
+      f_hat * f *
+      (pr * (1.0 - pr) + pr * pr * (1.0 - pr * (1.0 - d.delta_serve)));
+  const double witness_round =
+      d.delta_propose * f_hat +
+      (1.0 - d.delta_propose) * f_hat * (1.0 - ipow(pr, 3));
+  const double dcc =
+      f * pr * pr *
+      ((1.0 - p_good) * f +
+       p_good * ((f - f_hat) + m.p_dcc * witness_round));
+  return dv + dcc;
+}
+
+double expected_blame_freerider_paper(const ProtocolModel& m,
+                                      const FreeriderDegree& d) {
+  // The paper's literal b̃'(Δ) (§6.3.1); stated for p_dcc = 1.
+  LIFTING_ASSERT(m.p_dcc == 1.0,
+                 "the paper's b'(delta) formula assumes p_dcc = 1");
+  const double pr = m.pr();
+  const double f2 = static_cast<double>(m.fanout) *
+                    static_cast<double>(m.fanout);
+  const double pR1 = ipow(pr, m.request_size + 1);
+  const double d1 = d.delta_fanout;
+  const double d2 = d.delta_propose;
+  const double d3 = d.delta_serve;
+  return (1.0 - d1) * pr * (1.0 - pr * pr * (1.0 - d3)) * f2 + d2 * f2 +
+         (1.0 - d2) * pr * pr *
+             (pR1 * (1.0 - ipow(pr, 3) * (1.0 - d1)) + (1.0 - pR1)) * f2;
+}
+
+double false_positive_bound(double sigma_b, double eta, std::uint32_t r) {
+  LIFTING_ASSERT(eta < 0.0, "detection threshold must be negative");
+  LIFTING_ASSERT(r > 0, "node must have spent at least one period");
+  const double bound =
+      sigma_b * sigma_b / (static_cast<double>(r) * eta * eta);
+  return std::min(1.0, bound);
+}
+
+double detection_bound(double mean_excess_blame, double sigma_b_freerider,
+                       double eta, std::uint32_t r) {
+  LIFTING_ASSERT(eta < 0.0, "detection threshold must be negative");
+  LIFTING_ASSERT(r > 0, "node must have spent at least one period");
+  // Freerider mean normalized score: μ' = -(b̃' - b̃). The bound is
+  // informative only when μ' < η, i.e. mean_excess_blame > -η.
+  const double distance = mean_excess_blame + eta;
+  if (distance <= 0.0) return 0.0;
+  const double bound = 1.0 - sigma_b_freerider * sigma_b_freerider /
+                                 (static_cast<double>(r) * distance * distance);
+  return std::max(0.0, bound);
+}
+
+}  // namespace lifting::analysis

@@ -1,0 +1,127 @@
+#ifndef LIFTING_ANALYSIS_FORMULAS_HPP
+#define LIFTING_ANALYSIS_FORMULAS_HPP
+
+#include <cstdint>
+
+/// Closed-form performance model of LiFTinG (paper §6).
+///
+/// Expected wrongful blames (Eq. 2–5) drive the score compensation that
+/// keeps honest nodes' normalized scores centered at zero; the variance
+/// expressions (derived here from the same per-component independence
+/// assumptions — the paper defers them to tech report [8]) drive the
+/// Chebyshev bounds on the false-positive probability β and the detection
+/// probability α (§6.3.1).
+///
+/// Conventions (see DESIGN.md): Δ = (δ1, δ2, δ3) is the *deviation* degree —
+/// a freerider contacts (1-δ1)·f partners, proposes chunks from a (1-δ2)
+/// fraction of its servers, and serves (1-δ3)·|R| chunks per request.
+/// All formulas take p_dcc as a parameter; ack-validity blames are always
+/// active (acks are always sent — §7.2), witness-confirm blames scale with
+/// p_dcc. At p_dcc = 1 everything reduces to the paper's Eq. 2/3/5.
+
+namespace lifting::analysis {
+
+/// Parameters of the protocol model (Table 4 notations).
+struct ProtocolModel {
+  double loss = 0.07;        ///< p_l, per-message Bernoulli loss
+  std::uint32_t fanout = 12; ///< f
+  std::uint32_t request_size = 4;  ///< |R|, chunks requested per proposal
+  double p_dcc = 1.0;        ///< probability of triggering a cross-check
+
+  [[nodiscard]] double pr() const noexcept { return 1.0 - loss; }
+};
+
+/// Degree of freeriding Δ (deviation convention).
+struct FreeriderDegree {
+  double delta_fanout = 0.0;   ///< δ1
+  double delta_propose = 0.0;  ///< δ2
+  double delta_serve = 0.0;    ///< δ3
+
+  /// Upload-bandwidth gain 1-(1-δ1)(1-δ2)(1-δ3) (§6.3.1).
+  [[nodiscard]] double gain() const noexcept {
+    return 1.0 - (1.0 - delta_fanout) * (1.0 - delta_propose) *
+                     (1.0 - delta_serve);
+  }
+  /// Uniform degree δ on all axes (Fig. 12's x-axis).
+  [[nodiscard]] static FreeriderDegree uniform(double delta) noexcept {
+    return FreeriderDegree{delta, delta, delta};
+  }
+};
+
+// ------------------------------------------------ expected wrongful blames
+
+/// Eq. 2: expected per-period blame on an honest node from direct
+/// verification, caused by message loss: pr(1-pr²)·f².
+[[nodiscard]] double expected_blame_direct_verification(
+    const ProtocolModel& m);
+
+/// Eq. 3 (p_dcc-generalized): expected per-period blame on an honest node
+/// from direct cross-checking. At p_dcc=1: pr²(1-pr^{|R|+4})·f².
+[[nodiscard]] double expected_blame_cross_check(const ProtocolModel& m);
+
+/// Eq. 5: total expected wrongful blame per period, b̃ = b̃_dv + b̃_dcc.
+/// At p_dcc=1: pr(1+pr-pr²-pr^{|R|+5})·f².
+[[nodiscard]] double expected_wrongful_blame(const ProtocolModel& m);
+
+/// Eq. 4: expected wrongful blame of one a-posteriori history cross-check
+/// over n_h periods: (1-pr)·n_h·f.
+[[nodiscard]] double expected_blame_apcc(const ProtocolModel& m,
+                                         std::uint32_t history_periods);
+
+// ----------------------------------------------------- derived variances
+
+/// Var of the per-period direct-verification blame on an honest node.
+/// Derivation: the f partners blame independently; each contributes
+///   f·1[prop ∧ ¬req] + (f/|R|)·Binomial(|R|, 1-pr)·1[prop ∧ req].
+[[nodiscard]] double variance_blame_direct_verification(
+    const ProtocolModel& m);
+
+/// Var of the per-period cross-checking blame on an honest node.
+/// Includes (a) the within-verifier mixture variance, (b) the random
+/// number of verifiers (in-degree ≈ Poisson(f) in steady state — each of
+/// n-1 peers targets the node with probability f/(n-1)), and (c) the
+/// positive covariance across verifiers induced by shared
+/// proposal-to-witness losses (all verifiers confirm with the *same* f
+/// witnesses). Terms (b) and (c) are what the paper's empirical
+/// σ(b) = 25.6 (Fig. 10) exhibits over the naive independent-sum value.
+[[nodiscard]] double variance_blame_cross_check(const ProtocolModel& m);
+
+/// Var(b) for honest nodes: Var_dv + Var_dcc + 2·Cov(dv, dcc), where the
+/// negative covariance stems from shared proposal losses (a partner that
+/// never received the proposal neither blames via direct verification nor
+/// can confirm as a witness).
+[[nodiscard]] double variance_wrongful_blame(const ProtocolModel& m);
+
+// ------------------------------------------------------- freerider model
+
+/// Expected per-period blame on a freerider of degree Δ under *this
+/// implementation's* blame rules (protocol-faithful; see DESIGN.md).
+/// Reduces exactly to expected_wrongful_blame at Δ = 0.
+[[nodiscard]] double expected_blame_freerider(const ProtocolModel& m,
+                                              const FreeriderDegree& d);
+
+/// The paper's literal b̃'(Δ) expression (§6.3.1), for comparison tables.
+/// Only defined for p_dcc = 1 (the paper's analysis assumption).
+[[nodiscard]] double expected_blame_freerider_paper(const ProtocolModel& m,
+                                                    const FreeriderDegree& d);
+
+// ------------------------------------------------------ detection bounds
+
+/// Bienaymé–Tchebychev bound on the false-positive probability (§6.3.1):
+///   β ≤ σ(b)² / (r·η²),  η < 0 the detection threshold,
+/// r the number of periods spent in the system.
+[[nodiscard]] double false_positive_bound(double sigma_b, double eta,
+                                          std::uint32_t r);
+
+/// Bienaymé–Tchebychev lower bound on the detection probability:
+///   α ≥ 1 − σ(b')² / (r·(μ' − η)²)
+/// where μ' = −(b̃'(Δ) − b̃) is the freerider's mean normalized score.
+/// Returns 0 when μ' ≥ η (the bound is vacuous: the freerider's mean score
+/// sits above the threshold).
+[[nodiscard]] double detection_bound(double mean_excess_blame,
+                                     double sigma_b_freerider, double eta,
+                                     std::uint32_t r);
+
+}  // namespace lifting::analysis
+
+#endif  // LIFTING_ANALYSIS_FORMULAS_HPP

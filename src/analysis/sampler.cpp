@@ -1,0 +1,99 @@
+#include "analysis/sampler.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace lifting::analysis {
+
+double BlameSampler::sample_period(Pcg32& rng,
+                                   const FreeriderDegree& d) const {
+  const double pr = model_.pr();
+  const double p_dcc = model_.p_dcc;
+  const std::uint32_t f = model_.fanout;
+  const std::uint32_t R = model_.request_size;
+  const double fd = static_cast<double>(f);
+
+  // Partner set of the period: f̂ = (1-δ1)·f partners; the same nodes act
+  // as direct-verification blamers and as cross-check witnesses, sharing
+  // the proposal-loss draw (the source of the negative dv/dcc covariance).
+  const std::uint32_t f_hat = std::min(
+      f, round_randomized(rng, (1.0 - d.delta_fanout) * fd));
+  std::vector<bool> proposal_lost(f_hat);
+  for (std::uint32_t w = 0; w < f_hat; ++w) {
+    proposal_lost[w] = rng.bernoulli(1.0 - pr);
+  }
+
+  double blame = 0.0;
+
+  // --- Direct verification: each partner that received our proposal
+  // requests |R| chunks; we serve (1-δ3)·|R| of them; per missing chunk the
+  // partner blames f/|R| (all of f if nothing was exchanged).
+  for (std::uint32_t j = 0; j < f_hat; ++j) {
+    if (proposal_lost[j]) continue;
+    if (!rng.bernoulli(pr)) {  // request lost -> nothing served
+      blame += fd;
+      continue;
+    }
+    const std::uint32_t sent = std::min(
+        R, round_randomized(rng, (1.0 - d.delta_serve) *
+                                     static_cast<double>(R)));
+    const std::uint32_t delivered = rng.binomial(sent, pr);
+    blame += fd * static_cast<double>(R - delivered) /
+             static_cast<double>(R);
+  }
+
+  // --- Direct cross-checking: V ~ Poisson(f) servers verify us.
+  const std::uint32_t verifiers = rng.poisson(fd);
+  for (std::uint32_t v = 0; v < verifiers; ++v) {
+    if (!rng.bernoulli(pr * pr)) continue;  // their proposal or our request lost
+    // All |R| serves and our ack must arrive for the ack to cover the batch.
+    bool covered = rng.bernoulli(pr);  // the ack itself
+    for (std::uint32_t c = 0; covered && c < R; ++c) {
+      covered = rng.bernoulli(pr);
+    }
+    if (!covered) {
+      blame += fd;
+      continue;
+    }
+    // Ack inspection: fanout shortfall is blamed by every verifier.
+    blame += fd - static_cast<double>(f_hat);
+    if (!rng.bernoulli(p_dcc)) continue;
+    // δ2: this server's chunks were dropped from our proposal (we lied in
+    // the ack); every witness contradicts or goes missing — blame 1 each.
+    const bool dropped_server = rng.bernoulli(d.delta_propose);
+    for (std::uint32_t w = 0; w < f_hat; ++w) {
+      if (dropped_server || proposal_lost[w] ||
+          !rng.bernoulli(pr * pr)) {  // confirm or response lost
+        blame += 1.0;
+      }
+    }
+  }
+  return blame;
+}
+
+double BlameSampler::sample_score(Pcg32& rng, const FreeriderDegree& d,
+                                  std::uint32_t r) const {
+  const double compensation = expected_wrongful_blame(model_);
+  double total = 0.0;
+  for (std::uint32_t i = 0; i < r; ++i) {
+    total += sample_period(rng, d) - compensation;
+  }
+  return -total / static_cast<double>(r);
+}
+
+DetectionEstimate estimate_detection(const BlameSampler& sampler,
+                                     const FreeriderDegree& d, double eta,
+                                     std::uint32_t r, std::uint32_t trials,
+                                     Pcg32& rng) {
+  std::uint32_t detected = 0;
+  std::uint32_t wrongly = 0;
+  for (std::uint32_t t = 0; t < trials; ++t) {
+    if (sampler.sample_score(rng, d, r) < eta) ++detected;
+    if (sampler.sample_score(rng, FreeriderDegree{}, r) < eta) ++wrongly;
+  }
+  return DetectionEstimate{
+      static_cast<double>(detected) / static_cast<double>(trials),
+      static_cast<double>(wrongly) / static_cast<double>(trials)};
+}
+
+}  // namespace lifting::analysis

@@ -1,0 +1,58 @@
+#ifndef LIFTING_ANALYSIS_SAMPLER_HPP
+#define LIFTING_ANALYSIS_SAMPLER_HPP
+
+#include <cstdint>
+
+#include "analysis/formulas.hpp"
+#include "common/rng.hpp"
+
+/// Protocol-faithful Monte-Carlo sampler of the per-period blame applied to
+/// a node, under the §6 model assumptions (every node receives chunks each
+/// period, requests a constant |R| per proposal, in-degree ≈ Poisson(f)).
+///
+/// The paper's §6 figures (10, 11, 12) are themselves simulations of this
+/// model at n = 10,000 — packet-level runs at that scale are unnecessary
+/// and the model is cross-validated against the full simulator in the test
+/// suite at smaller n (see DESIGN.md, substitutions).
+
+namespace lifting::analysis {
+
+class BlameSampler {
+ public:
+  explicit BlameSampler(ProtocolModel model) : model_(model) {}
+
+  /// One period's blame for an honest node (wrongful blames only).
+  [[nodiscard]] double sample_honest(Pcg32& rng) const {
+    return sample_period(rng, FreeriderDegree{});
+  }
+
+  /// One period's blame for a freerider of degree Δ (includes both earned
+  /// and wrongful blames — they are indistinguishable to the managers).
+  [[nodiscard]] double sample_period(Pcg32& rng,
+                                     const FreeriderDegree& d) const;
+
+  /// Normalized, compensated score after r periods (§6.3.1, Eq. 6):
+  ///   s = -(1/r)·Σ_i (b_i - b̃)
+  /// with b̃ the honest expectation used for compensation.
+  [[nodiscard]] double sample_score(Pcg32& rng, const FreeriderDegree& d,
+                                    std::uint32_t r) const;
+
+  [[nodiscard]] const ProtocolModel& model() const noexcept { return model_; }
+
+ private:
+  ProtocolModel model_;
+};
+
+/// Empirical detection/false-positive rates at threshold eta over `trials`
+/// sampled nodes of each class after r periods (Fig. 12's data).
+struct DetectionEstimate {
+  double detection = 0.0;       // α: fraction of freeriders with s < η
+  double false_positive = 0.0;  // β: fraction of honest nodes with s < η
+};
+[[nodiscard]] DetectionEstimate estimate_detection(
+    const BlameSampler& sampler, const FreeriderDegree& d, double eta,
+    std::uint32_t r, std::uint32_t trials, Pcg32& rng);
+
+}  // namespace lifting::analysis
+
+#endif  // LIFTING_ANALYSIS_SAMPLER_HPP

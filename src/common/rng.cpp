@@ -1,0 +1,77 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+#include <unordered_set>
+
+namespace lifting {
+
+std::uint32_t Pcg32::binomial(std::uint32_t n, double p) noexcept {
+  if (n == 0 || p <= 0.0) return 0;
+  if (p >= 1.0) return n;
+  // For the sizes used in the blame model (n <= a few hundred), summing
+  // Bernoulli trials is exact and fast enough; the analysis sampler calls
+  // this in tight loops with n = |R| or f.
+  std::uint32_t successes = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    successes += bernoulli(p) ? 1U : 0U;
+  }
+  return successes;
+}
+
+std::uint32_t Pcg32::poisson(double lambda) noexcept {
+  if (lambda <= 0.0) return 0;
+  const double limit = std::exp(-lambda);
+  std::uint32_t k = 0;
+  double product = uniform();
+  while (product > limit) {
+    ++k;
+    product *= uniform();
+  }
+  return k;
+}
+
+double Pcg32::normal() noexcept {
+  // Polar Box–Muller; the spare variate is discarded so that consumption
+  // of the underlying stream is deterministic per call.
+  for (;;) {
+    const double u = uniform(-1.0, 1.0);
+    const double v = uniform(-1.0, 1.0);
+    const double s = u * u + v * v;
+    if (s > 0.0 && s < 1.0) {
+      return u * std::sqrt(-2.0 * std::log(s) / s);
+    }
+  }
+}
+
+std::uint32_t round_randomized(Pcg32& rng, double x) {
+  LIFTING_ASSERT(x >= 0.0, "round_randomized requires x >= 0");
+  const double fl = std::floor(x);
+  const double frac = x - fl;
+  return static_cast<std::uint32_t>(fl) + (rng.bernoulli(frac) ? 1U : 0U);
+}
+
+std::vector<std::uint32_t> sample_k_distinct(Pcg32& rng, std::uint32_t n,
+                                             std::uint32_t k) {
+  LIFTING_ASSERT(k <= n, "sample_k_distinct requires k <= n");
+  // Floyd's algorithm: for j in [n-k, n), pick t in [0, j]; insert t unless
+  // already chosen, in which case insert j. Produces a uniform k-subset.
+  std::unordered_set<std::uint32_t> chosen;
+  std::vector<std::uint32_t> result;
+  chosen.reserve(k * 2);
+  result.reserve(k);
+  for (std::uint32_t j = n - k; j < n; ++j) {
+    const std::uint32_t t = rng.below(j + 1);
+    if (chosen.insert(t).second) {
+      result.push_back(t);
+    } else {
+      chosen.insert(j);
+      result.push_back(j);
+    }
+  }
+  // Floyd's method biases element order (later slots favor later indices);
+  // shuffle so callers may truncate or iterate without order effects.
+  rng.shuffle(result);
+  return result;
+}
+
+}  // namespace lifting

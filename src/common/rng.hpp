@@ -1,0 +1,130 @@
+#ifndef LIFTING_COMMON_RNG_HPP
+#define LIFTING_COMMON_RNG_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.hpp"
+
+/// Deterministic random number generation.
+///
+/// Reproducibility across platforms matters for this library: the paper's
+/// claims are validated by exact-seeded simulations, and `std::` distribution
+/// objects are not reproducible across standard libraries. We therefore ship
+/// a small PCG32 generator plus the handful of distributions the protocol and
+/// the analysis need, all specified down to the bit.
+
+namespace lifting {
+
+/// SplitMix64 — used to derive well-mixed seeds from (seed, stream) pairs.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// PCG32 (XSH-RR variant) — O'Neill's permuted congruential generator.
+/// 64-bit state, 32-bit output, excellent statistical quality, tiny.
+class Pcg32 {
+ public:
+  /// Seeds the generator. `stream` selects one of 2^63 independent
+  /// sequences, so per-node generators derived from one experiment seed
+  /// never correlate.
+  constexpr explicit Pcg32(std::uint64_t seed = 0x853c49e6748fea9bULL,
+                           std::uint64_t stream = 0xda3e39cb94b95bdbULL) noexcept
+      : state_(0), inc_((stream << 1U) | 1U) {
+    next();
+    state_ += splitmix64(seed);
+    next();
+  }
+
+  /// Next 32 uniformly distributed bits.
+  constexpr std::uint32_t next() noexcept {
+    const std::uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    const auto xorshifted =
+        static_cast<std::uint32_t>(((old >> 18U) ^ old) >> 27U);
+    const auto rot = static_cast<std::uint32_t>(old >> 59U);
+    return (xorshifted >> rot) | (xorshifted << ((32U - rot) & 31U));
+  }
+
+  /// Uniform integer in [0, bound), bias-free (Lemire-style rejection).
+  [[nodiscard]] constexpr std::uint32_t below(std::uint32_t bound) noexcept {
+    LIFTING_ASSERT(bound > 0, "Pcg32::below requires bound > 0");
+    // Rejection sampling over the largest multiple of `bound` <= 2^32.
+    const std::uint32_t threshold = (0U - bound) % bound;
+    for (;;) {
+      const std::uint32_t r = next();
+      if (r >= threshold) {
+        return r % bound;
+      }
+    }
+  }
+
+  /// Uniform double in [0, 1) with 53-bit resolution.
+  [[nodiscard]] constexpr double uniform() noexcept {
+    const std::uint64_t hi = next();
+    const std::uint64_t lo = next();
+    const std::uint64_t bits53 = ((hi << 32U) | lo) >> 11U;
+    return static_cast<double>(bits53) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] constexpr double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  [[nodiscard]] constexpr bool bernoulli(double p) noexcept {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform() < p;
+  }
+
+  /// Binomial(n, p) by direct inversion — exact and fast for the small n
+  /// used by the protocol model (n is a fanout or request size).
+  [[nodiscard]] std::uint32_t binomial(std::uint32_t n, double p) noexcept;
+
+  /// Poisson(lambda) by Knuth's product method (lambda is a fanout-sized
+  /// quantity in this library; the method is exact and fast for lambda<~30).
+  [[nodiscard]] std::uint32_t poisson(double lambda) noexcept;
+
+  /// Standard normal variate (polar Box–Muller, deterministic ordering).
+  [[nodiscard]] double normal() noexcept;
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) noexcept {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      using std::swap;
+      swap(v[i - 1], v[below(static_cast<std::uint32_t>(i))]);
+    }
+  }
+
+ private:
+  std::uint64_t state_;
+  std::uint64_t inc_;
+};
+
+/// Samples k distinct indices uniformly from [0, n) in O(k) expected time
+/// (Floyd's algorithm). Order of the result is randomized.
+/// Precondition: k <= n.
+[[nodiscard]] std::vector<std::uint32_t> sample_k_distinct(Pcg32& rng,
+                                                           std::uint32_t n,
+                                                           std::uint32_t k);
+
+/// Rounds x to an integer whose expectation is exactly x
+/// (floor(x) + Bernoulli(frac(x))). Used wherever the protocol needs an
+/// integer count matching a fractional degree, e.g. (1-δ3)·|R| chunks.
+[[nodiscard]] std::uint32_t round_randomized(Pcg32& rng, double x);
+
+/// Derives an independent generator for a named sub-stream of `seed`.
+[[nodiscard]] inline Pcg32 derive_rng(std::uint64_t seed,
+                                      std::uint64_t stream) noexcept {
+  return Pcg32{splitmix64(seed ^ splitmix64(stream)), splitmix64(stream) | 1U};
+}
+
+}  // namespace lifting
+
+#endif  // LIFTING_COMMON_RNG_HPP

@@ -1,0 +1,73 @@
+#ifndef LIFTING_COMMON_TABLE_HPP
+#define LIFTING_COMMON_TABLE_HPP
+
+#include <cstdio>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/assert.hpp"
+
+/// Plain-text table rendering for the benchmark harness.
+///
+/// Every bench binary regenerates one of the paper's tables or figure data
+/// series; this helper keeps their output format uniform and readable.
+
+namespace lifting {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells) {
+    LIFTING_ASSERT(cells.size() == headers_.size(),
+                   "TextTable row width mismatch");
+    rows_.push_back(std::move(cells));
+  }
+
+  /// Formats a double with fixed precision (helper for row construction).
+  [[nodiscard]] static std::string num(double v, int precision = 3) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+  }
+
+  void print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      widths[c] = headers_[c].size();
+      for (const auto& row : rows_) {
+        widths[c] = std::max(widths[c], row[c].size());
+      }
+    }
+    const auto line = [&] {
+      os << '+';
+      for (const auto w : widths) os << std::string(w + 2, '-') << '+';
+      os << '\n';
+    };
+    const auto emit = [&](const std::vector<std::string>& cells) {
+      os << '|';
+      for (std::size_t c = 0; c < cells.size(); ++c) {
+        os << ' ' << std::left << std::setw(static_cast<int>(widths[c]))
+           << cells[c] << " |";
+      }
+      os << '\n';
+    };
+    line();
+    emit(headers_);
+    line();
+    for (const auto& row : rows_) emit(row);
+    line();
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace lifting
+
+#endif  // LIFTING_COMMON_TABLE_HPP

@@ -1,0 +1,55 @@
+#ifndef LIFTING_COMMON_TIME_HPP
+#define LIFTING_COMMON_TIME_HPP
+
+#include <chrono>
+#include <cstdint>
+
+/// Simulated time.
+///
+/// The discrete-event simulator advances a virtual clock; all protocol logic
+/// is written against these types so it cannot accidentally consult the wall
+/// clock. Microsecond resolution is ample for a gossip period of 500 ms.
+
+namespace lifting {
+
+/// Duration of simulated time (microsecond resolution).
+using Duration = std::chrono::microseconds;
+
+/// Clock tag for simulated time points. Never ticks by itself; the
+/// simulator owns the current time.
+struct SimClock {
+  using rep = Duration::rep;
+  using period = Duration::period;
+  using duration = Duration;
+  using time_point = std::chrono::time_point<SimClock, Duration>;
+  static constexpr bool is_steady = true;
+};
+
+/// A point in simulated time.
+using TimePoint = SimClock::time_point;
+
+/// The simulation epoch (t = 0).
+inline constexpr TimePoint kSimEpoch{};
+
+/// Convenience literals-free constructors.
+[[nodiscard]] constexpr Duration microseconds(std::int64_t us) noexcept {
+  return Duration{us};
+}
+[[nodiscard]] constexpr Duration milliseconds(std::int64_t ms) noexcept {
+  return std::chrono::duration_cast<Duration>(std::chrono::milliseconds{ms});
+}
+[[nodiscard]] constexpr Duration seconds(double s) noexcept {
+  return Duration{static_cast<std::int64_t>(s * 1e6)};
+}
+
+/// Seconds as a double, for reporting.
+[[nodiscard]] constexpr double to_seconds(Duration d) noexcept {
+  return static_cast<double>(d.count()) / 1e6;
+}
+[[nodiscard]] constexpr double to_seconds(TimePoint t) noexcept {
+  return to_seconds(t.time_since_epoch());
+}
+
+}  // namespace lifting
+
+#endif  // LIFTING_COMMON_TIME_HPP

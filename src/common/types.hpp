@@ -1,0 +1,75 @@
+#ifndef LIFTING_COMMON_TYPES_HPP
+#define LIFTING_COMMON_TYPES_HPP
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <ostream>
+
+/// Strongly-typed identifiers used throughout the library.
+///
+/// The C++ Core Guidelines (P.1, I.4) favor precise, strongly-typed
+/// interfaces: a NodeId is not a ChunkId is not a period index, and mixing
+/// them should not compile.
+
+namespace lifting {
+
+/// A transparent strong-typedef over an integral representation.
+/// `Tag` makes distinct instantiations incompatible; `Rep` is the storage.
+template <typename Tag, typename Rep = std::uint32_t>
+class StrongId {
+ public:
+  using rep_type = Rep;
+
+  constexpr StrongId() noexcept = default;
+  constexpr explicit StrongId(Rep value) noexcept : value_(value) {}
+
+  [[nodiscard]] constexpr Rep value() const noexcept { return value_; }
+
+  friend constexpr auto operator<=>(StrongId, StrongId) noexcept = default;
+
+  /// Pre-increment, for dense id generation (e.g., chunk sequence numbers).
+  constexpr StrongId& operator++() noexcept {
+    ++value_;
+    return *this;
+  }
+
+ private:
+  Rep value_{0};
+};
+
+template <typename Tag, typename Rep>
+std::ostream& operator<<(std::ostream& os, StrongId<Tag, Rep> id) {
+  return os << id.value();
+}
+
+/// Identifies a participant in the system. Dense in [0, n).
+using NodeId = StrongId<struct NodeIdTag, std::uint32_t>;
+
+/// Identifies a stream chunk. Dense in emission order.
+using ChunkId = StrongId<struct ChunkIdTag, std::uint64_t>;
+
+/// Index of a gossip period (multiples of Tg since the node joined).
+using PeriodIndex = std::uint32_t;
+
+/// Hash support so strong ids can key unordered containers.
+struct StrongIdHash {
+  template <typename Tag, typename Rep>
+  [[nodiscard]] std::size_t operator()(StrongId<Tag, Rep> id) const noexcept {
+    return std::hash<Rep>{}(id.value());
+  }
+};
+
+}  // namespace lifting
+
+template <typename Tag, typename Rep>
+struct std::hash<lifting::StrongId<Tag, Rep>> {
+  [[nodiscard]] std::size_t operator()(
+      lifting::StrongId<Tag, Rep> id) const noexcept {
+    return std::hash<Rep>{}(id.value());
+  }
+};
+
+#endif  // LIFTING_COMMON_TYPES_HPP

@@ -1,0 +1,69 @@
+#ifndef LIFTING_COMMON_UNIQUE_FUNCTION_HPP
+#define LIFTING_COMMON_UNIQUE_FUNCTION_HPP
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+#include "common/assert.hpp"
+
+/// A move-only callable wrapper.
+///
+/// The event queue stores closures that capture move-only state (e.g.
+/// messages being delivered); std::function requires copyability and
+/// std::move_only_function is C++23. This is the minimal, allocation-based
+/// equivalent (events are heap-scheduled anyway, so the allocation is not on
+/// any hot path that matters beyond the queue itself).
+
+namespace lifting {
+
+template <typename Signature>
+class UniqueFunction;
+
+template <typename R, typename... Args>
+class UniqueFunction<R(Args...)> {
+ public:
+  UniqueFunction() noexcept = default;
+
+  template <typename F>
+    requires(!std::is_same_v<std::decay_t<F>, UniqueFunction> &&
+             std::is_invocable_r_v<R, std::decay_t<F>&, Args...>)
+  UniqueFunction(F&& f)  // NOLINT(google-explicit-constructor): mirrors std::function
+      : impl_(std::make_unique<Model<std::decay_t<F>>>(std::forward<F>(f))) {}
+
+  UniqueFunction(UniqueFunction&&) noexcept = default;
+  UniqueFunction& operator=(UniqueFunction&&) noexcept = default;
+  UniqueFunction(const UniqueFunction&) = delete;
+  UniqueFunction& operator=(const UniqueFunction&) = delete;
+  ~UniqueFunction() = default;
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return impl_ != nullptr;
+  }
+
+  R operator()(Args... args) {
+    LIFTING_ASSERT(impl_ != nullptr, "calling empty UniqueFunction");
+    return impl_->invoke(std::forward<Args>(args)...);
+  }
+
+ private:
+  struct Concept {
+    virtual ~Concept() = default;
+    virtual R invoke(Args... args) = 0;
+  };
+
+  template <typename F>
+  struct Model final : Concept {
+    explicit Model(F f) : fn(std::move(f)) {}
+    R invoke(Args... args) override {
+      return fn(std::forward<Args>(args)...);
+    }
+    F fn;
+  };
+
+  std::unique_ptr<Concept> impl_;
+};
+
+}  // namespace lifting
+
+#endif  // LIFTING_COMMON_UNIQUE_FUNCTION_HPP

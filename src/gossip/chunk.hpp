@@ -1,0 +1,28 @@
+#ifndef LIFTING_GOSSIP_CHUNK_HPP
+#define LIFTING_GOSSIP_CHUNK_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "common/time.hpp"
+#include "common/types.hpp"
+
+/// Stream chunks (paper §3): the content is split into chunks identified by
+/// chunk ids; payloads are modeled by size only (the tracking protocol never
+/// inspects content).
+
+namespace lifting::gossip {
+
+struct ChunkMeta {
+  ChunkId id;
+  std::uint32_t payload_bytes = 0;
+  TimePoint emitted_at;  // when the source injected it
+};
+
+/// A small sorted set of chunk ids — proposals, requests and serve batches
+/// are all chunk-id sets of size ~|P| or ~|R| (single digits to tens).
+using ChunkIdList = std::vector<ChunkId>;
+
+}  // namespace lifting::gossip
+
+#endif  // LIFTING_GOSSIP_CHUNK_HPP

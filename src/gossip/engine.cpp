@@ -1,0 +1,323 @@
+#include "gossip/engine.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "membership/sampler.hpp"
+
+namespace lifting::gossip {
+
+Engine::Engine(sim::Simulator& sim, Mailer& mailer,
+               membership::Directory& directory, NodeId self,
+               GossipParams params, BehaviorSpec behavior, Pcg32 rng,
+               EngineObserver* observer)
+    : sim_(sim),
+      mailer_(mailer),
+      directory_(directory),
+      self_(self),
+      params_(params),
+      behavior_(behavior),
+      rng_(rng),
+      observer_(observer) {
+  require(params_.fanout >= 1, "fanout must be >= 1");
+  require(params_.period > Duration::zero(), "gossip period must be positive");
+  if (behavior_.collusion.has_value()) {
+    require(behavior_.collusion->bias_pm >= 0.0 &&
+                behavior_.collusion->bias_pm <= 1.0,
+            "bias p_m must be in [0,1]");
+  }
+}
+
+void Engine::start(Duration initial_offset) {
+  LIFTING_ASSERT(!running_, "engine started twice");
+  running_ = true;
+  sim_.schedule_after(initial_offset, [this] { propose_phase(); });
+}
+
+void Engine::schedule_next_phase() {
+  // Attack (iv), §4.1: a freerider stretches its gossip period, proposing
+  // less frequently (and therefore staler, less interesting chunks).
+  const double factor = 1.0 + behavior_.period_stretch;
+  const auto delay = Duration{static_cast<Duration::rep>(
+      static_cast<double>(params_.period.count()) * factor)};
+  sim_.schedule_after(delay, [this] { propose_phase(); });
+}
+
+void Engine::inject_chunk(const ChunkMeta& chunk) {
+  if (held_.contains(chunk.id)) return;
+  held_.emplace(chunk.id, chunk.payload_bytes);
+  delivery_times_.emplace(chunk.id, sim_.now());
+  fresh_.push_back(FreshChunk{chunk.id, self_, /*has_origin=*/false,
+                              chunk.payload_bytes});
+}
+
+void Engine::handle(NodeId from, const Message& message) {
+  // Honest nodes ignore traffic from expelled nodes; freeriders have no
+  // incentive to talk to them either (expelled nodes cannot reciprocate).
+  if (!directory_.is_live(from)) return;
+  if (const auto* propose = std::get_if<ProposeMsg>(&message)) {
+    handle_propose(from, *propose);
+  } else if (const auto* request = std::get_if<RequestMsg>(&message)) {
+    handle_request(from, *request);
+  } else if (const auto* serve = std::get_if<ServeMsg>(&message)) {
+    handle_serve(from, *serve);
+  } else if (const auto* ack = std::get_if<AckMsg>(&message)) {
+    if (observer_ != nullptr) observer_->on_ack_received(from, *ack);
+  } else {
+    LIFTING_ASSERT(false, "non-gossip message routed to Engine");
+  }
+}
+
+void Engine::handle_propose(NodeId from, const ProposeMsg& msg) {
+  if (observer_ != nullptr) {
+    observer_->on_propose_received(from, msg.period, msg.chunks);
+  }
+  // Request phase: ask for the proposed chunks we neither hold nor have
+  // already requested from another proposer (re-requestable after timeout).
+  ChunkIdList needed;
+  const TimePoint now = sim_.now();
+  for (const auto chunk : msg.chunks) {
+    if (held_.contains(chunk)) continue;
+    const auto pending = pending_.find(chunk);
+    if (pending != pending_.end() && pending->second > now) continue;
+    needed.push_back(chunk);
+  }
+  if (needed.empty()) return;
+  // Balance requests across proposers: take at most the cap from this
+  // proposal and leave the rest to the other ~f proposals arriving this
+  // period. Oldest chunks first — they have the fewest remaining
+  // propose opportunities under infect-and-die, so greedy aging avoids
+  // starvation (the rarest-first principle of swarming systems).
+  if (params_.max_request_per_proposal > 0 &&
+      needed.size() > params_.max_request_per_proposal) {
+    std::sort(needed.begin(), needed.end());
+    needed.resize(params_.max_request_per_proposal);
+  }
+  for (const auto chunk : needed) {
+    pending_[chunk] = now + params_.request_timeout;
+  }
+  ++stats_.requests_sent;
+  if (observer_ != nullptr) {
+    observer_->on_request_sent(from, msg.period, needed);
+  }
+  mailer_.send(self_, from, sim::Channel::kDatagram,
+               RequestMsg{msg.period, needed});
+}
+
+void Engine::handle_request(NodeId from, const RequestMsg& msg) {
+  // Serve only chunks that were effectively proposed to this requester in
+  // this period (§3: invalid requests are ignored).
+  const auto it = std::find_if(
+      sent_proposals_.begin(), sent_proposals_.end(),
+      [&](const SentProposal& p) {
+        return p.partner == from && p.period == msg.period;
+      });
+  if (it == sent_proposals_.end()) {
+    ++stats_.invalid_requests;
+    return;
+  }
+  ChunkIdList valid;
+  for (const auto chunk : msg.chunks) {
+    if (std::find(it->chunks.begin(), it->chunks.end(), chunk) !=
+        it->chunks.end()) {
+      valid.push_back(chunk);
+    }
+  }
+  if (valid.empty()) return;
+
+  // Attack: partial serve — serve only (1-δ3)·|R| of the valid request.
+  std::size_t serve_count = valid.size();
+  if (behavior_.delta_serve > 0.0) {
+    serve_count = std::min<std::size_t>(
+        valid.size(),
+        round_randomized(rng_, (1.0 - behavior_.delta_serve) *
+                                   static_cast<double>(valid.size())));
+    rng_.shuffle(valid);
+  }
+  ChunkIdList served(valid.begin(),
+                     valid.begin() + static_cast<std::ptrdiff_t>(serve_count));
+
+  const NodeId ack_target = choose_ack_target();
+  for (const auto chunk : served) {
+    const auto held = held_.find(chunk);
+    LIFTING_ASSERT(held != held_.end(), "proposed a chunk we do not hold");
+    mailer_.send(self_, from, sim::Channel::kDatagram,
+                 ServeMsg{msg.period, chunk, held->second, ack_target});
+  }
+  stats_.chunks_served += served.size();
+  if (observer_ != nullptr && !served.empty()) {
+    observer_->on_chunks_served(from, msg.period, served);
+  }
+}
+
+NodeId Engine::choose_ack_target() {
+  // MITM (§5.2, Fig. 8b): route the receiver's acknowledgment to a live
+  // coalition member so the verification trail bypasses us.
+  if (behavior_.collusion.has_value() && behavior_.collusion->mitm) {
+    std::vector<NodeId> live;
+    for (const auto id : behavior_.collusion->coalition) {
+      if (id != self_ && directory_.is_live(id)) live.push_back(id);
+    }
+    if (!live.empty()) {
+      return live[rng_.below(static_cast<std::uint32_t>(live.size()))];
+    }
+  }
+  return self_;
+}
+
+void Engine::handle_serve(NodeId from, const ServeMsg& msg) {
+  if (held_.contains(msg.chunk)) {
+    ++stats_.duplicate_serves;
+    return;
+  }
+  held_.emplace(msg.chunk, msg.payload_bytes);
+  delivery_times_.emplace(msg.chunk, sim_.now());
+  pending_.erase(msg.chunk);
+  fresh_.push_back(
+      FreshChunk{msg.chunk, msg.ack_to, /*has_origin=*/true,
+                 msg.payload_bytes});
+  ++stats_.chunks_received;
+  if (observer_ != nullptr) {
+    observer_->on_serve_received(from, msg.ack_to, msg.period, msg.chunk);
+  }
+}
+
+std::vector<NodeId> Engine::pick_partners(std::size_t count) {
+  if (behavior_.collusion.has_value() && behavior_.collusion->bias_pm > 0.0) {
+    return membership::sample_biased(rng_, directory_, self_, count,
+                                     behavior_.collusion->coalition,
+                                     behavior_.collusion->bias_pm);
+  }
+  return membership::sample_uniform(rng_, directory_, self_, count);
+}
+
+void Engine::propose_phase() {
+  if (!running_) return;
+  ++period_;
+  prune_sent_proposals();
+
+  // Collect the chunks received since the last propose phase; infect-and-die
+  // means each chunk is proposed in exactly one phase (§3).
+  std::vector<FreshChunk> fresh;
+  fresh.swap(fresh_);
+
+  if (!fresh.empty()) {
+    // Attack: partial propose — drop the chunks received from a fraction δ2
+    // of this period's servers (whole servers: the blame-minimizing choice,
+    // §6.3.1 footnote).
+    std::unordered_set<NodeId> dropped_servers;
+    if (behavior_.delta_propose > 0.0) {
+      std::vector<NodeId> servers;
+      for (const auto& c : fresh) {
+        if (c.has_origin &&
+            std::find(servers.begin(), servers.end(), c.ack_to) ==
+                servers.end()) {
+          servers.push_back(c.ack_to);
+        }
+      }
+      const auto drop_count = std::min<std::size_t>(
+          servers.size(),
+          round_randomized(rng_, behavior_.delta_propose *
+                                     static_cast<double>(servers.size())));
+      rng_.shuffle(servers);
+      dropped_servers.insert(servers.begin(),
+                             servers.begin() +
+                                 static_cast<std::ptrdiff_t>(drop_count));
+    }
+
+    ChunkIdList proposal;
+    proposal.reserve(fresh.size());
+    for (const auto& c : fresh) {
+      if (c.has_origin && dropped_servers.contains(c.ack_to)) continue;
+      proposal.push_back(c.id);
+    }
+
+    {
+      // Attack: fanout decrease — contact only (1-δ1)·f partners.
+      std::size_t fanout = params_.fanout;
+      if (behavior_.delta_fanout > 0.0) {
+        fanout = std::min<std::size_t>(
+            fanout, round_randomized(
+                        rng_, (1.0 - behavior_.delta_fanout) *
+                                  static_cast<double>(params_.fanout)));
+      }
+      const auto partners = pick_partners(fanout);
+      if (!proposal.empty()) {
+        for (const auto partner : partners) {
+          sent_proposals_.push_back(
+              SentProposal{partner, period_, proposal, sim_.now()});
+          mailer_.send(self_, partner, sim::Channel::kDatagram,
+                       ProposeMsg{period_, proposal});
+        }
+        ++stats_.proposals_sent;
+      }
+
+      // Cross-checking ack: what we *claim* our partner set was. A MITM
+      // freerider claims coalition members so the verifier's confirms land
+      // on nodes that cover for it.
+      std::vector<NodeId> claimed = partners;
+      if (behavior_.collusion.has_value() && behavior_.collusion->mitm) {
+        claimed.clear();
+        std::vector<NodeId> live;
+        for (const auto id : behavior_.collusion->coalition) {
+          if (id != self_ && directory_.is_live(id)) live.push_back(id);
+        }
+        rng_.shuffle(live);
+        for (std::size_t i = 0; i < params_.fanout && i < live.size(); ++i) {
+          claimed.push_back(live[i]);
+        }
+        // Build the fake F'_h trail (Fig. 8b): a coalition member sends
+        // confirm requests about us to our real partners, so their
+        // asker records point into the coalition instead of at our servers.
+        if (!live.empty() && !proposal.empty()) {
+          for (const auto partner : partners) {
+            const NodeId colluder =
+                live[rng_.below(static_cast<std::uint32_t>(live.size()))];
+            if (colluder == partner) continue;  // biased selection can pick
+                                                // coalition partners
+            mailer_.send(colluder, partner, sim::Channel::kDatagram,
+                         ConfirmReqMsg{self_, period_, proposal});
+          }
+        }
+      }
+
+      send_acks(period_, fresh, claimed);
+      if (observer_ != nullptr) {
+        observer_->on_proposal_sent(period_, claimed, partners, proposal);
+      }
+    }
+  }
+
+  schedule_next_phase();
+}
+
+void Engine::send_acks(PeriodIndex period, const std::vector<FreshChunk>& fresh,
+                       const std::vector<NodeId>& claimed_partners) {
+  if (!params_.emit_acks) return;
+  // Group the served chunks by acknowledgment target. A freerider's ack
+  // always claims every served chunk was proposed — openly admitting a drop
+  // (δ2) would be self-incriminating; the lie is only caught by the
+  // witnesses' contradictory testimonies (§5.2).
+  std::unordered_map<NodeId, ChunkIdList> by_target;
+  for (const auto& c : fresh) {
+    if (!c.has_origin) continue;  // source-injected: nobody to acknowledge
+    by_target[c.ack_to].push_back(c.id);
+  }
+  for (auto& [target, chunks] : by_target) {
+    if (target == self_ || !directory_.is_live(target)) continue;
+    mailer_.send(self_, target, sim::Channel::kDatagram,
+                 AckMsg{period, std::move(chunks), claimed_partners});
+  }
+}
+
+void Engine::prune_sent_proposals() {
+  const auto horizon =
+      params_.period * params_.proposal_retention_periods;
+  const TimePoint cutoff =
+      sim_.now() - std::min(sim_.now().time_since_epoch(), horizon);
+  while (!sent_proposals_.empty() && sent_proposals_.front().at < cutoff) {
+    sent_proposals_.pop_front();
+  }
+}
+
+}  // namespace lifting::gossip

@@ -1,0 +1,184 @@
+#ifndef LIFTING_GOSSIP_ENGINE_HPP
+#define LIFTING_GOSSIP_ENGINE_HPP
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "common/types.hpp"
+#include "gossip/behavior.hpp"
+#include "gossip/chunk.hpp"
+#include "gossip/mailer.hpp"
+#include "gossip/message.hpp"
+#include "membership/directory.hpp"
+#include "sim/simulator.hpp"
+
+/// The three-phase gossip dissemination engine (paper §3) with every §4
+/// freeriding attack implementable through its BehaviorSpec.
+///
+/// Each node runs one Engine. Every gossip period Tg the engine proposes
+/// the chunks received since the last propose phase to f uniformly random
+/// partners (infect-and-die); on a proposal it requests the chunks it needs;
+/// on a valid request it serves the requested chunks. With LiFTinG enabled,
+/// the engine additionally emits the ack messages of the direct
+/// cross-checking protocol (§5.2) at propose time, and reports protocol
+/// events to an EngineObserver (the LiFTinG agent).
+
+namespace lifting::gossip {
+
+/// Protocol events consumed by the LiFTinG agent. All references are only
+/// valid for the duration of the call.
+class EngineObserver {
+ public:
+  virtual ~EngineObserver() = default;
+
+  /// A proposal arrived from `from` (witness bookkeeping).
+  virtual void on_propose_received(NodeId from, PeriodIndex period,
+                                   const ChunkIdList& chunks) = 0;
+  /// We requested `chunks` from `proposer` (direct-verification arm).
+  virtual void on_request_sent(NodeId proposer, PeriodIndex period,
+                               const ChunkIdList& chunks) = 0;
+  /// A chunk was served to us. `ack_to` is whom the protocol says to
+  /// acknowledge (equals `sender` unless the sender mounts a MITM).
+  virtual void on_serve_received(NodeId sender, NodeId ack_to,
+                                 PeriodIndex period, ChunkId chunk) = 0;
+  /// We served `chunks` to `receiver` against its request on our proposal
+  /// of `period` (cross-checking expectation arm).
+  virtual void on_chunks_served(NodeId receiver, PeriodIndex period,
+                                const ChunkIdList& chunks) = 0;
+  /// Our propose phase completed. `claimed_partners` is what our acks
+  /// assert (may differ from `real_partners` under MITM).
+  virtual void on_proposal_sent(PeriodIndex period,
+                                const std::vector<NodeId>& claimed_partners,
+                                const std::vector<NodeId>& real_partners,
+                                const ChunkIdList& chunks) = 0;
+  /// An ack[i](partners) arrived from `from` (cross-checking verifier arm).
+  virtual void on_ack_received(NodeId from, const AckMsg& ack) = 0;
+};
+
+struct GossipParams {
+  /// Fanout f (typically slightly larger than ln n — §3).
+  std::size_t fanout = 7;
+  /// Gossip period Tg.
+  Duration period = milliseconds(500);
+  /// A requested chunk not served within this delay becomes requestable
+  /// from another proposer (also the direct-verification deadline).
+  Duration request_timeout = milliseconds(500);
+  /// Sent proposals are kept this many periods for request validation.
+  std::uint32_t proposal_retention_periods = 4;
+  /// Emit the cross-checking acks (§5.2). Off when LiFTinG is disabled —
+  /// the plain three-phase protocol has no acknowledgments.
+  bool emit_acks = true;
+  /// Request at most this many chunks from a single proposal (0 = no cap).
+  /// Streaming deployments balance requests across proposers; a cap of
+  /// |R| puts the system in the §6 steady state (each node served by ~f
+  /// servers with |R| chunks each per period).
+  std::uint32_t max_request_per_proposal = 0;
+};
+
+/// Per-engine protocol statistics.
+struct EngineStats {
+  std::uint64_t chunks_received = 0;
+  std::uint64_t duplicate_serves = 0;
+  std::uint64_t proposals_sent = 0;
+  std::uint64_t requests_sent = 0;
+  std::uint64_t chunks_served = 0;
+  std::uint64_t invalid_requests = 0;  // requests not matching a proposal
+};
+
+class Engine {
+ public:
+  Engine(sim::Simulator& sim, Mailer& mailer, membership::Directory& directory,
+         NodeId self, GossipParams params, BehaviorSpec behavior, Pcg32 rng,
+         EngineObserver* observer);
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Begins the periodic propose loop after `initial_offset` (nodes are
+  /// desynchronized in practice; pass a random fraction of Tg).
+  void start(Duration initial_offset);
+
+  /// Stops proposing (the node still answers incoming traffic). Used to
+  /// wind down expelled nodes in long experiments.
+  void stop() noexcept { running_ = false; }
+  [[nodiscard]] bool running() const noexcept { return running_; }
+
+  /// Routes one of the four gossip message kinds to the engine.
+  void handle(NodeId from, const Message& message);
+
+  /// Injects a brand-new chunk (stream source only): it will be proposed in
+  /// the next propose phase like any received chunk, with no ack owed.
+  void inject_chunk(const ChunkMeta& chunk);
+
+  [[nodiscard]] bool has_chunk(ChunkId id) const {
+    return held_.find(id) != held_.end();
+  }
+  /// First-delivery times of every chunk this node received (or injected).
+  [[nodiscard]] const std::unordered_map<ChunkId, TimePoint>& delivery_times()
+      const noexcept {
+    return delivery_times_;
+  }
+  [[nodiscard]] const EngineStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] PeriodIndex current_period() const noexcept { return period_; }
+  [[nodiscard]] NodeId self() const noexcept { return self_; }
+  [[nodiscard]] const BehaviorSpec& behavior() const noexcept {
+    return behavior_;
+  }
+
+ private:
+  struct FreshChunk {
+    ChunkId id;
+    NodeId ack_to;      // whom to acknowledge (serve's ack_to)
+    bool has_origin;    // false for source-injected chunks
+    std::uint32_t payload_bytes;
+  };
+
+  void propose_phase();
+  void schedule_next_phase();
+  void handle_propose(NodeId from, const ProposeMsg& msg);
+  void handle_request(NodeId from, const RequestMsg& msg);
+  void handle_serve(NodeId from, const ServeMsg& msg);
+  void send_acks(PeriodIndex period,
+                 const std::vector<FreshChunk>& fresh,
+                 const std::vector<NodeId>& claimed_partners);
+  [[nodiscard]] std::vector<NodeId> pick_partners(std::size_t count);
+  [[nodiscard]] NodeId choose_ack_target();
+  void prune_sent_proposals();
+
+  sim::Simulator& sim_;
+  Mailer& mailer_;
+  membership::Directory& directory_;
+  NodeId self_;
+  GossipParams params_;
+  BehaviorSpec behavior_;
+  Pcg32 rng_;
+  EngineObserver* observer_;
+
+  bool running_ = false;
+  PeriodIndex period_ = 0;
+
+  std::unordered_map<ChunkId, std::uint32_t> held_;  // chunk -> payload bytes
+  std::unordered_map<ChunkId, TimePoint> delivery_times_;
+  std::vector<FreshChunk> fresh_;
+  /// Chunks currently requested from someone, with re-request deadline.
+  std::unordered_map<ChunkId, TimePoint> pending_;
+  /// Proposals we sent, for request validation: (partner, period) -> chunks.
+  struct SentProposal {
+    NodeId partner;
+    PeriodIndex period;
+    ChunkIdList chunks;
+    TimePoint at;
+  };
+  std::deque<SentProposal> sent_proposals_;
+
+  EngineStats stats_;
+};
+
+}  // namespace lifting::gossip
+
+#endif  // LIFTING_GOSSIP_ENGINE_HPP

@@ -1,0 +1,110 @@
+#include "gossip/message.hpp"
+
+namespace lifting::gossip {
+
+namespace {
+
+constexpr std::size_t kUdpHeader = 28;  // IP (20) + UDP (8)
+constexpr std::size_t kTcpFraming = 40; // IP + TCP, amortized per message
+constexpr std::size_t kTag = 1;         // message type tag
+constexpr std::size_t kNode = 4;
+constexpr std::size_t kChunk = 8;
+constexpr std::size_t kPeriod = 4;
+constexpr std::size_t kCount = 2;
+constexpr std::size_t kScore = 8;
+
+struct SizeVisitor {
+  std::size_t operator()(const ProposeMsg& m) const {
+    return kUdpHeader + kTag + kPeriod + kCount + kChunk * m.chunks.size();
+  }
+  std::size_t operator()(const RequestMsg& m) const {
+    return kUdpHeader + kTag + kPeriod + kCount + kChunk * m.chunks.size();
+  }
+  std::size_t operator()(const ServeMsg& m) const {
+    return kUdpHeader + kTag + kPeriod + kChunk + kNode + m.payload_bytes;
+  }
+  std::size_t operator()(const AckMsg& m) const {
+    return kUdpHeader + kTag + kPeriod + kCount + kChunk * m.chunks.size() +
+           kCount + kNode * m.partners.size();
+  }
+  std::size_t operator()(const ConfirmReqMsg& m) const {
+    return kUdpHeader + kTag + kNode + kPeriod + kCount +
+           kChunk * m.chunks.size();
+  }
+  std::size_t operator()(const ConfirmRespMsg&) const {
+    return kUdpHeader + kTag + kNode + kPeriod + 1;
+  }
+  std::size_t operator()(const BlameMsg&) const {
+    return kUdpHeader + kTag + kNode + kScore + 1;
+  }
+  std::size_t operator()(const ScoreQueryMsg&) const {
+    return kUdpHeader + kTag + kNode + 4;
+  }
+  std::size_t operator()(const ScoreReplyMsg&) const {
+    return kUdpHeader + kTag + kNode + 4 + kScore + 1;
+  }
+  std::size_t operator()(const ExpelRequestMsg&) const {
+    return kUdpHeader + kTag + kNode + kScore;
+  }
+  std::size_t operator()(const ExpelVoteMsg&) const {
+    return kUdpHeader + kTag + kNode + 1;
+  }
+  std::size_t operator()(const ExpelCommitMsg&) const {
+    return kUdpHeader + kTag + kNode + 1;
+  }
+  std::size_t operator()(const AuditRequestMsg&) const {
+    return kTcpFraming + kTag + 4;
+  }
+  std::size_t operator()(const AuditHistoryMsg& m) const {
+    std::size_t bytes = kTcpFraming + kTag + 4 + kCount;
+    for (const auto& rec : m.proposals) {
+      bytes += kPeriod + kCount + kNode * rec.partners.size() + kCount +
+               kChunk * rec.chunks.size();
+    }
+    return bytes;
+  }
+  std::size_t operator()(const HistoryPollMsg& m) const {
+    std::size_t bytes = kTcpFraming + kTag + 4 + kNode + kCount;
+    for (const auto& rec : m.claims) {
+      bytes += kPeriod + kCount + kChunk * rec.chunks.size();
+    }
+    return bytes;
+  }
+  std::size_t operator()(const HistoryPollRespMsg& m) const {
+    return kTcpFraming + kTag + 4 + kNode + 4 + 4 + kCount +
+           kNode * m.confirm_askers.size();
+  }
+};
+
+struct KindVisitor {
+  const char* operator()(const ProposeMsg&) const { return "propose"; }
+  const char* operator()(const RequestMsg&) const { return "request"; }
+  const char* operator()(const ServeMsg&) const { return "serve"; }
+  const char* operator()(const AckMsg&) const { return "ack"; }
+  const char* operator()(const ConfirmReqMsg&) const { return "confirm_req"; }
+  const char* operator()(const ConfirmRespMsg&) const { return "confirm_resp"; }
+  const char* operator()(const BlameMsg&) const { return "blame"; }
+  const char* operator()(const ScoreQueryMsg&) const { return "score_query"; }
+  const char* operator()(const ScoreReplyMsg&) const { return "score_reply"; }
+  const char* operator()(const ExpelRequestMsg&) const { return "expel_request"; }
+  const char* operator()(const ExpelVoteMsg&) const { return "expel_vote"; }
+  const char* operator()(const ExpelCommitMsg&) const { return "expel_commit"; }
+  const char* operator()(const AuditRequestMsg&) const { return "audit_request"; }
+  const char* operator()(const AuditHistoryMsg&) const { return "audit_history"; }
+  const char* operator()(const HistoryPollMsg&) const { return "history_poll"; }
+  const char* operator()(const HistoryPollRespMsg&) const {
+    return "history_poll_resp";
+  }
+};
+
+}  // namespace
+
+std::size_t wire_size(const Message& msg) {
+  return std::visit(SizeVisitor{}, msg);
+}
+
+const char* message_kind(const Message& msg) {
+  return std::visit(KindVisitor{}, msg);
+}
+
+}  // namespace lifting::gossip

@@ -1,0 +1,175 @@
+#ifndef LIFTING_GOSSIP_MESSAGE_HPP
+#define LIFTING_GOSSIP_MESSAGE_HPP
+
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "common/types.hpp"
+#include "gossip/chunk.hpp"
+
+/// Wire messages — the three-phase gossip protocol (§3) plus every LiFTinG
+/// verification message (§5). One variant type covers the whole stack so a
+/// node has a single network endpoint, as in the deployed system.
+///
+/// Sizes are modeled explicitly (wire_size) because Table 5 reports the
+/// verification overhead as a fraction of stream bandwidth.
+
+namespace lifting::gossip {
+
+// ---------------------------------------------------------------- gossip
+
+/// Propose phase: sender advertises the chunks received since its last
+/// propose phase to f random partners.
+struct ProposeMsg {
+  PeriodIndex period = 0;  // sender's period counter
+  ChunkIdList chunks;
+};
+
+/// Request phase: receiver asks for the subset it needs.
+struct RequestMsg {
+  PeriodIndex period = 0;  // echoes the proposal's period
+  ChunkIdList chunks;
+};
+
+/// Serving phase: one chunk per message (chunks are large; one datagram
+/// carries one chunk).
+struct ServeMsg {
+  PeriodIndex period = 0;       // echoes the proposal's period
+  ChunkId chunk;
+  std::uint32_t payload_bytes = 0;
+  /// Whom the receiver should acknowledge to once it re-proposes the chunk.
+  /// Honest nodes set this to themselves; a man-in-the-middle freerider
+  /// (§5.2, Fig. 8b) points it at a colluder to reroute the verification.
+  NodeId ack_to;
+};
+
+// ------------------------------------------------- direct cross-checking
+
+/// ack[i](partners): receiver tells the server that the served chunks were
+/// proposed to `partners` during its propose phase `period` (§5.2).
+struct AckMsg {
+  PeriodIndex period = 0;  // receiver's propose-phase period
+  ChunkIdList chunks;      // the served chunks that were re-proposed
+  std::vector<NodeId> partners;
+};
+
+/// confirm[i](subject): the verifier asks a witness whether `subject`
+/// proposed (at least) `chunks` to it.
+struct ConfirmReqMsg {
+  NodeId subject;
+  PeriodIndex subject_period = 0;
+  ChunkIdList chunks;
+};
+
+/// Witness answer: yes/no.
+struct ConfirmRespMsg {
+  NodeId subject;
+  PeriodIndex subject_period = 0;
+  bool confirmed = false;
+};
+
+// -------------------------------------------------- blames / reputation
+
+/// Classification of a blame (drives manager-side compensation).
+enum class BlameReason : std::uint8_t {
+  kDirectVerification,  // partial serve: f * (|R|-|S|)/|R|
+  kInvalidAck,          // no/incomplete acknowledgment: f
+  kFanoutDecrease,      // ack lists fewer than f partners: f - f_hat
+  kTestimony,           // contradictory/missing witness testimony: 1 each
+  kAposterioriCheck,    // unconfirmed history entries: 1 each
+  kRateCheck,           // missing proposals in history
+};
+
+/// Blame sent to each of the target's M managers.
+struct BlameMsg {
+  NodeId target;
+  double value = 0.0;
+  BlameReason reason = BlameReason::kDirectVerification;
+};
+
+/// Score read (min-vote over the M managers' replies).
+struct ScoreQueryMsg {
+  NodeId target;
+  std::uint32_t query_id = 0;
+};
+struct ScoreReplyMsg {
+  NodeId target;
+  std::uint32_t query_id = 0;
+  double normalized_score = 0.0;
+  bool expelled = false;
+};
+
+/// Expulsion: an observer whose min-vote read fell below η asks the
+/// managers to expel; managers vote against their local copies; the
+/// observer commits on majority (see DESIGN.md — the paper leaves the
+/// commit protocol unspecified).
+struct ExpelRequestMsg {
+  NodeId target;
+  double observed_score = 0.0;
+};
+struct ExpelVoteMsg {
+  NodeId target;
+  bool agree = false;
+};
+struct ExpelCommitMsg {
+  NodeId target;
+  /// True when the expulsion comes from a failed entropy audit (§5.3),
+  /// which expels directly rather than through the score path.
+  bool from_audit = false;
+};
+
+// ----------------------------------------------------- local auditing (TCP)
+
+/// One sent-proposal record in a node's local history.
+struct HistoryProposalRecord {
+  PeriodIndex period = 0;
+  std::vector<NodeId> partners;
+  ChunkIdList chunks;
+};
+
+/// Auditor asks the subject for its history of the last h seconds.
+struct AuditRequestMsg {
+  std::uint32_t audit_id = 0;
+};
+struct AuditHistoryMsg {
+  std::uint32_t audit_id = 0;
+  std::vector<HistoryProposalRecord> proposals;
+};
+
+/// Auditor polls an alleged receiver: (a) which of these claimed proposals
+/// from `subject` did you actually receive, and (b) who asked you to
+/// confirm proposals of `subject` (the F'_h trail)?
+struct HistoryPollMsg {
+  std::uint32_t audit_id = 0;
+  NodeId subject;
+  std::vector<HistoryProposalRecord> claims;  // claims whose partner == polled node
+};
+struct HistoryPollRespMsg {
+  std::uint32_t audit_id = 0;
+  NodeId subject;
+  std::uint32_t confirmed = 0;  // claims actually received
+  std::uint32_t denied = 0;     // claims never received
+  std::vector<NodeId> confirm_askers;  // F'_h contributions (with multiplicity)
+};
+
+// ----------------------------------------------------------------- variant
+
+using Message =
+    std::variant<ProposeMsg, RequestMsg, ServeMsg, AckMsg, ConfirmReqMsg,
+                 ConfirmRespMsg, BlameMsg, ScoreQueryMsg, ScoreReplyMsg,
+                 ExpelRequestMsg, ExpelVoteMsg, ExpelCommitMsg,
+                 AuditRequestMsg, AuditHistoryMsg, HistoryPollMsg,
+                 HistoryPollRespMsg>;
+
+/// Modeled wire size in bytes, including a per-datagram IP+UDP header
+/// (28 B) or amortized TCP framing (40 B). Field sizes: node id 4 B,
+/// chunk id 8 B, period 4 B, count 2 B, score 8 B, flag/tag 1 B.
+[[nodiscard]] std::size_t wire_size(const Message& msg);
+
+/// Short name of the message alternative (metrics keys).
+[[nodiscard]] const char* message_kind(const Message& msg);
+
+}  // namespace lifting::gossip
+
+#endif  // LIFTING_GOSSIP_MESSAGE_HPP

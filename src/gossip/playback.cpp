@@ -1,0 +1,68 @@
+#include "gossip/playback.hpp"
+
+#include "common/assert.hpp"
+
+namespace lifting::gossip {
+
+std::vector<HealthPoint> health_curve(
+    const std::vector<ChunkMeta>& emitted,
+    const std::vector<const std::unordered_map<ChunkId, TimePoint>*>&
+        node_deliveries,
+    TimePoint measurement_end, const std::vector<double>& lags_seconds,
+    const PlaybackConfig& config) {
+  std::vector<HealthPoint> curve;
+  curve.reserve(lags_seconds.size());
+  const TimePoint warmup_end = kSimEpoch + config.warmup;
+
+  for (const double lag_s : lags_seconds) {
+    const Duration lag = seconds(lag_s);
+    // A chunk is judgeable at this lag if it was emitted after warmup and
+    // its deadline (emit + lag) falls within the measured window.
+    std::vector<const ChunkMeta*> eligible;
+    for (const auto& chunk : emitted) {
+      if (chunk.emitted_at < warmup_end) continue;
+      if (chunk.emitted_at + lag > measurement_end) continue;
+      eligible.push_back(&chunk);
+    }
+    if (eligible.empty()) {
+      curve.push_back(HealthPoint{lag_s, 0.0});
+      continue;
+    }
+    std::size_t clear_nodes = 0;
+    for (const auto* deliveries : node_deliveries) {
+      std::size_t on_time = 0;
+      for (const auto* chunk : eligible) {
+        const auto it = deliveries->find(chunk->id);
+        if (it != deliveries->end() &&
+            it->second <= chunk->emitted_at + lag) {
+          ++on_time;
+        }
+      }
+      const double frac = static_cast<double>(on_time) /
+                          static_cast<double>(eligible.size());
+      if (frac >= config.clear_threshold) ++clear_nodes;
+    }
+    curve.push_back(HealthPoint{
+        lag_s, node_deliveries.empty()
+                   ? 0.0
+                   : static_cast<double>(clear_nodes) /
+                         static_cast<double>(node_deliveries.size())});
+  }
+  return curve;
+}
+
+double mean_delivery_lag(
+    const std::vector<ChunkMeta>& emitted,
+    const std::unordered_map<ChunkId, TimePoint>& deliveries) {
+  double total = 0.0;
+  std::size_t count = 0;
+  for (const auto& chunk : emitted) {
+    const auto it = deliveries.find(chunk.id);
+    if (it == deliveries.end()) continue;
+    total += to_seconds(it->second - chunk.emitted_at);
+    ++count;
+  }
+  return count == 0 ? 0.0 : total / static_cast<double>(count);
+}
+
+}  // namespace lifting::gossip

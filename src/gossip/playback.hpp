@@ -1,0 +1,48 @@
+#ifndef LIFTING_GOSSIP_PLAYBACK_HPP
+#define LIFTING_GOSSIP_PLAYBACK_HPP
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/time.hpp"
+#include "common/types.hpp"
+#include "gossip/chunk.hpp"
+
+/// Stream playback model, for Figure 1: "fraction of nodes viewing a clear
+/// stream as a function of the stream lag". A node views a clear stream at
+/// lag L if at least `clear_threshold` of the eligible chunks reached it
+/// within L seconds of emission. Eligible chunks exclude a warmup window
+/// (dissemination start-up) and the trailing L seconds (not yet judgeable).
+
+namespace lifting::gossip {
+
+struct PlaybackConfig {
+  /// Fraction of chunks that must arrive in time for "clear" viewing.
+  double clear_threshold = 0.99;
+  /// Chunks emitted before this instant are excluded (system warmup).
+  Duration warmup = seconds(5.0);
+};
+
+struct HealthPoint {
+  double lag_seconds = 0.0;
+  double fraction_clear = 0.0;
+};
+
+/// Computes the health curve over the given nodes' delivery maps.
+/// `measurement_end` is the simulation time the deliveries were captured at.
+[[nodiscard]] std::vector<HealthPoint> health_curve(
+    const std::vector<ChunkMeta>& emitted,
+    const std::vector<const std::unordered_map<ChunkId, TimePoint>*>&
+        node_deliveries,
+    TimePoint measurement_end, const std::vector<double>& lags_seconds,
+    const PlaybackConfig& config = {});
+
+/// Average delivery lag (seconds) over delivered chunks — a scalar summary
+/// used by tests and examples.
+[[nodiscard]] double mean_delivery_lag(
+    const std::vector<ChunkMeta>& emitted,
+    const std::unordered_map<ChunkId, TimePoint>& deliveries);
+
+}  // namespace lifting::gossip
+
+#endif  // LIFTING_GOSSIP_PLAYBACK_HPP

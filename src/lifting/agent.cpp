@@ -1,0 +1,477 @@
+#include "lifting/agent.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "membership/sampler.hpp"
+
+namespace lifting {
+
+namespace {
+/// Witness window for confirm requests: a proposal must have been received
+/// within this many periods to count (the serve→propose causality spans at
+/// most one period plus transit slack).
+constexpr std::uint32_t kConfirmWindowPeriods = 3;
+constexpr std::size_t kRecentContactsCap = 64;
+/// The score a colluding manager reports for a coalition member — a
+/// "better than clean" value (§5.1's score-inflation attack).
+constexpr double kInflatedScore = 25.0;
+}  // namespace
+
+Agent::Agent(sim::Simulator& sim, gossip::Mailer& mailer,
+             membership::Directory& directory, NodeId self,
+             const LiftingParams& params, gossip::BehaviorSpec behavior,
+             Pcg32 rng, std::uint64_t deployment_seed, TimePoint genesis,
+             Hooks hooks)
+    : sim_(sim),
+      mailer_(mailer),
+      directory_(directory),
+      self_(self),
+      params_(params),
+      behavior_(std::move(behavior)),
+      rng_(rng),
+      deployment_seed_(deployment_seed),
+      genesis_(genesis),
+      hooks_(std::move(hooks)),
+      managers_(params_, genesis),
+      direct_verifier_(
+          sim, params_,
+          [this](NodeId t, double v, gossip::BlameReason r) {
+            emit_blame(t, v, r);
+          }),
+      cross_checker_(
+          sim, params_, self, rng_,
+          [this](NodeId t, double v, gossip::BlameReason r) {
+            emit_blame(t, v, r);
+          },
+          [this](NodeId to, gossip::Message m) {
+            send_datagram(to, std::move(m));
+          }),
+      auditor_(
+          sim, params_, self,
+          [this](NodeId t, double v, gossip::BlameReason r) {
+            emit_blame(t, v, r);
+          },
+          [this](NodeId to, gossip::Message m) {
+            send_reliable(to, std::move(m));
+          },
+          [this](NodeId target) {
+            // Entropy-based expulsion is direct (§5.3): commit to the
+            // subject's managers without the score-vote round.
+            for (const auto manager : managers_for(target)) {
+              if (manager == self_) {
+                handle_expel_commit(gossip::ExpelCommitMsg{target, true});
+              } else {
+                send_datagram(manager, gossip::ExpelCommitMsg{target, true});
+              }
+            }
+          },
+          [this](const AuditReport& report) {
+            if (hooks_.on_audit_report) {
+              hooks_.on_audit_report(self_, report);
+            }
+          }) {
+  params_.validate();
+  base_pdcc_ = params_.p_dcc;
+}
+
+void Agent::start(Duration offset) {
+  LIFTING_ASSERT(!started_, "agent started twice");
+  started_ = true;
+  sim_.schedule_after(offset, [this] { tick(); });
+}
+
+void Agent::tick() {
+  const TimePoint now = sim_.now();
+  const TimePoint cutoff =
+      now - std::min(now.time_since_epoch(), params_.history_window);
+  sent_history_.prune(cutoff);
+  received_log_.prune(cutoff);
+  asker_log_.prune(cutoff);
+
+  // Adaptive cross-checking (§1): decay the working p_dcc while our own
+  // verifications stay clean; snap back to the configured value when the
+  // emitted-blame EWMA exceeds the loss-noise floor. The CrossChecker
+  // reads params_.p_dcc by reference, so changes take effect immediately.
+  if (params_.adaptive_pdcc) {
+    constexpr double kEwmaAlpha = 0.2;
+    blame_rate_ewma_ = (1.0 - kEwmaAlpha) * blame_rate_ewma_ +
+                       kEwmaAlpha * blame_emitted_this_period_;
+    blame_emitted_this_period_ = 0.0;
+    // A node verifies ~f peers that each receive b̃ from ~f verifiers, so
+    // its own loss-noise emission floor is ≈ compensation_factor·b̃.
+    const double noise_floor =
+        params_.compensation_factor *
+        analysis::expected_wrongful_blame(params_.model());
+    if (blame_rate_ewma_ <=
+        params_.adaptive_noise_multiple * std::max(noise_floor, 0.5)) {
+      params_.p_dcc = std::max(params_.adaptive_min_pdcc,
+                               params_.p_dcc * params_.adaptive_decay);
+    } else {
+      params_.p_dcc = base_pdcc_;
+    }
+  }
+
+  // Score-based policing: read a recent contact's score; expel if below η.
+  if (params_.score_check_probability > 0.0 &&
+      rng_.bernoulli(params_.score_check_probability) &&
+      !recent_contacts_.empty() && old_enough_for_detection(now)) {
+    const NodeId target = recent_contacts_[rng_.below(
+        static_cast<std::uint32_t>(recent_contacts_.size()))];
+    if (directory_.is_live(target) && target != self_ &&
+        !behavior_.colludes_with(target)) {
+      score_check(target);
+    }
+  }
+
+  // Sporadic local-history audits (§5.3).
+  const auto age_periods =
+      static_cast<std::uint32_t>((now - genesis_) / params_.period);
+  if (params_.audit_probability > 0.0 &&
+      age_periods >= params_.audit_warmup_periods &&
+      rng_.bernoulli(params_.audit_probability)) {
+    const auto pick = membership::sample_uniform(rng_, directory_, self_, 1);
+    if (!pick.empty() && !behavior_.colludes_with(pick.front())) {
+      auditor_.start_audit(pick.front());
+    }
+  }
+
+  sim_.schedule_after(params_.period, [this] { tick(); });
+}
+
+bool Agent::old_enough_for_detection(TimePoint now) const {
+  const auto age = static_cast<std::uint32_t>((now - genesis_) /
+                                              params_.period);
+  return age >= params_.min_periods_before_detection;
+}
+
+// --------------------------------------------------------- blame routing
+
+void Agent::emit_blame(NodeId target, double value,
+                       gossip::BlameReason reason) {
+  if (value <= 0.0) return;
+  // Colluding freeriders never blame coalition members (§5.2: "if p0
+  // colludes with p1, it will not blame p1").
+  if (behavior_.colludes_with(target)) return;
+  blame_emitted_this_period_ += value;  // feeds the adaptive p_dcc controller
+  blame_emitted_total_ += value;
+  if (hooks_.on_blame_emitted) {
+    hooks_.on_blame_emitted(self_, target, value, reason);
+  }
+  for (const auto manager : managers_for(target)) {
+    if (manager == self_) {
+      handle_blame(gossip::BlameMsg{target, value, reason});
+    } else {
+      send_datagram(manager, gossip::BlameMsg{target, value, reason});
+    }
+  }
+}
+
+void Agent::send_datagram(NodeId to, gossip::Message msg) {
+  mailer_.send(self_, to, sim::Channel::kDatagram, std::move(msg));
+}
+
+void Agent::send_reliable(NodeId to, gossip::Message msg) {
+  mailer_.send(self_, to, sim::Channel::kReliable, std::move(msg));
+}
+
+const std::vector<NodeId>& Agent::managers_for(NodeId target) {
+  auto it = manager_cache_.find(target);
+  if (it == manager_cache_.end()) {
+    it = manager_cache_
+             .emplace(target,
+                      managers_of(target, directory_.initial_size(),
+                                  params_.managers, deployment_seed_))
+             .first;
+  }
+  return it->second;
+}
+
+bool Agent::is_manager_of(NodeId target) {
+  const auto& mgrs = managers_for(target);
+  return std::find(mgrs.begin(), mgrs.end(), self_) != mgrs.end();
+}
+
+// ------------------------------------------------------- engine observer
+
+void Agent::note_contact(NodeId id) {
+  if (id == self_) return;
+  if (recent_contacts_.size() >= kRecentContactsCap) {
+    recent_contacts_[rng_.below(
+        static_cast<std::uint32_t>(recent_contacts_.size()))] = id;
+  } else {
+    recent_contacts_.push_back(id);
+  }
+}
+
+void Agent::on_propose_received(NodeId from, PeriodIndex period,
+                                const gossip::ChunkIdList& chunks) {
+  received_log_.record(sim_.now(), from, period, chunks);
+  note_contact(from);
+}
+
+void Agent::on_request_sent(NodeId proposer, PeriodIndex period,
+                            const gossip::ChunkIdList& chunks) {
+  direct_verifier_.on_request_sent(proposer, period, chunks);
+}
+
+void Agent::on_serve_received(NodeId sender, NodeId /*ack_to*/,
+                              PeriodIndex period, ChunkId chunk) {
+  direct_verifier_.on_serve_received(sender, period, chunk);
+  note_contact(sender);
+}
+
+void Agent::on_chunks_served(NodeId receiver, PeriodIndex period,
+                             const gossip::ChunkIdList& chunks) {
+  cross_checker_.on_chunks_served(receiver, period, chunks);
+}
+
+void Agent::on_proposal_sent(PeriodIndex period,
+                             const std::vector<NodeId>& claimed_partners,
+                             const std::vector<NodeId>& /*real_partners*/,
+                             const gossip::ChunkIdList& chunks) {
+  // The audit-visible history must be consistent with the acks we emitted,
+  // hence the *claimed* partner set (honest nodes: claimed == real).
+  sent_history_.record(sim_.now(), period, claimed_partners, chunks);
+}
+
+void Agent::on_ack_received(NodeId from, const gossip::AckMsg& ack) {
+  cross_checker_.on_ack_received(from, ack);
+}
+
+// ------------------------------------------------------ message handling
+
+void Agent::handle(NodeId from, const gossip::Message& message) {
+  if (const auto* confirm = std::get_if<gossip::ConfirmReqMsg>(&message)) {
+    handle_confirm_request(from, *confirm);
+  } else if (const auto* resp =
+                 std::get_if<gossip::ConfirmRespMsg>(&message)) {
+    cross_checker_.on_confirm_response(from, *resp);
+  } else if (const auto* blame = std::get_if<gossip::BlameMsg>(&message)) {
+    handle_blame(*blame);
+  } else if (const auto* query =
+                 std::get_if<gossip::ScoreQueryMsg>(&message)) {
+    handle_score_query(from, *query);
+  } else if (const auto* reply =
+                 std::get_if<gossip::ScoreReplyMsg>(&message)) {
+    handle_score_reply(*reply);
+  } else if (const auto* expel =
+                 std::get_if<gossip::ExpelRequestMsg>(&message)) {
+    handle_expel_request(from, *expel);
+  } else if (const auto* vote = std::get_if<gossip::ExpelVoteMsg>(&message)) {
+    handle_expel_vote(*vote);
+  } else if (const auto* commit =
+                 std::get_if<gossip::ExpelCommitMsg>(&message)) {
+    handle_expel_commit(*commit);
+  } else if (const auto* audit =
+                 std::get_if<gossip::AuditRequestMsg>(&message)) {
+    handle_audit_request(from, *audit);
+  } else if (const auto* history =
+                 std::get_if<gossip::AuditHistoryMsg>(&message)) {
+    auditor_.on_history(from, *history);
+  } else if (const auto* poll = std::get_if<gossip::HistoryPollMsg>(&message)) {
+    handle_history_poll(from, *poll);
+  } else if (const auto* poll_resp =
+                 std::get_if<gossip::HistoryPollRespMsg>(&message)) {
+    auditor_.on_poll_response(from, *poll_resp);
+  } else {
+    LIFTING_ASSERT(false, "gossip message routed to Agent");
+  }
+}
+
+void Agent::handle_confirm_request(NodeId from,
+                                   const gossip::ConfirmReqMsg& msg) {
+  // Record the asker — the F'_h trail polled by auditors (§5.3).
+  asker_log_.record(sim_.now(), msg.subject, from);
+  bool confirmed;
+  if (behavior_.collusion.has_value() && behavior_.collusion->cover_up &&
+      behavior_.colludes_with(msg.subject)) {
+    confirmed = true;  // coalition members cover each other up
+  } else {
+    const auto window = params_.period * kConfirmWindowPeriods;
+    const TimePoint since =
+        sim_.now() - std::min(sim_.now().time_since_epoch(), window);
+    confirmed = received_log_.confirms(msg.subject, msg.chunks, since);
+  }
+  send_datagram(from, gossip::ConfirmRespMsg{msg.subject, msg.subject_period,
+                                             confirmed});
+}
+
+void Agent::handle_blame(const gossip::BlameMsg& msg) {
+  if (!is_manager_of(msg.target)) return;  // stray blame: ignore
+  // A colluding manager shields its coalition: it silently drops blames
+  // against coalition members (countered by the min-vote read).
+  if (behavior_.colludes_with(msg.target)) return;
+  managers_.apply_blame(msg.target, msg.value, msg.reason);
+}
+
+void Agent::handle_score_query(NodeId from, const gossip::ScoreQueryMsg& msg) {
+  if (!is_manager_of(msg.target)) return;
+  double score = managers_.normalized_score(msg.target, sim_.now());
+  bool expelled = managers_.expelled(msg.target);
+  if (behavior_.colludes_with(msg.target)) {
+    // Colluding manager inflates the coalition's scores (§5.1) — the
+    // min-vote makes this ineffective as long as one honest manager
+    // answers.
+    score = std::max(score, kInflatedScore);
+    expelled = false;
+  }
+  send_datagram(from,
+                gossip::ScoreReplyMsg{msg.target, msg.query_id, score,
+                                      expelled});
+}
+
+void Agent::score_check(NodeId target) {
+  const std::uint32_t query_id = next_query_id_++;
+  score_reads_.emplace(query_id, PendingScoreRead{target, {}, false});
+  for (const auto manager : managers_for(target)) {
+    if (manager == self_) {
+      auto& read = score_reads_.at(query_id);
+      read.replies.push_back(managers_.normalized_score(target, sim_.now()));
+      read.target_already_expelled |= managers_.expelled(target);
+    } else {
+      send_datagram(manager, gossip::ScoreQueryMsg{target, query_id});
+    }
+  }
+  sim_.schedule_after(params_.score_reply_timeout,
+                      [this, query_id] { finish_score_read(query_id); });
+}
+
+void Agent::handle_score_reply(const gossip::ScoreReplyMsg& msg) {
+  const auto it = score_reads_.find(msg.query_id);
+  if (it == score_reads_.end() || it->second.target != msg.target) return;
+  it->second.replies.push_back(msg.normalized_score);
+  it->second.target_already_expelled |= msg.expelled;
+}
+
+void Agent::finish_score_read(std::uint32_t query_id) {
+  const auto it = score_reads_.find(query_id);
+  if (it == score_reads_.end()) return;
+  const auto read = it->second;
+  score_reads_.erase(it);
+  if (read.target_already_expelled) return;  // nothing to do
+  if (read.replies.size() < params_.min_score_replies) return;
+  // Min-vote (§5.1) by default: the most pessimistic manager saw the most
+  // blames; colluding managers inflating a coalition member's score are
+  // outvoted by any one honest manager.
+  double score;
+  if (params_.score_vote == LiftingParams::ScoreVote::kMin) {
+    score = *std::min_element(read.replies.begin(), read.replies.end());
+  } else {
+    score = 0.0;
+    for (const double s : read.replies) score += s;
+    score /= static_cast<double>(read.replies.size());
+  }
+  if (score >= params_.eta) return;
+  if (!expel_requested_.insert(read.target).second) return;  // in flight
+  auto& vote = expel_votes_[read.target];
+  vote = PendingExpelVote{};
+  vote.total_managers = managers_for(read.target).size();
+  for (const auto manager : managers_for(read.target)) {
+    if (manager == self_) {
+      const bool agree = managers_.normalized_score(read.target, sim_.now()) <
+                         params_.eta * (1.0 - params_.expel_slack);
+      if (agree) ++vote.yes;
+    } else {
+      send_datagram(manager, gossip::ExpelRequestMsg{read.target, score});
+    }
+  }
+  sim_.schedule_after(params_.expel_vote_timeout, [this, t = read.target] {
+    finish_expel_vote(t);
+  });
+}
+
+void Agent::handle_expel_request(NodeId from,
+                                 const gossip::ExpelRequestMsg& msg) {
+  if (!is_manager_of(msg.target)) return;
+  bool agree = managers_.expelled(msg.target) ||
+               managers_.normalized_score(msg.target, sim_.now()) <
+                   params_.eta * (1.0 - params_.expel_slack);
+  if (behavior_.colludes_with(msg.target)) agree = false;
+  send_datagram(from, gossip::ExpelVoteMsg{msg.target, agree});
+}
+
+void Agent::handle_expel_vote(const gossip::ExpelVoteMsg& msg) {
+  const auto it = expel_votes_.find(msg.target);
+  if (it == expel_votes_.end() || it->second.committed) return;
+  if (msg.agree) ++it->second.yes;
+}
+
+void Agent::finish_expel_vote(NodeId target) {
+  const auto it = expel_votes_.find(target);
+  if (it == expel_votes_.end() || it->second.committed) return;
+  const bool majority = it->second.yes * 2 > it->second.total_managers;
+  it->second.committed = true;
+  if (!majority) {
+    expel_votes_.erase(it);
+    expel_requested_.erase(target);  // allow a later retry
+    return;
+  }
+  for (const auto manager : managers_for(target)) {
+    if (manager == self_) {
+      handle_expel_commit(gossip::ExpelCommitMsg{target, false});
+    } else {
+      send_datagram(manager, gossip::ExpelCommitMsg{target, false});
+    }
+  }
+  expel_votes_.erase(target);
+}
+
+void Agent::handle_expel_commit(const gossip::ExpelCommitMsg& msg) {
+  if (!is_manager_of(msg.target)) return;
+  if (behavior_.colludes_with(msg.target)) return;
+  // Audit expulsions are authoritative (§5.3: a failed entropy check expels
+  // directly); score expulsions require local corroboration so a single
+  // lying observer cannot evict a healthy node.
+  if (!msg.from_audit) {
+    const bool corroborated =
+        managers_.normalized_score(msg.target, sim_.now()) <
+        params_.eta * (1.0 - params_.expel_slack);
+    if (!corroborated) return;
+  }
+  if (managers_.mark_expelled(msg.target) && hooks_.on_expulsion_committed) {
+    hooks_.on_expulsion_committed(msg.target, self_, msg.from_audit);
+  }
+}
+
+void Agent::handle_audit_request(NodeId from,
+                                 const gossip::AuditRequestMsg& msg) {
+  auto records = sent_history_.snapshot();
+  if (behavior_.lie_in_history && behavior_.collusion.has_value()) {
+    // Replace coalition partners with random live nodes: beats the entropy
+    // check, but the substituted nodes will deny the claims during the
+    // a-posteriori cross-check (§5.3).
+    for (auto& rec : records) {
+      for (auto& partner : rec.partners) {
+        if (!behavior_.collusion->contains(partner)) continue;
+        const auto substitute =
+            membership::sample_uniform(rng_, directory_, self_, 1);
+        if (!substitute.empty()) partner = substitute.front();
+      }
+    }
+  }
+  send_reliable(from, gossip::AuditHistoryMsg{msg.audit_id, std::move(records)});
+}
+
+void Agent::handle_history_poll(NodeId from,
+                                const gossip::HistoryPollMsg& msg) {
+  std::uint32_t confirmed = 0;
+  std::uint32_t denied = 0;
+  const bool cover = behavior_.collusion.has_value() &&
+                     behavior_.collusion->cover_up &&
+                     behavior_.colludes_with(msg.subject);
+  for (const auto& claim : msg.claims) {
+    if (cover || received_log_.confirms(msg.subject, claim.chunks,
+                                        kSimEpoch)) {
+      ++confirmed;
+    } else {
+      ++denied;
+    }
+  }
+  auto askers = asker_log_.askers_about(msg.subject);
+  send_reliable(from, gossip::HistoryPollRespMsg{msg.audit_id, msg.subject,
+                                                 confirmed, denied,
+                                                 std::move(askers)});
+}
+
+}  // namespace lifting

@@ -1,0 +1,179 @@
+#ifndef LIFTING_LIFTING_AGENT_HPP
+#define LIFTING_LIFTING_AGENT_HPP
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "common/types.hpp"
+#include "gossip/behavior.hpp"
+#include "gossip/engine.hpp"
+#include "gossip/mailer.hpp"
+#include "gossip/message.hpp"
+#include "lifting/auditor.hpp"
+#include "lifting/history.hpp"
+#include "lifting/managers.hpp"
+#include "lifting/params.hpp"
+#include "lifting/verifier.hpp"
+#include "membership/directory.hpp"
+#include "sim/simulator.hpp"
+
+/// The per-node LiFTinG agent — the paper's contribution assembled:
+/// direct verification, direct cross-checking, the manager-based blaming
+/// architecture with loss compensation, score-based expulsion, and local
+/// history auditing. It observes the gossip engine's protocol events and
+/// owns every verification message on the wire.
+///
+/// Freerider behavior (lying acks are in the engine) shows up here as:
+/// coalition cover-ups in confirm/poll answers, withheld blames against
+/// coalition members, inflated score replies for coalition members when
+/// acting as their manager, and doctored audit replies.
+
+namespace lifting {
+
+class Agent final : public gossip::EngineObserver {
+ public:
+  struct Hooks {
+    /// A manager committed an expulsion (first local transition).
+    std::function<void(NodeId victim, NodeId manager, bool from_audit)>
+        on_expulsion_committed;
+    /// Ground-truth blame ledger (once per emission, before manager fanout).
+    std::function<void(NodeId by, NodeId target, double value,
+                       gossip::BlameReason)>
+        on_blame_emitted;
+    /// A completed audit report (auditor side).
+    std::function<void(NodeId auditor, const AuditReport&)> on_audit_report;
+  };
+
+  Agent(sim::Simulator& sim, gossip::Mailer& mailer,
+        membership::Directory& directory, NodeId self,
+        const LiftingParams& params, gossip::BehaviorSpec behavior,
+        Pcg32 rng, std::uint64_t deployment_seed, TimePoint genesis,
+        Hooks hooks = {});
+
+  Agent(const Agent&) = delete;
+  Agent& operator=(const Agent&) = delete;
+
+  /// Starts the periodic maintenance tick (log pruning, score checks,
+  /// audit triggers) after `offset`.
+  void start(Duration offset);
+
+  /// Routes a LiFTinG message (anything that is not propose/request/serve/
+  /// ack) to the agent.
+  void handle(NodeId from, const gossip::Message& message);
+
+  // --- EngineObserver
+  void on_propose_received(NodeId from, PeriodIndex period,
+                           const gossip::ChunkIdList& chunks) override;
+  void on_request_sent(NodeId proposer, PeriodIndex period,
+                       const gossip::ChunkIdList& chunks) override;
+  void on_serve_received(NodeId sender, NodeId ack_to, PeriodIndex period,
+                         ChunkId chunk) override;
+  void on_chunks_served(NodeId receiver, PeriodIndex period,
+                        const gossip::ChunkIdList& chunks) override;
+  void on_proposal_sent(PeriodIndex period,
+                        const std::vector<NodeId>& claimed_partners,
+                        const std::vector<NodeId>& real_partners,
+                        const gossip::ChunkIdList& chunks) override;
+  void on_ack_received(NodeId from, const gossip::AckMsg& ack) override;
+
+  /// Requests an audit of `target` (also available to external policy).
+  void audit(NodeId target) { auditor_.start_audit(target); }
+
+  /// Requests a min-vote score read followed by the expulsion protocol if
+  /// the score is below η (also used by the periodic policy).
+  void score_check(NodeId target);
+
+  // --- introspection for experiments and tests
+  [[nodiscard]] const ManagerStore& manager_store() const noexcept {
+    return managers_;
+  }
+  [[nodiscard]] ManagerStore& manager_store() noexcept { return managers_; }
+  [[nodiscard]] const LiftingParams& params() const noexcept {
+    return params_;
+  }
+  [[nodiscard]] NodeId self() const noexcept { return self_; }
+  [[nodiscard]] double blame_emitted_total() const noexcept {
+    return blame_emitted_total_;
+  }
+  /// The working cross-check probability (== configured p_dcc unless
+  /// adaptive_pdcc has decayed it during clean periods).
+  [[nodiscard]] double current_pdcc() const noexcept { return params_.p_dcc; }
+  [[nodiscard]] const SentProposalHistory& sent_history() const noexcept {
+    return sent_history_;
+  }
+
+ private:
+  void tick();
+  void emit_blame(NodeId target, double value, gossip::BlameReason reason);
+  void send_datagram(NodeId to, gossip::Message msg);
+  void send_reliable(NodeId to, gossip::Message msg);
+  [[nodiscard]] const std::vector<NodeId>& managers_for(NodeId target);
+  [[nodiscard]] bool is_manager_of(NodeId target);
+  void handle_confirm_request(NodeId from, const gossip::ConfirmReqMsg& msg);
+  void handle_blame(const gossip::BlameMsg& msg);
+  void handle_score_query(NodeId from, const gossip::ScoreQueryMsg& msg);
+  void handle_score_reply(const gossip::ScoreReplyMsg& msg);
+  void handle_expel_request(NodeId from, const gossip::ExpelRequestMsg& msg);
+  void handle_expel_vote(const gossip::ExpelVoteMsg& msg);
+  void handle_expel_commit(const gossip::ExpelCommitMsg& msg);
+  void handle_audit_request(NodeId from, const gossip::AuditRequestMsg& msg);
+  void handle_history_poll(NodeId from, const gossip::HistoryPollMsg& msg);
+  void finish_score_read(std::uint32_t query_id);
+  void finish_expel_vote(NodeId target);
+  void note_contact(NodeId id);
+  [[nodiscard]] bool old_enough_for_detection(TimePoint now) const;
+
+  sim::Simulator& sim_;
+  gossip::Mailer& mailer_;
+  membership::Directory& directory_;
+  NodeId self_;
+  LiftingParams params_;
+  gossip::BehaviorSpec behavior_;
+  Pcg32 rng_;
+  std::uint64_t deployment_seed_;
+  TimePoint genesis_;
+  Hooks hooks_;
+
+  ManagerStore managers_;
+  DirectVerifier direct_verifier_;
+  CrossChecker cross_checker_;
+  Auditor auditor_;
+
+  SentProposalHistory sent_history_;
+  ReceivedProposalLog received_log_;
+  ConfirmAskerLog asker_log_;
+
+  std::unordered_map<NodeId, std::vector<NodeId>> manager_cache_;
+  std::vector<NodeId> recent_contacts_;
+
+  struct PendingScoreRead {
+    NodeId target;
+    std::vector<double> replies;
+    bool target_already_expelled = false;
+  };
+  std::unordered_map<std::uint32_t, PendingScoreRead> score_reads_;
+  std::uint32_t next_query_id_ = 1;
+
+  struct PendingExpelVote {
+    std::size_t yes = 0;
+    std::size_t total_managers = 0;
+    bool committed = false;
+  };
+  std::unordered_map<NodeId, PendingExpelVote> expel_votes_;
+  std::unordered_set<NodeId> expel_requested_;
+
+  double blame_emitted_total_ = 0.0;
+  double base_pdcc_ = 1.0;
+  double blame_emitted_this_period_ = 0.0;
+  double blame_rate_ewma_ = 0.0;
+  bool started_ = false;
+};
+
+}  // namespace lifting
+
+#endif  // LIFTING_LIFTING_AGENT_HPP

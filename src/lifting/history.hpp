@@ -1,0 +1,140 @@
+#ifndef LIFTING_LIFTING_HISTORY_HPP
+#define LIFTING_LIFTING_HISTORY_HPP
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "common/time.hpp"
+#include "common/types.hpp"
+#include "gossip/message.hpp"
+
+/// Bounded accountability logs (paper §5: "every node logs a bounded-size
+/// history of sent and received messages ... corresponding to the last
+/// n_h = h/Tg gossip periods").
+///
+/// Three logs per node:
+///  * SentProposalHistory — own proposals (period, partners, chunks); the
+///    payload of an audit reply and the source of F_h.
+///  * ReceivedProposalLog — proposals received, to answer confirm requests
+///    and history polls as a witness.
+///  * ConfirmAskerLog — who asked this node to confirm whose proposals;
+///    polled by auditors to reconstruct F'_h (§5.3).
+
+namespace lifting {
+
+class SentProposalHistory {
+ public:
+  void record(TimePoint at, PeriodIndex period,
+              std::vector<NodeId> partners, gossip::ChunkIdList chunks) {
+    entries_.push_back(Entry{at, {period, std::move(partners),
+                                  std::move(chunks)}});
+  }
+
+  void prune(TimePoint cutoff) {
+    while (!entries_.empty() && entries_.front().at < cutoff) {
+      entries_.pop_front();
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+  /// The audit-visible records, oldest first.
+  [[nodiscard]] std::vector<gossip::HistoryProposalRecord> snapshot() const {
+    std::vector<gossip::HistoryProposalRecord> out;
+    out.reserve(entries_.size());
+    for (const auto& e : entries_) out.push_back(e.record);
+    return out;
+  }
+
+ private:
+  struct Entry {
+    TimePoint at;
+    gossip::HistoryProposalRecord record;
+  };
+  std::deque<Entry> entries_;
+};
+
+class ReceivedProposalLog {
+ public:
+  void record(TimePoint at, NodeId from, PeriodIndex period,
+              const gossip::ChunkIdList& chunks) {
+    entries_.push_back(Entry{at, from, period, chunks});
+  }
+
+  void prune(TimePoint cutoff) {
+    while (!entries_.empty() && entries_.front().at < cutoff) {
+      entries_.pop_front();
+    }
+  }
+
+  /// Does the log contain a proposal from `subject` (not older than
+  /// `since`) containing every chunk in `chunks`? This is the witness-side
+  /// test behind confirm responses and history polls.
+  [[nodiscard]] bool confirms(NodeId subject,
+                              const gossip::ChunkIdList& chunks,
+                              TimePoint since) const {
+    for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+      if (it->at < since) break;  // entries are time-ordered
+      if (it->from != subject) continue;
+      bool all = true;
+      for (const auto c : chunks) {
+        if (std::find(it->chunks.begin(), it->chunks.end(), c) ==
+            it->chunks.end()) {
+          all = false;
+          break;
+        }
+      }
+      if (all) return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+ private:
+  struct Entry {
+    TimePoint at;
+    NodeId from;
+    PeriodIndex period;
+    gossip::ChunkIdList chunks;
+  };
+  std::deque<Entry> entries_;
+};
+
+class ConfirmAskerLog {
+ public:
+  void record(TimePoint at, NodeId subject, NodeId asker) {
+    entries_.push_back(Entry{at, subject, asker});
+  }
+
+  void prune(TimePoint cutoff) {
+    while (!entries_.empty() && entries_.front().at < cutoff) {
+      entries_.pop_front();
+    }
+  }
+
+  /// All nodes that asked about `subject` within the log, with
+  /// multiplicity — the witness's contribution to F'_h.
+  [[nodiscard]] std::vector<NodeId> askers_about(NodeId subject) const {
+    std::vector<NodeId> out;
+    for (const auto& e : entries_) {
+      if (e.subject == subject) out.push_back(e.asker);
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+ private:
+  struct Entry {
+    TimePoint at;
+    NodeId subject;
+    NodeId asker;
+  };
+  std::deque<Entry> entries_;
+};
+
+}  // namespace lifting
+
+#endif  // LIFTING_LIFTING_HISTORY_HPP

@@ -1,0 +1,25 @@
+#include "lifting/managers.hpp"
+
+#include "common/assert.hpp"
+
+namespace lifting {
+
+std::vector<NodeId> managers_of(NodeId target, std::uint32_t n,
+                                std::uint32_t m, std::uint64_t seed) {
+  LIFTING_ASSERT(n >= 2, "manager assignment needs at least two nodes");
+  const std::uint32_t count = std::min(m, n - 1);
+  // Sample over [0, n-1) and shift indices >= target to exclude the target
+  // itself (a node must not manage its own score).
+  auto rng = derive_rng(seed ^ (0x9e3779b9ULL * (target.value() + 1)),
+                        /*stream=*/0x4d414e4147455253ULL);  // "MANAGERS"
+  const auto raw = sample_k_distinct(rng, n - 1, count);
+  std::vector<NodeId> out;
+  out.reserve(count);
+  for (const auto idx : raw) {
+    const std::uint32_t shifted = idx >= target.value() ? idx + 1 : idx;
+    out.push_back(NodeId{shifted});
+  }
+  return out;
+}
+
+}  // namespace lifting

@@ -1,0 +1,111 @@
+#ifndef LIFTING_LIFTING_MANAGERS_HPP
+#define LIFTING_LIFTING_MANAGERS_HPP
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/formulas.hpp"
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "common/types.hpp"
+#include "gossip/message.hpp"
+#include "lifting/params.hpp"
+
+/// Alliatrust-like reputation architecture (paper §5.1): every node is
+/// assigned M managers that accumulate the blames against it. Reads take
+/// the minimum over the managers' replies (robust to lost blame messages
+/// and to colluding managers inflating scores); expulsions are agreed among
+/// the managers.
+
+namespace lifting {
+
+/// Deterministic manager assignment: every participant can derive the M
+/// managers of any node from the shared deployment seed (the paper assigns
+/// "M random managers"; a shared hash achieves that without coordination).
+[[nodiscard]] std::vector<NodeId> managers_of(NodeId target, std::uint32_t n,
+                                              std::uint32_t m,
+                                              std::uint64_t seed);
+
+/// Per-node manager state: the blame ledger for the nodes this node
+/// manages, with loss compensation applied at read time (§6.2): the
+/// normalized score after r periods is
+///   s = (r·b̃ - Σ blames) / r
+/// which has zero mean for honest nodes. A-posteriori-check blames are
+/// compensated by Eq. 4 when they arrive (audits are sporadic — §6.2).
+class ManagerStore {
+ public:
+  ManagerStore(const LiftingParams& params, TimePoint genesis)
+      : params_(params),
+        genesis_(genesis),
+        per_period_compensation_(params.compensation_factor *
+                                 analysis::expected_wrongful_blame(
+                                     params.model())),
+        apcc_compensation_(params.compensation_factor *
+                           analysis::expected_blame_apcc(
+                               params.model(), params.history_periods())) {}
+
+  /// Applies a blame. Rate-check and a-posteriori blames carry their own
+  /// compensation; regular verification blames are compensated per period
+  /// at read time.
+  void apply_blame(NodeId target, double value, gossip::BlameReason reason) {
+    auto& rec = records_[target];
+    if (reason == gossip::BlameReason::kAposterioriCheck) {
+      // Eq. 4: subtract the expected loss-induced unconfirmed entries.
+      rec.blame_total += value - apcc_compensation_;
+    } else {
+      rec.blame_total += value;
+    }
+  }
+
+  /// Normalized, compensated score of `target` at time `now`.
+  [[nodiscard]] double normalized_score(NodeId target, TimePoint now) const {
+    const double r = periods_in_system(now);
+    const auto it = records_.find(target);
+    const double blames = it == records_.end() ? 0.0 : it->second.blame_total;
+    return (r * per_period_compensation_ - blames) / r;
+  }
+
+  /// Number of gossip periods the target has spent in the system (>= 1).
+  [[nodiscard]] double periods_in_system(TimePoint now) const {
+    const auto age = now - genesis_;
+    const double r = static_cast<double>(age / params_.period);
+    return r < 1.0 ? 1.0 : r;
+  }
+
+  [[nodiscard]] bool expelled(NodeId target) const {
+    const auto it = records_.find(target);
+    return it != records_.end() && it->second.expelled;
+  }
+  /// Marks the target expelled. Returns true on the first transition.
+  bool mark_expelled(NodeId target) {
+    auto& rec = records_[target];
+    const bool first = !rec.expelled;
+    rec.expelled = true;
+    return first;
+  }
+
+  [[nodiscard]] double raw_blame_total(NodeId target) const {
+    const auto it = records_.find(target);
+    return it == records_.end() ? 0.0 : it->second.blame_total;
+  }
+  [[nodiscard]] double per_period_compensation() const noexcept {
+    return per_period_compensation_;
+  }
+
+ private:
+  struct Record {
+    double blame_total = 0.0;
+    bool expelled = false;
+  };
+
+  LiftingParams params_;
+  TimePoint genesis_;
+  double per_period_compensation_;
+  double apcc_compensation_;
+  std::unordered_map<NodeId, Record> records_;
+};
+
+}  // namespace lifting
+
+#endif  // LIFTING_LIFTING_MANAGERS_HPP

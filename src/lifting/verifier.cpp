@@ -1,0 +1,168 @@
+#include "lifting/verifier.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace lifting {
+
+// ------------------------------------------------------- DirectVerifier
+
+void DirectVerifier::on_request_sent(NodeId proposer, PeriodIndex period,
+                                     const gossip::ChunkIdList& chunks) {
+  if (chunks.empty()) return;
+  const Key key{proposer, period};
+  auto& pending = pending_[key];
+  for (const auto c : chunks) pending.outstanding.insert(c);
+  pending.requested += chunks.size();
+  sim_.schedule_after(params_.dv_timeout, [this, key] { on_deadline(key); });
+}
+
+void DirectVerifier::on_serve_received(NodeId sender, PeriodIndex period,
+                                       ChunkId chunk) {
+  const auto it = pending_.find(Key{sender, period});
+  if (it == pending_.end()) return;
+  it->second.outstanding.erase(chunk);
+}
+
+void DirectVerifier::on_deadline(Key key) {
+  const auto it = pending_.find(key);
+  if (it == pending_.end()) return;
+  const auto& pending = it->second;
+  // Blame f/|R| per chunk requested but never served (§5.2, Table 1);
+  // |R| is this request's actual size.
+  if (!pending.outstanding.empty()) {
+    const double value = static_cast<double>(params_.fanout) *
+                         static_cast<double>(pending.outstanding.size()) /
+                         static_cast<double>(pending.requested);
+    blame_(key.proposer, value, gossip::BlameReason::kDirectVerification);
+  }
+  ++completed_;
+  pending_.erase(it);
+}
+
+// --------------------------------------------------------- CrossChecker
+
+void CrossChecker::on_chunks_served(NodeId receiver, PeriodIndex period,
+                                    const gossip::ChunkIdList& chunks) {
+  const auto key = std::make_pair(receiver, period);
+  auto& batch = batches_[key];
+  batch.receiver = receiver;
+  batch.serve_period = period;
+  batch.generation = ++generation_;
+  for (const auto c : chunks) batch.chunks.insert(c);
+  const auto generation = batch.generation;
+  sim_.schedule_after(params_.ack_timeout,
+                      [this, receiver, period, generation] {
+                        on_ack_deadline(receiver, period, generation);
+                      });
+}
+
+void CrossChecker::on_ack_received(NodeId from, const gossip::AckMsg& ack) {
+  // Unsolicited acks (we served this node nothing) carry no weight.
+  const bool expected = std::any_of(
+      batches_.begin(), batches_.end(),
+      [&](const auto& kv) { return kv.first.first == from; });
+  if (!expected) return;
+
+  // Fanout check happens once per ack: the ack asserts the receiver's
+  // partner set for one propose phase (§5.2, Table 1: blame f - f̂).
+  if (ack.partners.size() < params_.fanout) {
+    blame_(from,
+           static_cast<double>(params_.fanout - ack.partners.size()),
+           gossip::BlameReason::kFanoutDecrease);
+  }
+
+  // Mark every outstanding batch for this receiver whose chunks the ack
+  // fully covers; covered batches with a triggered check share one confirm
+  // round per (subject, subject-period).
+  gossip::ChunkIdList covered_chunks;
+  for (auto& [key, batch] : batches_) {
+    if (key.first != from || batch.covered) continue;
+    const bool all = std::all_of(
+        batch.chunks.begin(), batch.chunks.end(), [&](ChunkId c) {
+          return std::find(ack.chunks.begin(), ack.chunks.end(), c) !=
+                 ack.chunks.end();
+        });
+    if (!all) continue;
+    batch.covered = true;
+    covered_chunks.insert(covered_chunks.end(), batch.chunks.begin(),
+                          batch.chunks.end());
+  }
+  if (covered_chunks.empty()) return;
+
+  // §5: the check is triggered with probability p_dcc per serve-ack.
+  if (!rng_.bernoulli(params_.p_dcc)) return;
+  start_confirm_round(ack, from, covered_chunks);
+}
+
+void CrossChecker::start_confirm_round(const gossip::AckMsg& ack,
+                                       NodeId subject,
+                                       const gossip::ChunkIdList& chunks) {
+  const auto key = std::make_pair(subject, ack.period);
+  if (rounds_.contains(key)) return;  // one round per receiver propose phase
+  ConfirmRound round;
+  round.subject = subject;
+  round.subject_period = ack.period;
+  std::size_t sent = 0;
+  for (const auto witness : ack.partners) {
+    if (witness == self_ || witness == subject) continue;
+    send_(witness, gossip::ConfirmReqMsg{subject, ack.period, chunks});
+    ++sent;
+  }
+  if (sent == 0) return;
+  round.witnesses = sent;
+  rounds_.emplace(key, round);
+  ++rounds_started_;
+  sim_.schedule_after(params_.confirm_timeout,
+                      [this, subject, period = ack.period] {
+                        on_confirm_deadline(subject, period);
+                      });
+}
+
+void CrossChecker::on_confirm_response(NodeId /*witness*/,
+                                       const gossip::ConfirmRespMsg& msg) {
+  const auto it =
+      rounds_.find(std::make_pair(msg.subject, msg.subject_period));
+  if (it == rounds_.end()) return;
+  auto& round = it->second;
+  if (round.yes + round.no >= round.witnesses) return;  // late duplicates
+  if (msg.confirmed) {
+    ++round.yes;
+  } else {
+    ++round.no;
+  }
+}
+
+void CrossChecker::on_confirm_deadline(NodeId subject,
+                                       PeriodIndex subject_period) {
+  const auto it = rounds_.find(std::make_pair(subject, subject_period));
+  if (it == rounds_.end()) return;
+  const auto& round = it->second;
+  // Blame 1 per contradictory testimony; a missing testimony is
+  // indistinguishable from a lost witness chain and blames 1 as well
+  // (Eq. 3's (1-pr³) term).
+  const std::size_t failures = round.witnesses - round.yes;
+  if (failures > 0) {
+    blame_(subject, static_cast<double>(failures),
+           gossip::BlameReason::kTestimony);
+  }
+  rounds_.erase(it);
+}
+
+void CrossChecker::on_ack_deadline(NodeId receiver, PeriodIndex serve_period,
+                                   std::uint64_t generation) {
+  const auto it = batches_.find(std::make_pair(receiver, serve_period));
+  if (it == batches_.end()) return;
+  const auto& batch = it->second;
+  if (batch.generation != generation) return;  // superseded by later serves
+  if (!batch.covered) {
+    // No acknowledgment covering the batch: blame f (§5.2 — same value as
+    // not proposing at all).
+    blame_(receiver, static_cast<double>(params_.fanout),
+           gossip::BlameReason::kInvalidAck);
+  }
+  batches_.erase(it);
+}
+
+}  // namespace lifting

@@ -1,0 +1,143 @@
+#ifndef LIFTING_LIFTING_VERIFIER_HPP
+#define LIFTING_LIFTING_VERIFIER_HPP
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "common/types.hpp"
+#include "gossip/message.hpp"
+#include "lifting/params.hpp"
+#include "sim/simulator.hpp"
+
+/// The two direct verification procedures of LiFTinG (paper §5.2).
+///
+/// DirectVerifier (requester side): after requesting R chunks against a
+/// proposal, blames the proposer f·(|R|-|S|)/|R| for the chunks that never
+/// arrived — f when nothing arrived, matching a dropped proposal.
+///
+/// CrossChecker (server side): after serving chunks, expects an ack listing
+/// the receiver's next-phase partners; blames f when the ack is missing or
+/// does not cover the served chunks; blames the fanout shortfall (f - f̂)
+/// from the ack's partner list; and, with probability p_dcc, polls the
+/// listed witnesses and blames 1 per contradictory or missing testimony.
+
+namespace lifting {
+
+/// Emits a blame against `target` (routed to its managers by the agent).
+using BlameFn =
+    std::function<void(NodeId target, double value, gossip::BlameReason)>;
+
+/// Sends a protocol message (datagram) from this node.
+using SendFn = std::function<void(NodeId to, gossip::Message message)>;
+
+class DirectVerifier {
+ public:
+  DirectVerifier(sim::Simulator& sim, const LiftingParams& params,
+                 BlameFn blame)
+      : sim_(sim), params_(params), blame_(std::move(blame)) {}
+
+  /// We requested `chunks` from `proposer` against its proposal `period`.
+  void on_request_sent(NodeId proposer, PeriodIndex period,
+                       const gossip::ChunkIdList& chunks);
+
+  /// A served chunk arrived from `sender`.
+  void on_serve_received(NodeId sender, PeriodIndex period, ChunkId chunk);
+
+  [[nodiscard]] std::uint64_t verifications_completed() const noexcept {
+    return completed_;
+  }
+
+ private:
+  struct Key {
+    NodeId proposer;
+    PeriodIndex period;
+    bool operator<(const Key& o) const {
+      return proposer != o.proposer ? proposer < o.proposer
+                                    : period < o.period;
+    }
+  };
+  struct Pending {
+    std::set<ChunkId> outstanding;
+    std::size_t requested = 0;
+  };
+
+  void on_deadline(Key key);
+
+  sim::Simulator& sim_;
+  const LiftingParams& params_;
+  BlameFn blame_;
+  std::map<Key, Pending> pending_;
+  std::uint64_t completed_ = 0;
+};
+
+class CrossChecker {
+ public:
+  CrossChecker(sim::Simulator& sim, const LiftingParams& params, NodeId self,
+               Pcg32& rng, BlameFn blame, SendFn send)
+      : sim_(sim),
+        params_(params),
+        self_(self),
+        rng_(rng),
+        blame_(std::move(blame)),
+        send_(std::move(send)) {}
+
+  /// We served `chunks` to `receiver` (against our proposal of `period`).
+  void on_chunks_served(NodeId receiver, PeriodIndex period,
+                        const gossip::ChunkIdList& chunks);
+
+  /// The receiver's ack[i](partners) arrived.
+  void on_ack_received(NodeId from, const gossip::AckMsg& ack);
+
+  /// A witness testimony arrived.
+  void on_confirm_response(NodeId witness, const gossip::ConfirmRespMsg& msg);
+
+  [[nodiscard]] std::uint64_t confirm_rounds_started() const noexcept {
+    return rounds_started_;
+  }
+
+ private:
+  struct Batch {
+    NodeId receiver;
+    PeriodIndex serve_period;  // our proposal period the serve answered
+    std::set<ChunkId> chunks;
+    bool covered = false;  // fully covered by an ack
+    std::uint64_t generation = 0;
+  };
+  struct ConfirmRound {
+    NodeId subject;
+    PeriodIndex subject_period;  // the ack's (receiver's) period
+    std::size_t witnesses = 0;
+    std::size_t yes = 0;
+    std::size_t no = 0;
+  };
+
+  void on_ack_deadline(NodeId receiver, PeriodIndex serve_period,
+                       std::uint64_t generation);
+  void on_confirm_deadline(NodeId subject, PeriodIndex subject_period);
+  void start_confirm_round(const gossip::AckMsg& ack, NodeId subject,
+                           const gossip::ChunkIdList& chunks);
+
+  sim::Simulator& sim_;
+  const LiftingParams& params_;
+  NodeId self_;
+  Pcg32& rng_;
+  BlameFn blame_;
+  SendFn send_;
+
+  /// Outstanding serve batches, keyed (receiver, serve_period).
+  std::map<std::pair<NodeId, PeriodIndex>, Batch> batches_;
+  /// Running confirm rounds, keyed (subject, subject_period).
+  std::map<std::pair<NodeId, PeriodIndex>, ConfirmRound> rounds_;
+  std::uint64_t generation_ = 0;
+  std::uint64_t rounds_started_ = 0;
+};
+
+}  // namespace lifting
+
+#endif  // LIFTING_LIFTING_VERIFIER_HPP

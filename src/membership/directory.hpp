@@ -1,0 +1,89 @@
+#ifndef LIFTING_MEMBERSHIP_DIRECTORY_HPP
+#define LIFTING_MEMBERSHIP_DIRECTORY_HPP
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/types.hpp"
+
+/// Full-membership directory (paper §2: "we assume that nodes can pick
+/// uniformly at random a set of nodes in the system", via full membership or
+/// a random peer sampling service).
+///
+/// The directory also records expulsions: once LiFTinG's managers commit an
+/// expulsion, honest nodes neither select the victim as a partner nor accept
+/// its traffic. We model the membership layer as shared state with the
+/// expulsion applied after a configurable propagation delay (scheduled by
+/// the caller); per-node divergent views would only add noise without
+/// changing any mechanism under test.
+
+namespace lifting::membership {
+
+class Directory {
+ public:
+  /// Creates a directory over nodes {0, 1, ..., n-1}, all live.
+  explicit Directory(std::uint32_t n) {
+    live_.reserve(n);
+    position_.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const NodeId id{i};
+      position_.emplace(id, live_.size());
+      live_.push_back(id);
+    }
+    initial_size_ = n;
+  }
+
+  [[nodiscard]] std::size_t live_count() const noexcept {
+    return live_.size();
+  }
+  [[nodiscard]] std::uint32_t initial_size() const noexcept {
+    return initial_size_;
+  }
+
+  [[nodiscard]] bool is_live(NodeId id) const {
+    return position_.find(id) != position_.end();
+  }
+
+  /// Live nodes, dense, in unspecified order. Stable between mutations.
+  [[nodiscard]] const std::vector<NodeId>& live() const noexcept {
+    return live_;
+  }
+
+  /// Removes a node from the membership (expulsion or churn). Idempotent.
+  void expel(NodeId id) {
+    const auto it = position_.find(id);
+    if (it == position_.end()) return;
+    const std::size_t pos = it->second;
+    const NodeId last = live_.back();
+    live_[pos] = last;
+    position_[last] = pos;
+    live_.pop_back();
+    position_.erase(it);
+    expelled_.push_back(id);
+  }
+
+  /// Nodes expelled so far, in expulsion order.
+  [[nodiscard]] const std::vector<NodeId>& expelled() const noexcept {
+    return expelled_;
+  }
+
+  /// Index of a live node within live() — used by samplers for O(1)
+  /// exclusion of the caller.
+  [[nodiscard]] std::size_t position_of(NodeId id) const {
+    const auto it = position_.find(id);
+    LIFTING_ASSERT(it != position_.end(), "position_of: node not live");
+    return it->second;
+  }
+
+ private:
+  std::vector<NodeId> live_;
+  std::unordered_map<NodeId, std::size_t> position_;
+  std::vector<NodeId> expelled_;
+  std::uint32_t initial_size_{0};
+};
+
+}  // namespace lifting::membership
+
+#endif  // LIFTING_MEMBERSHIP_DIRECTORY_HPP

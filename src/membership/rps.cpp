@@ -1,0 +1,152 @@
+#include "membership/rps.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace lifting::membership {
+
+RpsNetwork::RpsNetwork(std::uint32_t n, std::size_t view_size,
+                       std::size_t shuffle_length, std::uint64_t seed)
+    : view_size_(view_size),
+      shuffle_length_(std::min(shuffle_length, view_size)),
+      rng_(derive_rng(seed, 0x525053ULL)) {  // "RPS"
+  require(n >= 3, "RPS needs at least three nodes");
+  require(view_size >= 2 && view_size < n, "view size must be in [2, n)");
+  require(shuffle_length >= 1, "shuffle length must be >= 1");
+  views_.resize(n);
+  // Bootstrap: successors on a ring plus random shortcuts. Deliberately
+  // non-uniform — the shuffle rounds must do the mixing.
+  for (std::uint32_t i = 0; i < n; ++i) {
+    auto& view = views_[i];
+    for (std::size_t j = 1; j <= view_size_; ++j) {
+      NodeId candidate{static_cast<std::uint32_t>((i + j) % n)};
+      if (j == view_size_) {  // one shortcut
+        candidate = NodeId{rng_.below(n)};
+      }
+      if (candidate != NodeId{i} && !contains(view, candidate)) {
+        view.entries.push_back(Entry{candidate, 0});
+      }
+    }
+    rebuild_cache(i);
+  }
+}
+
+bool RpsNetwork::contains(const View& view, NodeId id) const {
+  return std::any_of(view.entries.begin(), view.entries.end(),
+                     [&](const Entry& e) { return e.id == id; });
+}
+
+void RpsNetwork::rebuild_cache(std::uint32_t node) {
+  auto& view = views_[node];
+  view.ids_cache.clear();
+  view.ids_cache.reserve(view.entries.size());
+  for (const auto& e : view.entries) view.ids_cache.push_back(e.id);
+}
+
+void RpsNetwork::run_round() {
+  // Synchronous sweep in random order (order affects nothing observable;
+  // randomizing avoids systematic id-order artifacts).
+  std::vector<std::uint32_t> order(views_.size());
+  for (std::uint32_t i = 0; i < views_.size(); ++i) order[i] = i;
+  rng_.shuffle(order);
+  for (const auto initiator : order) {
+    shuffle_pair(initiator);
+  }
+  for (std::uint32_t i = 0; i < views_.size(); ++i) rebuild_cache(i);
+}
+
+void RpsNetwork::shuffle_pair(std::uint32_t initiator) {
+  auto& mine = views_[initiator];
+  if (mine.entries.empty()) return;
+  for (auto& e : mine.entries) ++e.age;
+
+  // Contact the oldest entry (Cyclon's healing rule: old entries are
+  // likely dead or stale; exchanging through them refreshes both sides).
+  const auto oldest = std::max_element(
+      mine.entries.begin(), mine.entries.end(),
+      [](const Entry& a, const Entry& b) { return a.age < b.age; });
+  const NodeId peer_id = oldest->id;
+  auto& theirs = views_[peer_id.value()];
+
+  // Pick subsets to exchange; the initiator always offers itself (age 0).
+  const auto pick_subset = [&](View& view, NodeId exclude,
+                               std::size_t count) {
+    std::vector<Entry> subset;
+    std::vector<std::size_t> idx(view.entries.size());
+    for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+    rng_.shuffle(idx);
+    for (const auto i : idx) {
+      if (subset.size() >= count) break;
+      if (view.entries[i].id == exclude) continue;
+      subset.push_back(view.entries[i]);
+    }
+    return subset;
+  };
+
+  auto sent = pick_subset(mine, peer_id, shuffle_length_ - 1);
+  sent.push_back(Entry{NodeId{initiator}, 0});
+  const auto received = pick_subset(theirs, NodeId{initiator},
+                                    shuffle_length_);
+
+  // Merge policy: drop the entries we sent, insert what we received,
+  // dedupe (keep the younger), truncate to the view size by age.
+  const auto merge = [&](View& view, NodeId self,
+                         const std::vector<Entry>& outgoing,
+                         const std::vector<Entry>& incoming) {
+    for (const auto& out : outgoing) {
+      const auto it = std::find_if(
+          view.entries.begin(), view.entries.end(),
+          [&](const Entry& e) { return e.id == out.id; });
+      if (it != view.entries.end()) view.entries.erase(it);
+    }
+    for (const auto& in : incoming) {
+      if (in.id == self) continue;
+      const auto it = std::find_if(
+          view.entries.begin(), view.entries.end(),
+          [&](const Entry& e) { return e.id == in.id; });
+      if (it != view.entries.end()) {
+        it->age = std::min(it->age, in.age);
+      } else {
+        view.entries.push_back(in);
+      }
+    }
+    if (view.entries.size() > view_size_) {
+      std::sort(view.entries.begin(), view.entries.end(),
+                [](const Entry& a, const Entry& b) { return a.age < b.age; });
+      view.entries.resize(view_size_);
+    }
+  };
+  merge(mine, NodeId{initiator}, sent, received);
+  merge(theirs, peer_id, received, sent);
+}
+
+NodeId RpsNetwork::sample(NodeId self, Pcg32& rng) const {
+  const auto& view = views_[self.value()];
+  LIFTING_ASSERT(!view.ids_cache.empty(), "sampling from an empty view");
+  return view.ids_cache[rng.below(
+      static_cast<std::uint32_t>(view.ids_cache.size()))];
+}
+
+std::vector<NodeId> RpsNetwork::sample_distinct(NodeId self, Pcg32& rng,
+                                                std::size_t k) const {
+  const auto& ids = views_[self.value()].ids_cache;
+  std::vector<NodeId> shuffled = ids;
+  rng.shuffle(shuffled);
+  if (shuffled.size() > k) shuffled.resize(k);
+  return shuffled;
+}
+
+const std::vector<NodeId>& RpsNetwork::view_of(NodeId self) const {
+  return views_[self.value()].ids_cache;
+}
+
+std::vector<std::uint32_t> RpsNetwork::in_degrees() const {
+  std::vector<std::uint32_t> degrees(views_.size(), 0);
+  for (const auto& view : views_) {
+    for (const auto& e : view.entries) ++degrees[e.id.value()];
+  }
+  return degrees;
+}
+
+}  // namespace lifting::membership

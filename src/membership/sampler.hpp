@@ -1,0 +1,36 @@
+#ifndef LIFTING_MEMBERSHIP_SAMPLER_HPP
+#define LIFTING_MEMBERSHIP_SAMPLER_HPP
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "membership/directory.hpp"
+
+/// Partner selection policies.
+///
+/// Honest nodes select gossip partners uniformly at random (§3). Colluding
+/// freeriders bias the selection toward their coalition with probability
+/// p_m (§4.1 attack (iii), analyzed in §6.3.2) — the attack the entropy
+/// audit is designed to catch.
+
+namespace lifting::membership {
+
+/// Picks `k` distinct live partners uniformly at random, excluding `self`.
+/// If fewer than k candidates exist, returns all of them (shuffled).
+[[nodiscard]] std::vector<NodeId> sample_uniform(Pcg32& rng,
+                                                 const Directory& directory,
+                                                 NodeId self, std::size_t k);
+
+/// Biased selection used by colluding freeriders: each slot is filled with
+/// a (uniform) coalition member with probability `p_m`, otherwise with a
+/// uniform non-coalition node. Partners are distinct; when the coalition is
+/// exhausted the remaining slots fall back to honest nodes (a coalition of
+/// size m' < k cannot fill every slot — paper §6.3.2 requires n_h·f >> m').
+[[nodiscard]] std::vector<NodeId> sample_biased(
+    Pcg32& rng, const Directory& directory, NodeId self, std::size_t k,
+    const std::vector<NodeId>& coalition, double p_m);
+
+}  // namespace lifting::membership
+
+#endif  // LIFTING_MEMBERSHIP_SAMPLER_HPP

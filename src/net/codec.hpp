@@ -1,0 +1,36 @@
+#ifndef LIFTING_NET_CODEC_HPP
+#define LIFTING_NET_CODEC_HPP
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "gossip/message.hpp"
+
+/// Binary wire format for protocol messages (little-endian, length-checked).
+///
+/// The simulator models message *sizes* analytically (gossip::wire_size);
+/// this codec is the actual byte format used by the real UDP transport in
+/// src/net, and its round-trip property is enforced by tests so a future
+/// deployment speaks exactly what the simulation accounts for.
+
+namespace lifting::net {
+
+/// Serializes a message (without payload bytes for serves — the chunk body
+/// is appended by the transport; the codec carries `payload_bytes` so the
+/// receiver can account for it).
+[[nodiscard]] std::vector<std::uint8_t> encode(const gossip::Message& msg);
+
+/// Decodes a message; std::nullopt on malformed/truncated input (never
+/// throws, never reads out of bounds).
+[[nodiscard]] std::optional<gossip::Message> decode(
+    const std::uint8_t* data, std::size_t size);
+
+[[nodiscard]] inline std::optional<gossip::Message> decode(
+    const std::vector<std::uint8_t>& buffer) {
+  return decode(buffer.data(), buffer.size());
+}
+
+}  // namespace lifting::net
+
+#endif  // LIFTING_NET_CODEC_HPP

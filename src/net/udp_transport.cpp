@@ -1,0 +1,117 @@
+#include "net/udp_transport.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "net/codec.hpp"
+
+namespace lifting::net {
+
+namespace {
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+}  // namespace
+
+UdpTransport::~UdpTransport() {
+  for (auto& [id, ep] : sockets_) {
+    if (ep.fd >= 0) ::close(ep.fd);
+  }
+}
+
+bool UdpTransport::add_endpoint(NodeId id, Handler handler) {
+  if (sockets_.contains(id)) return false;
+  const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd < 0) return false;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;  // ephemeral
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+      !set_nonblocking(fd)) {
+    ::close(fd);
+    return false;
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    ::close(fd);
+    return false;
+  }
+  Endpoint ep;
+  ep.fd = fd;
+  ep.port = ntohs(addr.sin_port);
+  ep.handler = std::move(handler);
+  sockets_.emplace(id, std::move(ep));
+  return true;
+}
+
+bool UdpTransport::send(NodeId from, NodeId to, const gossip::Message& msg) {
+  const auto src = sockets_.find(from);
+  const auto dst = sockets_.find(to);
+  if (src == sockets_.end() || dst == sockets_.end()) return false;
+  // Frame: 4-byte sender id + codec payload.
+  auto payload = encode(msg);
+  std::vector<std::uint8_t> frame;
+  frame.reserve(payload.size() + 4);
+  const std::uint32_t sender = from.value();
+  const auto* p = reinterpret_cast<const std::uint8_t*>(&sender);
+  frame.insert(frame.end(), p, p + 4);
+  frame.insert(frame.end(), payload.begin(), payload.end());
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(dst->second.port);
+  const auto n = ::sendto(src->second.fd, frame.data(), frame.size(), 0,
+                          reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+  if (n != static_cast<ssize_t>(frame.size())) return false;
+  ++sent_;
+  return true;
+}
+
+std::size_t UdpTransport::poll() {
+  std::size_t delivered = 0;
+  std::uint8_t buffer[65536];
+  for (auto& [id, ep] : sockets_) {
+    for (;;) {
+      const auto n = ::recv(ep.fd, buffer, sizeof buffer, 0);
+      if (n <= 0) break;
+      if (n < 4) continue;
+      std::uint32_t sender = 0;
+      std::memcpy(&sender, buffer, 4);
+      auto decoded = decode(buffer + 4, static_cast<std::size_t>(n) - 4);
+      if (!decoded.has_value()) {
+        ++decode_failures_;
+        continue;
+      }
+      if (ep.handler) {
+        ep.handler(NodeId{sender}, std::move(*decoded));
+        ++delivered;
+      }
+    }
+  }
+  return delivered;
+}
+
+std::size_t UdpTransport::poll_wait(int timeout_ms) {
+  std::vector<pollfd> fds;
+  fds.reserve(sockets_.size());
+  for (const auto& [id, ep] : sockets_) {
+    fds.push_back(pollfd{ep.fd, POLLIN, 0});
+  }
+  if (fds.empty()) return 0;
+  const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+  if (ready <= 0) return 0;
+  return poll();
+}
+
+}  // namespace lifting::net

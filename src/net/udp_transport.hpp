@@ -1,0 +1,72 @@
+#ifndef LIFTING_NET_UDP_TRANSPORT_HPP
+#define LIFTING_NET_UDP_TRANSPORT_HPP
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "gossip/message.hpp"
+
+/// Real-socket datagram transport (loopback), the deployment-facing
+/// counterpart of sim::Network. Every endpoint owns a non-blocking UDP
+/// socket; messages are framed with the net::codec wire format plus a
+/// 4-byte sender id. `poll()` drains all sockets and dispatches to the
+/// registered handlers — call it from your event loop.
+///
+/// The PlanetLab evaluation is reproduced on the deterministic simulator
+/// (see DESIGN.md); this transport exists so the message layer is proven
+/// against real sockets (integration-tested over loopback).
+
+namespace lifting::net {
+
+class UdpTransport {
+ public:
+  using Handler = std::function<void(NodeId from, gossip::Message)>;
+
+  UdpTransport() = default;
+  ~UdpTransport();
+  UdpTransport(const UdpTransport&) = delete;
+  UdpTransport& operator=(const UdpTransport&) = delete;
+
+  /// Binds a loopback UDP socket for `id` on an ephemeral port and
+  /// registers the receive handler. Returns false on socket errors.
+  bool add_endpoint(NodeId id, Handler handler);
+
+  /// Sends `msg` from `from` to `to` (both must be registered endpoints).
+  /// Returns false if the send failed (e.g. unknown endpoint).
+  bool send(NodeId from, NodeId to, const gossip::Message& msg);
+
+  /// Drains every socket, dispatching decoded messages. Returns the number
+  /// of messages delivered.
+  std::size_t poll();
+
+  /// Blocks up to `timeout_ms` waiting for any socket to become readable,
+  /// then polls. Returns messages delivered.
+  std::size_t poll_wait(int timeout_ms);
+
+  [[nodiscard]] std::size_t endpoints() const noexcept {
+    return sockets_.size();
+  }
+  [[nodiscard]] std::uint64_t messages_sent() const noexcept { return sent_; }
+  [[nodiscard]] std::uint64_t decode_failures() const noexcept {
+    return decode_failures_;
+  }
+
+ private:
+  struct Endpoint {
+    int fd = -1;
+    std::uint16_t port = 0;
+    Handler handler;
+  };
+
+  std::unordered_map<NodeId, Endpoint> sockets_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t decode_failures_ = 0;
+};
+
+}  // namespace lifting::net
+
+#endif  // LIFTING_NET_UDP_TRANSPORT_HPP

@@ -1,0 +1,258 @@
+#include "runtime/experiment.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "common/assert.hpp"
+#include "lifting/managers.hpp"
+
+namespace lifting::runtime {
+
+Experiment::Experiment(ScenarioConfig config)
+    : config_(std::move(config)),
+      rng_(derive_rng(config_.seed, /*stream=*/0xE58)),
+      directory_(config_.nodes) {
+  config_.validate();
+  build();
+}
+
+void Experiment::build() {
+  const std::uint32_t n = config_.nodes;
+
+  // --- assign roles: freeriders (never the source), weak links.
+  auto role_rng = derive_rng(config_.seed, 0x01);
+  const auto freerider_count = static_cast<std::uint32_t>(
+      config_.freerider_fraction * static_cast<double>(n));
+  if (freerider_count > 0) {
+    const auto picks = sample_k_distinct(role_rng, n - 1, freerider_count);
+    for (const auto p : picks) {
+      const NodeId id{p + 1};  // skip the source (node 0)
+      freeriders_.insert(id);
+      freerider_list_.push_back(id);
+    }
+    std::sort(freerider_list_.begin(), freerider_list_.end());
+  }
+  const auto weak_count = static_cast<std::uint32_t>(
+      config_.weak_fraction * static_cast<double>(n));
+  if (weak_count > 0) {
+    const auto picks = sample_k_distinct(role_rng, n - 1, weak_count);
+    for (const auto p : picks) weak_.insert(NodeId{p + 1});
+  }
+
+  // --- network + mailer
+  network_ = std::make_unique<sim::Network<gossip::Message>>(
+      sim_, derive_rng(config_.seed, 0x02));
+  mailer_ = std::make_unique<gossip::Mailer>(*network_, &metrics_);
+
+  // --- behavior of each node
+  gossip::BehaviorSpec freerider_behavior = config_.freerider_behavior;
+  if (freerider_behavior.collusion.has_value()) {
+    freerider_behavior.collusion->coalition = freerider_list_;
+  }
+
+  lifting::Agent::Hooks hooks;
+  hooks.on_blame_emitted = [this](NodeId /*by*/, NodeId target, double value,
+                                  gossip::BlameReason reason) {
+    ledger_.record(target, value, reason);
+  };
+  hooks.on_expulsion_committed = [this](NodeId victim, NodeId /*manager*/,
+                                        bool from_audit) {
+    on_expulsion_committed(victim, from_audit);
+  };
+  hooks.on_audit_report = [this](NodeId /*auditor*/,
+                                 const lifting::AuditReport& report) {
+    audit_reports_.push_back(report);
+  };
+
+  nodes_.resize(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const NodeId id{i};
+    const bool freeride = freeriders_.contains(id);
+    const auto behavior =
+        freeride ? freerider_behavior : gossip::BehaviorSpec::honest();
+    auto& node = nodes_[i];
+
+    if (config_.lifting_enabled) {
+      node.agent = std::make_unique<lifting::Agent>(
+          sim_, *mailer_, directory_, id, config_.lifting, behavior,
+          derive_rng(config_.seed, 0x1000ULL + i), config_.seed, kSimEpoch,
+          hooks);
+    }
+    auto params = config_.gossip;
+    params.emit_acks = config_.lifting_enabled;
+    node.engine = std::make_unique<gossip::Engine>(
+        sim_, *mailer_, directory_, id, params, behavior,
+        derive_rng(config_.seed, 0x2000ULL + i),
+        node.agent ? node.agent.get() : nullptr);
+
+    const auto profile = weak_.contains(id) ? config_.weak_link : config_.link;
+    network_->add_node(id, profile, [this, i](
+                                        sim::Delivery<gossip::Message> d) {
+      auto& target = nodes_[i];
+      const auto& msg = d.payload;
+      const bool gossip_kind = std::holds_alternative<gossip::ProposeMsg>(msg) ||
+                               std::holds_alternative<gossip::RequestMsg>(msg) ||
+                               std::holds_alternative<gossip::ServeMsg>(msg) ||
+                               std::holds_alternative<gossip::AckMsg>(msg);
+      if (gossip_kind) {
+        target.engine->handle(d.from, msg);
+      } else if (target.agent) {
+        target.agent->handle(d.from, msg);
+      }
+    });
+  }
+
+  // --- stream source at node 0
+  source_ = std::make_unique<gossip::StreamSource>(sim_, *nodes_[0].engine,
+                                                   config_.stream);
+}
+
+void Experiment::run_until(TimePoint t) {
+  if (!started_) {
+    started_ = true;
+    for (std::uint32_t i = 0; i < config_.nodes; ++i) {
+      const auto offset = Duration{static_cast<Duration::rep>(
+          rng_.uniform() *
+          static_cast<double>(config_.gossip.period.count()))};
+      nodes_[i].engine->start(offset);
+      if (nodes_[i].agent) nodes_[i].agent->start(offset);
+    }
+    source_->start();
+  }
+  sim_.run_until(t);
+}
+
+void Experiment::run() { run_until(kSimEpoch + config_.duration); }
+
+void Experiment::on_expulsion_committed(NodeId victim, bool from_audit) {
+  if (!config_.expulsion_enabled) return;
+  if (victim == source()) return;  // the source is trusted infrastructure
+  if (!expulsion_scheduled_.insert(victim).second) return;
+  // The managers announce the expulsion; it reaches the membership layer
+  // after a propagation delay, at which point honest nodes shun the victim.
+  sim_.schedule_after(config_.expulsion_propagation, [this, victim,
+                                                      from_audit] {
+    if (!directory_.is_live(victim)) return;
+    directory_.expel(victim);
+    expulsions_.push_back(ExpulsionRecord{victim, to_seconds(sim_.now()),
+                                          from_audit,
+                                          freeriders_.contains(victim)});
+  });
+}
+
+double Experiment::true_score(NodeId id) {
+  LIFTING_ASSERT(config_.lifting_enabled, "scores require LiFTinG");
+  const auto mgrs = lifting::managers_of(id, config_.nodes,
+                                         config_.lifting.managers,
+                                         config_.seed);
+  // Mirrors the protocol read: min-vote by default, mean for the ablation.
+  const bool use_min =
+      config_.lifting.score_vote == LiftingParams::ScoreVote::kMin;
+  double min_score = 0.0;
+  double sum = 0.0;
+  bool first = true;
+  const bool coalition_active =
+      config_.freerider_behavior.collusion.has_value() &&
+      freeriders_.contains(id);
+  for (const auto m : mgrs) {
+    double s =
+        nodes_[m.value()].agent->manager_store().normalized_score(id,
+                                                                  sim_.now());
+    // A colluding manager inflates its coalition's scores on the wire
+    // (§5.1); this read mirrors what the managers would actually answer
+    // (the same inflated value Agent::handle_score_query reports).
+    if (coalition_active && freeriders_.contains(m)) s = std::max(s, 25.0);
+    sum += s;
+    if (first || s < min_score) {
+      min_score = s;
+      first = false;
+    }
+  }
+  return use_min ? min_score : sum / static_cast<double>(mgrs.size());
+}
+
+bool Experiment::majority_expelled(NodeId id) {
+  const auto mgrs = lifting::managers_of(id, config_.nodes,
+                                         config_.lifting.managers,
+                                         config_.seed);
+  std::size_t expelled = 0;
+  for (const auto m : mgrs) {
+    if (nodes_[m.value()].agent->manager_store().expelled(id)) ++expelled;
+  }
+  return expelled * 2 > mgrs.size();
+}
+
+Experiment::ScoreSnapshot Experiment::snapshot_scores() {
+  ScoreSnapshot snap;
+  for (std::uint32_t i = 1; i < config_.nodes; ++i) {
+    const NodeId id{i};
+    const double s = true_score(id);
+    if (freeriders_.contains(id)) {
+      snap.freeriders.push_back(s);
+    } else {
+      snap.honest.push_back(s);
+    }
+  }
+  return snap;
+}
+
+DetectionStats Experiment::detection_at(double eta) {
+  DetectionStats stats;
+  for (std::uint32_t i = 1; i < config_.nodes; ++i) {
+    const NodeId id{i};
+    const bool flagged = !directory_.is_live(id) || true_score(id) < eta;
+    if (freeriders_.contains(id)) {
+      ++stats.freeriders;
+      if (flagged) stats.detection += 1.0;
+    } else {
+      ++stats.honest;
+      if (flagged) stats.false_positive += 1.0;
+    }
+  }
+  if (stats.freeriders > 0) {
+    stats.detection /= static_cast<double>(stats.freeriders);
+  }
+  if (stats.honest > 0) {
+    stats.false_positive /= static_cast<double>(stats.honest);
+  }
+  return stats;
+}
+
+std::vector<gossip::HealthPoint> Experiment::health_curve(
+    const std::vector<double>& lags_seconds, bool honest_only,
+    const gossip::PlaybackConfig& playback) {
+  std::vector<const std::unordered_map<ChunkId, TimePoint>*> deliveries;
+  for (std::uint32_t i = 1; i < config_.nodes; ++i) {
+    if (honest_only && freeriders_.contains(NodeId{i})) continue;
+    deliveries.push_back(&nodes_[i].engine->delivery_times());
+  }
+  return gossip::health_curve(source_->emitted(), deliveries, sim_.now(),
+                              lags_seconds, playback);
+}
+
+OverheadReport Experiment::overhead() const {
+  OverheadReport report;
+  static const char* kDissemination[] = {"propose", "request", "serve"};
+  static const char* kVerification[] = {"ack",          "confirm_req",
+                                        "confirm_resp", "blame",
+                                        "score_query",  "score_reply",
+                                        "expel_request", "expel_vote",
+                                        "expel_commit"};
+  static const char* kAudit[] = {"audit_request", "audit_history",
+                                 "history_poll", "history_poll_resp"};
+  for (const auto* kind : kDissemination) {
+    report.dissemination_bytes +=
+        metrics_.value(std::string("sent.") + kind + ".bytes");
+  }
+  for (const auto* kind : kVerification) {
+    report.verification_bytes +=
+        metrics_.value(std::string("sent.") + kind + ".bytes");
+  }
+  for (const auto* kind : kAudit) {
+    report.audit_bytes +=
+        metrics_.value(std::string("sent.") + kind + ".bytes");
+  }
+  return report;
+}
+
+}  // namespace lifting::runtime

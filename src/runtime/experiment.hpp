@@ -1,0 +1,190 @@
+#ifndef LIFTING_RUNTIME_EXPERIMENT_HPP
+#define LIFTING_RUNTIME_EXPERIMENT_HPP
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "gossip/engine.hpp"
+#include "gossip/mailer.hpp"
+#include "gossip/playback.hpp"
+#include "gossip/stream_source.hpp"
+#include "lifting/agent.hpp"
+#include "membership/directory.hpp"
+#include "runtime/scenario.hpp"
+#include "sim/metrics.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+
+/// Builds and runs a full deployment from a ScenarioConfig: simulator,
+/// lossy network, membership, one gossip engine + LiFTinG agent per node, a
+/// stream source at node 0, expulsion propagation, and all the measurement
+/// hooks the benches and tests need (score snapshots, detection statistics,
+/// health curves, bandwidth accounting, ground-truth blame ledger).
+
+namespace lifting::runtime {
+
+/// Ground-truth record of every blame emission (message-loss-free), for
+/// analysis and tests; the managers' (lossy) view is measured separately.
+class BlameLedger {
+ public:
+  void record(NodeId target, double value, gossip::BlameReason reason) {
+    totals_[target] += value;
+    by_reason_[{target, reason}] += value;
+    ++emissions_;
+  }
+  [[nodiscard]] double total(NodeId target) const {
+    const auto it = totals_.find(target);
+    return it == totals_.end() ? 0.0 : it->second;
+  }
+  [[nodiscard]] double total(NodeId target, gossip::BlameReason reason) const {
+    const auto it = by_reason_.find({target, reason});
+    return it == by_reason_.end() ? 0.0 : it->second;
+  }
+  [[nodiscard]] std::uint64_t emissions() const noexcept { return emissions_; }
+
+ private:
+  std::unordered_map<NodeId, double> totals_;
+  std::map<std::pair<NodeId, gossip::BlameReason>, double> by_reason_;
+  std::uint64_t emissions_ = 0;
+};
+
+struct ExpulsionRecord {
+  NodeId victim;
+  double at_seconds = 0.0;
+  bool from_audit = false;
+  bool was_freerider = false;
+};
+
+/// Detection outcome over a score snapshot at a threshold η.
+struct DetectionStats {
+  double detection = 0.0;        // fraction of freeriders below η (or expelled)
+  double false_positive = 0.0;   // fraction of honest nodes below η (or expelled)
+  std::size_t freeriders = 0;
+  std::size_t honest = 0;
+};
+
+/// Bandwidth accounting (Table 5).
+struct OverheadReport {
+  std::uint64_t dissemination_bytes = 0;  // propose + request + serve
+  std::uint64_t verification_bytes = 0;   // ack + confirm + blame + score + expel
+  std::uint64_t audit_bytes = 0;          // TCP audit traffic
+  [[nodiscard]] double verification_ratio() const {
+    return dissemination_bytes == 0
+               ? 0.0
+               : static_cast<double>(verification_bytes) /
+                     static_cast<double>(dissemination_bytes);
+  }
+};
+
+class Experiment {
+ public:
+  explicit Experiment(ScenarioConfig config);
+
+  /// Runs to the configured duration.
+  void run();
+  /// Runs up to `t` (absolute simulation time); resumable.
+  void run_until(TimePoint t);
+
+  // ---- structure
+  [[nodiscard]] sim::Simulator& simulator() noexcept { return sim_; }
+  [[nodiscard]] membership::Directory& directory() noexcept {
+    return directory_;
+  }
+  [[nodiscard]] const ScenarioConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] NodeId source() const noexcept { return NodeId{0}; }
+  [[nodiscard]] gossip::Engine& engine(NodeId id) {
+    return *nodes_.at(id.value()).engine;
+  }
+  [[nodiscard]] lifting::Agent& agent(NodeId id) {
+    return *nodes_.at(id.value()).agent;
+  }
+  [[nodiscard]] bool has_agents() const noexcept {
+    return config_.lifting_enabled;
+  }
+  [[nodiscard]] bool is_freerider(NodeId id) const {
+    return freeriders_.contains(id);
+  }
+  [[nodiscard]] bool is_weak(NodeId id) const { return weak_.contains(id); }
+  [[nodiscard]] const std::vector<NodeId>& freerider_ids() const noexcept {
+    return freerider_list_;
+  }
+
+  // ---- measurements
+  /// Min-vote score of `id` over its managers' (lossy) ledgers — exactly
+  /// what a protocol-level read returns, obtained without messages.
+  [[nodiscard]] double true_score(NodeId id);
+  /// Is `id` marked expelled by a majority of its managers?
+  [[nodiscard]] bool majority_expelled(NodeId id);
+  /// Scores of all non-source nodes, split honest/freerider.
+  struct ScoreSnapshot {
+    std::vector<double> honest;
+    std::vector<double> freeriders;
+  };
+  [[nodiscard]] ScoreSnapshot snapshot_scores();
+  [[nodiscard]] DetectionStats detection_at(double eta);
+
+  /// Health curve over honest (non-expelled-at-start) nodes.
+  [[nodiscard]] std::vector<gossip::HealthPoint> health_curve(
+      const std::vector<double>& lags_seconds, bool honest_only = true,
+      const gossip::PlaybackConfig& playback = {});
+
+  [[nodiscard]] OverheadReport overhead() const;
+  [[nodiscard]] const sim::MetricsRegistry& metrics() const noexcept {
+    return metrics_;
+  }
+  [[nodiscard]] const sim::NetworkStats& network_stats() const {
+    return network_->stats();
+  }
+  [[nodiscard]] const BlameLedger& ledger() const noexcept { return ledger_; }
+  [[nodiscard]] const std::vector<ExpulsionRecord>& expulsions()
+      const noexcept {
+    return expulsions_;
+  }
+  [[nodiscard]] const std::vector<gossip::ChunkMeta>& emitted_chunks()
+      const noexcept {
+    return source_->emitted();
+  }
+  [[nodiscard]] const std::vector<lifting::AuditReport>& audit_reports()
+      const noexcept {
+    return audit_reports_;
+  }
+
+ private:
+  struct Node {
+    std::unique_ptr<lifting::Agent> agent;  // null when LiFTinG is disabled
+    std::unique_ptr<gossip::Engine> engine;
+  };
+
+  void build();
+  void on_expulsion_committed(NodeId victim, bool from_audit);
+
+  ScenarioConfig config_;
+  Pcg32 rng_;
+  sim::Simulator sim_;
+  sim::MetricsRegistry metrics_;
+  membership::Directory directory_;
+  std::unique_ptr<sim::Network<gossip::Message>> network_;
+  std::unique_ptr<gossip::Mailer> mailer_;
+  std::vector<Node> nodes_;
+  std::unique_ptr<gossip::StreamSource> source_;
+
+  std::unordered_set<NodeId> freeriders_;
+  std::vector<NodeId> freerider_list_;
+  std::unordered_set<NodeId> weak_;
+  BlameLedger ledger_;
+  std::vector<ExpulsionRecord> expulsions_;
+  std::unordered_set<NodeId> expulsion_scheduled_;
+  std::vector<lifting::AuditReport> audit_reports_;
+  bool started_ = false;
+};
+
+}  // namespace lifting::runtime
+
+#endif  // LIFTING_RUNTIME_EXPERIMENT_HPP

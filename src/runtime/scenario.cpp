@@ -1,0 +1,101 @@
+#include "runtime/scenario.hpp"
+
+#include "common/assert.hpp"
+
+namespace lifting::runtime {
+
+void ScenarioConfig::validate() const {
+  require(nodes >= 3, "need at least three nodes");
+  require(freerider_fraction >= 0.0 && freerider_fraction < 1.0,
+          "freerider fraction must be in [0,1)");
+  require(weak_fraction >= 0.0 && weak_fraction <= 1.0,
+          "weak fraction must be in [0,1]");
+  require(duration > Duration::zero(), "duration must be positive");
+  lifting.validate();
+}
+
+ScenarioConfig ScenarioConfig::planetlab() {
+  ScenarioConfig cfg;
+  cfg.nodes = 300;
+  cfg.seed = 1202;
+
+  cfg.gossip.fanout = 7;
+  cfg.gossip.period = milliseconds(500);
+  cfg.gossip.request_timeout = milliseconds(500);
+  // Uncapped requests: infect-and-die wave dynamics concentrate each
+  // wave's chunks on the first-arriving proposer; capping starves chunks
+  // whose propose window has passed (see DESIGN.md, Fig. 14 notes).
+  cfg.gossip.max_request_per_proposal = 0;
+
+  // ~56 chunks/s of ~1.5 kB: with f = 7 proposals per period this yields
+  // |R| ≈ 4 requested chunks per proposal spread over ~f servers — the
+  // §6 steady-state the compensation model assumes (and the regime the
+  // authors' streaming system [6] operates in).
+  cfg.stream.bitrate_bps = 674'000.0;
+  cfg.stream.chunk_payload_bytes = 1'504;
+  cfg.stream.duration = seconds(55.0);
+  cfg.duration = seconds(60.0);
+
+  cfg.lifting.fanout = 7;
+  cfg.lifting.period = milliseconds(500);
+  cfg.lifting.nominal_request_size = 4;
+  cfg.lifting.p_dcc = 1.0;
+  cfg.lifting.loss_estimate = 0.04;  // the PlanetLab average (§7.3)
+  // Calibrated to this deployment's measured verification activity (the
+  // engine reaches ~0.7x the §6 model's interaction density; the paper's
+  // testbed operated at ~1x, where the literal Eq. 5 value applies).
+  cfg.lifting.compensation_factor = 0.71;
+  cfg.lifting.managers = 25;
+  // The paper's η = -9.75 at model density; the equivalent operating point
+  // at this deployment's activity (freerider blame excess scales with the
+  // interaction density too) — see EXPERIMENTS.md, Fig. 14.
+  cfg.lifting.eta = -3.0;
+
+  cfg.freerider_fraction = 0.10;
+  cfg.freerider_behavior.delta_fanout = 1.0 / 7.0;  // f̂ = 6 (§7.1)
+  cfg.freerider_behavior.delta_propose = 0.1;
+  cfg.freerider_behavior.delta_serve = 0.1;
+
+  // PlanetLab-like links: ~4% loss on good nodes, generous uplinks; a tail
+  // of weak nodes with heavy loss and a constrained uplink reproduces the
+  // "honest nodes with very poor connections" of §7.3.
+  cfg.link.loss = 0.02;  // per endpoint => ~4% per message pair
+  cfg.link.latency_base = milliseconds(30);
+  cfg.link.latency_jitter = milliseconds(20);
+  cfg.link.upload_capacity_bps = 10e6;
+  cfg.weak_fraction = 0.12;
+  cfg.weak_link.loss = 0.08;
+  cfg.weak_link.latency_base = milliseconds(80);
+  cfg.weak_link.latency_jitter = milliseconds(60);
+  cfg.weak_link.upload_capacity_bps = 2.5e6;
+  return cfg;
+}
+
+ScenarioConfig ScenarioConfig::small(std::uint32_t nodes) {
+  ScenarioConfig cfg;
+  cfg.nodes = nodes;
+  cfg.seed = 7;
+
+  cfg.gossip.fanout = 5;
+  cfg.gossip.period = milliseconds(500);
+
+  cfg.stream.bitrate_bps = 200'000.0;
+  cfg.stream.chunk_payload_bytes = 5'000;  // 5 chunks/s
+  cfg.stream.duration = seconds(18.0);
+  cfg.duration = seconds(20.0);
+
+  cfg.lifting.fanout = 5;
+  cfg.lifting.period = milliseconds(500);
+  cfg.lifting.nominal_request_size = 3;
+  cfg.lifting.managers = 8;
+  cfg.lifting.loss_estimate = 0.0;
+  cfg.lifting.min_score_replies = 2;
+
+  cfg.link.loss = 0.0;
+  cfg.link.latency_base = milliseconds(10);
+  cfg.link.latency_jitter = milliseconds(5);
+  cfg.link.upload_capacity_bps = 50e6;
+  return cfg;
+}
+
+}  // namespace lifting::runtime

@@ -1,0 +1,62 @@
+#ifndef LIFTING_RUNTIME_SCENARIO_HPP
+#define LIFTING_RUNTIME_SCENARIO_HPP
+
+#include <cstdint>
+
+#include "common/time.hpp"
+#include "gossip/behavior.hpp"
+#include "gossip/engine.hpp"
+#include "gossip/stream_source.hpp"
+#include "lifting/params.hpp"
+#include "sim/network.hpp"
+
+/// Experiment configuration: one struct describes a full deployment —
+/// population, stream, network conditions, freerider population and
+/// LiFTinG parameters. Presets mirror the paper's setups.
+
+namespace lifting::runtime {
+
+struct ScenarioConfig {
+  // ---- population
+  std::uint32_t nodes = 300;
+  std::uint64_t seed = 42;
+
+  // ---- protocol + stream
+  gossip::GossipParams gossip;
+  gossip::StreamSource::Params stream;
+  Duration duration = seconds(60.0);
+
+  // ---- LiFTinG
+  bool lifting_enabled = true;
+  LiftingParams lifting;
+  /// When true, committed expulsions are propagated into the membership
+  /// after `expulsion_propagation` (honest nodes then shun the victim).
+  bool expulsion_enabled = false;
+  Duration expulsion_propagation = seconds(1.0);
+
+  // ---- freeriders
+  /// Fraction of the population that freerides (the source never does).
+  double freerider_fraction = 0.0;
+  /// Behavior of every freerider. When `collusion` is set, the coalition
+  /// is filled with the actual freerider ids by the experiment.
+  gossip::BehaviorSpec freerider_behavior;
+
+  // ---- network conditions
+  sim::LinkProfile link;       ///< profile of well-connected nodes
+  double weak_fraction = 0.0;  ///< fraction of weak (lossy/slow) honest nodes
+  sim::LinkProfile weak_link;  ///< their profile (§7.3's poor connections)
+
+  void validate() const;
+
+  /// The paper's PlanetLab deployment (§7.1): 300 nodes, 674 kbps stream,
+  /// f = 7, Tg = 500 ms, M = 25 managers, ~4% loss, 10% freeriders with
+  /// Δ = (1/7, 0.1, 0.1).
+  [[nodiscard]] static ScenarioConfig planetlab();
+
+  /// A small fast configuration for tests and the quickstart example.
+  [[nodiscard]] static ScenarioConfig small(std::uint32_t nodes = 60);
+};
+
+}  // namespace lifting::runtime
+
+#endif  // LIFTING_RUNTIME_SCENARIO_HPP

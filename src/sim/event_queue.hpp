@@ -1,0 +1,63 @@
+#ifndef LIFTING_SIM_EVENT_QUEUE_HPP
+#define LIFTING_SIM_EVENT_QUEUE_HPP
+
+#include <cstdint>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "common/time.hpp"
+#include "common/unique_function.hpp"
+
+/// Time-ordered event queue for the discrete-event simulator.
+///
+/// Ties are broken by insertion sequence number so that runs are
+/// deterministic: two events scheduled for the same instant always execute
+/// in scheduling order, on every platform.
+
+namespace lifting::sim {
+
+class EventQueue {
+ public:
+  using Action = UniqueFunction<void()>;
+
+  void push(TimePoint at, Action action) {
+    heap_.push(Entry{at, next_seq_++, std::move(action)});
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+
+  [[nodiscard]] TimePoint next_time() const { return heap_.top().at; }
+
+  /// Removes and returns the earliest event's action.
+  [[nodiscard]] std::pair<TimePoint, Action> pop() {
+    // std::priority_queue::top() returns a const&, but we must move the
+    // action out; const_cast is confined here and safe because the entry is
+    // popped immediately after.
+    auto& top = const_cast<Entry&>(heap_.top());
+    std::pair<TimePoint, Action> out{top.at, std::move(top.action)};
+    heap_.pop();
+    return out;
+  }
+
+ private:
+  struct Entry {
+    TimePoint at;
+    std::uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    [[nodiscard]] bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t next_seq_{0};
+};
+
+}  // namespace lifting::sim
+
+#endif  // LIFTING_SIM_EVENT_QUEUE_HPP

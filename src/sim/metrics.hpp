@@ -1,0 +1,69 @@
+#ifndef LIFTING_SIM_METRICS_HPP
+#define LIFTING_SIM_METRICS_HPP
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+/// Named counters for experiment accounting (message counts, byte volumes).
+///
+/// Handles are resolved once (string lookup) and then bumped through a plain
+/// reference, keeping the hot path allocation- and hash-free.
+
+namespace lifting::sim {
+
+class Counter {
+ public:
+  void add(std::uint64_t v = 1) noexcept { value_ += v; }
+  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+  void reset() noexcept { value_ = 0; }
+
+ private:
+  std::uint64_t value_{0};
+};
+
+class MetricsRegistry {
+ public:
+  /// Returns a stable reference to the counter registered under `name`,
+  /// creating it on first use. References stay valid for the registry's
+  /// lifetime (deque storage never reallocates elements).
+  [[nodiscard]] Counter& counter(const std::string& name) {
+    const auto it = index_.find(name);
+    if (it != index_.end()) return storage_[it->second];
+    index_.emplace(name, storage_.size());
+    names_.push_back(name);
+    storage_.emplace_back();
+    return storage_.back();
+  }
+
+  [[nodiscard]] std::uint64_t value(const std::string& name) const {
+    const auto it = index_.find(name);
+    return it == index_.end() ? 0 : storage_[it->second].value();
+  }
+
+  /// Snapshot of all counters, in registration order.
+  [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>> snapshot()
+      const {
+    std::vector<std::pair<std::string, std::uint64_t>> out;
+    out.reserve(names_.size());
+    for (std::size_t i = 0; i < names_.size(); ++i) {
+      out.emplace_back(names_[i], storage_[i].value());
+    }
+    return out;
+  }
+
+  void reset_all() noexcept {
+    for (auto& c : storage_) c.reset();
+  }
+
+ private:
+  std::unordered_map<std::string, std::size_t> index_;
+  std::vector<std::string> names_;
+  std::deque<Counter> storage_;
+};
+
+}  // namespace lifting::sim
+
+#endif  // LIFTING_SIM_METRICS_HPP

@@ -1,0 +1,226 @@
+#ifndef LIFTING_SIM_NETWORK_HPP
+#define LIFTING_SIM_NETWORK_HPP
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "common/types.hpp"
+#include "sim/simulator.hpp"
+
+/// Simulated network with the failure model of the paper's analysis (§6.2):
+/// independent Bernoulli per-message loss on datagram ("UDP") traffic, no
+/// loss on reliable ("TCP") traffic, plus a per-node uplink capacity that
+/// serializes outgoing messages — the mechanism by which weak or overloaded
+/// nodes fail to serve in time and accrue organic (wrongful) blames, exactly
+/// as observed on PlanetLab (§7.3).
+
+namespace lifting::sim {
+
+/// Transport class of a message. The dissemination protocol and the direct
+/// verifications use datagrams; local-history audits use the reliable
+/// channel (paper §5.3: audits are sporadic, bulky, and loss-sensitive).
+enum class Channel : std::uint8_t { kDatagram, kReliable };
+
+/// Per-node link characteristics.
+struct LinkProfile {
+  /// Per-direction loss probability on datagram messages. The effective
+  /// per-message loss between a and b is 1-(1-loss_a)(1-loss_b).
+  double loss = 0.0;
+  /// One-way propagation delay contributed by this endpoint.
+  Duration latency_base = milliseconds(25);
+  /// Uniform extra delay in [0, jitter) contributed by this endpoint.
+  Duration latency_jitter = milliseconds(10);
+  /// Uplink capacity in bits per second (serializes all sends).
+  double upload_capacity_bps = 20e6;
+  /// Datagrams are dropped when the uplink backlog exceeds this bound
+  /// (models a full interface queue). Reliable traffic is never dropped,
+  /// only delayed.
+  Duration max_queue_delay = seconds(2.0);
+  /// Messages at or below this size bypass the uplink queue (they still pay
+  /// transmission time, but do not wait behind bulk serves). Models the
+  /// interleaving of small control packets with large data packets — without
+  /// it a congested uplink delays 60-byte acks by seconds, which no real
+  /// stack does.
+  std::size_t priority_bytes = 512;
+};
+
+/// Aggregate traffic statistics (per network).
+struct NetworkStats {
+  std::uint64_t datagrams_sent = 0;
+  std::uint64_t datagrams_lost = 0;      // lost in flight (Bernoulli)
+  std::uint64_t datagrams_dropped = 0;   // dropped at the sender's queue
+  std::uint64_t datagrams_delivered = 0;
+  std::uint64_t reliable_sent = 0;
+  std::uint64_t reliable_delivered = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_delivered = 0;
+};
+
+/// A delivered message.
+template <typename Payload>
+struct Delivery {
+  NodeId from;
+  NodeId to;
+  Channel channel = Channel::kDatagram;
+  std::size_t bytes = 0;
+  TimePoint sent_at;
+  Payload payload;
+};
+
+/// The network itself, generic over the payload type so the substrate stays
+/// independent of the protocol stack above it.
+template <typename Payload>
+class Network {
+ public:
+  using Handler = std::function<void(Delivery<Payload>)>;
+
+  Network(Simulator& sim, Pcg32 rng) : sim_(sim), rng_(rng) {}
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Registers a node with its link profile and receive handler.
+  void add_node(NodeId id, LinkProfile profile, Handler handler) {
+    LIFTING_ASSERT(nodes_.find(id) == nodes_.end(),
+                   "node registered twice with the network");
+    nodes_.emplace(id, Endpoint{profile, std::move(handler), kSimEpoch, true});
+  }
+
+  /// Replaces the receive handler (used when wiring layered components).
+  void set_handler(NodeId id, Handler handler) {
+    endpoint(id).handler = std::move(handler);
+  }
+
+  /// Detaches a node: all traffic to/from it is discarded from now on.
+  /// Used for hard churn in tests; expulsion in LiFTinG is a membership-level
+  /// decision and does not detach the victim.
+  void detach(NodeId id) { endpoint(id).attached = false; }
+  [[nodiscard]] bool attached(NodeId id) const {
+    return endpoint(id).attached;
+  }
+
+  /// Sends `payload` of `bytes` from `from` to `to` on `channel`.
+  /// Datagrams may be lost or dropped; reliable messages always arrive.
+  void send(NodeId from, NodeId to, Channel channel, std::size_t bytes,
+            Payload payload) {
+    LIFTING_ASSERT(from != to, "node sending to itself");
+    auto& src = endpoint(from);
+    const auto& dst = endpoint(to);
+    stats_.bytes_sent += bytes;
+    if (channel == Channel::kDatagram) {
+      ++stats_.datagrams_sent;
+    } else {
+      ++stats_.reliable_sent;
+    }
+    if (!src.attached) return;
+
+    // Uplink serialization: the message occupies the sender's uplink for
+    // bytes*8/capacity seconds, queued behind earlier sends. Small control
+    // packets interleave (priority lane): they pay transmission time but do
+    // not wait in the bulk queue.
+    const auto tx_time = transmission_time(bytes, src.profile);
+    TimePoint departure;
+    if (bytes <= src.profile.priority_bytes) {
+      departure = sim_.now() + tx_time;
+    } else {
+      const TimePoint start = std::max(sim_.now(), src.uplink_free);
+      const Duration backlog = start - sim_.now();
+      if (channel == Channel::kDatagram &&
+          backlog > src.profile.max_queue_delay) {
+        ++stats_.datagrams_dropped;
+        return;  // interface queue full; datagram silently dropped
+      }
+      src.uplink_free = start + tx_time;
+      departure = src.uplink_free;
+    }
+
+    if (channel == Channel::kDatagram) {
+      const double loss =
+          1.0 - (1.0 - src.profile.loss) * (1.0 - dst.profile.loss);
+      if (rng_.bernoulli(loss)) {
+        ++stats_.datagrams_lost;
+        return;
+      }
+    }
+
+    Duration latency = propagation_delay(src.profile, dst.profile);
+    if (channel == Channel::kReliable) {
+      // Connection setup: one extra round trip of base propagation.
+      latency += 2 * (src.profile.latency_base + dst.profile.latency_base);
+    }
+    const TimePoint deliver_at = departure + latency;
+
+    Delivery<Payload> delivery{from,     to,
+                               channel,  bytes,
+                               sim_.now(), std::move(payload)};
+    sim_.schedule_at(
+        deliver_at, [this, d = std::move(delivery)]() mutable {
+          auto& dest = endpoint(d.to);
+          if (!dest.attached || !dest.handler) return;
+          if (d.channel == Channel::kDatagram) {
+            ++stats_.datagrams_delivered;
+          } else {
+            ++stats_.reliable_delivered;
+          }
+          stats_.bytes_delivered += d.bytes;
+          dest.handler(std::move(d));
+        });
+  }
+
+  [[nodiscard]] const NetworkStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const LinkProfile& profile(NodeId id) const {
+    return endpoint(id).profile;
+  }
+
+ private:
+  struct Endpoint {
+    LinkProfile profile;
+    Handler handler;
+    TimePoint uplink_free = kSimEpoch;
+    bool attached = true;
+  };
+
+  [[nodiscard]] Endpoint& endpoint(NodeId id) {
+    const auto it = nodes_.find(id);
+    LIFTING_ASSERT(it != nodes_.end(), "unknown node id");
+    return it->second;
+  }
+  [[nodiscard]] const Endpoint& endpoint(NodeId id) const {
+    const auto it = nodes_.find(id);
+    LIFTING_ASSERT(it != nodes_.end(), "unknown node id");
+    return it->second;
+  }
+
+  [[nodiscard]] static Duration transmission_time(std::size_t bytes,
+                                                  const LinkProfile& p) {
+    const double seconds_on_wire =
+        static_cast<double>(bytes) * 8.0 / p.upload_capacity_bps;
+    return Duration{static_cast<Duration::rep>(seconds_on_wire * 1e6)};
+  }
+
+  [[nodiscard]] Duration propagation_delay(const LinkProfile& a,
+                                           const LinkProfile& b) {
+    const Duration base = a.latency_base + b.latency_base;
+    const auto jitter_span = (a.latency_jitter + b.latency_jitter).count();
+    const auto jitter = jitter_span == 0
+                            ? Duration::zero()
+                            : Duration{static_cast<Duration::rep>(
+                                  rng_.uniform() *
+                                  static_cast<double>(jitter_span))};
+    return base + jitter;
+  }
+
+  Simulator& sim_;
+  Pcg32 rng_;
+  std::unordered_map<NodeId, Endpoint> nodes_;
+  NetworkStats stats_;
+};
+
+}  // namespace lifting::sim
+
+#endif  // LIFTING_SIM_NETWORK_HPP

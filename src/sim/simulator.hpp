@@ -1,0 +1,70 @@
+#ifndef LIFTING_SIM_SIMULATOR_HPP
+#define LIFTING_SIM_SIMULATOR_HPP
+
+#include <cstdint>
+
+#include "common/assert.hpp"
+#include "common/time.hpp"
+#include "sim/event_queue.hpp"
+
+/// Discrete-event simulator: a virtual clock plus the event queue.
+///
+/// Single-threaded by design — determinism is a feature (see DESIGN.md §4).
+/// All protocol components hold a reference to the simulator and schedule
+/// their timers and message deliveries through it.
+
+namespace lifting::sim {
+
+class Simulator {
+ public:
+  using Action = EventQueue::Action;
+
+  [[nodiscard]] TimePoint now() const noexcept { return now_; }
+
+  void schedule_at(TimePoint at, Action action) {
+    LIFTING_ASSERT(at >= now_, "cannot schedule an event in the past");
+    queue_.push(at, std::move(action));
+  }
+
+  void schedule_after(Duration delay, Action action) {
+    LIFTING_ASSERT(delay >= Duration::zero(), "negative delay");
+    queue_.push(now_ + delay, std::move(action));
+  }
+
+  /// Processes events until the queue is empty.
+  void run() {
+    while (!queue_.empty()) step();
+  }
+
+  /// Processes all events scheduled at or before `deadline`, then advances
+  /// the clock to exactly `deadline` (even if the queue still holds later
+  /// events).
+  void run_until(TimePoint deadline) {
+    while (!queue_.empty() && queue_.next_time() <= deadline) step();
+    if (deadline > now_) now_ = deadline;
+  }
+
+  [[nodiscard]] std::uint64_t events_processed() const noexcept {
+    return events_processed_;
+  }
+  [[nodiscard]] std::size_t pending_events() const noexcept {
+    return queue_.size();
+  }
+
+ private:
+  void step() {
+    auto [at, action] = queue_.pop();
+    LIFTING_ASSERT(at >= now_, "event queue returned a past event");
+    now_ = at;
+    ++events_processed_;
+    action();
+  }
+
+  EventQueue queue_;
+  TimePoint now_{kSimEpoch};
+  std::uint64_t events_processed_{0};
+};
+
+}  // namespace lifting::sim
+
+#endif  // LIFTING_SIM_SIMULATOR_HPP

@@ -1,0 +1,78 @@
+#include "stats/empirical.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace lifting::stats {
+
+Empirical::Empirical(std::vector<double> samples)
+    : samples_(std::move(samples)), sorted_(false) {}
+
+void Empirical::add(double x) {
+  samples_.push_back(x);
+  sorted_ = false;
+}
+
+void Empirical::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Empirical::cdf(double x) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) /
+         static_cast<double>(samples_.size());
+}
+
+double Empirical::cdf_strict(double x) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  const auto it = std::lower_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) /
+         static_cast<double>(samples_.size());
+}
+
+double Empirical::quantile(double q) const {
+  LIFTING_ASSERT(!samples_.empty(), "quantile of empty distribution");
+  LIFTING_ASSERT(q >= 0.0 && q <= 1.0, "quantile order must be in [0,1]");
+  ensure_sorted();
+  if (samples_.size() == 1) return samples_.front();
+  const double pos = q * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(pos));
+  const auto hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+double Empirical::min() const {
+  LIFTING_ASSERT(!samples_.empty(), "min of empty distribution");
+  ensure_sorted();
+  return samples_.front();
+}
+
+double Empirical::max() const {
+  LIFTING_ASSERT(!samples_.empty(), "max of empty distribution");
+  ensure_sorted();
+  return samples_.back();
+}
+
+std::vector<std::pair<double, double>> Empirical::cdf_series(
+    double lo, double hi, std::size_t points) const {
+  LIFTING_ASSERT(points >= 2, "cdf_series requires at least two points");
+  std::vector<std::pair<double, double>> out;
+  out.reserve(points);
+  const double step = (hi - lo) / static_cast<double>(points - 1);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double x = lo + step * static_cast<double>(i);
+    out.emplace_back(x, cdf(x));
+  }
+  return out;
+}
+
+}  // namespace lifting::stats

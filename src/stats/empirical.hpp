@@ -1,0 +1,50 @@
+#ifndef LIFTING_STATS_EMPIRICAL_HPP
+#define LIFTING_STATS_EMPIRICAL_HPP
+
+#include <vector>
+
+/// Empirical distribution over stored samples: CDF evaluation and quantiles.
+/// Used for the paper's CDF figures (Fig. 11b, Fig. 14) and for computing
+/// detection / false-positive fractions at a threshold.
+
+namespace lifting::stats {
+
+class Empirical {
+ public:
+  Empirical() = default;
+  explicit Empirical(std::vector<double> samples);
+
+  void add(double x);
+
+  [[nodiscard]] std::size_t size() const noexcept { return samples_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+
+  /// P(X <= x) over the samples.
+  [[nodiscard]] double cdf(double x) const;
+
+  /// P(X < x) — strict version; the score-based detector expels when the
+  /// normalized score drops strictly below η (paper §6.3.1).
+  [[nodiscard]] double cdf_strict(double x) const;
+
+  /// q-th quantile, q in [0, 1], by linear interpolation between order
+  /// statistics.
+  [[nodiscard]] double quantile(double q) const;
+
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+
+  /// Evaluates the CDF at evenly spaced points in [lo, hi] — one series of a
+  /// CDF plot.
+  [[nodiscard]] std::vector<std::pair<double, double>> cdf_series(
+      double lo, double hi, std::size_t points) const;
+
+ private:
+  void ensure_sorted() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_{true};
+};
+
+}  // namespace lifting::stats
+
+#endif  // LIFTING_STATS_EMPIRICAL_HPP

@@ -1,0 +1,69 @@
+#include "stats/entropy.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/assert.hpp"
+
+namespace lifting::stats {
+
+double shannon_entropy(std::span<const std::uint64_t> counts) {
+  std::uint64_t total = 0;
+  for (const auto c : counts) total += c;
+  if (total == 0) return 0.0;
+  const double n = static_cast<double>(total);
+  double h = 0.0;
+  for (const auto c : counts) {
+    if (c == 0) continue;
+    const double p = static_cast<double>(c) / n;
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+double shannon_entropy_pmf(std::span<const double> pmf) {
+  double h = 0.0;
+  for (const double p : pmf) {
+    LIFTING_ASSERT(p >= 0.0, "pmf entries must be non-negative");
+    if (p > 0.0) h -= p * std::log2(p);
+  }
+  return h;
+}
+
+double kl_divergence(std::span<const double> p, std::span<const double> q) {
+  LIFTING_ASSERT(p.size() == q.size(), "KL divergence: size mismatch");
+  double d = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    if (p[i] == 0.0) continue;
+    if (q[i] == 0.0) return std::numeric_limits<double>::infinity();
+    d += p[i] * std::log2(p[i] / q[i]);
+  }
+  return d;
+}
+
+double max_entropy(std::uint64_t multiset_size) {
+  return multiset_size == 0 ? 0.0
+                            : std::log2(static_cast<double>(multiset_size));
+}
+
+double expected_uniform_entropy(std::uint64_t population, std::uint64_t draws) {
+  // For K ~ Binomial(draws, 1/population) occurrences of a given element,
+  // E[H] = -population * E[(K/draws) log2(K/draws)]
+  //      = -(population/draws) * sum_k P(K=k) * k*log2(k/draws).
+  // The binomial pmf is evaluated iteratively to stay stable for large draws.
+  if (draws == 0 || population == 0) return 0.0;
+  const double n = static_cast<double>(draws);
+  const double p = 1.0 / static_cast<double>(population);
+  // pmf(k) via the recurrence pmf(k+1)/pmf(k) = (n-k)/(k+1) * p/(1-p).
+  double pmf = std::pow(1.0 - p, n);  // P(K = 0)
+  double acc = 0.0;
+  for (std::uint64_t k = 1; k <= draws; ++k) {
+    const double kd = static_cast<double>(k);
+    pmf *= (n - (kd - 1.0)) / kd * (p / (1.0 - p));
+    if (pmf < 1e-18 && k > static_cast<std::uint64_t>(n * p) + 8) break;
+    acc += pmf * kd * std::log2(kd / n);
+  }
+  return -static_cast<double>(population) / n * acc;
+}
+
+}  // namespace lifting::stats

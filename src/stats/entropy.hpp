@@ -1,0 +1,56 @@
+#ifndef LIFTING_STATS_ENTROPY_HPP
+#define LIFTING_STATS_ENTROPY_HPP
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+/// Entropy and divergence measures used by LiFTinG's statistical audits
+/// (paper §5.3, Eq. 1): the auditor computes the Shannon entropy of the
+/// empirical distribution of a node's communication partners and compares it
+/// to a threshold γ.
+
+namespace lifting::stats {
+
+/// Shannon entropy (base 2) of the empirical distribution given by
+/// occurrence counts. Zero counts are ignored; an empty multiset has
+/// entropy 0 (the degenerate "no history" case — always below any sane γ).
+[[nodiscard]] double shannon_entropy(std::span<const std::uint64_t> counts);
+
+/// Shannon entropy of a normalized probability vector (entries must be
+/// >= 0 and sum to ~1; zeros contribute nothing).
+[[nodiscard]] double shannon_entropy_pmf(std::span<const double> pmf);
+
+/// Entropy of a multiset of ids (convenience over building count vectors).
+/// This is what the auditor computes over F_h / F'_h.
+template <typename Id>
+[[nodiscard]] double multiset_entropy(std::span<const Id> multiset) {
+  std::unordered_map<Id, std::uint64_t> counts;
+  counts.reserve(multiset.size());
+  for (const auto& id : multiset) ++counts[id];
+  std::vector<std::uint64_t> values;
+  values.reserve(counts.size());
+  for (const auto& [id, c] : counts) values.push_back(c);
+  return shannon_entropy(values);
+}
+
+/// Kullback–Leibler divergence D(p || q), base 2. Requires q_i > 0 wherever
+/// p_i > 0 (returns +inf otherwise). Used in tests to relate the entropy
+/// check to the divergence-from-uniform view taken in the paper.
+[[nodiscard]] double kl_divergence(std::span<const double> p,
+                                   std::span<const double> q);
+
+/// Maximum achievable entropy of a multiset of given size when all elements
+/// are distinct: log2(size). This is the paper's log2(n_h · f) ceiling.
+[[nodiscard]] double max_entropy(std::uint64_t multiset_size);
+
+/// Expected entropy of a multiset of `draws` i.i.d. uniform picks from a
+/// population of size `population` (computed by the exact binomial-moment
+/// sum). Used to position γ below the honest operating point.
+[[nodiscard]] double expected_uniform_entropy(std::uint64_t population,
+                                              std::uint64_t draws);
+
+}  // namespace lifting::stats
+
+#endif  // LIFTING_STATS_ENTROPY_HPP

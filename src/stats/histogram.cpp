@@ -1,0 +1,28 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace lifting::stats {
+
+std::string Histogram::render(std::size_t max_bar_width) const {
+  std::uint64_t peak = 0;
+  for (const auto c : counts_) peak = std::max(peak, c);
+  std::ostringstream os;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const auto bar_len =
+        peak == 0 ? 0
+                  : static_cast<std::size_t>(static_cast<double>(counts_[i]) /
+                                             static_cast<double>(peak) *
+                                             static_cast<double>(max_bar_width));
+    os << std::fixed << std::setprecision(3) << std::setw(10) << bin_lo(i)
+       << " .. " << std::setw(10) << bin_lo(i) + width() << "  "
+       << std::setw(7) << std::setprecision(4) << fraction(i) << "  "
+       << std::string(std::max<std::size_t>(bar_len, 1), '#') << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace lifting::stats

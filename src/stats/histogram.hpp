@@ -1,0 +1,70 @@
+#ifndef LIFTING_STATS_HISTOGRAM_HPP
+#define LIFTING_STATS_HISTOGRAM_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/assert.hpp"
+
+/// Fixed-bin histogram used to render the paper's pdf figures
+/// (Fig. 10, 11a, 13) as text.
+
+namespace lifting::stats {
+
+class Histogram {
+ public:
+  /// Uniform bins over [lo, hi); values outside are clamped into the
+  /// first/last bin so the mass totals are preserved in reports.
+  Histogram(double lo, double hi, std::size_t bins)
+      : lo_(lo), hi_(hi), counts_(bins, 0) {
+    LIFTING_ASSERT(hi > lo, "Histogram requires hi > lo");
+    LIFTING_ASSERT(bins > 0, "Histogram requires at least one bin");
+  }
+
+  void add(double x) noexcept {
+    const auto idx = bin_index(x);
+    ++counts_[idx];
+    ++total_;
+  }
+
+  [[nodiscard]] std::size_t bin_index(double x) const noexcept {
+    if (x < lo_) return 0;
+    const double w = width();
+    auto idx = static_cast<std::size_t>((x - lo_) / w);
+    if (idx >= counts_.size()) idx = counts_.size() - 1;
+    return idx;
+  }
+
+  [[nodiscard]] double width() const noexcept {
+    return (hi_ - lo_) / static_cast<double>(counts_.size());
+  }
+  [[nodiscard]] double bin_lo(std::size_t i) const noexcept {
+    return lo_ + width() * static_cast<double>(i);
+  }
+  [[nodiscard]] std::uint64_t count(std::size_t i) const noexcept {
+    return counts_[i];
+  }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+
+  /// Fraction of mass in bin i (the paper's "fraction of nodes" y-axis).
+  [[nodiscard]] double fraction(std::size_t i) const noexcept {
+    return total_ == 0 ? 0.0
+                       : static_cast<double>(counts_[i]) /
+                             static_cast<double>(total_);
+  }
+
+  /// Renders an ASCII bar chart (one row per non-empty bin).
+  [[nodiscard]] std::string render(std::size_t max_bar_width = 60) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_{0};
+};
+
+}  // namespace lifting::stats
+
+#endif  // LIFTING_STATS_HISTOGRAM_HPP

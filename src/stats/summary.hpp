@@ -1,0 +1,71 @@
+#ifndef LIFTING_STATS_SUMMARY_HPP
+#define LIFTING_STATS_SUMMARY_HPP
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+/// Streaming summary statistics (Welford's algorithm).
+///
+/// Used everywhere a distribution must be characterized without storing the
+/// samples: per-node score statistics, blame distributions, message latency.
+
+namespace lifting::stats {
+
+class Summary {
+ public:
+  void add(double x) noexcept {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  /// Merges another summary (parallel trials combine their results).
+  /// Chan et al.'s pairwise update.
+  void merge(const Summary& other) noexcept {
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+      *this = other;
+      return;
+    }
+    const double total = static_cast<double>(count_ + other.count_);
+    const double delta = other.mean_ - mean_;
+    m2_ += other.m2_ + delta * delta * static_cast<double>(count_) *
+                           static_cast<double>(other.count_) / total;
+    mean_ += delta * static_cast<double>(other.count_) / total;
+    count_ += other.count_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+  /// Population variance (σ²) — the analysis compares against model σ.
+  [[nodiscard]] double variance() const noexcept {
+    return count_ == 0 ? 0.0 : m2_ / static_cast<double>(count_);
+  }
+  [[nodiscard]] double stddev() const noexcept {
+    return std::sqrt(variance());
+  }
+  /// Unbiased sample variance (divides by n-1).
+  [[nodiscard]] double sample_variance() const noexcept {
+    return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+  }
+
+ private:
+  std::uint64_t count_{0};
+  double mean_{0.0};
+  double m2_{0.0};
+  double min_{std::numeric_limits<double>::infinity()};
+  double max_{-std::numeric_limits<double>::infinity()};
+};
+
+}  // namespace lifting::stats
+
+#endif  // LIFTING_STATS_SUMMARY_HPP

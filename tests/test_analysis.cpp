@@ -1,0 +1,351 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/entropy_model.hpp"
+#include "analysis/formulas.hpp"
+#include "analysis/sampler.hpp"
+#include "common/rng.hpp"
+#include "stats/summary.hpp"
+
+namespace lifting::analysis {
+namespace {
+
+ProtocolModel paper_model() {
+  // §6.2: p_l = 7%, f = 12, |R| = 4, p_dcc = 1.
+  return ProtocolModel{0.07, 12, 4, 1.0};
+}
+
+// ------------------------------------------------------- expected blames
+
+TEST(Formulas, Eq2MatchesClosedForm) {
+  const auto m = paper_model();
+  const double pr = 0.93;
+  EXPECT_NEAR(expected_blame_direct_verification(m),
+              pr * (1.0 - pr * pr) * 144.0, 1e-9);
+}
+
+TEST(Formulas, Eq3MatchesClosedForm) {
+  const auto m = paper_model();
+  const double pr = 0.93;
+  const double expected = pr * pr * (1.0 - std::pow(pr, 8)) * 144.0;
+  EXPECT_NEAR(expected_blame_cross_check(m), expected, 1e-9);
+}
+
+TEST(Formulas, Eq5MatchesPaperNumber) {
+  // The paper compensates Fig. 10's scores by b̃ = 72.95.
+  EXPECT_NEAR(expected_wrongful_blame(paper_model()), 72.95, 0.02);
+}
+
+TEST(Formulas, Eq5MatchesPaperClosedForm) {
+  const auto m = paper_model();
+  const double pr = 0.93;
+  const double closed =
+      pr * (1.0 + pr - pr * pr - std::pow(pr, 9)) * 144.0;
+  EXPECT_NEAR(expected_wrongful_blame(m), closed, 1e-9);
+}
+
+TEST(Formulas, Eq4Apcc) {
+  const auto m = paper_model();
+  // (1-pr)·n_h·f with n_h = 50.
+  EXPECT_NEAR(expected_blame_apcc(m, 50), 0.07 * 50 * 12, 1e-9);
+}
+
+TEST(Formulas, NoLossMeansNoWrongfulBlame) {
+  ProtocolModel m{0.0, 12, 4, 1.0};
+  EXPECT_DOUBLE_EQ(expected_wrongful_blame(m), 0.0);
+  EXPECT_DOUBLE_EQ(variance_wrongful_blame(m), 0.0);
+}
+
+TEST(Formulas, PdccZeroKeepsAckInspectionBlames) {
+  ProtocolModel m = paper_model();
+  m.p_dcc = 0.0;
+  // Acks are always sent (§7.2): the bad-ack term of Eq. 3 survives.
+  const double pr = 0.93;
+  const double expected = 12.0 * pr * pr * (1.0 - std::pow(pr, 5)) * 12.0;
+  EXPECT_NEAR(expected_blame_cross_check(m), expected, 1e-9);
+  EXPECT_LT(expected_blame_cross_check(m),
+            expected_blame_cross_check(paper_model()));
+}
+
+TEST(Formulas, FreeriderBlameReducesToHonestAtZeroDegree) {
+  const auto m = paper_model();
+  EXPECT_NEAR(expected_blame_freerider(m, FreeriderDegree{}),
+              expected_wrongful_blame(m), 1e-9);
+  EXPECT_NEAR(expected_blame_freerider_paper(m, FreeriderDegree{}),
+              expected_wrongful_blame(m), 1e-9);
+}
+
+TEST(Formulas, FreeriderBlameGrowsWithEachDegree) {
+  const auto m = paper_model();
+  const double base = expected_blame_freerider(m, FreeriderDegree{});
+  EXPECT_GT(expected_blame_freerider(m, FreeriderDegree{0.0, 0.2, 0.0}),
+            base);
+  EXPECT_GT(expected_blame_freerider(m, FreeriderDegree{0.0, 0.0, 0.2}),
+            base);
+  EXPECT_GT(expected_blame_freerider(m, FreeriderDegree{0.2, 0.0, 0.0}),
+            base);
+}
+
+TEST(Formulas, GainFormula) {
+  EXPECT_DOUBLE_EQ(FreeriderDegree{}.gain(), 0.0);
+  const auto d = FreeriderDegree::uniform(0.035);
+  // §6.3.1 / Fig. 12: 10% gain at δ ≈ 0.035.
+  EXPECT_NEAR(d.gain(), 0.10, 0.005);
+  EXPECT_DOUBLE_EQ((FreeriderDegree{1.0, 0.0, 0.0}).gain(), 1.0);
+}
+
+// --------------------------------------------------------------- variance
+
+TEST(Variance, MatchesMonteCarloHonest) {
+  const auto m = paper_model();
+  BlameSampler sampler(m);
+  Pcg32 rng{101};
+  stats::Summary s;
+  for (int i = 0; i < 60000; ++i) s.add(sampler.sample_honest(rng));
+  EXPECT_NEAR(s.mean(), expected_wrongful_blame(m),
+              0.02 * expected_wrongful_blame(m));
+  EXPECT_NEAR(s.stddev(), std::sqrt(variance_wrongful_blame(m)),
+              0.03 * s.stddev());
+}
+
+TEST(Variance, ReproducesPaperSigma) {
+  // Fig. 10 reports an experimental σ(b) = 25.6 at the paper's parameters.
+  const double sigma = std::sqrt(variance_wrongful_blame(paper_model()));
+  EXPECT_NEAR(sigma, 25.6, 1.0);
+}
+
+TEST(Variance, ComponentsArePositive) {
+  const auto m = paper_model();
+  EXPECT_GT(variance_blame_direct_verification(m), 0.0);
+  EXPECT_GT(variance_blame_cross_check(m), 0.0);
+  EXPECT_GT(variance_wrongful_blame(m), 0.0);
+  // The dv/dcc covariance is negative: total < sum of parts.
+  EXPECT_LT(variance_wrongful_blame(m),
+            variance_blame_direct_verification(m) +
+                variance_blame_cross_check(m));
+}
+
+// ---------------------------------------------------------------- sampler
+
+TEST(Sampler, HonestMeanMatchesCompensation) {
+  const ProtocolModel m{0.04, 7, 4, 1.0};  // PlanetLab-like
+  BlameSampler sampler(m);
+  Pcg32 rng{102};
+  stats::Summary s;
+  for (int i = 0; i < 40000; ++i) s.add(sampler.sample_honest(rng));
+  EXPECT_NEAR(s.mean(), expected_wrongful_blame(m), 0.5);
+}
+
+TEST(Sampler, FreeriderMeanMatchesFormula) {
+  const auto m = paper_model();
+  BlameSampler sampler(m);
+  Pcg32 rng{103};
+  const auto d = FreeriderDegree::uniform(0.1);
+  stats::Summary s;
+  for (int i = 0; i < 40000; ++i) s.add(sampler.sample_period(rng, d));
+  const double expected = expected_blame_freerider(m, d);
+  EXPECT_NEAR(s.mean(), expected, 0.02 * expected);
+}
+
+TEST(Sampler, ScoreCentersAtZeroForHonest) {
+  const auto m = paper_model();
+  BlameSampler sampler(m);
+  Pcg32 rng{104};
+  stats::Summary s;
+  for (int i = 0; i < 3000; ++i) {
+    s.add(sampler.sample_score(rng, FreeriderDegree{}, 50));
+  }
+  // Fig. 10/11: honest normalized scores center at 0.
+  EXPECT_NEAR(s.mean(), 0.0, 0.25);
+}
+
+TEST(Sampler, FreeriderScoresSeparateFromHonest) {
+  const auto m = paper_model();
+  BlameSampler sampler(m);
+  Pcg32 rng{105};
+  stats::Summary honest;
+  stats::Summary cheats;
+  const auto d = FreeriderDegree::uniform(0.1);
+  for (int i = 0; i < 2000; ++i) {
+    honest.add(sampler.sample_score(rng, FreeriderDegree{}, 50));
+    cheats.add(sampler.sample_score(rng, d, 50));
+  }
+  // Fig. 11: two disjoint modes with a gap at η = -9.75.
+  EXPECT_GT(honest.mean(), -3.0);
+  EXPECT_LT(cheats.mean(), -15.0);
+  // The modes are separated: the worst honest score sits above the best
+  // freerider only in distribution, so compare generous quantile proxies.
+  EXPECT_GT(honest.mean() - 3.0 * honest.stddev(),
+            cheats.mean() + 3.0 * cheats.stddev() - 25.0);
+}
+
+TEST(Sampler, DetectionRatesAtPaperOperatingPoint) {
+  const auto m = paper_model();
+  BlameSampler sampler(m);
+  Pcg32 rng{106};
+  const auto est = estimate_detection(sampler, FreeriderDegree::uniform(0.1),
+                                      -9.75, 50, 1500, rng);
+  // Fig. 12: beyond 10% freeriding, detection is >99%; β stays ~1%.
+  EXPECT_GT(est.detection, 0.99);
+  EXPECT_LT(est.false_positive, 0.03);
+}
+
+// ----------------------------------------------------------------- bounds
+
+TEST(Bounds, FalsePositiveBoundHoldsEmpirically) {
+  const auto m = paper_model();
+  const double sigma = std::sqrt(variance_wrongful_blame(m));
+  const double eta = -9.75;
+  const std::uint32_t r = 50;
+  const double bound = false_positive_bound(sigma, eta, r);
+  BlameSampler sampler(m);
+  Pcg32 rng{107};
+  int fp = 0;
+  const int trials = 4000;
+  for (int i = 0; i < trials; ++i) {
+    if (sampler.sample_score(rng, FreeriderDegree{}, r) < eta) ++fp;
+  }
+  EXPECT_LE(static_cast<double>(fp) / trials, bound + 0.01);
+}
+
+TEST(Bounds, DetectionBoundHoldsEmpirically) {
+  const auto m = paper_model();
+  const auto d = FreeriderDegree::uniform(0.1);
+  const double eta = -9.75;
+  const std::uint32_t r = 50;
+  BlameSampler sampler(m);
+  Pcg32 rng{108};
+  // σ(b') estimated by Monte-Carlo (the paper defers it to [8]).
+  stats::Summary per_period;
+  for (int i = 0; i < 20000; ++i) {
+    per_period.add(sampler.sample_period(rng, d));
+  }
+  const double excess =
+      expected_blame_freerider(m, d) - expected_wrongful_blame(m);
+  const double bound =
+      detection_bound(excess, per_period.stddev(), eta, r);
+  int detected = 0;
+  const int trials = 3000;
+  for (int i = 0; i < trials; ++i) {
+    if (sampler.sample_score(rng, d, r) < eta) ++detected;
+  }
+  EXPECT_GE(static_cast<double>(detected) / trials, bound - 0.01);
+}
+
+TEST(Bounds, VacuousWhenFreeriderAboveThreshold) {
+  EXPECT_DOUBLE_EQ(detection_bound(5.0, 10.0, -9.75, 50), 0.0);
+}
+
+TEST(Bounds, FalsePositiveBoundDecreasesWithTime) {
+  const double b1 = false_positive_bound(25.6, -9.75, 10);
+  const double b2 = false_positive_bound(25.6, -9.75, 100);
+  EXPECT_GT(b1, b2);
+}
+
+// ------------------------------------------------------ model structure
+
+TEST(Formulas, WrongfulBlameGrowsWithLoss) {
+  double previous = -1.0;
+  for (const double loss : {0.0, 0.02, 0.05, 0.10, 0.20}) {
+    const ProtocolModel m{loss, 12, 4, 1.0};
+    const double b = expected_wrongful_blame(m);
+    EXPECT_GT(b, previous) << "loss=" << loss;
+    previous = b;
+  }
+}
+
+TEST(Formulas, WrongfulBlameScalesWithFanoutSquared) {
+  const ProtocolModel small{0.07, 6, 4, 1.0};
+  const ProtocolModel big{0.07, 12, 4, 1.0};
+  // Both Eq. 2 and Eq. 3 are ∝ f².
+  EXPECT_NEAR(expected_wrongful_blame(big) / expected_wrongful_blame(small),
+              4.0, 1e-9);
+}
+
+TEST(Formulas, PaperAndImplementationFreeriderFormulasAgreeAtSmallDegrees) {
+  // The two b̃'(Δ) expressions differ in where the fanout shortfall is
+  // booked; for small deviations they must stay within a few percent.
+  const auto m = paper_model();
+  for (const double delta : {0.0, 0.02, 0.05}) {
+    const auto d = FreeriderDegree::uniform(delta);
+    const double ours = expected_blame_freerider(m, d);
+    const double paper = expected_blame_freerider_paper(m, d);
+    EXPECT_NEAR(ours, paper, 0.12 * paper) << "delta=" << delta;
+  }
+}
+
+TEST(Bounds, DetectionBoundImprovesWithTime) {
+  const double b1 = detection_bound(20.0, 25.0, -9.75, 10);
+  const double b2 = detection_bound(20.0, 25.0, -9.75, 100);
+  EXPECT_LT(b1, b2);
+  EXPECT_LE(b2, 1.0);
+}
+
+TEST(Sampler, DeterministicUnderSameSeed) {
+  const BlameSampler sampler(paper_model());
+  Pcg32 a{99};
+  Pcg32 b{99};
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(sampler.sample_honest(a), sampler.sample_honest(b));
+  }
+}
+
+TEST(Sampler, NoLossNoBlameForHonest) {
+  const ProtocolModel m{0.0, 12, 4, 1.0};
+  const BlameSampler sampler(m);
+  Pcg32 rng{100};
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_DOUBLE_EQ(sampler.sample_honest(rng), 0.0);
+  }
+}
+
+TEST(Sampler, PureLeechAccruesMaximalDvSilence) {
+  // δ1 = 1: no partners at all — no dv blame is even possible (nobody is
+  // proposed to), but the dcc side still blames the fanout shortfall.
+  const ProtocolModel m{0.0, 8, 4, 1.0};
+  const BlameSampler sampler(m);
+  Pcg32 rng{101};
+  stats::Summary s;
+  for (int i = 0; i < 5000; ++i) {
+    s.add(sampler.sample_period(rng, FreeriderDegree{1.0, 0.0, 0.0}));
+  }
+  // Expected: f verifiers × f shortfall = f² per period (no loss).
+  EXPECT_NEAR(s.mean(), 64.0, 2.0);
+}
+
+// ---------------------------------------------------------- entropy model
+
+TEST(EntropyModel, Eq7MatchesPaperExample) {
+  // §6.3.2: γ = 8.95, m' = 25 colluders, n_h·f = 600 ⇒ p*_m ≈ 0.21.
+  const double p_star = max_undetected_bias(8.95, 25, 600);
+  EXPECT_NEAR(p_star, 0.21, 0.01);
+}
+
+TEST(EntropyModel, EntropyMaxAtUniformRate) {
+  const double at_uniform = biased_history_entropy(25.0 / 600.0, 25, 600);
+  EXPECT_NEAR(at_uniform, std::log2(600.0), 1e-6);
+  EXPECT_LT(biased_history_entropy(0.5, 25, 600), at_uniform);
+  EXPECT_LT(biased_history_entropy(0.01, 25, 600), at_uniform);
+}
+
+TEST(EntropyModel, FullBiasGivesLog2Coalition) {
+  EXPECT_NEAR(biased_history_entropy(1.0, 25, 600), std::log2(25.0), 1e-9);
+}
+
+TEST(EntropyModel, ThresholdBelowCoalitionEntropyAllowsFullBias) {
+  EXPECT_DOUBLE_EQ(max_undetected_bias(4.0, 25, 600), 1.0);
+}
+
+TEST(EntropyModel, ImpossibleThresholdPinsToUniformRate) {
+  EXPECT_NEAR(max_undetected_bias(10.0, 25, 600), 25.0 / 600.0, 1e-9);
+}
+
+TEST(EntropyModel, LargerCoalitionAllowsMoreBias) {
+  const double small = max_undetected_bias(8.95, 10, 600);
+  const double large = max_undetected_bias(8.95, 50, 600);
+  EXPECT_GT(large, small);
+}
+
+}  // namespace
+}  // namespace lifting::analysis

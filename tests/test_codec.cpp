@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "net/codec.hpp"
+
+namespace lifting::net {
+namespace {
+
+template <typename T>
+T roundtrip(const T& msg) {
+  const auto bytes = encode(gossip::Message{msg});
+  const auto decoded = decode(bytes);
+  EXPECT_TRUE(decoded.has_value());
+  EXPECT_TRUE(std::holds_alternative<T>(*decoded));
+  return std::get<T>(*decoded);
+}
+
+TEST(Codec, ProposeRoundTrip) {
+  gossip::ProposeMsg m{42, {ChunkId{1}, ChunkId{99}, ChunkId{1ull << 40}}};
+  const auto out = roundtrip(m);
+  EXPECT_EQ(out.period, m.period);
+  EXPECT_EQ(out.chunks, m.chunks);
+}
+
+TEST(Codec, RequestRoundTrip) {
+  gossip::RequestMsg m{7, {ChunkId{3}}};
+  const auto out = roundtrip(m);
+  EXPECT_EQ(out.period, 7u);
+  EXPECT_EQ(out.chunks, m.chunks);
+}
+
+TEST(Codec, ServeRoundTrip) {
+  gossip::ServeMsg m{5, ChunkId{12}, 8425, NodeId{77}};
+  const auto out = roundtrip(m);
+  EXPECT_EQ(out.chunk, m.chunk);
+  EXPECT_EQ(out.payload_bytes, 8425u);
+  EXPECT_EQ(out.ack_to, NodeId{77});
+}
+
+TEST(Codec, AckRoundTrip) {
+  gossip::AckMsg m{9, {ChunkId{1}, ChunkId{2}}, {NodeId{4}, NodeId{5}, NodeId{6}}};
+  const auto out = roundtrip(m);
+  EXPECT_EQ(out.period, 9u);
+  EXPECT_EQ(out.chunks, m.chunks);
+  EXPECT_EQ(out.partners, m.partners);
+}
+
+TEST(Codec, ConfirmRoundTrip) {
+  gossip::ConfirmReqMsg req{NodeId{3}, 11, {ChunkId{8}}};
+  const auto r = roundtrip(req);
+  EXPECT_EQ(r.subject, NodeId{3});
+  EXPECT_EQ(r.subject_period, 11u);
+  gossip::ConfirmRespMsg resp{NodeId{3}, 11, true};
+  const auto rr = roundtrip(resp);
+  EXPECT_TRUE(rr.confirmed);
+}
+
+TEST(Codec, BlameRoundTripPreservesValueAndReason) {
+  gossip::BlameMsg m{NodeId{8}, 3.5, gossip::BlameReason::kTestimony};
+  const auto out = roundtrip(m);
+  EXPECT_EQ(out.target, NodeId{8});
+  EXPECT_DOUBLE_EQ(out.value, 3.5);
+  EXPECT_EQ(out.reason, gossip::BlameReason::kTestimony);
+}
+
+TEST(Codec, ScoreMessagesRoundTrip) {
+  const auto q = roundtrip(gossip::ScoreQueryMsg{NodeId{2}, 1234});
+  EXPECT_EQ(q.query_id, 1234u);
+  const auto r =
+      roundtrip(gossip::ScoreReplyMsg{NodeId{2}, 1234, -9.7512, true});
+  EXPECT_DOUBLE_EQ(r.normalized_score, -9.7512);
+  EXPECT_TRUE(r.expelled);
+}
+
+TEST(Codec, ExpulsionMessagesRoundTrip) {
+  EXPECT_DOUBLE_EQ(
+      roundtrip(gossip::ExpelRequestMsg{NodeId{1}, -12.5}).observed_score,
+      -12.5);
+  EXPECT_TRUE(roundtrip(gossip::ExpelVoteMsg{NodeId{1}, true}).agree);
+  EXPECT_TRUE(roundtrip(gossip::ExpelCommitMsg{NodeId{1}, true}).from_audit);
+}
+
+TEST(Codec, AuditMessagesRoundTrip) {
+  gossip::AuditHistoryMsg hist;
+  hist.audit_id = 5;
+  hist.proposals.push_back(
+      {3, {NodeId{1}, NodeId{2}}, {ChunkId{10}, ChunkId{11}}});
+  hist.proposals.push_back({4, {NodeId{9}}, {}});
+  const auto out = roundtrip(hist);
+  ASSERT_EQ(out.proposals.size(), 2u);
+  EXPECT_EQ(out.proposals[0].partners.size(), 2u);
+  EXPECT_EQ(out.proposals[1].period, 4u);
+
+  gossip::HistoryPollMsg poll{5, NodeId{7}, out.proposals};
+  const auto p = roundtrip(poll);
+  EXPECT_EQ(p.subject, NodeId{7});
+  ASSERT_EQ(p.claims.size(), 2u);
+
+  gossip::HistoryPollRespMsg resp{5, NodeId{7}, 10, 2, {NodeId{1}, NodeId{1}}};
+  const auto pr = roundtrip(resp);
+  EXPECT_EQ(pr.confirmed, 10u);
+  EXPECT_EQ(pr.denied, 2u);
+  EXPECT_EQ(pr.confirm_askers.size(), 2u);
+}
+
+TEST(Codec, RejectsTruncatedInput) {
+  const auto bytes = encode(gossip::Message{
+      gossip::ProposeMsg{1, {ChunkId{1}, ChunkId{2}}}});
+  for (std::size_t cut = 1; cut < bytes.size(); ++cut) {
+    EXPECT_FALSE(decode(bytes.data(), cut).has_value())
+        << "accepted truncation at " << cut;
+  }
+}
+
+TEST(Codec, RejectsUnknownTagAndTrailingBytes) {
+  const std::vector<std::uint8_t> junk{0xFF, 0x00, 0x01};
+  EXPECT_FALSE(decode(junk).has_value());
+  auto bytes = encode(gossip::Message{gossip::AuditRequestMsg{3}});
+  bytes.push_back(0x00);  // trailing garbage
+  EXPECT_FALSE(decode(bytes).has_value());
+  EXPECT_FALSE(decode(nullptr, 0).has_value());
+}
+
+TEST(Codec, RejectsOversizedCountFields) {
+  // Claim 65535 chunks but provide none: must fail cleanly, not crash.
+  std::vector<std::uint8_t> crafted{1 /*propose*/, 0, 0, 0, 0, 0xFF, 0xFF};
+  EXPECT_FALSE(decode(crafted).has_value());
+}
+
+}  // namespace
+}  // namespace lifting::net

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "lifting/history.hpp"
+
+namespace lifting {
+namespace {
+
+TEST(SentProposalHistory, RecordsAndSnapshots) {
+  SentProposalHistory history;
+  history.record(kSimEpoch + seconds(1.0), 1, {NodeId{2}, NodeId{3}},
+                 {ChunkId{10}});
+  history.record(kSimEpoch + seconds(2.0), 2, {NodeId{4}}, {ChunkId{11}});
+  EXPECT_EQ(history.size(), 2u);
+  const auto snap = history.snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].period, 1u);
+  EXPECT_EQ(snap[0].partners.size(), 2u);
+  EXPECT_EQ(snap[1].chunks, gossip::ChunkIdList{ChunkId{11}});
+}
+
+TEST(SentProposalHistory, PruneDropsOldEntriesOnly) {
+  SentProposalHistory history;
+  for (int i = 0; i < 10; ++i) {
+    history.record(kSimEpoch + seconds(static_cast<double>(i)), i,
+                   {NodeId{1}}, {ChunkId{static_cast<std::uint64_t>(i)}});
+  }
+  history.prune(kSimEpoch + seconds(5.0));
+  EXPECT_EQ(history.size(), 5u);  // entries at t=5..9 survive
+  EXPECT_EQ(history.snapshot().front().period, 5u);
+}
+
+TEST(ReceivedProposalLog, ConfirmsContainedChunksWithinWindow) {
+  ReceivedProposalLog log;
+  log.record(kSimEpoch + seconds(1.0), NodeId{7}, 3,
+             {ChunkId{1}, ChunkId{2}, ChunkId{3}});
+  // Subset of the proposal's chunks: confirmed.
+  EXPECT_TRUE(log.confirms(NodeId{7}, {ChunkId{1}, ChunkId{3}}, kSimEpoch));
+  // Chunk never proposed: denied.
+  EXPECT_FALSE(log.confirms(NodeId{7}, {ChunkId{9}}, kSimEpoch));
+  // Wrong proposer: denied.
+  EXPECT_FALSE(log.confirms(NodeId{8}, {ChunkId{1}}, kSimEpoch));
+  // Entry older than the window: denied.
+  EXPECT_FALSE(
+      log.confirms(NodeId{7}, {ChunkId{1}}, kSimEpoch + seconds(2.0)));
+}
+
+TEST(ReceivedProposalLog, ConfirmSearchesAcrossMultipleProposals) {
+  ReceivedProposalLog log;
+  log.record(kSimEpoch + seconds(1.0), NodeId{7}, 1, {ChunkId{1}});
+  log.record(kSimEpoch + seconds(2.0), NodeId{7}, 2, {ChunkId{2}});
+  EXPECT_TRUE(log.confirms(NodeId{7}, {ChunkId{1}}, kSimEpoch));
+  EXPECT_TRUE(log.confirms(NodeId{7}, {ChunkId{2}}, kSimEpoch));
+  // Chunks split across two proposals: no single proposal contains both.
+  EXPECT_FALSE(log.confirms(NodeId{7}, {ChunkId{1}, ChunkId{2}}, kSimEpoch));
+}
+
+TEST(ReceivedProposalLog, PruneRespectsTimeOrder) {
+  ReceivedProposalLog log;
+  log.record(kSimEpoch + seconds(1.0), NodeId{7}, 1, {ChunkId{1}});
+  log.record(kSimEpoch + seconds(5.0), NodeId{7}, 2, {ChunkId{2}});
+  log.prune(kSimEpoch + seconds(3.0));
+  EXPECT_EQ(log.size(), 1u);
+  EXPECT_FALSE(log.confirms(NodeId{7}, {ChunkId{1}}, kSimEpoch));
+  EXPECT_TRUE(log.confirms(NodeId{7}, {ChunkId{2}}, kSimEpoch));
+}
+
+TEST(ConfirmAskerLog, CollectsAskersWithMultiplicity) {
+  ConfirmAskerLog log;
+  log.record(kSimEpoch, NodeId{5}, NodeId{1});
+  log.record(kSimEpoch, NodeId{5}, NodeId{1});
+  log.record(kSimEpoch, NodeId{5}, NodeId{2});
+  log.record(kSimEpoch, NodeId{6}, NodeId{3});  // other subject
+  const auto askers = log.askers_about(NodeId{5});
+  ASSERT_EQ(askers.size(), 3u);
+  EXPECT_EQ(std::count(askers.begin(), askers.end(), NodeId{1}), 2);
+  EXPECT_EQ(std::count(askers.begin(), askers.end(), NodeId{2}), 1);
+  EXPECT_TRUE(log.askers_about(NodeId{9}).empty());
+}
+
+TEST(ConfirmAskerLog, PruneDropsOldAskers) {
+  ConfirmAskerLog log;
+  log.record(kSimEpoch + seconds(1.0), NodeId{5}, NodeId{1});
+  log.record(kSimEpoch + seconds(4.0), NodeId{5}, NodeId{2});
+  log.prune(kSimEpoch + seconds(2.0));
+  const auto askers = log.askers_about(NodeId{5});
+  ASSERT_EQ(askers.size(), 1u);
+  EXPECT_EQ(askers[0], NodeId{2});
+}
+
+}  // namespace
+}  // namespace lifting

@@ -1,0 +1,271 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "lifting/verifier.hpp"
+#include "sim/simulator.hpp"
+
+namespace lifting {
+namespace {
+
+struct BlameRecord {
+  NodeId target;
+  double value;
+  gossip::BlameReason reason;
+};
+
+struct VerifierFixture {
+  VerifierFixture() {
+    params.fanout = 7;
+    params.period = milliseconds(500);
+    params.dv_timeout = milliseconds(500);
+    params.ack_timeout = milliseconds(900);
+    params.confirm_timeout = milliseconds(300);
+    params.p_dcc = 1.0;
+  }
+
+  BlameFn blame_fn() {
+    return [this](NodeId t, double v, gossip::BlameReason r) {
+      blames.push_back({t, v, r});
+    };
+  }
+  SendFn send_fn() {
+    return [this](NodeId to, gossip::Message m) {
+      sent.emplace_back(to, std::move(m));
+    };
+  }
+
+  [[nodiscard]] double total_blame(NodeId target) const {
+    double sum = 0.0;
+    for (const auto& b : blames) {
+      if (b.target == target) sum += b.value;
+    }
+    return sum;
+  }
+
+  sim::Simulator sim;
+  LiftingParams params;
+  std::vector<BlameRecord> blames;
+  std::vector<std::pair<NodeId, gossip::Message>> sent;
+  Pcg32 rng{404};
+};
+
+// -------------------------------------------------------- DirectVerifier
+
+TEST(DirectVerifier, NoBlameWhenAllChunksServed) {
+  VerifierFixture fx;
+  DirectVerifier dv(fx.sim, fx.params, fx.blame_fn());
+  const gossip::ChunkIdList r{ChunkId{1}, ChunkId{2}, ChunkId{3}};
+  dv.on_request_sent(NodeId{9}, 1, r);
+  for (const auto c : r) dv.on_serve_received(NodeId{9}, 1, c);
+  fx.sim.run();
+  EXPECT_TRUE(fx.blames.empty());
+  EXPECT_EQ(dv.verifications_completed(), 1u);
+}
+
+TEST(DirectVerifier, BlamesFWhenNothingServed) {
+  VerifierFixture fx;
+  DirectVerifier dv(fx.sim, fx.params, fx.blame_fn());
+  dv.on_request_sent(NodeId{9}, 1, {ChunkId{1}, ChunkId{2}});
+  fx.sim.run();
+  ASSERT_EQ(fx.blames.size(), 1u);
+  EXPECT_EQ(fx.blames[0].target, NodeId{9});
+  EXPECT_DOUBLE_EQ(fx.blames[0].value, 7.0);  // f
+  EXPECT_EQ(fx.blames[0].reason, gossip::BlameReason::kDirectVerification);
+}
+
+TEST(DirectVerifier, BlamesProportionallyForPartialServe) {
+  VerifierFixture fx;
+  DirectVerifier dv(fx.sim, fx.params, fx.blame_fn());
+  const gossip::ChunkIdList r{ChunkId{1}, ChunkId{2}, ChunkId{3}, ChunkId{4}};
+  dv.on_request_sent(NodeId{9}, 1, r);
+  dv.on_serve_received(NodeId{9}, 1, ChunkId{1});
+  fx.sim.run();
+  // Table 1: f·(|R|-|S|)/|R| = 7·3/4.
+  ASSERT_EQ(fx.blames.size(), 1u);
+  EXPECT_DOUBLE_EQ(fx.blames[0].value, 7.0 * 3.0 / 4.0);
+}
+
+TEST(DirectVerifier, LateServeStillBlamed) {
+  VerifierFixture fx;
+  DirectVerifier dv(fx.sim, fx.params, fx.blame_fn());
+  dv.on_request_sent(NodeId{9}, 1, {ChunkId{1}});
+  fx.sim.schedule_after(milliseconds(600), [&] {
+    dv.on_serve_received(NodeId{9}, 1, ChunkId{1});  // after the deadline
+  });
+  fx.sim.run();
+  ASSERT_EQ(fx.blames.size(), 1u);
+  EXPECT_DOUBLE_EQ(fx.blames[0].value, 7.0);
+}
+
+TEST(DirectVerifier, SeparateRequestsTrackedIndependently) {
+  VerifierFixture fx;
+  DirectVerifier dv(fx.sim, fx.params, fx.blame_fn());
+  dv.on_request_sent(NodeId{9}, 1, {ChunkId{1}});
+  dv.on_request_sent(NodeId{8}, 1, {ChunkId{2}});
+  dv.on_serve_received(NodeId{9}, 1, ChunkId{1});
+  fx.sim.run();
+  ASSERT_EQ(fx.blames.size(), 1u);
+  EXPECT_EQ(fx.blames[0].target, NodeId{8});
+}
+
+TEST(DirectVerifier, EmptyRequestIsIgnored) {
+  VerifierFixture fx;
+  DirectVerifier dv(fx.sim, fx.params, fx.blame_fn());
+  dv.on_request_sent(NodeId{9}, 1, {});
+  fx.sim.run();
+  EXPECT_TRUE(fx.blames.empty());
+  EXPECT_EQ(dv.verifications_completed(), 0u);
+}
+
+// ---------------------------------------------------------- CrossChecker
+
+gossip::AckMsg make_ack(PeriodIndex period, gossip::ChunkIdList chunks,
+                        std::size_t partners, std::uint32_t first = 20) {
+  gossip::AckMsg ack;
+  ack.period = period;
+  ack.chunks = std::move(chunks);
+  for (std::size_t i = 0; i < partners; ++i) {
+    ack.partners.push_back(NodeId{first + static_cast<std::uint32_t>(i)});
+  }
+  return ack;
+}
+
+TEST(CrossChecker, BlamesFWhenNoAckArrives) {
+  VerifierFixture fx;
+  CrossChecker cc(fx.sim, fx.params, NodeId{0}, fx.rng, fx.blame_fn(),
+                  fx.send_fn());
+  cc.on_chunks_served(NodeId{5}, 2, {ChunkId{1}, ChunkId{2}});
+  fx.sim.run();
+  ASSERT_EQ(fx.blames.size(), 1u);
+  EXPECT_EQ(fx.blames[0].target, NodeId{5});
+  EXPECT_DOUBLE_EQ(fx.blames[0].value, 7.0);
+  EXPECT_EQ(fx.blames[0].reason, gossip::BlameReason::kInvalidAck);
+}
+
+TEST(CrossChecker, BlamesFWhenAckMissesChunks) {
+  VerifierFixture fx;
+  CrossChecker cc(fx.sim, fx.params, NodeId{0}, fx.rng, fx.blame_fn(),
+                  fx.send_fn());
+  cc.on_chunks_served(NodeId{5}, 2, {ChunkId{1}, ChunkId{2}});
+  cc.on_ack_received(NodeId{5}, make_ack(3, {ChunkId{1}}, 7));
+  fx.sim.run();
+  double invalid = 0.0;
+  for (const auto& b : fx.blames) {
+    if (b.reason == gossip::BlameReason::kInvalidAck) invalid += b.value;
+  }
+  EXPECT_DOUBLE_EQ(invalid, 7.0);
+}
+
+TEST(CrossChecker, ValidAckTriggersConfirmRound) {
+  VerifierFixture fx;
+  CrossChecker cc(fx.sim, fx.params, NodeId{0}, fx.rng, fx.blame_fn(),
+                  fx.send_fn());
+  cc.on_chunks_served(NodeId{5}, 2, {ChunkId{1}});
+  cc.on_ack_received(NodeId{5}, make_ack(3, {ChunkId{1}}, 7));
+  EXPECT_EQ(cc.confirm_rounds_started(), 1u);
+  EXPECT_EQ(fx.sent.size(), 7u);  // one confirm per witness
+  for (const auto& [to, msg] : fx.sent) {
+    const auto* req = std::get_if<gossip::ConfirmReqMsg>(&msg);
+    ASSERT_NE(req, nullptr);
+    EXPECT_EQ(req->subject, NodeId{5});
+    EXPECT_EQ(req->subject_period, 3u);
+  }
+}
+
+TEST(CrossChecker, AllYesTestimoniesMeanNoBlame) {
+  VerifierFixture fx;
+  CrossChecker cc(fx.sim, fx.params, NodeId{0}, fx.rng, fx.blame_fn(),
+                  fx.send_fn());
+  cc.on_chunks_served(NodeId{5}, 2, {ChunkId{1}});
+  cc.on_ack_received(NodeId{5}, make_ack(3, {ChunkId{1}}, 7));
+  for (std::uint32_t w = 20; w < 27; ++w) {
+    cc.on_confirm_response(NodeId{w},
+                           gossip::ConfirmRespMsg{NodeId{5}, 3, true});
+  }
+  fx.sim.run();
+  EXPECT_DOUBLE_EQ(fx.total_blame(NodeId{5}), 0.0);
+}
+
+TEST(CrossChecker, BlamesOnePerContradictionOrSilence) {
+  VerifierFixture fx;
+  CrossChecker cc(fx.sim, fx.params, NodeId{0}, fx.rng, fx.blame_fn(),
+                  fx.send_fn());
+  cc.on_chunks_served(NodeId{5}, 2, {ChunkId{1}});
+  cc.on_ack_received(NodeId{5}, make_ack(3, {ChunkId{1}}, 7));
+  // 3 yes, 2 no, 2 silent => 4 failures.
+  for (std::uint32_t w = 20; w < 23; ++w) {
+    cc.on_confirm_response(NodeId{w},
+                           gossip::ConfirmRespMsg{NodeId{5}, 3, true});
+  }
+  for (std::uint32_t w = 23; w < 25; ++w) {
+    cc.on_confirm_response(NodeId{w},
+                           gossip::ConfirmRespMsg{NodeId{5}, 3, false});
+  }
+  fx.sim.run();
+  double testimony = 0.0;
+  for (const auto& b : fx.blames) {
+    if (b.reason == gossip::BlameReason::kTestimony) testimony += b.value;
+  }
+  EXPECT_DOUBLE_EQ(testimony, 4.0);
+}
+
+TEST(CrossChecker, FanoutShortfallBlamedFromAck) {
+  VerifierFixture fx;
+  CrossChecker cc(fx.sim, fx.params, NodeId{0}, fx.rng, fx.blame_fn(),
+                  fx.send_fn());
+  cc.on_chunks_served(NodeId{5}, 2, {ChunkId{1}});
+  cc.on_ack_received(NodeId{5}, make_ack(3, {ChunkId{1}}, 4));  // f̂=4 < f=7
+  fx.sim.run();
+  double fanout = 0.0;
+  for (const auto& b : fx.blames) {
+    if (b.reason == gossip::BlameReason::kFanoutDecrease) fanout += b.value;
+  }
+  EXPECT_DOUBLE_EQ(fanout, 3.0);  // f - f̂
+}
+
+TEST(CrossChecker, PdccZeroNeverSendsConfirms) {
+  VerifierFixture fx;
+  fx.params.p_dcc = 0.0;
+  CrossChecker cc(fx.sim, fx.params, NodeId{0}, fx.rng, fx.blame_fn(),
+                  fx.send_fn());
+  cc.on_chunks_served(NodeId{5}, 2, {ChunkId{1}});
+  cc.on_ack_received(NodeId{5}, make_ack(3, {ChunkId{1}}, 7));
+  fx.sim.run();
+  EXPECT_EQ(cc.confirm_rounds_started(), 0u);
+  EXPECT_TRUE(fx.sent.empty());
+  EXPECT_TRUE(fx.blames.empty());  // valid ack, no confirm round, no blame
+}
+
+TEST(CrossChecker, UnsolicitedAckIgnored) {
+  VerifierFixture fx;
+  CrossChecker cc(fx.sim, fx.params, NodeId{0}, fx.rng, fx.blame_fn(),
+                  fx.send_fn());
+  cc.on_ack_received(NodeId{5}, make_ack(3, {ChunkId{1}}, 2));
+  fx.sim.run();
+  EXPECT_TRUE(fx.blames.empty());
+  EXPECT_TRUE(fx.sent.empty());
+}
+
+TEST(CrossChecker, OneRoundPerReceiverPhaseEvenWithTwoBatches) {
+  VerifierFixture fx;
+  CrossChecker cc(fx.sim, fx.params, NodeId{0}, fx.rng, fx.blame_fn(),
+                  fx.send_fn());
+  cc.on_chunks_served(NodeId{5}, 2, {ChunkId{1}});
+  cc.on_chunks_served(NodeId{5}, 3, {ChunkId{2}});
+  const auto ack = make_ack(4, {ChunkId{1}, ChunkId{2}}, 7);
+  cc.on_ack_received(NodeId{5}, ack);
+  cc.on_ack_received(NodeId{5}, ack);  // duplicate delivery
+  EXPECT_EQ(cc.confirm_rounds_started(), 1u);
+  for (std::uint32_t w = 20; w < 27; ++w) {
+    cc.on_confirm_response(NodeId{w},
+                           gossip::ConfirmRespMsg{NodeId{5}, 4, true});
+  }
+  fx.sim.run();
+  EXPECT_DOUBLE_EQ(fx.total_blame(NodeId{5}), 0.0);
+}
+
+}  // namespace
+}  // namespace lifting

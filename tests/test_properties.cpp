@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "analysis/entropy_model.hpp"
+#include "analysis/formulas.hpp"
+#include "analysis/sampler.hpp"
+#include "common/rng.hpp"
+#include "stats/summary.hpp"
+
+/// Property-based (parameterized) suites sweeping the model space:
+/// the closed forms of §6 must agree with protocol-faithful Monte-Carlo
+/// across loss rates, fanouts and request sizes, and the detection
+/// machinery must behave monotonically in the freeriding degree.
+
+namespace lifting::analysis {
+namespace {
+
+// ---------------------------------------------------- formulas vs sampler
+
+using ModelPoint = std::tuple<double /*loss*/, std::uint32_t /*fanout*/,
+                              std::uint32_t /*request*/, double /*p_dcc*/>;
+
+/// Per-test deterministic seed derived from the test's own name.
+std::uint64_t split_seed() {
+  const auto& info = *::testing::UnitTest::GetInstance()->current_test_info();
+  return std::hash<std::string>{}(std::string(info.name()));
+}
+
+class FormulaVsMonteCarlo : public ::testing::TestWithParam<ModelPoint> {};
+
+TEST_P(FormulaVsMonteCarlo, HonestMeanMatches) {
+  const auto [loss, fanout, request, p_dcc] = GetParam();
+  const ProtocolModel m{loss, fanout, request, p_dcc};
+  BlameSampler sampler(m);
+  Pcg32 rng{split_seed()};
+  stats::Summary s;
+  for (int i = 0; i < 30000; ++i) s.add(sampler.sample_honest(rng));
+  const double expected = expected_wrongful_blame(m);
+  EXPECT_NEAR(s.mean(), expected, std::max(0.35, 0.03 * expected));
+}
+
+TEST_P(FormulaVsMonteCarlo, HonestVarianceMatches) {
+  const auto [loss, fanout, request, p_dcc] = GetParam();
+  const ProtocolModel m{loss, fanout, request, p_dcc};
+  BlameSampler sampler(m);
+  Pcg32 rng{split_seed() ^ 1};
+  stats::Summary s;
+  for (int i = 0; i < 50000; ++i) s.add(sampler.sample_honest(rng));
+  const double sigma_model = std::sqrt(variance_wrongful_blame(m));
+  EXPECT_NEAR(s.stddev(), sigma_model, std::max(0.3, 0.06 * sigma_model));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModelSweep, FormulaVsMonteCarlo,
+    ::testing::Values(ModelPoint{0.02, 7, 4, 1.0},
+                      ModelPoint{0.07, 12, 4, 1.0},
+                      ModelPoint{0.15, 12, 4, 1.0},
+                      ModelPoint{0.07, 8, 2, 1.0},
+                      ModelPoint{0.07, 16, 8, 1.0},
+                      ModelPoint{0.07, 12, 4, 0.5},
+                      ModelPoint{0.04, 7, 4, 0.0},
+                      ModelPoint{0.30, 6, 3, 1.0}));
+
+// ----------------------------------------------- freerider blame sweep
+
+using DegreePoint = std::tuple<double, double, double>;
+
+class FreeriderFormulaSweep : public ::testing::TestWithParam<DegreePoint> {};
+
+TEST_P(FreeriderFormulaSweep, MeanMatchesSampler) {
+  const auto [d1, d2, d3] = GetParam();
+  const ProtocolModel m{0.07, 12, 4, 1.0};
+  const FreeriderDegree d{d1, d2, d3};
+  BlameSampler sampler(m);
+  Pcg32 rng{1234};
+  stats::Summary s;
+  for (int i = 0; i < 30000; ++i) s.add(sampler.sample_period(rng, d));
+  const double expected = expected_blame_freerider(m, d);
+  EXPECT_NEAR(s.mean(), expected, std::max(0.5, 0.03 * expected));
+}
+
+TEST_P(FreeriderFormulaSweep, BlameNeverBelowHonest) {
+  const auto [d1, d2, d3] = GetParam();
+  const ProtocolModel m{0.07, 12, 4, 1.0};
+  EXPECT_GE(expected_blame_freerider(m, FreeriderDegree{d1, d2, d3}),
+            expected_wrongful_blame(m) - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DegreeGrid, FreeriderFormulaSweep,
+    ::testing::Values(DegreePoint{0.0, 0.0, 0.0}, DegreePoint{0.1, 0.0, 0.0},
+                      DegreePoint{0.0, 0.1, 0.0}, DegreePoint{0.0, 0.0, 0.1},
+                      DegreePoint{0.05, 0.05, 0.05},
+                      DegreePoint{0.2, 0.2, 0.2},
+                      DegreePoint{0.5, 0.3, 0.1},
+                      DegreePoint{1.0, 0.0, 0.0}));
+
+// --------------------------------------------------------- monotonicity
+
+TEST(DetectionMonotonicity, DetectionGrowsWithDelta) {
+  const ProtocolModel m{0.07, 12, 4, 1.0};
+  BlameSampler sampler(m);
+  Pcg32 rng{777};
+  double previous = -0.01;
+  for (const double delta : {0.02, 0.05, 0.10, 0.15}) {
+    const auto est = estimate_detection(
+        sampler, FreeriderDegree::uniform(delta), -9.75, 50, 600, rng);
+    EXPECT_GE(est.detection, previous - 0.05)
+        << "detection not monotone at delta=" << delta;
+    previous = est.detection;
+  }
+  EXPECT_GT(previous, 0.95);  // δ=0.15 is detected nearly always
+}
+
+TEST(DetectionMonotonicity, DetectionGrowsWithTimeInSystem) {
+  const ProtocolModel m{0.07, 12, 4, 1.0};
+  BlameSampler sampler(m);
+  Pcg32 rng{778};
+  const auto d = FreeriderDegree::uniform(0.05);
+  const auto early = estimate_detection(sampler, d, -9.75, 10, 800, rng);
+  const auto late = estimate_detection(sampler, d, -9.75, 100, 800, rng);
+  EXPECT_GE(late.detection, early.detection);
+  EXPECT_LE(late.false_positive, early.false_positive + 0.02);
+}
+
+TEST(CompensationProperty, ZeroMeanAcrossLossRates) {
+  for (const double loss : {0.0, 0.02, 0.07, 0.15, 0.25}) {
+    const ProtocolModel m{loss, 10, 4, 1.0};
+    BlameSampler sampler(m);
+    Pcg32 rng{static_cast<std::uint64_t>(loss * 1000) + 3};
+    stats::Summary s;
+    for (int i = 0; i < 2000; ++i) {
+      s.add(sampler.sample_score(rng, FreeriderDegree{}, 30));
+    }
+    EXPECT_NEAR(s.mean(), 0.0, 0.4) << "loss=" << loss;
+  }
+}
+
+// --------------------------------------------------- entropy model sweep
+
+class BiasInversionSweep
+    : public ::testing::TestWithParam<std::tuple<double, std::uint32_t>> {};
+
+TEST_P(BiasInversionSweep, InversionIsConsistentWithForwardModel) {
+  const auto [gamma, coalition] = GetParam();
+  const std::uint32_t history = 600;
+  const double p_star = max_undetected_bias(gamma, coalition, history);
+  // At p*_m the entropy equals γ (when an interior solution exists).
+  const double uniform_rate =
+      static_cast<double>(coalition) / static_cast<double>(history);
+  if (p_star > uniform_rate + 1e-9 && p_star < 1.0 - 1e-9) {
+    EXPECT_NEAR(biased_history_entropy(p_star, coalition, history), gamma,
+                1e-6);
+  }
+  // Slightly more bias must fail the check.
+  if (p_star < 0.99) {
+    EXPECT_LT(biased_history_entropy(std::min(1.0, p_star + 0.02), coalition,
+                                     history),
+              gamma + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GammaCoalitionGrid, BiasInversionSweep,
+    ::testing::Combine(::testing::Values(8.5, 8.95, 9.1),
+                       ::testing::Values(5u, 10u, 25u, 50u, 100u)));
+
+}  // namespace
+}  // namespace lifting::analysis

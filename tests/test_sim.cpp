@@ -1,0 +1,249 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/metrics.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace lifting::sim {
+namespace {
+
+// ------------------------------------------------------------ event queue
+
+TEST(EventQueue, OrdersByTime) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(kSimEpoch + milliseconds(20), [&] { order.push_back(2); });
+  q.push(kSimEpoch + milliseconds(10), [&] { order.push_back(1); });
+  q.push(kSimEpoch + milliseconds(30), [&] { order.push_back(3); });
+  while (!q.empty()) {
+    auto [at, action] = q.pop();
+    action();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TieBreaksByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  const auto t = kSimEpoch + milliseconds(5);
+  for (int i = 0; i < 10; ++i) {
+    q.push(t, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop().second();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+// -------------------------------------------------------------- simulator
+
+TEST(Simulator, AdvancesClockThroughEvents) {
+  Simulator sim;
+  TimePoint seen{};
+  sim.schedule_after(milliseconds(100), [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_EQ(seen, kSimEpoch + milliseconds(100));
+  EXPECT_EQ(sim.events_processed(), 1u);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_after(milliseconds(10), [&] { ++fired; });
+  sim.schedule_after(milliseconds(50), [&] { ++fired; });
+  sim.run_until(kSimEpoch + milliseconds(20));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), kSimEpoch + milliseconds(20));
+  sim.run_until(kSimEpoch + milliseconds(100));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator sim;
+  int depth = 0;
+  UniqueFunction<void()> recurse;
+  std::function<void()> chain = [&] {
+    if (++depth < 5) sim.schedule_after(milliseconds(1), [&] { chain(); });
+  };
+  sim.schedule_after(milliseconds(1), [&] { chain(); });
+  sim.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(sim.now(), kSimEpoch + milliseconds(5));
+}
+
+// ---------------------------------------------------------------- network
+
+struct Probe {
+  int received = 0;
+  TimePoint last_at{};
+  std::string last_payload;
+};
+
+TEST(Network, DeliversWithLatency) {
+  Simulator sim;
+  Network<std::string> net(sim, Pcg32{1});
+  Probe probe;
+  LinkProfile p;
+  p.loss = 0.0;
+  p.latency_base = milliseconds(10);
+  p.latency_jitter = Duration::zero();
+  p.upload_capacity_bps = 1e9;
+  net.add_node(NodeId{0}, p, [](Delivery<std::string>) {});
+  net.add_node(NodeId{1}, p, [&](Delivery<std::string> d) {
+    ++probe.received;
+    probe.last_at = sim.now();
+    probe.last_payload = d.payload;
+  });
+  net.send(NodeId{0}, NodeId{1}, Channel::kDatagram, 100, "hello");
+  sim.run();
+  EXPECT_EQ(probe.received, 1);
+  EXPECT_EQ(probe.last_payload, "hello");
+  // 20 ms propagation (both endpoints) + ~1 us transmission.
+  EXPECT_GE(probe.last_at, kSimEpoch + milliseconds(20));
+  EXPECT_LE(probe.last_at, kSimEpoch + milliseconds(21));
+}
+
+TEST(Network, LossRateMatchesProfile) {
+  Simulator sim;
+  Network<int> net(sim, Pcg32{2});
+  int received = 0;
+  LinkProfile lossy;
+  lossy.loss = 0.05;  // both endpoints: 1-(0.95)^2 = 9.75% per message
+  lossy.upload_capacity_bps = 1e12;
+  net.add_node(NodeId{0}, lossy, [](Delivery<int>) {});
+  net.add_node(NodeId{1}, lossy, [&](Delivery<int>) { ++received; });
+  const int sent = 20000;
+  for (int i = 0; i < sent; ++i) {
+    net.send(NodeId{0}, NodeId{1}, Channel::kDatagram, 10, i);
+  }
+  sim.run();
+  const double delivered = static_cast<double>(received) / sent;
+  EXPECT_NEAR(delivered, 0.95 * 0.95, 0.01);
+  EXPECT_EQ(net.stats().datagrams_sent, static_cast<std::uint64_t>(sent));
+  EXPECT_EQ(net.stats().datagrams_delivered + net.stats().datagrams_lost,
+            static_cast<std::uint64_t>(sent));
+}
+
+TEST(Network, ReliableChannelNeverLoses) {
+  Simulator sim;
+  Network<int> net(sim, Pcg32{3});
+  int received = 0;
+  LinkProfile lossy;
+  lossy.loss = 0.3;
+  net.add_node(NodeId{0}, lossy, [](Delivery<int>) {});
+  net.add_node(NodeId{1}, lossy, [&](Delivery<int>) { ++received; });
+  for (int i = 0; i < 500; ++i) {
+    net.send(NodeId{0}, NodeId{1}, Channel::kReliable, 100, i);
+  }
+  sim.run();
+  EXPECT_EQ(received, 500);
+}
+
+TEST(Network, UplinkCapacitySerializesTraffic) {
+  Simulator sim;
+  Network<int> net(sim, Pcg32{4});
+  TimePoint last{};
+  int received = 0;
+  LinkProfile slow;
+  slow.loss = 0.0;
+  slow.latency_base = Duration::zero();
+  slow.latency_jitter = Duration::zero();
+  slow.upload_capacity_bps = 8000.0;  // 1000 bytes/s
+  slow.max_queue_delay = seconds(100.0);
+  net.add_node(NodeId{0}, slow, [](Delivery<int>) {});
+  net.add_node(NodeId{1}, slow, [&](Delivery<int>) {
+    ++received;
+    last = sim.now();
+  });
+  // Ten 1000-byte messages at 1000 B/s: the last arrives at ~10 s.
+  for (int i = 0; i < 10; ++i) {
+    net.send(NodeId{0}, NodeId{1}, Channel::kDatagram, 1000, i);
+  }
+  sim.run();
+  EXPECT_EQ(received, 10);
+  EXPECT_NEAR(to_seconds(last), 10.0, 0.1);
+}
+
+TEST(Network, DatagramsDropWhenQueueExceedsBound) {
+  Simulator sim;
+  Network<int> net(sim, Pcg32{5});
+  int received = 0;
+  LinkProfile slow;
+  slow.loss = 0.0;
+  slow.upload_capacity_bps = 8000.0;  // 1000 B/s
+  slow.max_queue_delay = seconds(2.0);
+  net.add_node(NodeId{0}, slow, [](Delivery<int>) {});
+  net.add_node(NodeId{1}, slow, [&](Delivery<int>) { ++received; });
+  // 1 s of backlog per message: messages 4+ exceed the 2 s bound.
+  for (int i = 0; i < 10; ++i) {
+    net.send(NodeId{0}, NodeId{1}, Channel::kDatagram, 1000, i);
+  }
+  sim.run();
+  EXPECT_LT(received, 10);
+  EXPECT_GT(net.stats().datagrams_dropped, 0u);
+  EXPECT_EQ(net.stats().datagrams_delivered + net.stats().datagrams_dropped,
+            10u);
+}
+
+TEST(Network, SmallMessagesBypassTheBulkQueue) {
+  Simulator sim;
+  Network<int> net(sim, Pcg32{7});
+  LinkProfile slow;
+  slow.loss = 0.0;
+  slow.latency_base = Duration::zero();
+  slow.latency_jitter = Duration::zero();
+  slow.upload_capacity_bps = 8000.0;  // 1000 B/s
+  slow.max_queue_delay = seconds(100.0);
+  slow.priority_bytes = 512;
+  TimePoint small_arrived{};
+  TimePoint big_arrived{};
+  net.add_node(NodeId{0}, slow, [](Delivery<int>) {});
+  net.add_node(NodeId{1}, slow, [&](Delivery<int> d) {
+    if (d.payload == 1) big_arrived = sim.now();
+    if (d.payload == 2) small_arrived = sim.now();
+  });
+  net.send(NodeId{0}, NodeId{1}, Channel::kDatagram, 5000, 1);  // 5 s of wire
+  net.send(NodeId{0}, NodeId{1}, Channel::kDatagram, 100, 2);   // control
+  sim.run();
+  // The control message interleaves instead of waiting for the bulk one.
+  EXPECT_LT(to_seconds(small_arrived), 0.5);
+  EXPECT_NEAR(to_seconds(big_arrived), 5.0, 0.1);
+}
+
+TEST(Network, DetachedNodeIsSilent) {
+  Simulator sim;
+  Network<int> net(sim, Pcg32{6});
+  int received = 0;
+  LinkProfile p;
+  net.add_node(NodeId{0}, p, [](Delivery<int>) {});
+  net.add_node(NodeId{1}, p, [&](Delivery<int>) { ++received; });
+  net.detach(NodeId{1});
+  net.send(NodeId{0}, NodeId{1}, Channel::kDatagram, 10, 1);
+  sim.run();
+  EXPECT_EQ(received, 0);
+}
+
+// ---------------------------------------------------------------- metrics
+
+TEST(Metrics, CountersAccumulateAndSnapshot) {
+  MetricsRegistry registry;
+  auto& c = registry.counter("sent.propose.count");
+  c.add();
+  c.add(4);
+  EXPECT_EQ(registry.value("sent.propose.count"), 5u);
+  EXPECT_EQ(registry.value("missing"), 0u);
+  auto& same = registry.counter("sent.propose.count");
+  same.add();
+  EXPECT_EQ(registry.value("sent.propose.count"), 6u);
+  const auto snap = registry.snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].first, "sent.propose.count");
+  registry.reset_all();
+  EXPECT_EQ(registry.value("sent.propose.count"), 0u);
+}
+
+}  // namespace
+}  // namespace lifting::sim

@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "stats/empirical.hpp"
+#include "stats/entropy.hpp"
+#include "stats/histogram.hpp"
+#include "stats/summary.hpp"
+
+namespace lifting::stats {
+namespace {
+
+// --------------------------------------------------------------- entropy
+
+TEST(Entropy, UniformCountsReachLog2N) {
+  const std::vector<std::uint64_t> counts(8, 5);
+  EXPECT_NEAR(shannon_entropy(counts), 3.0, 1e-12);
+}
+
+TEST(Entropy, DegenerateDistributionIsZero) {
+  const std::vector<std::uint64_t> counts{42};
+  EXPECT_DOUBLE_EQ(shannon_entropy(counts), 0.0);
+  EXPECT_DOUBLE_EQ(shannon_entropy(std::vector<std::uint64_t>{}), 0.0);
+}
+
+TEST(Entropy, ZeroCountsIgnored) {
+  const std::vector<std::uint64_t> counts{4, 0, 4, 0};
+  EXPECT_NEAR(shannon_entropy(counts), 1.0, 1e-12);
+}
+
+TEST(Entropy, PmfMatchesCounts) {
+  const std::vector<double> pmf{0.5, 0.25, 0.25};
+  EXPECT_NEAR(shannon_entropy_pmf(pmf), 1.5, 1e-12);
+}
+
+TEST(Entropy, MultisetEntropyOfDistinctIdsIsLog2Size) {
+  std::vector<NodeId> ids;
+  for (std::uint32_t i = 0; i < 64; ++i) ids.push_back(NodeId{i});
+  EXPECT_NEAR(multiset_entropy<NodeId>({ids.data(), ids.size()}), 6.0, 1e-12);
+}
+
+TEST(Entropy, MultisetEntropyDropsWithRepetition) {
+  std::vector<NodeId> skewed;
+  // Half the mass on a single id — the biased-selection signature.
+  for (std::uint32_t i = 0; i < 32; ++i) skewed.push_back(NodeId{0});
+  for (std::uint32_t i = 0; i < 32; ++i) skewed.push_back(NodeId{i + 1});
+  const double h = multiset_entropy<NodeId>({skewed.data(), skewed.size()});
+  EXPECT_LT(h, 4.6);
+  EXPECT_GT(h, 3.0);
+}
+
+TEST(Entropy, KlDivergenceProperties) {
+  const std::vector<double> p{0.5, 0.5};
+  const std::vector<double> q{0.25, 0.75};
+  EXPECT_NEAR(kl_divergence(p, p), 0.0, 1e-12);
+  EXPECT_GT(kl_divergence(p, q), 0.0);
+  const std::vector<double> q0{1.0, 0.0};
+  EXPECT_TRUE(std::isinf(kl_divergence(p, q0)));
+}
+
+TEST(Entropy, MaxEntropyIsLog2) {
+  EXPECT_NEAR(max_entropy(600), std::log2(600.0), 1e-12);  // 9.2288 (§6.3.2)
+  EXPECT_NEAR(max_entropy(600), 9.2288, 1e-3);
+}
+
+TEST(Entropy, ExpectedUniformEntropyBelowMaxAboveBulk) {
+  // 600 draws from 10,000 nodes: the paper observes fanout entropy in
+  // [9.11, 9.21] with a hard max of 9.23 (Fig. 13a).
+  const double h = expected_uniform_entropy(10'000, 600);
+  EXPECT_LT(h, 9.23);
+  EXPECT_GT(h, 9.10);
+}
+
+TEST(Entropy, ExpectedUniformEntropyMatchesSimulation) {
+  Pcg32 rng{2024};
+  Summary sim;
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::uint64_t> counts(1000, 0);
+    for (int draw = 0; draw < 300; ++draw) ++counts[rng.below(1000)];
+    sim.add(shannon_entropy(counts));
+  }
+  EXPECT_NEAR(expected_uniform_entropy(1000, 300), sim.mean(), 0.02);
+}
+
+// --------------------------------------------------------------- summary
+
+TEST(Summary, MatchesNaiveMoments) {
+  Summary s;
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 10.0};
+  double mean = 0.0;
+  for (const auto x : xs) {
+    s.add(x);
+    mean += x;
+  }
+  mean /= static_cast<double>(xs.size());
+  double var = 0.0;
+  for (const auto x : xs) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(xs.size());
+  EXPECT_NEAR(s.mean(), mean, 1e-12);
+  EXPECT_NEAR(s.variance(), var, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 10.0);
+  EXPECT_EQ(s.count(), 5u);
+}
+
+TEST(Summary, MergeEqualsSequential) {
+  Pcg32 rng{8};
+  Summary all;
+  Summary left;
+  Summary right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal() * 3.0 + 1.0;
+    all.add(x);
+    (i % 2 == 0 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(left.count(), all.count());
+}
+
+TEST(Summary, MergeWithEmpty) {
+  Summary a;
+  a.add(1.0);
+  Summary empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.0);
+}
+
+// ------------------------------------------------------------- histogram
+
+TEST(Histogram, BinsAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(9.99);
+  h.add(-5.0);   // clamped into first bin
+  h.add(100.0);  // clamped into last bin
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(9), 2u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_DOUBLE_EQ(h.fraction(0), 0.5);
+}
+
+TEST(Histogram, BinEdgesConsistent) {
+  Histogram h(-10.0, 10.0, 4);
+  EXPECT_DOUBLE_EQ(h.width(), 5.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), -10.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(3), 5.0);
+  EXPECT_EQ(h.bin_index(-10.0), 0u);
+  EXPECT_EQ(h.bin_index(4.999), 2u);
+}
+
+TEST(Histogram, RenderShowsNonEmptyBins) {
+  Histogram h(0.0, 2.0, 2);
+  h.add(0.5);
+  h.add(0.6);
+  const auto text = h.render();
+  EXPECT_NE(text.find('#'), std::string::npos);
+}
+
+// ------------------------------------------------------------- empirical
+
+TEST(Empirical, CdfAndQuantiles) {
+  Empirical e({4.0, 1.0, 3.0, 2.0});
+  EXPECT_DOUBLE_EQ(e.cdf(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(e.cdf(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(e.cdf(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(e.cdf(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(e.cdf_strict(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(e.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(e.quantile(1.0), 4.0);
+  EXPECT_DOUBLE_EQ(e.quantile(0.5), 2.5);
+  EXPECT_DOUBLE_EQ(e.min(), 1.0);
+  EXPECT_DOUBLE_EQ(e.max(), 4.0);
+}
+
+TEST(Empirical, AddKeepsConsistency) {
+  Empirical e;
+  e.add(2.0);
+  e.add(1.0);
+  EXPECT_DOUBLE_EQ(e.cdf(1.5), 0.5);
+  e.add(0.0);
+  EXPECT_DOUBLE_EQ(e.cdf(1.5), 2.0 / 3.0);
+}
+
+TEST(Empirical, CdfSeriesMonotone) {
+  Pcg32 rng{77};
+  Empirical e;
+  for (int i = 0; i < 500; ++i) e.add(rng.normal());
+  const auto series = e.cdf_series(-3.0, 3.0, 25);
+  ASSERT_EQ(series.size(), 25u);
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    EXPECT_GE(series[i].second, series[i - 1].second);
+  }
+  EXPECT_LT(series.front().second, 0.05);
+  EXPECT_GT(series.back().second, 0.95);
+}
+
+}  // namespace
+}  // namespace lifting::stats

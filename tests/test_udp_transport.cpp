@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/udp_transport.hpp"
+
+namespace lifting::net {
+namespace {
+
+TEST(UdpTransport, LoopbackRoundTrip) {
+  UdpTransport transport;
+  std::vector<std::pair<NodeId, gossip::Message>> received;
+  ASSERT_TRUE(transport.add_endpoint(NodeId{0}, nullptr));
+  ASSERT_TRUE(transport.add_endpoint(
+      NodeId{1}, [&](NodeId from, gossip::Message msg) {
+        received.emplace_back(from, std::move(msg));
+      }));
+
+  gossip::ProposeMsg propose{3, {ChunkId{10}, ChunkId{11}}};
+  ASSERT_TRUE(transport.send(NodeId{0}, NodeId{1}, gossip::Message{propose}));
+
+  // Loopback delivery is near-instant; poll with a small wait budget.
+  std::size_t delivered = 0;
+  for (int i = 0; i < 50 && delivered == 0; ++i) {
+    delivered += transport.poll_wait(20);
+  }
+  ASSERT_EQ(delivered, 1u);
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(received[0].first, NodeId{0});
+  const auto* msg = std::get_if<gossip::ProposeMsg>(&received[0].second);
+  ASSERT_NE(msg, nullptr);
+  EXPECT_EQ(msg->period, 3u);
+  EXPECT_EQ(msg->chunks, propose.chunks);
+}
+
+TEST(UdpTransport, ManyNodesExchangeVerificationTraffic) {
+  UdpTransport transport;
+  constexpr std::uint32_t kNodes = 8;
+  std::vector<int> acks_seen(kNodes, 0);
+  for (std::uint32_t i = 0; i < kNodes; ++i) {
+    ASSERT_TRUE(transport.add_endpoint(
+        NodeId{i}, [&acks_seen, i](NodeId, gossip::Message msg) {
+          if (std::holds_alternative<gossip::AckMsg>(msg)) ++acks_seen[i];
+        }));
+  }
+  // Every node acks every other node once.
+  for (std::uint32_t a = 0; a < kNodes; ++a) {
+    for (std::uint32_t b = 0; b < kNodes; ++b) {
+      if (a == b) continue;
+      gossip::AckMsg ack{1, {ChunkId{a}}, {NodeId{b}}};
+      ASSERT_TRUE(transport.send(NodeId{a}, NodeId{b}, gossip::Message{ack}));
+    }
+  }
+  std::size_t total = 0;
+  for (int i = 0; i < 100 && total < kNodes * (kNodes - 1); ++i) {
+    total += transport.poll_wait(20);
+  }
+  EXPECT_EQ(total, kNodes * (kNodes - 1));
+  for (const auto seen : acks_seen) {
+    EXPECT_EQ(seen, static_cast<int>(kNodes - 1));
+  }
+  EXPECT_EQ(transport.decode_failures(), 0u);
+}
+
+TEST(UdpTransport, RejectsUnknownEndpoints) {
+  UdpTransport transport;
+  ASSERT_TRUE(transport.add_endpoint(NodeId{0}, nullptr));
+  EXPECT_FALSE(
+      transport.send(NodeId{0}, NodeId{9}, gossip::Message{gossip::AckMsg{}}));
+  EXPECT_FALSE(
+      transport.send(NodeId{9}, NodeId{0}, gossip::Message{gossip::AckMsg{}}));
+  EXPECT_FALSE(transport.add_endpoint(NodeId{0}, nullptr));  // duplicate
+}
+
+}  // namespace
+}  // namespace lifting::net
