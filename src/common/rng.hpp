@@ -93,9 +93,9 @@ class Pcg32 {
   /// Standard normal variate (polar Box–Muller, deterministic ordering).
   [[nodiscard]] double normal() noexcept;
 
-  /// Fisher–Yates shuffle.
-  template <typename T>
-  void shuffle(std::vector<T>& v) noexcept {
+  /// Fisher–Yates shuffle over any random-access container.
+  template <typename Container>
+  void shuffle(Container& v) noexcept {
     for (std::size_t i = v.size(); i > 1; --i) {
       using std::swap;
       swap(v[i - 1], v[below(static_cast<std::uint32_t>(i))]);

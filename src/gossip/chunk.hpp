@@ -2,8 +2,11 @@
 #define LIFTING_GOSSIP_CHUNK_HPP
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
+#include "common/assert.hpp"
+#include "common/small_vector.hpp"
 #include "common/time.hpp"
 #include "common/types.hpp"
 
@@ -19,9 +22,52 @@ struct ChunkMeta {
   TimePoint emitted_at;  // when the source injected it
 };
 
-/// A small sorted set of chunk ids — proposals, requests and serve batches
-/// are all chunk-id sets of size ~|P| or ~|R| (single digits to tens).
-using ChunkIdList = std::vector<ChunkId>;
+/// A small set of chunk ids — proposals, requests and serve batches are all
+/// chunk-id sets of size ~|P| or ~|R| (single digits to tens). Inline
+/// capacity 16 covers the steady state, so building and moving these lists
+/// is allocation-free on the gossip hot path.
+using ChunkIdList = SmallVector<ChunkId, 16>;
+
+/// First-delivery times of the chunks a node received (or injected).
+///
+/// Chunk ids are dense in emission order, so a flat index replaces the
+/// hash map: containment and lookup are O(1) array reads on the per-serve
+/// hot path, while the insertion-ordered (chunk, time) log keeps iteration
+/// and reporting cheap.
+class DeliveryLog {
+ public:
+  [[nodiscard]] bool contains(ChunkId id) const noexcept {
+    const auto v = static_cast<std::size_t>(id.value());
+    return v < index_.size() && index_[v] != kAbsent;
+  }
+
+  /// Delivery time of `id`, or nullptr when the chunk never arrived.
+  [[nodiscard]] const TimePoint* find(ChunkId id) const noexcept {
+    const auto v = static_cast<std::size_t>(id.value());
+    if (v >= index_.size() || index_[v] == kAbsent) return nullptr;
+    return &log_[index_[v]].second;
+  }
+
+  /// Records the first delivery of `id`. Precondition: !contains(id).
+  void record(ChunkId id, TimePoint at) {
+    const auto v = static_cast<std::size_t>(id.value());
+    if (v >= index_.size()) index_.resize(v + 1, kAbsent);
+    LIFTING_ASSERT(index_[v] == kAbsent, "chunk delivery recorded twice");
+    index_[v] = static_cast<std::uint32_t>(log_.size());
+    log_.emplace_back(id, at);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return log_.size(); }
+
+  /// Iteration over (chunk, time) in delivery order.
+  [[nodiscard]] auto begin() const noexcept { return log_.begin(); }
+  [[nodiscard]] auto end() const noexcept { return log_.end(); }
+
+ private:
+  static constexpr std::uint32_t kAbsent = 0xFFFFFFFFU;
+  std::vector<std::pair<ChunkId, TimePoint>> log_;
+  std::vector<std::uint32_t> index_;  // chunk value -> log position
+};
 
 }  // namespace lifting::gossip
 

@@ -1,6 +1,8 @@
 #include "gossip/engine.hpp"
 
 #include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "common/assert.hpp"
 #include "membership/sampler.hpp"
@@ -43,10 +45,17 @@ void Engine::schedule_next_phase() {
   sim_.schedule_after(delay, [this] { propose_phase(); });
 }
 
+void Engine::add_chunk(ChunkId id, std::uint32_t payload_bytes) {
+  LIFTING_ASSERT(payload_bytes != kNotHeld, "unrepresentable payload size");
+  const auto v = static_cast<std::size_t>(id.value());
+  if (v >= held_bytes_.size()) held_bytes_.resize(v + 1, kNotHeld);
+  held_bytes_[v] = payload_bytes;
+  delivery_log_.record(id, sim_.now());
+}
+
 void Engine::inject_chunk(const ChunkMeta& chunk) {
-  if (held_.contains(chunk.id)) return;
-  held_.emplace(chunk.id, chunk.payload_bytes);
-  delivery_times_.emplace(chunk.id, sim_.now());
+  if (has_chunk(chunk.id)) return;
+  add_chunk(chunk.id, chunk.payload_bytes);
   fresh_.push_back(FreshChunk{chunk.id, self_, /*has_origin=*/false,
                               chunk.payload_bytes});
 }
@@ -75,11 +84,11 @@ void Engine::handle_propose(NodeId from, const ProposeMsg& msg) {
   // Request phase: ask for the proposed chunks we neither hold nor have
   // already requested from another proposer (re-requestable after timeout).
   ChunkIdList needed;
+  needed.reserve(msg.chunks.size());
   const TimePoint now = sim_.now();
   for (const auto chunk : msg.chunks) {
-    if (held_.contains(chunk)) continue;
-    const auto pending = pending_.find(chunk);
-    if (pending != pending_.end() && pending->second > now) continue;
+    if (has_chunk(chunk)) continue;
+    if (pending_deadline(chunk) > now) continue;
     needed.push_back(chunk);
   }
   if (needed.empty()) return;
@@ -90,11 +99,17 @@ void Engine::handle_propose(NodeId from, const ProposeMsg& msg) {
   // starvation (the rarest-first principle of swarming systems).
   if (params_.max_request_per_proposal > 0 &&
       needed.size() > params_.max_request_per_proposal) {
-    std::sort(needed.begin(), needed.end());
+    const auto cap = static_cast<std::ptrdiff_t>(params_.max_request_per_proposal);
+    std::nth_element(needed.begin(), needed.begin() + cap, needed.end());
     needed.resize(params_.max_request_per_proposal);
+    std::sort(needed.begin(), needed.end());
   }
   for (const auto chunk : needed) {
-    pending_[chunk] = now + params_.request_timeout;
+    const auto v = static_cast<std::size_t>(chunk.value());
+    if (v >= pending_until_.size()) {
+      pending_until_.resize(v + 1, TimePoint::min());
+    }
+    pending_until_[v] = now + params_.request_timeout;
   }
   ++stats_.requests_sent;
   if (observer_ != nullptr) {
@@ -106,20 +121,28 @@ void Engine::handle_propose(NodeId from, const ProposeMsg& msg) {
 
 void Engine::handle_request(NodeId from, const RequestMsg& msg) {
   // Serve only chunks that were effectively proposed to this requester in
-  // this period (§3: invalid requests are ignored).
-  const auto it = std::find_if(
-      sent_proposals_.begin(), sent_proposals_.end(),
-      [&](const SentProposal& p) {
-        return p.partner == from && p.period == msg.period;
-      });
-  if (it == sent_proposals_.end()) {
+  // this period (§3: invalid requests are ignored). Records are indexed by
+  // period (one per propose phase, newest last), so the lookup scans a
+  // handful of records from the most recent backwards.
+  const SentProposal* match = nullptr;
+  for (auto it = sent_proposals_.rbegin(); it != sent_proposals_.rend(); ++it) {
+    if (it->period < msg.period) break;
+    if (it->period == msg.period) {
+      if (std::find(it->partners.begin(), it->partners.end(), from) !=
+          it->partners.end()) {
+        match = &*it;
+      }
+      break;
+    }
+  }
+  if (match == nullptr) {
     ++stats_.invalid_requests;
     return;
   }
   ChunkIdList valid;
   for (const auto chunk : msg.chunks) {
-    if (std::find(it->chunks.begin(), it->chunks.end(), chunk) !=
-        it->chunks.end()) {
+    if (std::find(match->chunks.begin(), match->chunks.end(), chunk) !=
+        match->chunks.end()) {
       valid.push_back(chunk);
     }
   }
@@ -139,10 +162,10 @@ void Engine::handle_request(NodeId from, const RequestMsg& msg) {
 
   const NodeId ack_target = choose_ack_target();
   for (const auto chunk : served) {
-    const auto held = held_.find(chunk);
-    LIFTING_ASSERT(held != held_.end(), "proposed a chunk we do not hold");
+    const std::uint32_t payload_bytes = held_payload_bytes(chunk);
+    LIFTING_ASSERT(payload_bytes != kNotHeld, "proposed a chunk we do not hold");
     mailer_.send(self_, from, sim::Channel::kDatagram,
-                 ServeMsg{msg.period, chunk, held->second, ack_target});
+                 ServeMsg{msg.period, chunk, payload_bytes, ack_target});
   }
   stats_.chunks_served += served.size();
   if (observer_ != nullptr && !served.empty()) {
@@ -166,13 +189,13 @@ NodeId Engine::choose_ack_target() {
 }
 
 void Engine::handle_serve(NodeId from, const ServeMsg& msg) {
-  if (held_.contains(msg.chunk)) {
+  if (has_chunk(msg.chunk)) {
     ++stats_.duplicate_serves;
     return;
   }
-  held_.emplace(msg.chunk, msg.payload_bytes);
-  delivery_times_.emplace(msg.chunk, sim_.now());
-  pending_.erase(msg.chunk);
+  add_chunk(msg.chunk, msg.payload_bytes);
+  const auto v = static_cast<std::size_t>(msg.chunk.value());
+  if (v < pending_until_.size()) pending_until_[v] = TimePoint::min();
   fresh_.push_back(
       FreshChunk{msg.chunk, msg.ack_to, /*has_origin=*/true,
                  msg.payload_bytes});
@@ -243,9 +266,9 @@ void Engine::propose_phase() {
       }
       const auto partners = pick_partners(fanout);
       if (!proposal.empty()) {
+        sent_proposals_.push_back(
+            SentProposal{period_, sim_.now(), proposal, partners});
         for (const auto partner : partners) {
-          sent_proposals_.push_back(
-              SentProposal{partner, period_, proposal, sim_.now()});
           mailer_.send(self_, partner, sim::Channel::kDatagram,
                        ProposeMsg{period_, proposal});
         }

@@ -3,8 +3,6 @@
 
 #include <cstdint>
 #include <deque>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -116,12 +114,12 @@ class Engine {
   void inject_chunk(const ChunkMeta& chunk);
 
   [[nodiscard]] bool has_chunk(ChunkId id) const {
-    return held_.find(id) != held_.end();
+    const auto v = static_cast<std::size_t>(id.value());
+    return v < held_bytes_.size() && held_bytes_[v] != kNotHeld;
   }
   /// First-delivery times of every chunk this node received (or injected).
-  [[nodiscard]] const std::unordered_map<ChunkId, TimePoint>& delivery_times()
-      const noexcept {
-    return delivery_times_;
+  [[nodiscard]] const DeliveryLog& delivery_times() const noexcept {
+    return delivery_log_;
   }
   [[nodiscard]] const EngineStats& stats() const noexcept { return stats_; }
   [[nodiscard]] PeriodIndex current_period() const noexcept { return period_; }
@@ -138,6 +136,8 @@ class Engine {
     std::uint32_t payload_bytes;
   };
 
+  static constexpr std::uint32_t kNotHeld = 0xFFFFFFFFU;
+
   void propose_phase();
   void schedule_next_phase();
   void handle_propose(NodeId from, const ProposeMsg& msg);
@@ -148,6 +148,15 @@ class Engine {
                  const std::vector<NodeId>& claimed_partners);
   [[nodiscard]] std::vector<NodeId> pick_partners(std::size_t count);
   [[nodiscard]] NodeId choose_ack_target();
+  void add_chunk(ChunkId id, std::uint32_t payload_bytes);
+  [[nodiscard]] std::uint32_t held_payload_bytes(ChunkId id) const {
+    const auto v = static_cast<std::size_t>(id.value());
+    return v < held_bytes_.size() ? held_bytes_[v] : kNotHeld;
+  }
+  [[nodiscard]] TimePoint pending_deadline(ChunkId id) const {
+    const auto v = static_cast<std::size_t>(id.value());
+    return v < pending_until_.size() ? pending_until_[v] : TimePoint::min();
+  }
   void prune_sent_proposals();
 
   sim::Simulator& sim_;
@@ -162,17 +171,23 @@ class Engine {
   bool running_ = false;
   PeriodIndex period_ = 0;
 
-  std::unordered_map<ChunkId, std::uint32_t> held_;  // chunk -> payload bytes
-  std::unordered_map<ChunkId, TimePoint> delivery_times_;
+  /// Dense per-chunk state, indexed by the (emission-ordered) ChunkId
+  /// value: payload bytes of held chunks (kNotHeld otherwise), first
+  /// delivery log, and the re-request deadline of outstanding requests.
+  std::vector<std::uint32_t> held_bytes_;
+  DeliveryLog delivery_log_;
+  std::vector<TimePoint> pending_until_;
   std::vector<FreshChunk> fresh_;
-  /// Chunks currently requested from someone, with re-request deadline.
-  std::unordered_map<ChunkId, TimePoint> pending_;
-  /// Proposals we sent, for request validation: (partner, period) -> chunks.
+  /// Proposals we sent, newest last, for request validation. One record per
+  /// propose phase — the chunk list is shared by all partners of that
+  /// period instead of being copied per partner — and only the retention
+  /// window is kept, so request validation scans a handful of records
+  /// indexed by period.
   struct SentProposal {
-    NodeId partner;
     PeriodIndex period;
-    ChunkIdList chunks;
     TimePoint at;
+    ChunkIdList chunks;
+    std::vector<NodeId> partners;
   };
   std::deque<SentProposal> sent_proposals_;
 

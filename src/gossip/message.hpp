@@ -2,6 +2,7 @@
 #define LIFTING_GOSSIP_MESSAGE_HPP
 
 #include <cstdint>
+#include <type_traits>
 #include <variant>
 #include <vector>
 
@@ -80,6 +81,10 @@ enum class BlameReason : std::uint8_t {
   kAposterioriCheck,    // unconfirmed history entries: 1 each
   kRateCheck,           // missing proposals in history
 };
+
+/// Number of BlameReason alternatives (for dense per-reason tables).
+inline constexpr std::size_t kBlameReasonCount =
+    static_cast<std::size_t>(BlameReason::kRateCheck) + 1;
 
 /// Blame sent to each of the target's M managers.
 struct BlameMsg {
@@ -161,6 +166,15 @@ using Message =
                  ExpelRequestMsg, ExpelVoteMsg, ExpelCommitMsg,
                  AuditRequestMsg, AuditHistoryMsg, HistoryPollMsg,
                  HistoryPollRespMsg>;
+
+/// The first kGossipKindCount Message alternatives are the dissemination
+/// kinds handled by the gossip engine (routing tests `index() < 4`); the
+/// asserts pin the variant order that routing relies on.
+inline constexpr std::size_t kGossipKindCount = 4;
+static_assert(std::is_same_v<std::variant_alternative_t<0, Message>, ProposeMsg>);
+static_assert(std::is_same_v<std::variant_alternative_t<1, Message>, RequestMsg>);
+static_assert(std::is_same_v<std::variant_alternative_t<2, Message>, ServeMsg>);
+static_assert(std::is_same_v<std::variant_alternative_t<3, Message>, AckMsg>);
 
 /// Modeled wire size in bytes, including a per-datagram IP+UDP header
 /// (28 B) or amortized TCP framing (40 B). Field sizes: node id 4 B,

@@ -6,8 +6,7 @@ namespace lifting::gossip {
 
 std::vector<HealthPoint> health_curve(
     const std::vector<ChunkMeta>& emitted,
-    const std::vector<const std::unordered_map<ChunkId, TimePoint>*>&
-        node_deliveries,
+    const std::vector<const DeliveryLog*>& node_deliveries,
     TimePoint measurement_end, const std::vector<double>& lags_seconds,
     const PlaybackConfig& config) {
   std::vector<HealthPoint> curve;
@@ -32,9 +31,8 @@ std::vector<HealthPoint> health_curve(
     for (const auto* deliveries : node_deliveries) {
       std::size_t on_time = 0;
       for (const auto* chunk : eligible) {
-        const auto it = deliveries->find(chunk->id);
-        if (it != deliveries->end() &&
-            it->second <= chunk->emitted_at + lag) {
+        const TimePoint* at = deliveries->find(chunk->id);
+        if (at != nullptr && *at <= chunk->emitted_at + lag) {
           ++on_time;
         }
       }
@@ -51,15 +49,14 @@ std::vector<HealthPoint> health_curve(
   return curve;
 }
 
-double mean_delivery_lag(
-    const std::vector<ChunkMeta>& emitted,
-    const std::unordered_map<ChunkId, TimePoint>& deliveries) {
+double mean_delivery_lag(const std::vector<ChunkMeta>& emitted,
+                         const DeliveryLog& deliveries) {
   double total = 0.0;
   std::size_t count = 0;
   for (const auto& chunk : emitted) {
-    const auto it = deliveries.find(chunk.id);
-    if (it == deliveries.end()) continue;
-    total += to_seconds(it->second - chunk.emitted_at);
+    const TimePoint* at = deliveries.find(chunk.id);
+    if (at == nullptr) continue;
+    total += to_seconds(*at - chunk.emitted_at);
     ++count;
   }
   return count == 0 ? 0.0 : total / static_cast<double>(count);

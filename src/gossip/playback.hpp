@@ -1,7 +1,6 @@
 #ifndef LIFTING_GOSSIP_PLAYBACK_HPP
 #define LIFTING_GOSSIP_PLAYBACK_HPP
 
-#include <unordered_map>
 #include <vector>
 
 #include "common/time.hpp"
@@ -28,20 +27,18 @@ struct HealthPoint {
   double fraction_clear = 0.0;
 };
 
-/// Computes the health curve over the given nodes' delivery maps.
+/// Computes the health curve over the given nodes' delivery logs.
 /// `measurement_end` is the simulation time the deliveries were captured at.
 [[nodiscard]] std::vector<HealthPoint> health_curve(
     const std::vector<ChunkMeta>& emitted,
-    const std::vector<const std::unordered_map<ChunkId, TimePoint>*>&
-        node_deliveries,
+    const std::vector<const DeliveryLog*>& node_deliveries,
     TimePoint measurement_end, const std::vector<double>& lags_seconds,
     const PlaybackConfig& config = {});
 
 /// Average delivery lag (seconds) over delivered chunks — a scalar summary
 /// used by tests and examples.
-[[nodiscard]] double mean_delivery_lag(
-    const std::vector<ChunkMeta>& emitted,
-    const std::unordered_map<ChunkId, TimePoint>& deliveries);
+[[nodiscard]] double mean_delivery_lag(const std::vector<ChunkMeta>& emitted,
+                                       const DeliveryLog& deliveries);
 
 }  // namespace lifting::gossip
 

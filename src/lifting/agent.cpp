@@ -22,7 +22,7 @@ Agent::Agent(sim::Simulator& sim, gossip::Mailer& mailer,
              membership::Directory& directory, NodeId self,
              const LiftingParams& params, gossip::BehaviorSpec behavior,
              Pcg32 rng, std::uint64_t deployment_seed, TimePoint genesis,
-             Hooks hooks)
+             Hooks hooks, std::shared_ptr<ManagerAssignment> assignment)
     : sim_(sim),
       mailer_(mailer),
       directory_(directory),
@@ -33,6 +33,11 @@ Agent::Agent(sim::Simulator& sim, gossip::Mailer& mailer,
       deployment_seed_(deployment_seed),
       genesis_(genesis),
       hooks_(std::move(hooks)),
+      assignment_(assignment != nullptr
+                      ? std::move(assignment)
+                      : std::make_shared<ManagerAssignment>(
+                            directory.initial_size(), params.managers,
+                            deployment_seed)),
       managers_(params_, genesis),
       direct_verifier_(
           sim, params_,
@@ -176,15 +181,7 @@ void Agent::send_reliable(NodeId to, gossip::Message msg) {
 }
 
 const std::vector<NodeId>& Agent::managers_for(NodeId target) {
-  auto it = manager_cache_.find(target);
-  if (it == manager_cache_.end()) {
-    it = manager_cache_
-             .emplace(target,
-                      managers_of(target, directory_.initial_size(),
-                                  params_.managers, deployment_seed_))
-             .first;
-  }
-  return it->second;
+  return assignment_->of(target);
 }
 
 bool Agent::is_manager_of(NodeId target) {

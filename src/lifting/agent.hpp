@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -49,11 +50,15 @@ class Agent final : public gossip::EngineObserver {
     std::function<void(NodeId auditor, const AuditReport&)> on_audit_report;
   };
 
+  /// `assignment` shares one deployment-wide manager table among agents
+  /// (it is a pure function of (n, M, seed)); when null, the agent builds
+  /// its own — convenient for standalone agents in tests.
   Agent(sim::Simulator& sim, gossip::Mailer& mailer,
         membership::Directory& directory, NodeId self,
         const LiftingParams& params, gossip::BehaviorSpec behavior,
         Pcg32 rng, std::uint64_t deployment_seed, TimePoint genesis,
-        Hooks hooks = {});
+        Hooks hooks = {},
+        std::shared_ptr<ManagerAssignment> assignment = nullptr);
 
   Agent(const Agent&) = delete;
   Agent& operator=(const Agent&) = delete;
@@ -139,6 +144,7 @@ class Agent final : public gossip::EngineObserver {
   TimePoint genesis_;
   Hooks hooks_;
 
+  std::shared_ptr<ManagerAssignment> assignment_;
   ManagerStore managers_;
   DirectVerifier direct_verifier_;
   CrossChecker cross_checker_;
@@ -148,7 +154,6 @@ class Agent final : public gossip::EngineObserver {
   ReceivedProposalLog received_log_;
   ConfirmAskerLog asker_log_;
 
-  std::unordered_map<NodeId, std::vector<NodeId>> manager_cache_;
   std::vector<NodeId> recent_contacts_;
 
   struct PendingScoreRead {

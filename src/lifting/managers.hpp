@@ -2,7 +2,7 @@
 #define LIFTING_LIFTING_MANAGERS_HPP
 
 #include <cstdint>
-#include <unordered_map>
+#include <memory>
 #include <vector>
 
 #include "analysis/formulas.hpp"
@@ -27,6 +27,34 @@ namespace lifting {
                                               std::uint32_t m,
                                               std::uint64_t seed);
 
+/// Lazily-materialized manager assignment for a whole deployment, indexed
+/// densely by target id. The assignment is a pure function of
+/// (n, m, seed), so one instance is shared by every agent of an experiment
+/// — the per-blame manager lookup is an array read instead of a hash plus
+/// a fresh O(m) sample.
+class ManagerAssignment {
+ public:
+  ManagerAssignment(std::uint32_t n, std::uint32_t m, std::uint64_t seed)
+      : n_(n), m_(m), seed_(seed), cache_(n), ready_(n, 0) {}
+
+  [[nodiscard]] const std::vector<NodeId>& of(NodeId target) {
+    const auto v = static_cast<std::size_t>(target.value());
+    LIFTING_ASSERT(v < cache_.size(), "manager lookup outside population");
+    if (ready_[v] == 0) {
+      cache_[v] = managers_of(target, n_, m_, seed_);
+      ready_[v] = 1;
+    }
+    return cache_[v];
+  }
+
+ private:
+  std::uint32_t n_;
+  std::uint32_t m_;
+  std::uint64_t seed_;
+  std::vector<std::vector<NodeId>> cache_;
+  std::vector<std::uint8_t> ready_;
+};
+
 /// Per-node manager state: the blame ledger for the nodes this node
 /// manages, with loss compensation applied at read time (§6.2): the
 /// normalized score after r periods is
@@ -49,7 +77,7 @@ class ManagerStore {
   /// compensation; regular verification blames are compensated per period
   /// at read time.
   void apply_blame(NodeId target, double value, gossip::BlameReason reason) {
-    auto& rec = records_[target];
+    auto& rec = record(target);
     if (reason == gossip::BlameReason::kAposterioriCheck) {
       // Eq. 4: subtract the expected loss-induced unconfirmed entries.
       rec.blame_total += value - apcc_compensation_;
@@ -61,8 +89,8 @@ class ManagerStore {
   /// Normalized, compensated score of `target` at time `now`.
   [[nodiscard]] double normalized_score(NodeId target, TimePoint now) const {
     const double r = periods_in_system(now);
-    const auto it = records_.find(target);
-    const double blames = it == records_.end() ? 0.0 : it->second.blame_total;
+    const Record* rec = find_record(target);
+    const double blames = rec == nullptr ? 0.0 : rec->blame_total;
     return (r * per_period_compensation_ - blames) / r;
   }
 
@@ -74,20 +102,20 @@ class ManagerStore {
   }
 
   [[nodiscard]] bool expelled(NodeId target) const {
-    const auto it = records_.find(target);
-    return it != records_.end() && it->second.expelled;
+    const Record* rec = find_record(target);
+    return rec != nullptr && rec->expelled;
   }
   /// Marks the target expelled. Returns true on the first transition.
   bool mark_expelled(NodeId target) {
-    auto& rec = records_[target];
+    auto& rec = record(target);
     const bool first = !rec.expelled;
     rec.expelled = true;
     return first;
   }
 
   [[nodiscard]] double raw_blame_total(NodeId target) const {
-    const auto it = records_.find(target);
-    return it == records_.end() ? 0.0 : it->second.blame_total;
+    const Record* rec = find_record(target);
+    return rec == nullptr ? 0.0 : rec->blame_total;
   }
   [[nodiscard]] double per_period_compensation() const noexcept {
     return per_period_compensation_;
@@ -99,11 +127,30 @@ class ManagerStore {
     bool expelled = false;
   };
 
+  /// A node manages ~M targets, so the record table is a small flat map:
+  /// a linear scan over contiguous keys beats hashing at this size and
+  /// keeps the per-blame path allocation- and hash-free.
+  [[nodiscard]] const Record* find_record(NodeId target) const noexcept {
+    for (std::size_t i = 0; i < keys_.size(); ++i) {
+      if (keys_[i] == target) return &recs_[i];
+    }
+    return nullptr;
+  }
+  [[nodiscard]] Record& record(NodeId target) {
+    for (std::size_t i = 0; i < keys_.size(); ++i) {
+      if (keys_[i] == target) return recs_[i];
+    }
+    keys_.push_back(target);
+    recs_.emplace_back();
+    return recs_.back();
+  }
+
   LiftingParams params_;
   TimePoint genesis_;
   double per_period_compensation_;
   double apcc_compensation_;
-  std::unordered_map<NodeId, Record> records_;
+  std::vector<NodeId> keys_;
+  std::vector<Record> recs_;
 };
 
 }  // namespace lifting

@@ -2,7 +2,6 @@
 #define LIFTING_MEMBERSHIP_DIRECTORY_HPP
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "common/assert.hpp"
@@ -24,13 +23,14 @@ namespace lifting::membership {
 class Directory {
  public:
   /// Creates a directory over nodes {0, 1, ..., n-1}, all live.
+  /// Node ids are dense, so membership is a flat position table — liveness
+  /// checks on the per-message path are a single array read.
   explicit Directory(std::uint32_t n) {
     live_.reserve(n);
     position_.reserve(n);
     for (std::uint32_t i = 0; i < n; ++i) {
-      const NodeId id{i};
-      position_.emplace(id, live_.size());
-      live_.push_back(id);
+      position_.push_back(i);
+      live_.push_back(NodeId{i});
     }
     initial_size_ = n;
   }
@@ -43,7 +43,8 @@ class Directory {
   }
 
   [[nodiscard]] bool is_live(NodeId id) const {
-    return position_.find(id) != position_.end();
+    const auto v = static_cast<std::size_t>(id.value());
+    return v < position_.size() && position_[v] != kDead;
   }
 
   /// Live nodes, dense, in unspecified order. Stable between mutations.
@@ -53,14 +54,14 @@ class Directory {
 
   /// Removes a node from the membership (expulsion or churn). Idempotent.
   void expel(NodeId id) {
-    const auto it = position_.find(id);
-    if (it == position_.end()) return;
-    const std::size_t pos = it->second;
+    const auto v = static_cast<std::size_t>(id.value());
+    if (v >= position_.size() || position_[v] == kDead) return;
+    const std::uint32_t pos = position_[v];
     const NodeId last = live_.back();
     live_[pos] = last;
-    position_[last] = pos;
+    position_[last.value()] = pos;
     live_.pop_back();
-    position_.erase(it);
+    position_[v] = kDead;
     expelled_.push_back(id);
   }
 
@@ -72,14 +73,17 @@ class Directory {
   /// Index of a live node within live() — used by samplers for O(1)
   /// exclusion of the caller.
   [[nodiscard]] std::size_t position_of(NodeId id) const {
-    const auto it = position_.find(id);
-    LIFTING_ASSERT(it != position_.end(), "position_of: node not live");
-    return it->second;
+    const auto v = static_cast<std::size_t>(id.value());
+    LIFTING_ASSERT(v < position_.size() && position_[v] != kDead,
+                   "position_of: node not live");
+    return position_[v];
   }
 
  private:
+  static constexpr std::uint32_t kDead = 0xFFFFFFFFU;
+
   std::vector<NodeId> live_;
-  std::unordered_map<NodeId, std::size_t> position_;
+  std::vector<std::uint32_t> position_;  // NodeId value -> index in live_
   std::vector<NodeId> expelled_;
   std::uint32_t initial_size_{0};
 };

@@ -20,6 +20,9 @@ void Experiment::build() {
   const std::uint32_t n = config_.nodes;
 
   // --- assign roles: freeriders (never the source), weak links.
+  freerider_.assign(n, 0);
+  weak_.assign(n, 0);
+  expulsion_scheduled_.assign(n, 0);
   auto role_rng = derive_rng(config_.seed, 0x01);
   const auto freerider_count = static_cast<std::uint32_t>(
       config_.freerider_fraction * static_cast<double>(n));
@@ -27,7 +30,7 @@ void Experiment::build() {
     const auto picks = sample_k_distinct(role_rng, n - 1, freerider_count);
     for (const auto p : picks) {
       const NodeId id{p + 1};  // skip the source (node 0)
-      freeriders_.insert(id);
+      freerider_[id.value()] = 1;
       freerider_list_.push_back(id);
     }
     std::sort(freerider_list_.begin(), freerider_list_.end());
@@ -36,10 +39,13 @@ void Experiment::build() {
       config_.weak_fraction * static_cast<double>(n));
   if (weak_count > 0) {
     const auto picks = sample_k_distinct(role_rng, n - 1, weak_count);
-    for (const auto p : picks) weak_.insert(NodeId{p + 1});
+    for (const auto p : picks) weak_[p + 1] = 1;
   }
 
   // --- network + mailer
+  // Pre-size the event arena for the steady-state in-flight population
+  // (a few dozen timers/deliveries per node).
+  sim_.reserve_events(static_cast<std::size_t>(n) * 32);
   network_ = std::make_unique<sim::Network<gossip::Message>>(
       sim_, derive_rng(config_.seed, 0x02));
   mailer_ = std::make_unique<gossip::Mailer>(*network_, &metrics_);
@@ -64,10 +70,15 @@ void Experiment::build() {
     audit_reports_.push_back(report);
   };
 
+  // One deployment-wide manager table shared by every agent — the
+  // assignment is a pure function of (n, M, seed).
+  auto assignment = std::make_shared<lifting::ManagerAssignment>(
+      n, config_.lifting.managers, config_.seed);
+
   nodes_.resize(n);
   for (std::uint32_t i = 0; i < n; ++i) {
     const NodeId id{i};
-    const bool freeride = freeriders_.contains(id);
+    const bool freeride = is_freerider(id);
     const auto behavior =
         freeride ? freerider_behavior : gossip::BehaviorSpec::honest();
     auto& node = nodes_[i];
@@ -76,7 +87,7 @@ void Experiment::build() {
       node.agent = std::make_unique<lifting::Agent>(
           sim_, *mailer_, directory_, id, config_.lifting, behavior,
           derive_rng(config_.seed, 0x1000ULL + i), config_.seed, kSimEpoch,
-          hooks);
+          hooks, assignment);
     }
     auto params = config_.gossip;
     params.emit_acks = config_.lifting_enabled;
@@ -85,16 +96,15 @@ void Experiment::build() {
         derive_rng(config_.seed, 0x2000ULL + i),
         node.agent ? node.agent.get() : nullptr);
 
-    const auto profile = weak_.contains(id) ? config_.weak_link : config_.link;
+    const auto profile = weak_[i] != 0 ? config_.weak_link : config_.link;
     network_->add_node(id, profile, [this, i](
-                                        sim::Delivery<gossip::Message> d) {
+                                        sim::Delivery<gossip::Message>& d) {
       auto& target = nodes_[i];
       const auto& msg = d.payload;
-      const bool gossip_kind = std::holds_alternative<gossip::ProposeMsg>(msg) ||
-                               std::holds_alternative<gossip::RequestMsg>(msg) ||
-                               std::holds_alternative<gossip::ServeMsg>(msg) ||
-                               std::holds_alternative<gossip::AckMsg>(msg);
-      if (gossip_kind) {
+      // The leading Message alternatives are the gossip kinds
+      // (propose/request/serve/ack — order pinned by static_asserts next
+      // to the variant); everything else is LiFTinG traffic.
+      if (msg.index() < gossip::kGossipKindCount) {
         target.engine->handle(d.from, msg);
       } else if (target.agent) {
         target.agent->handle(d.from, msg);
@@ -127,7 +137,8 @@ void Experiment::run() { run_until(kSimEpoch + config_.duration); }
 void Experiment::on_expulsion_committed(NodeId victim, bool from_audit) {
   if (!config_.expulsion_enabled) return;
   if (victim == source()) return;  // the source is trusted infrastructure
-  if (!expulsion_scheduled_.insert(victim).second) return;
+  if (expulsion_scheduled_[victim.value()] != 0) return;
+  expulsion_scheduled_[victim.value()] = 1;
   // The managers announce the expulsion; it reaches the membership layer
   // after a propagation delay, at which point honest nodes shun the victim.
   sim_.schedule_after(config_.expulsion_propagation, [this, victim,
@@ -136,7 +147,7 @@ void Experiment::on_expulsion_committed(NodeId victim, bool from_audit) {
     directory_.expel(victim);
     expulsions_.push_back(ExpulsionRecord{victim, to_seconds(sim_.now()),
                                           from_audit,
-                                          freeriders_.contains(victim)});
+                                          is_freerider(victim)});
   });
 }
 
@@ -152,8 +163,7 @@ double Experiment::true_score(NodeId id) {
   double sum = 0.0;
   bool first = true;
   const bool coalition_active =
-      config_.freerider_behavior.collusion.has_value() &&
-      freeriders_.contains(id);
+      config_.freerider_behavior.collusion.has_value() && is_freerider(id);
   for (const auto m : mgrs) {
     double s =
         nodes_[m.value()].agent->manager_store().normalized_score(id,
@@ -161,7 +171,7 @@ double Experiment::true_score(NodeId id) {
     // A colluding manager inflates its coalition's scores on the wire
     // (§5.1); this read mirrors what the managers would actually answer
     // (the same inflated value Agent::handle_score_query reports).
-    if (coalition_active && freeriders_.contains(m)) s = std::max(s, 25.0);
+    if (coalition_active && is_freerider(m)) s = std::max(s, 25.0);
     sum += s;
     if (first || s < min_score) {
       min_score = s;
@@ -187,7 +197,7 @@ Experiment::ScoreSnapshot Experiment::snapshot_scores() {
   for (std::uint32_t i = 1; i < config_.nodes; ++i) {
     const NodeId id{i};
     const double s = true_score(id);
-    if (freeriders_.contains(id)) {
+    if (is_freerider(id)) {
       snap.freeriders.push_back(s);
     } else {
       snap.honest.push_back(s);
@@ -201,7 +211,7 @@ DetectionStats Experiment::detection_at(double eta) {
   for (std::uint32_t i = 1; i < config_.nodes; ++i) {
     const NodeId id{i};
     const bool flagged = !directory_.is_live(id) || true_score(id) < eta;
-    if (freeriders_.contains(id)) {
+    if (is_freerider(id)) {
       ++stats.freeriders;
       if (flagged) stats.detection += 1.0;
     } else {
@@ -221,9 +231,9 @@ DetectionStats Experiment::detection_at(double eta) {
 std::vector<gossip::HealthPoint> Experiment::health_curve(
     const std::vector<double>& lags_seconds, bool honest_only,
     const gossip::PlaybackConfig& playback) {
-  std::vector<const std::unordered_map<ChunkId, TimePoint>*> deliveries;
+  std::vector<const gossip::DeliveryLog*> deliveries;
   for (std::uint32_t i = 1; i < config_.nodes; ++i) {
-    if (honest_only && freeriders_.contains(NodeId{i})) continue;
+    if (honest_only && is_freerider(NodeId{i})) continue;
     deliveries.push_back(&nodes_[i].engine->delivery_times());
   }
   return gossip::health_curve(source_->emitted(), deliveries, sim_.now(),

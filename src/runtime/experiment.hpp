@@ -1,11 +1,9 @@
 #ifndef LIFTING_RUNTIME_EXPERIMENT_HPP
 #define LIFTING_RUNTIME_EXPERIMENT_HPP
 
-#include <map>
+#include <array>
 #include <memory>
 #include <optional>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -30,26 +28,35 @@ namespace lifting::runtime {
 
 /// Ground-truth record of every blame emission (message-loss-free), for
 /// analysis and tests; the managers' (lossy) view is measured separately.
+/// Node ids are dense, so the ledger is a flat per-node table — recording a
+/// blame is two array adds, with no hashing on the emission path.
 class BlameLedger {
  public:
   void record(NodeId target, double value, gossip::BlameReason reason) {
-    totals_[target] += value;
-    by_reason_[{target, reason}] += value;
+    const auto v = static_cast<std::size_t>(target.value());
+    if (v >= totals_.size()) {
+      totals_.resize(v + 1, 0.0);
+      by_reason_.resize(v + 1);
+    }
+    totals_[v] += value;
+    by_reason_[v][static_cast<std::size_t>(reason)] += value;
     ++emissions_;
   }
   [[nodiscard]] double total(NodeId target) const {
-    const auto it = totals_.find(target);
-    return it == totals_.end() ? 0.0 : it->second;
+    const auto v = static_cast<std::size_t>(target.value());
+    return v < totals_.size() ? totals_[v] : 0.0;
   }
   [[nodiscard]] double total(NodeId target, gossip::BlameReason reason) const {
-    const auto it = by_reason_.find({target, reason});
-    return it == by_reason_.end() ? 0.0 : it->second;
+    const auto v = static_cast<std::size_t>(target.value());
+    if (v >= by_reason_.size()) return 0.0;
+    return by_reason_[v][static_cast<std::size_t>(reason)];
   }
   [[nodiscard]] std::uint64_t emissions() const noexcept { return emissions_; }
 
  private:
-  std::unordered_map<NodeId, double> totals_;
-  std::map<std::pair<NodeId, gossip::BlameReason>, double> by_reason_;
+  using ReasonTotals = std::array<double, gossip::kBlameReasonCount>;
+  std::vector<double> totals_;
+  std::vector<ReasonTotals> by_reason_;  // zero-initialized on resize
   std::uint64_t emissions_ = 0;
 };
 
@@ -109,9 +116,13 @@ class Experiment {
     return config_.lifting_enabled;
   }
   [[nodiscard]] bool is_freerider(NodeId id) const {
-    return freeriders_.contains(id);
+    const auto v = static_cast<std::size_t>(id.value());
+    return v < freerider_.size() && freerider_[v];
   }
-  [[nodiscard]] bool is_weak(NodeId id) const { return weak_.contains(id); }
+  [[nodiscard]] bool is_weak(NodeId id) const {
+    const auto v = static_cast<std::size_t>(id.value());
+    return v < weak_.size() && weak_[v];
+  }
   [[nodiscard]] const std::vector<NodeId>& freerider_ids() const noexcept {
     return freerider_list_;
   }
@@ -175,12 +186,13 @@ class Experiment {
   std::vector<Node> nodes_;
   std::unique_ptr<gossip::StreamSource> source_;
 
-  std::unordered_set<NodeId> freeriders_;
+  // Dense per-node role/state tables, indexed by NodeId::value().
+  std::vector<std::uint8_t> freerider_;
   std::vector<NodeId> freerider_list_;
-  std::unordered_set<NodeId> weak_;
+  std::vector<std::uint8_t> weak_;
   BlameLedger ledger_;
   std::vector<ExpulsionRecord> expulsions_;
-  std::unordered_set<NodeId> expulsion_scheduled_;
+  std::vector<std::uint8_t> expulsion_scheduled_;
   std::vector<lifting::AuditReport> audit_reports_;
   bool started_ = false;
 };

@@ -1,19 +1,43 @@
 #ifndef LIFTING_SIM_EVENT_QUEUE_HPP
 #define LIFTING_SIM_EVENT_QUEUE_HPP
 
+#include <algorithm>
+#include <array>
 #include <cstdint>
-#include <queue>
+#include <memory>
 #include <utility>
 #include <vector>
 
+#include "common/assert.hpp"
 #include "common/time.hpp"
 #include "common/unique_function.hpp"
 
-/// Time-ordered event queue for the discrete-event simulator.
+/// Time-ordered event queue for the discrete-event simulator: a timing wheel
+/// bucketed by sim-time quantum, with a sorted overflow heap for far-future
+/// events.
+///
+/// Storage layout is built for throughput. All pending events live in a
+/// chunked arena with an intrusive free list, so pushes are an O(1) append
+/// (or a cache-hot slot reuse) with no per-event heap allocation and no
+/// growth reallocation — chunks are stable, so growing to millions of
+/// in-flight events never move-copies existing entries; UniqueFunction
+/// keeps small closures inline. Each wheel slot is just a 4-byte list head
+/// — the whole 8192-slot wheel is a 32 KB table — and events link into
+/// their slot's list. When the cursor reaches a slot,
+/// the list is harvested into a scratch vector and sorted by (time, seq);
+/// events of a later wheel revolution (quantum + kWheelSlots) are relinked
+/// for the next lap. Events beyond the wheel horizon wait in a binary
+/// min-heap and migrate into the wheel when the cursor reaches their
+/// quantum.
+///
+/// The cursor rewinds when an event is pushed behind it (possible after
+/// next_time() peeked ahead of a run_until() deadline), so the queue is
+/// correct for arbitrary push orders, not just monotone simulator schedules.
 ///
 /// Ties are broken by insertion sequence number so that runs are
-/// deterministic: two events scheduled for the same instant always execute
-/// in scheduling order, on every platform.
+/// deterministic: the queue realizes exactly the total order (time, seq) —
+/// two events scheduled for the same instant always execute in scheduling
+/// order, on every platform, matching the binary-heap queue it replaced.
 
 namespace lifting::sim {
 
@@ -22,40 +46,296 @@ class EventQueue {
   using Action = UniqueFunction<void()>;
 
   void push(TimePoint at, Action action) {
-    heap_.push(Entry{at, next_seq_++, std::move(action)});
+    const std::uint64_t q = quantum_of(at);
+    if (q < cursor_) {
+      rewind_to(q);
+    }
+    if (q - cursor_ >= kWheelSlots) {
+      // Beyond the wheel horizon: park in the overflow min-heap.
+      overflow_.push_back(OverflowEntry{at, next_seq_++, std::move(action)});
+      std::push_heap(overflow_.begin(), overflow_.end(), Later{});
+      ++size_;
+      return;
+    }
+    const std::uint64_t seq = next_seq_++;
+    const std::uint32_t idx = allocate(at, seq, std::move(action));
+    if (current_prepared_ && q == cursor_) {
+      // The cursor's quantum is already harvested into order_; route the
+      // event there directly. It stays sorted iff it lands at the back of
+      // the unconsumed tail (ties are fine — seq rises).
+      if (drain_pos_ < order_.size() && at < order_.back().at) {
+        current_dirty_ = true;
+      }
+      order_.push_back(OrderKey{at, seq, idx});
+    } else {
+      link(idx, q & kWheelMask);
+    }
+    ++size_;
   }
 
-  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
-  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
 
-  [[nodiscard]] TimePoint next_time() const { return heap_.top().at; }
+  /// Pre-sizes the arena for an expected number of in-flight events —
+  /// avoids chunk allocations when the caller knows the steady-state event
+  /// population (e.g. experiments sized by node count).
+  void reserve(std::size_t events) {
+    while (static_cast<std::uint64_t>(chunks_.size()) << kChunkBits < events) {
+      chunks_.emplace_back(new Entry[kChunkEntries]);
+    }
+  }
 
-  /// Removes and returns the earliest event's action.
+  /// Earliest pending event's time. Precondition: !empty().
+  [[nodiscard]] TimePoint next_time() {
+    ensure_head();
+    return order_[drain_pos_].at;
+  }
+
+  /// Zero-copy pop handle: the action is invoked in place (arena chunks are
+  /// address-stable, and the entry is not recycled until finish_pop), so the
+  /// dispatch path never moves the closure.
+  struct Popped {
+    TimePoint at;
+    Action* action;
+    std::uint32_t idx;
+  };
+
+  /// Consumes the earliest event but leaves its action in the arena. The
+  /// caller invokes *action (pushes during the invocation are fine) and
+  /// then calls finish_pop(idx). Precondition: !empty().
+  [[nodiscard]] Popped begin_pop() {
+    ensure_head();
+    const OrderKey& head = order_[drain_pos_];
+    ++drain_pos_;
+    --size_;
+    return Popped{head.at, &entry(head.idx).action, head.idx};
+  }
+
+  /// Destroys the invoked action and recycles its arena entry.
+  void finish_pop(std::uint32_t idx) noexcept {
+    Entry& e = entry(idx);
+    e.action = Action{};
+    release(idx);
+  }
+
+  /// Removes and returns the earliest event (ties in scheduling order).
   [[nodiscard]] std::pair<TimePoint, Action> pop() {
-    // std::priority_queue::top() returns a const&, but we must move the
-    // action out; const_cast is confined here and safe because the entry is
-    // popped immediately after.
-    auto& top = const_cast<Entry&>(heap_.top());
-    std::pair<TimePoint, Action> out{top.at, std::move(top.action)};
-    heap_.pop();
+    const Popped popped = begin_pop();
+    std::pair<TimePoint, Action> out{popped.at, std::move(*popped.action)};
+    finish_pop(popped.idx);
     return out;
   }
 
  private:
+  /// Wheel quantum: 2^9 us = 512 us per slot — fine enough that a slot
+  /// holds one gossip "instant" worth of events, coarse enough that chained
+  /// micro-delays stay within the current slot.
+  static constexpr unsigned kQuantumBits = 9;
+  /// 2^13 slots = ~4.2 s of horizon: gossip periods, request timeouts and
+  /// network latencies all land in the wheel; only experiment-level timers
+  /// overflow.
+  static constexpr unsigned kWheelBits = 13;
+  static constexpr std::uint64_t kWheelSlots = 1ULL << kWheelBits;
+  static constexpr std::uint64_t kWheelMask = kWheelSlots - 1;
+  static constexpr std::uint32_t kNil = 0xFFFFFFFFU;
+  /// Arena chunk: 2^10 entries (~56 KB) per stable allocation — kept under
+  /// the allocator's mmap threshold so chunks recycle through the heap
+  /// instead of paying fresh page faults per simulation.
+  static constexpr unsigned kChunkBits = 10;
+  static constexpr std::uint32_t kChunkEntries = 1U << kChunkBits;
+  static constexpr std::uint32_t kChunkMask = kChunkEntries - 1;
+
   struct Entry {
+    TimePoint at;
+    std::uint64_t seq;
+    std::uint32_t next;  // intrusive slot list / free list link
+    Action action;
+  };
+  struct OverflowEntry {
     TimePoint at;
     std::uint64_t seq;
     Action action;
   };
+  struct OrderKey {
+    TimePoint at;
+    std::uint64_t seq;
+    std::uint32_t idx;  // arena index
+  };
+  struct KeyEarlier {
+    [[nodiscard]] bool operator()(const OrderKey& a,
+                                  const OrderKey& b) const noexcept {
+      if (a.at != b.at) return a.at < b.at;
+      return a.seq < b.seq;
+    }
+  };
   struct Later {
-    [[nodiscard]] bool operator()(const Entry& a, const Entry& b) const noexcept {
+    [[nodiscard]] bool operator()(const OverflowEntry& a,
+                                  const OverflowEntry& b) const noexcept {
       if (a.at != b.at) return a.at > b.at;
       return a.seq > b.seq;
     }
   };
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::uint64_t next_seq_{0};
+  [[nodiscard]] static std::uint64_t quantum_of(TimePoint at) noexcept {
+    return static_cast<std::uint64_t>(at.time_since_epoch().count()) >>
+           kQuantumBits;
+  }
+  [[nodiscard]] static TimePoint quantum_start(std::uint64_t q) noexcept {
+    return TimePoint{Duration{static_cast<Duration::rep>(q << kQuantumBits)}};
+  }
+
+  [[nodiscard]] Entry& entry(std::uint32_t idx) noexcept {
+    return chunks_[idx >> kChunkBits][idx & kChunkMask];
+  }
+
+  [[nodiscard]] std::uint32_t allocate(TimePoint at, std::uint64_t seq,
+                                       Action action) {
+    std::uint32_t idx = free_head_;
+    if (idx == kNil) {
+      if ((arena_size_ >> kChunkBits) == chunks_.size()) {
+        chunks_.emplace_back(new Entry[kChunkEntries]);
+      }
+      idx = arena_size_++;
+    }
+    Entry& e = entry(idx);
+    if (idx == free_head_) free_head_ = e.next;
+    e.at = at;
+    e.seq = seq;
+    e.action = std::move(action);
+    return idx;
+  }
+
+  void release(std::uint32_t idx) noexcept {
+    entry(idx).next = free_head_;
+    free_head_ = idx;
+  }
+
+  void link(std::uint32_t idx, std::uint64_t slot) noexcept {
+    entry(idx).next = heads_[slot];
+    heads_[slot] = idx;
+  }
+
+  /// Positions order_[drain_pos_] on the globally earliest pending event.
+  /// Precondition: !empty().
+  void ensure_head() {
+    LIFTING_ASSERT(size_ > 0, "event queue is empty");
+    for (;;) {
+      if (!current_prepared_) {
+        if (heads_[cursor_ & kWheelMask] == kNil) {
+          step_cursor();
+          continue;
+        }
+        if (!prepare_current_slot()) {
+          step_cursor();
+          continue;
+        }
+        return;
+      }
+      if (current_dirty_) {
+        std::sort(order_.begin() + static_cast<std::ptrdiff_t>(drain_pos_),
+                  order_.end(), KeyEarlier{});
+        current_dirty_ = false;
+      }
+      if (drain_pos_ < order_.size()) return;
+      // Current quantum exhausted.
+      order_.clear();
+      drain_pos_ = 0;
+      current_prepared_ = false;
+      step_cursor();
+    }
+  }
+
+  /// Harvests the cursor's slot list into order_, sorted by (time, seq),
+  /// relinking events that belong to a later wheel revolution. Returns
+  /// false when the slot held only later-revolution events.
+  bool prepare_current_slot() {
+    const std::uint64_t slot = cursor_ & kWheelMask;
+    std::uint32_t i = heads_[slot];
+    heads_[slot] = kNil;
+    order_.clear();
+    while (i != kNil) {
+      const Entry& e = entry(i);
+#if defined(__GNUC__) || defined(__clang__)
+      if (e.next != kNil) __builtin_prefetch(&entry(e.next));
+#endif
+      order_.push_back(OrderKey{e.at, e.seq, i});
+      i = e.next;
+    }
+    std::sort(order_.begin(), order_.end(), KeyEarlier{});
+    const TimePoint boundary = quantum_start(cursor_ + 1);
+    auto first_later = std::lower_bound(
+        order_.begin(), order_.end(), boundary,
+        [](const OrderKey& k, TimePoint t) { return k.at < t; });
+    for (auto it = first_later; it != order_.end(); ++it) {
+      link(it->idx, slot);
+    }
+    order_.erase(first_later, order_.end());
+    if (order_.empty()) return false;
+    drain_pos_ = 0;
+    current_prepared_ = true;
+    current_dirty_ = false;
+    return true;
+  }
+
+  /// Advances the cursor one quantum (or jumps to the overflow head when
+  /// the wheel is empty) and migrates overflow events that came due.
+  void step_cursor() {
+    if (size_ == overflow_.size()) {
+      // The wheel is empty: jump straight to the overflow head's quantum.
+      LIFTING_ASSERT(!overflow_.empty(), "cursor step on empty queue");
+      cursor_ = quantum_of(overflow_.front().at);
+    } else {
+      ++cursor_;
+    }
+    migrate_due_overflow();
+  }
+
+  /// Moves overflow events whose quantum the cursor reached into the
+  /// cursor's (not yet harvested) slot. The original sequence number is
+  /// preserved, so the (time, seq) total order spans the overflow boundary.
+  void migrate_due_overflow() {
+    while (!overflow_.empty() && quantum_of(overflow_.front().at) <= cursor_) {
+      std::pop_heap(overflow_.begin(), overflow_.end(), Later{});
+      OverflowEntry& moved = overflow_.back();
+      const std::uint32_t idx =
+          allocate(moved.at, moved.seq, std::move(moved.action));
+      link(idx, cursor_ & kWheelMask);
+      overflow_.pop_back();
+    }
+  }
+
+  /// Moves the cursor back to quantum `q` after a push behind it: the
+  /// unconsumed harvest is relinked into its slot and re-harvested when the
+  /// cursor comes around again. Correct for arbitrary rewinds — every drain
+  /// re-checks revolutions.
+  void rewind_to(std::uint64_t q) {
+    if (current_prepared_) {
+      for (std::size_t i = drain_pos_; i < order_.size(); ++i) {
+        link(order_[i].idx, cursor_ & kWheelMask);
+      }
+      order_.clear();
+      drain_pos_ = 0;
+      current_prepared_ = false;
+      current_dirty_ = false;
+    }
+    cursor_ = q;
+  }
+
+  std::vector<std::unique_ptr<Entry[]>> chunks_;  // stable arena storage
+  std::uint32_t arena_size_ = 0;                  // entries ever allocated
+  std::vector<OverflowEntry> overflow_;  // min-heap ordered by (at, seq)
+  std::vector<OrderKey> order_;  // sorted drain scratch for the cursor slot
+  std::array<std::uint32_t, kWheelSlots> heads_;  // slot list heads
+  std::uint32_t free_head_ = kNil;
+  std::uint64_t cursor_ = 0;   // quantum currently being drained
+  std::size_t drain_pos_ = 0;  // consumed prefix of order_
+  bool current_prepared_ = false;  // cursor slot harvested into order_
+  bool current_dirty_ = false;     // order_ tail needs a re-sort
+  std::size_t size_ = 0;
+  std::uint64_t next_seq_ = 0;
+
+ public:
+  EventQueue() { heads_.fill(kNil); }
 };
 
 }  // namespace lifting::sim

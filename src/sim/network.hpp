@@ -3,8 +3,8 @@
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "common/assert.hpp"
 #include "common/rng.hpp"
@@ -18,6 +18,12 @@
 /// serializes outgoing messages — the mechanism by which weak or overloaded
 /// nodes fail to serve in time and accrue organic (wrongful) blames, exactly
 /// as observed on PlanetLab (§7.3).
+///
+/// Built for scale: endpoints live in a dense vector indexed by the
+/// contiguous NodeId values (no hashing on the per-message path), and
+/// in-flight messages are pooled — a send acquires a free Delivery slot,
+/// and the scheduled closure captures only {network, slot}, so steady-state
+/// traffic performs no heap allocation per message.
 
 namespace lifting::sim {
 
@@ -77,7 +83,9 @@ struct Delivery {
 template <typename Payload>
 class Network {
  public:
-  using Handler = std::function<void(Delivery<Payload>)>;
+  /// Receive handler. The delivery is owned by the network's pool; handlers
+  /// that keep the payload must move it out.
+  using Handler = std::function<void(Delivery<Payload>&)>;
 
   Network(Simulator& sim, Pcg32 rng) : sim_(sim), rng_(rng) {}
 
@@ -86,9 +94,16 @@ class Network {
 
   /// Registers a node with its link profile and receive handler.
   void add_node(NodeId id, LinkProfile profile, Handler handler) {
-    LIFTING_ASSERT(nodes_.find(id) == nodes_.end(),
+    const auto v = static_cast<std::size_t>(id.value());
+    if (v >= nodes_.size()) nodes_.resize(v + 1);
+    LIFTING_ASSERT(!nodes_[v].registered,
                    "node registered twice with the network");
-    nodes_.emplace(id, Endpoint{profile, std::move(handler), kSimEpoch, true});
+    auto& ep = nodes_[v];
+    ep.profile = profile;
+    ep.handler = std::move(handler);
+    ep.uplink_free = kSimEpoch;
+    ep.attached = true;
+    ep.registered = true;
   }
 
   /// Replaces the receive handler (used when wiring layered components).
@@ -155,21 +170,18 @@ class Network {
     }
     const TimePoint deliver_at = departure + latency;
 
-    Delivery<Payload> delivery{from,     to,
-                               channel,  bytes,
-                               sim_.now(), std::move(payload)};
-    sim_.schedule_at(
-        deliver_at, [this, d = std::move(delivery)]() mutable {
-          auto& dest = endpoint(d.to);
-          if (!dest.attached || !dest.handler) return;
-          if (d.channel == Channel::kDatagram) {
-            ++stats_.datagrams_delivered;
-          } else {
-            ++stats_.reliable_delivered;
-          }
-          stats_.bytes_delivered += d.bytes;
-          dest.handler(std::move(d));
-        });
+    // Acquire a pooled in-flight slot; the scheduled closure captures only
+    // {this, slot}, which UniqueFunction stores inline — the whole delivery
+    // path allocates nothing in steady state.
+    const std::uint32_t slot = acquire();
+    Delivery<Payload>& d = pool_[slot];
+    d.from = from;
+    d.to = to;
+    d.channel = channel;
+    d.bytes = bytes;
+    d.sent_at = sim_.now();
+    d.payload = std::move(payload);
+    sim_.schedule_at(deliver_at, [this, slot] { deliver(slot); });
   }
 
   [[nodiscard]] const NetworkStats& stats() const noexcept { return stats_; }
@@ -182,18 +194,47 @@ class Network {
     LinkProfile profile;
     Handler handler;
     TimePoint uplink_free = kSimEpoch;
-    bool attached = true;
+    bool attached = false;
+    bool registered = false;
   };
 
   [[nodiscard]] Endpoint& endpoint(NodeId id) {
-    const auto it = nodes_.find(id);
-    LIFTING_ASSERT(it != nodes_.end(), "unknown node id");
-    return it->second;
+    const auto v = static_cast<std::size_t>(id.value());
+    LIFTING_ASSERT(v < nodes_.size() && nodes_[v].registered,
+                   "unknown node id");
+    return nodes_[v];
   }
   [[nodiscard]] const Endpoint& endpoint(NodeId id) const {
-    const auto it = nodes_.find(id);
-    LIFTING_ASSERT(it != nodes_.end(), "unknown node id");
-    return it->second;
+    const auto v = static_cast<std::size_t>(id.value());
+    LIFTING_ASSERT(v < nodes_.size() && nodes_[v].registered,
+                   "unknown node id");
+    return nodes_[v];
+  }
+
+  [[nodiscard]] std::uint32_t acquire() {
+    if (free_.empty()) {
+      pool_.emplace_back();
+      return static_cast<std::uint32_t>(pool_.size() - 1);
+    }
+    const std::uint32_t slot = free_.back();
+    free_.pop_back();
+    return slot;
+  }
+
+  void deliver(std::uint32_t slot) {
+    // Move the delivery out before running the handler: the handler may
+    // send (growing the pool and invalidating references into it).
+    Delivery<Payload> d = std::move(pool_[slot]);
+    free_.push_back(slot);
+    auto& dest = endpoint(d.to);
+    if (!dest.attached || !dest.handler) return;
+    if (d.channel == Channel::kDatagram) {
+      ++stats_.datagrams_delivered;
+    } else {
+      ++stats_.reliable_delivered;
+    }
+    stats_.bytes_delivered += d.bytes;
+    dest.handler(d);
   }
 
   [[nodiscard]] static Duration transmission_time(std::size_t bytes,
@@ -217,7 +258,9 @@ class Network {
 
   Simulator& sim_;
   Pcg32 rng_;
-  std::unordered_map<NodeId, Endpoint> nodes_;
+  std::vector<Endpoint> nodes_;        // dense, indexed by NodeId::value()
+  std::vector<Delivery<Payload>> pool_;  // in-flight message slots
+  std::vector<std::uint32_t> free_;      // recycled pool slots
   NetworkStats stats_;
 };
 

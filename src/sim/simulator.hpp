@@ -44,6 +44,10 @@ class Simulator {
     if (deadline > now_) now_ = deadline;
   }
 
+  /// Pre-sizes the event arena for an expected in-flight event population
+  /// (e.g. experiments sized by node count).
+  void reserve_events(std::size_t events) { queue_.reserve(events); }
+
   [[nodiscard]] std::uint64_t events_processed() const noexcept {
     return events_processed_;
   }
@@ -53,11 +57,20 @@ class Simulator {
 
  private:
   void step() {
-    auto [at, action] = queue_.pop();
-    LIFTING_ASSERT(at >= now_, "event queue returned a past event");
-    now_ = at;
+    const auto popped = queue_.begin_pop();
+    LIFTING_ASSERT(popped.at >= now_, "event queue returned a past event");
+    now_ = popped.at;
     ++events_processed_;
-    action();
+    // The entry is recycled even if the action throws (e.g. a require()
+    // surfacing through an event) — otherwise the slot would be stranded.
+    struct FinishGuard {
+      EventQueue& queue;
+      std::uint32_t idx;
+      ~FinishGuard() { queue.finish_pop(idx); }
+    } guard{queue_, popped.idx};
+    // Invoked in place — the arena entry is address-stable and not recycled
+    // until finish_pop, so the action may freely schedule new events.
+    (*popped.action)();
   }
 
   EventQueue queue_;

@@ -376,13 +376,13 @@ TEST(Mailer, AccountsMessagesAndBytesByKind) {
 
 TEST(Playback, HealthCurveDetectsLaggards) {
   std::vector<ChunkMeta> emitted;
-  std::unordered_map<ChunkId, TimePoint> fast;
-  std::unordered_map<ChunkId, TimePoint> slow;
+  DeliveryLog fast;
+  DeliveryLog slow;
   for (std::uint64_t i = 0; i < 100; ++i) {
     const ChunkMeta c{ChunkId{i}, 100, kSimEpoch + seconds(6.0 + 0.1 * static_cast<double>(i))};
     emitted.push_back(c);
-    fast[c.id] = c.emitted_at + seconds(1.0);
-    slow[c.id] = c.emitted_at + seconds(8.0);
+    fast.record(c.id, c.emitted_at + seconds(1.0));
+    slow.record(c.id, c.emitted_at + seconds(8.0));
   }
   const TimePoint end = kSimEpoch + seconds(40.0);
   PlaybackConfig cfg;
@@ -397,9 +397,9 @@ TEST(Playback, HealthCurveDetectsLaggards) {
 TEST(Playback, MeanLag) {
   std::vector<ChunkMeta> emitted{{ChunkId{0}, 10, kSimEpoch},
                                  {ChunkId{1}, 10, kSimEpoch + seconds(1.0)}};
-  std::unordered_map<ChunkId, TimePoint> deliveries{
-      {ChunkId{0}, kSimEpoch + seconds(2.0)},
-      {ChunkId{1}, kSimEpoch + seconds(2.0)}};
+  DeliveryLog deliveries;
+  deliveries.record(ChunkId{0}, kSimEpoch + seconds(2.0));
+  deliveries.record(ChunkId{1}, kSimEpoch + seconds(2.0));
   EXPECT_DOUBLE_EQ(mean_delivery_lag(emitted, deliveries), 1.5);
 }
 

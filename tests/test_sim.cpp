@@ -38,6 +38,66 @@ TEST(EventQueue, TieBreaksByInsertionOrder) {
   for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
 }
 
+TEST(EventQueue, SameTimestampFifoAcrossMixedPushes) {
+  // Regression for the timing-wheel rewrite: interleaving pushes at
+  // different instants within one wheel slot must still pop same-timestamp
+  // events in push order.
+  EventQueue q;
+  std::vector<int> order;
+  const auto t1 = kSimEpoch + microseconds(100);
+  const auto t2 = kSimEpoch + microseconds(200);
+  q.push(t2, [&] { order.push_back(20); });
+  q.push(t1, [&] { order.push_back(10); });
+  q.push(t2, [&] { order.push_back(21); });
+  q.push(t1, [&] { order.push_back(11); });
+  q.push(t2, [&] { order.push_back(22); });
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(order, (std::vector<int>{10, 11, 20, 21, 22}));
+}
+
+TEST(EventQueue, FarFutureEventsOverflowAndReturnInOrder) {
+  // Events beyond the wheel horizon park in the overflow heap and must
+  // merge back in exact (time, seq) order.
+  EventQueue q;
+  std::vector<int> order;
+  q.push(kSimEpoch + seconds(100.0), [&] { order.push_back(3); });
+  q.push(kSimEpoch + microseconds(50), [&] { order.push_back(1); });
+  q.push(kSimEpoch + seconds(50.0), [&] { order.push_back(2); });
+  q.push(kSimEpoch + seconds(100.0), [&] { order.push_back(4); });
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(EventQueue, PushBehindPeekedCursorRewinds) {
+  // next_time() may advance the cursor far ahead (run_until peeking);
+  // a later push at an earlier time must still pop first, including when
+  // it lands in a slot already holding a later wheel-revolution event.
+  EventQueue q;
+  std::vector<int> order;
+  q.push(kSimEpoch + seconds(100.0), [&] { order.push_back(9); });
+  EXPECT_EQ(q.next_time(), kSimEpoch + seconds(100.0));  // cursor jumped
+  q.push(kSimEpoch + milliseconds(1), [&] { order.push_back(1); });
+  q.push(kSimEpoch + seconds(60.0), [&] { order.push_back(5); });
+  EXPECT_EQ(q.next_time(), kSimEpoch + milliseconds(1));
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(order, (std::vector<int>{1, 5, 9}));
+}
+
+TEST(EventQueue, EventsScheduledWhileDrainingKeepOrder) {
+  // Pushes into the instant currently being drained (the dirty-tail path).
+  Simulator sim;
+  std::vector<int> order;
+  const auto t = kSimEpoch + milliseconds(3);
+  sim.schedule_at(t, [&] {
+    order.push_back(0);
+    sim.schedule_at(t, [&] { order.push_back(2); });
+    sim.schedule_at(t + microseconds(1), [&] { order.push_back(3); });
+  });
+  sim.schedule_at(t, [&] { order.push_back(1); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
 // -------------------------------------------------------------- simulator
 
 TEST(Simulator, AdvancesClockThroughEvents) {
