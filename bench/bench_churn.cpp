@@ -1,0 +1,159 @@
+/// Churn-capable deployment bench: the stream-health scenario under
+/// Poisson join/leave churn (5%/min arrivals + 5%/min departures, half of
+/// them crashes), with the full LiFTinG verification stack and 10%
+/// deterred freeriders.
+///
+/// Reports the same throughput columns as bench_scale_nodes (events/s,
+/// wall-seconds per simulated second, health at 5 s lag) plus the churn
+/// ledger: joins/departures executed, and the honest wrongful-blame split
+/// between stayers and leavers — a crashed partner looks like a δ1
+/// freerider to its verifiers until the failure detector fires, and that
+/// blame must be accounted separately (per-node means; leavers accrue a
+/// post-departure pulse on top of their pro-rated loss noise). The run
+/// ends with a wind-down drain and prints the delivery-pool leak count,
+/// which must be 0.
+///
+/// Usage: bench_churn [nodes...]
+///   default populations: 1000 5000
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "common/table.hpp"
+#include "runtime/experiment.hpp"
+
+namespace {
+
+using namespace lifting;
+
+runtime::ScenarioConfig churn_config(std::uint32_t n, double sim_seconds) {
+  auto cfg = runtime::ScenarioConfig::planetlab();
+  cfg.nodes = n;
+  cfg.duration = seconds(sim_seconds);
+  cfg.stream.duration = seconds(sim_seconds * 0.9);
+  cfg.weak_fraction = 0.2;
+  cfg.freerider_fraction = 0.10;
+  cfg.freerider_behavior = gossip::BehaviorSpec::freerider(0.035);
+  cfg.failure_detection = seconds(2.0);
+
+  runtime::ScenarioTimeline::PoissonChurn churn;
+  churn.arrival_fraction_per_min = 0.05;    // 5%/min joins
+  churn.departure_fraction_per_min = 0.05;  // 5%/min leaves+crashes
+  churn.crash_fraction = 0.5;
+  churn.freerider_fraction = 0.10;
+  churn.freerider_behavior = cfg.freerider_behavior;
+  churn.start = seconds(2.0);
+  churn.end = seconds(sim_seconds * 0.9);
+  cfg.timeline =
+      runtime::ScenarioTimeline::poisson_churn(churn, n, cfg.seed);
+  return cfg;
+}
+
+double horizon_seconds(std::uint32_t n) {
+  if (n <= 1000) return 60.0;
+  if (n <= 5000) return 20.0;
+  return 10.0;
+}
+
+struct Row {
+  std::uint32_t nodes = 0;
+  double sim_seconds = 0.0;
+  std::uint64_t events = 0;
+  double wall_seconds = 0.0;
+  std::size_t joins = 0;
+  std::size_t departures = 0;
+  double health = 0.0;
+  double stayer_blame = 0.0;  // mean ledger blame per honest stayer
+  double leaver_blame = 0.0;  // mean ledger blame per honest leaver
+  std::size_t pool_leak = 0;
+};
+
+Row run(std::uint32_t n) {
+  Row row;
+  row.nodes = n;
+  row.sim_seconds = horizon_seconds(n);
+  runtime::Experiment ex(churn_config(n, row.sim_seconds));
+  const auto t0 = std::chrono::steady_clock::now();
+  ex.run();
+  const auto t1 = std::chrono::steady_clock::now();
+  row.events = ex.simulator().events_processed();
+  row.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  row.joins = ex.joins().size();
+  row.departures = ex.departures().size();
+
+  gossip::PlaybackConfig playback;
+  playback.clear_threshold = 0.95;
+  playback.warmup = seconds(2.0);
+  const auto curve = ex.health_curve({5.0}, /*honest_only=*/true, playback);
+  row.health = curve.empty() ? 0.0 : curve.front().fraction_clear;
+
+  const auto split = ex.honest_blame_split();
+  row.stayer_blame = split.stayer_mean();
+  row.leaver_blame = split.leaver_mean();
+
+  // Leak check: drain every in-flight delivery and one-shot timer; the
+  // pooled slots must all come home.
+  ex.wind_down();
+  row.pool_leak = ex.network().in_flight();
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::uint32_t> populations;
+  for (int i = 1; i < argc; ++i) {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(argv[i], &end, 10);
+    if (end == argv[i] || *end != '\0' || v < 3 || v > 10'000'000) {
+      std::fprintf(stderr,
+                   "bench_churn: '%s' is not a valid population "
+                   "(expected an integer >= 3)\n",
+                   argv[i]);
+      return 2;
+    }
+    populations.push_back(static_cast<std::uint32_t>(v));
+  }
+  if (populations.empty()) populations = {1000, 5000};
+
+  std::printf("=== churn deployment: stream health under 5%%/min join+leave ===\n");
+  std::printf(
+      "674 kbps stream, f=7, Tg=500 ms, LiFTinG on, 10%% deterred "
+      "freeriders,\n5%%/min Poisson arrivals + departures (half crashes, "
+      "2 s failure detector)\n\n");
+
+  lifting::TextTable table({"nodes", "sim s", "events", "wall s", "events/s",
+                            "joins", "departs", "health@5s", "blame/stayer",
+                            "blame/leaver", "pool leak"});
+  int leaks = 0;
+  for (const auto n : populations) {
+    const Row row = run(n);
+    std::fprintf(stderr,
+                 "[churn] n=%u: %llu events in %.2fs (%.0f ev/s), "
+                 "+%zu/-%zu nodes, leak=%zu\n",
+                 row.nodes, (unsigned long long)row.events, row.wall_seconds,
+                 static_cast<double>(row.events) / row.wall_seconds,
+                 row.joins, row.departures, row.pool_leak);
+    if (row.pool_leak != 0) ++leaks;
+    table.add_row({lifting::TextTable::num(row.nodes, 0),
+                   lifting::TextTable::num(row.sim_seconds, 0),
+                   lifting::TextTable::num(static_cast<double>(row.events), 0),
+                   lifting::TextTable::num(row.wall_seconds, 2),
+                   lifting::TextTable::num(static_cast<double>(row.events) /
+                                               row.wall_seconds,
+                                           0),
+                   lifting::TextTable::num(static_cast<double>(row.joins), 0),
+                   lifting::TextTable::num(static_cast<double>(row.departures),
+                                           0),
+                   lifting::TextTable::num(row.health, 3),
+                   lifting::TextTable::num(row.stayer_blame, 2),
+                   lifting::TextTable::num(row.leaver_blame, 2),
+                   lifting::TextTable::num(static_cast<double>(row.pool_leak),
+                                           0)});
+    std::fflush(stdout);
+  }
+  table.print();
+  return leaks == 0 ? 0 : 1;
+}

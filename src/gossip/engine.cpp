@@ -1,7 +1,6 @@
 #include "gossip/engine.hpp"
 
 #include <algorithm>
-#include <unordered_map>
 #include <unordered_set>
 
 #include "common/assert.hpp"
@@ -28,6 +27,15 @@ Engine::Engine(sim::Simulator& sim, Mailer& mailer,
                 behavior_.collusion->bias_pm <= 1.0,
             "bias p_m must be in [0,1]");
   }
+}
+
+void Engine::set_behavior(BehaviorSpec behavior) {
+  if (behavior.collusion.has_value()) {
+    require(behavior.collusion->bias_pm >= 0.0 &&
+                behavior.collusion->bias_pm <= 1.0,
+            "bias p_m must be in [0,1]");
+  }
+  behavior_ = std::move(behavior);
 }
 
 void Engine::start(Duration initial_offset) {
@@ -321,15 +329,31 @@ void Engine::send_acks(PeriodIndex period, const std::vector<FreshChunk>& fresh,
   // always claims every served chunk was proposed — openly admitting a drop
   // (δ2) would be self-incriminating; the lie is only caught by the
   // witnesses' contradictory testimonies (§5.2).
-  std::unordered_map<NodeId, ChunkIdList> by_target;
+  //
+  // Grouping is a stable sort of (target, chunk) pairs in a reusable
+  // scratch buffer: acks go out in ascending target-id order (each one's
+  // chunks in receive order) and the period's last heap allocation is gone
+  // — the hash map this replaces allocated per phase *and* iterated in
+  // stdlib-dependent order.
+  ack_scratch_.clear();
   for (const auto& c : fresh) {
     if (!c.has_origin) continue;  // source-injected: nobody to acknowledge
-    by_target[c.ack_to].push_back(c.id);
+    if (c.ack_to == self_ || !directory_.is_live(c.ack_to)) continue;
+    ack_scratch_.emplace_back(c.ack_to, c.id);
   }
-  for (auto& [target, chunks] : by_target) {
-    if (target == self_ || !directory_.is_live(target)) continue;
-    mailer_.send(self_, target, sim::Channel::kDatagram,
-                 AckMsg{period, std::move(chunks), claimed_partners});
+  std::stable_sort(ack_scratch_.begin(), ack_scratch_.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+  for (std::size_t i = 0; i < ack_scratch_.size();) {
+    AckMsg ack;
+    ack.period = period;
+    const NodeId target = ack_scratch_[i].first;
+    for (; i < ack_scratch_.size() && ack_scratch_[i].first == target; ++i) {
+      ack.chunks.push_back(ack_scratch_[i].second);
+    }
+    ack.partners.assign(claimed_partners.begin(), claimed_partners.end());
+    mailer_.send(self_, target, sim::Channel::kDatagram, std::move(ack));
   }
 }
 

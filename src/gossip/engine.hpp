@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <utility>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -102,9 +103,15 @@ class Engine {
   void start(Duration initial_offset);
 
   /// Stops proposing (the node still answers incoming traffic). Used to
-  /// wind down expelled nodes in long experiments.
+  /// wind down expelled nodes in long experiments and to retire departed
+  /// nodes (the engine object outlives the node so pending timers land on
+  /// live memory; the stopped flag makes them no-ops).
   void stop() noexcept { running_ = false; }
   [[nodiscard]] bool running() const noexcept { return running_; }
+
+  /// Replaces the node's behavior mid-run (timeline set_behavior events:
+  /// an honest node turning freerider, a freerider going straight).
+  void set_behavior(BehaviorSpec behavior);
 
   /// Routes one of the four gossip message kinds to the engine.
   void handle(NodeId from, const Message& message);
@@ -190,6 +197,9 @@ class Engine {
     std::vector<NodeId> partners;
   };
   std::deque<SentProposal> sent_proposals_;
+  /// Reusable (ack target, chunk) scratch for send_acks' grouping sort —
+  /// grows once, then the per-period ack path is allocation-free.
+  std::vector<std::pair<NodeId, ChunkId>> ack_scratch_;
 
   EngineStats stats_;
 };

@@ -47,12 +47,16 @@ struct ServeMsg {
 
 // ------------------------------------------------- direct cross-checking
 
+/// Partner list of an ack: f is single-digit in every deployment, so the
+/// list lives inline and an ack costs no heap allocation to build or copy.
+using PartnerList = SmallVector<NodeId, 8>;
+
 /// ack[i](partners): receiver tells the server that the served chunks were
 /// proposed to `partners` during its propose phase `period` (§5.2).
 struct AckMsg {
   PeriodIndex period = 0;  // receiver's propose-phase period
   ChunkIdList chunks;      // the served chunks that were re-proposed
-  std::vector<NodeId> partners;
+  PartnerList partners;
 };
 
 /// confirm[i](subject): the verifier asks a witness whether `subject`
@@ -80,11 +84,17 @@ enum class BlameReason : std::uint8_t {
   kTestimony,           // contradictory/missing witness testimony: 1 each
   kAposterioriCheck,    // unconfirmed history entries: 1 each
   kRateCheck,           // missing proposals in history
+  /// Ledger-only attribution (never on the wire): the blame targeted a
+  /// node that had already left or crashed — its verifiers mistook the
+  /// silence for freeriding. The ground-truth BlameLedger reclassifies
+  /// such emissions so churn-induced wrongful blame is separable from
+  /// blame against live nodes.
+  kPostDeparture,
 };
 
 /// Number of BlameReason alternatives (for dense per-reason tables).
 inline constexpr std::size_t kBlameReasonCount =
-    static_cast<std::size_t>(BlameReason::kRateCheck) + 1;
+    static_cast<std::size_t>(BlameReason::kPostDeparture) + 1;
 
 /// Blame sent to each of the target's M managers.
 struct BlameMsg {

@@ -13,16 +13,25 @@ std::vector<HealthPoint> health_curve(
   curve.reserve(lags_seconds.size());
   const TimePoint warmup_end = kSimEpoch + config.warmup;
 
-  for (const double lag_s : lags_seconds) {
-    const Duration lag = seconds(lag_s);
-    // A chunk is judgeable at this lag if it was emitted after warmup and
-    // its deadline (emit + lag) falls within the measured window.
-    std::vector<const ChunkMeta*> eligible;
+  // A chunk is judgeable at a lag if it was emitted after warmup and its
+  // deadline (emit + lag) falls within the measured window. With a
+  // common_window_lag the deadline cutoff — and therefore the eligible
+  // set — is shared by every lag and computed once.
+  const bool common_window = config.common_window_lag > 0.0;
+  std::vector<const ChunkMeta*> eligible;
+  auto collect_eligible = [&](Duration window_lag) {
+    eligible.clear();
     for (const auto& chunk : emitted) {
       if (chunk.emitted_at < warmup_end) continue;
-      if (chunk.emitted_at + lag > measurement_end) continue;
+      if (chunk.emitted_at + window_lag > measurement_end) continue;
       eligible.push_back(&chunk);
     }
+  };
+  if (common_window) collect_eligible(seconds(config.common_window_lag));
+
+  for (const double lag_s : lags_seconds) {
+    const Duration lag = seconds(lag_s);
+    if (!common_window) collect_eligible(lag);
     if (eligible.empty()) {
       curve.push_back(HealthPoint{lag_s, 0.0});
       continue;

@@ -20,6 +20,13 @@ struct PlaybackConfig {
   double clear_threshold = 0.99;
   /// Chunks emitted before this instant are excluded (system warmup).
   Duration warmup = seconds(5.0);
+  /// When positive, every lag is judged over one common chunk set — the
+  /// chunks whose deadline at *this* lag (seconds) fits the measured
+  /// window — instead of a per-lag set. Set it to the largest queried lag
+  /// to make the curve comparable, and monotone, across lags (the
+  /// invariant asserted by the scenario sweep). 0 keeps the classic
+  /// per-lag eligibility of the figure benches.
+  double common_window_lag = 0.0;
 };
 
 struct HealthPoint {

@@ -40,6 +40,10 @@ class StreamSource {
     emit();
   }
 
+  /// Stops the stream early (experiment wind-down); the pending emit timer
+  /// fires once more and fizzles.
+  void stop() { end_ = sim_.now(); }
+
   [[nodiscard]] const std::vector<ChunkMeta>& emitted() const noexcept {
     return emitted_;
   }

@@ -87,6 +87,7 @@ void Agent::start(Duration offset) {
 }
 
 void Agent::tick() {
+  if (stopped_) return;  // retired: do not reschedule
   const TimePoint now = sim_.now();
   const TimePoint cutoff =
       now - std::min(now.time_since_epoch(), params_.history_window);
@@ -155,6 +156,9 @@ bool Agent::old_enough_for_detection(TimePoint now) const {
 void Agent::emit_blame(NodeId target, double value,
                        gossip::BlameReason reason) {
   if (value <= 0.0) return;
+  // A retired node's lingering verification deadlines still fire (the
+  // object outlives the departure) but a dead node testifies to nothing.
+  if (stopped_) return;
   // Colluding freeriders never blame coalition members (§5.2: "if p0
   // colludes with p1, it will not blame p1").
   if (behavior_.colludes_with(target)) return;

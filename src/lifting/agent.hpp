@@ -67,6 +67,18 @@ class Agent final : public gossip::EngineObserver {
   /// audit triggers) after `offset`.
   void start(Duration offset);
 
+  /// Retires the agent (node left or crashed): the maintenance tick stops
+  /// rescheduling and no further blames are emitted. Pending one-shot
+  /// timers land on live memory and fizzle — the agent object must outlive
+  /// the last event that references it.
+  void stop() noexcept { stopped_ = true; }
+  [[nodiscard]] bool stopped() const noexcept { return stopped_; }
+
+  /// Replaces the node's behavior mid-run (timeline set_behavior events).
+  void set_behavior(gossip::BehaviorSpec behavior) {
+    behavior_ = std::move(behavior);
+  }
+
   /// Routes a LiFTinG message (anything that is not propose/request/serve/
   /// ack) to the agent.
   void handle(NodeId from, const gossip::Message& message);
@@ -177,6 +189,7 @@ class Agent final : public gossip::EngineObserver {
   double blame_emitted_this_period_ = 0.0;
   double blame_rate_ewma_ = 0.0;
   bool started_ = false;
+  bool stopped_ = false;
 };
 
 }  // namespace lifting

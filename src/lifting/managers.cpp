@@ -7,13 +7,22 @@ namespace lifting {
 std::vector<NodeId> managers_of(NodeId target, std::uint32_t n,
                                 std::uint32_t m, std::uint64_t seed) {
   LIFTING_ASSERT(n >= 2, "manager assignment needs at least two nodes");
+  auto rng = derive_rng(seed ^ (0x9e3779b9ULL * (target.value() + 1)),
+                        /*stream=*/0x4d414e4147455253ULL);  // "MANAGERS"
+  std::vector<NodeId> out;
+  if (target.value() >= n) {
+    // Churn joiner outside the base pool: every base node is a candidate
+    // (the target cannot collide with the pool, so no exclusion shift).
+    const std::uint32_t count = std::min(m, n);
+    const auto raw = sample_k_distinct(rng, n, count);
+    out.reserve(count);
+    for (const auto idx : raw) out.push_back(NodeId{idx});
+    return out;
+  }
   const std::uint32_t count = std::min(m, n - 1);
   // Sample over [0, n-1) and shift indices >= target to exclude the target
   // itself (a node must not manage its own score).
-  auto rng = derive_rng(seed ^ (0x9e3779b9ULL * (target.value() + 1)),
-                        /*stream=*/0x4d414e4147455253ULL);  // "MANAGERS"
   const auto raw = sample_k_distinct(rng, n - 1, count);
-  std::vector<NodeId> out;
   out.reserve(count);
   for (const auto idx : raw) {
     const std::uint32_t shifted = idx >= target.value() ? idx + 1 : idx;

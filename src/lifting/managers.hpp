@@ -23,6 +23,13 @@ namespace lifting {
 /// Deterministic manager assignment: every participant can derive the M
 /// managers of any node from the shared deployment seed (the paper assigns
 /// "M random managers"; a shared hash achieves that without coordination).
+///
+/// `n` is the *base* population: managers are always drawn from the initial
+/// id range [0, n). A target outside that range (a churn joiner) still gets
+/// M deterministic managers from the base pool — every participant derives
+/// the same set from (target, n, m, seed) the moment the joiner appears,
+/// with no reassignment protocol. Base-pool managers that later depart
+/// simply stop answering; the min-vote read tolerates the shrunken quorum.
 [[nodiscard]] std::vector<NodeId> managers_of(NodeId target, std::uint32_t n,
                                               std::uint32_t m,
                                               std::uint64_t seed);
@@ -39,7 +46,10 @@ class ManagerAssignment {
 
   [[nodiscard]] const std::vector<NodeId>& of(NodeId target) {
     const auto v = static_cast<std::size_t>(target.value());
-    LIFTING_ASSERT(v < cache_.size(), "manager lookup outside population");
+    if (v >= cache_.size()) {  // churn joiner beyond the base population
+      cache_.resize(v + 1);
+      ready_.resize(v + 1, 0);
+    }
     if (ready_[v] == 0) {
       cache_[v] = managers_of(target, n_, m_, seed_);
       ready_[v] = 1;

@@ -17,6 +17,12 @@
 /// expulsion applied after a configurable propagation delay (scheduled by
 /// the caller); per-node divergent views would only add noise without
 /// changing any mechanism under test.
+///
+/// Churn support: join()/leave() grow and shrink the membership mid-run.
+/// Every id carries an *alive epoch* — a counter bumped on each (re)join —
+/// so dense NodeId-indexed tables elsewhere can detect id reuse ((id, epoch)
+/// pairs are never ambiguous) even though the Experiment's allocation policy
+/// never recycles ids in the first place.
 
 namespace lifting::membership {
 
@@ -28,9 +34,11 @@ class Directory {
   explicit Directory(std::uint32_t n) {
     live_.reserve(n);
     position_.reserve(n);
+    epoch_.reserve(n);
     for (std::uint32_t i = 0; i < n; ++i) {
       position_.push_back(i);
       live_.push_back(NodeId{i});
+      epoch_.push_back(1);
     }
     initial_size_ = n;
   }
@@ -52,22 +60,52 @@ class Directory {
     return live_;
   }
 
-  /// Removes a node from the membership (expulsion or churn). Idempotent.
+  /// Removes a node by expulsion (LiFTinG indictment). Idempotent.
   void expel(NodeId id) {
+    if (remove(id)) expelled_.push_back(id);
+  }
+
+  /// Removes a node by churn (leave or detected crash) — a departure, not
+  /// an indictment; recorded separately from expulsions. Idempotent.
+  void leave(NodeId id) {
+    if (remove(id)) departed_.push_back(id);
+  }
+
+  /// Adds `id` to the membership — a fresh id (growing the dense id space)
+  /// or a returning one. Each (re)join bumps the id's alive epoch.
+  void join(NodeId id) {
     const auto v = static_cast<std::size_t>(id.value());
-    if (v >= position_.size() || position_[v] == kDead) return;
-    const std::uint32_t pos = position_[v];
-    const NodeId last = live_.back();
-    live_[pos] = last;
-    position_[last.value()] = pos;
-    live_.pop_back();
-    position_[v] = kDead;
-    expelled_.push_back(id);
+    if (v >= position_.size()) {
+      position_.resize(v + 1, kDead);
+      epoch_.resize(v + 1, 0);
+    }
+    LIFTING_ASSERT(position_[v] == kDead, "join of a node already live");
+    position_[v] = static_cast<std::uint32_t>(live_.size());
+    live_.push_back(id);
+    ++epoch_[v];
+  }
+
+  /// Dense id-space bound: every id ever seen is < id_capacity().
+  [[nodiscard]] std::uint32_t id_capacity() const noexcept {
+    return static_cast<std::uint32_t>(position_.size());
+  }
+
+  /// Alive epoch of `id`: 0 if the id was never a member, otherwise the
+  /// number of times it has joined. Keyed tables that must survive id reuse
+  /// store (id, epoch) and compare against this.
+  [[nodiscard]] std::uint32_t epoch_of(NodeId id) const {
+    const auto v = static_cast<std::size_t>(id.value());
+    return v < epoch_.size() ? epoch_[v] : 0;
   }
 
   /// Nodes expelled so far, in expulsion order.
   [[nodiscard]] const std::vector<NodeId>& expelled() const noexcept {
     return expelled_;
+  }
+
+  /// Nodes departed through churn, in departure order.
+  [[nodiscard]] const std::vector<NodeId>& departed() const noexcept {
+    return departed_;
   }
 
   /// Index of a live node within live() — used by samplers for O(1)
@@ -82,9 +120,24 @@ class Directory {
  private:
   static constexpr std::uint32_t kDead = 0xFFFFFFFFU;
 
+  /// Swap-removes `id` from the live set. Returns false when already gone.
+  bool remove(NodeId id) {
+    const auto v = static_cast<std::size_t>(id.value());
+    if (v >= position_.size() || position_[v] == kDead) return false;
+    const std::uint32_t pos = position_[v];
+    const NodeId last = live_.back();
+    live_[pos] = last;
+    position_[last.value()] = pos;
+    live_.pop_back();
+    position_[v] = kDead;
+    return true;
+  }
+
   std::vector<NodeId> live_;
   std::vector<std::uint32_t> position_;  // NodeId value -> index in live_
+  std::vector<std::uint32_t> epoch_;     // NodeId value -> joins so far
   std::vector<NodeId> expelled_;
+  std::vector<NodeId> departed_;
   std::uint32_t initial_size_{0};
 };
 

@@ -15,6 +15,8 @@ RpsNetwork::RpsNetwork(std::uint32_t n, std::size_t view_size,
   require(view_size >= 2 && view_size < n, "view size must be in [2, n)");
   require(shuffle_length >= 1, "shuffle length must be >= 1");
   views_.resize(n);
+  alive_.assign(n, 1);
+  epoch_.assign(n, 1);
   // Bootstrap: successors on a ring plus random shortcuts. Deliberately
   // non-uniform — the shuffle rounds must do the mixing.
   for (std::uint32_t i = 0; i < n; ++i) {
@@ -25,11 +27,57 @@ RpsNetwork::RpsNetwork(std::uint32_t n, std::size_t view_size,
         candidate = NodeId{rng_.below(n)};
       }
       if (candidate != NodeId{i} && !contains(view, candidate)) {
-        view.entries.push_back(Entry{candidate, 0});
+        view.entries.push_back(Entry{candidate, 0, 1});
       }
     }
     rebuild_cache(i);
   }
+}
+
+void RpsNetwork::join(NodeId id) {
+  const auto v = static_cast<std::size_t>(id.value());
+  if (v >= views_.size()) {
+    views_.resize(v + 1);
+    alive_.resize(v + 1, 0);
+    epoch_.resize(v + 1, 0);
+  }
+  LIFTING_ASSERT(alive_[v] == 0, "RPS join of a node already alive");
+  alive_[v] = 1;
+  ++epoch_[v];
+  // Bootstrap the joiner's view with random live peers (its introducers).
+  // Partial Fisher-Yates: only the `take` selected positions are swapped,
+  // not the whole candidate list.
+  auto& view = views_[v];
+  view.entries.clear();
+  std::vector<NodeId> candidates;
+  for (std::size_t i = 0; i < alive_.size(); ++i) {
+    if (alive_[i] != 0 && i != v) candidates.push_back(NodeId{
+        static_cast<std::uint32_t>(i)});
+  }
+  const std::size_t take = std::min(view_size_, candidates.size());
+  for (std::size_t i = 0; i < take; ++i) {
+    const auto j = i + rng_.below(static_cast<std::uint32_t>(
+                           candidates.size() - i));
+    std::swap(candidates[i], candidates[j]);
+    view.entries.push_back(
+        Entry{candidates[i], 0, epoch_[candidates[i].value()]});
+  }
+  rebuild_cache(static_cast<std::uint32_t>(v));
+}
+
+void RpsNetwork::leave(NodeId id) {
+  const auto v = static_cast<std::size_t>(id.value());
+  if (v >= alive_.size() || alive_[v] == 0) return;
+  alive_[v] = 0;
+  views_[v].entries.clear();
+  rebuild_cache(static_cast<std::uint32_t>(v));
+}
+
+void RpsNetwork::purge_stale(View& view) {
+  view.entries.erase(
+      std::remove_if(view.entries.begin(), view.entries.end(),
+                     [this](const Entry& e) { return stale(e); }),
+      view.entries.end());
 }
 
 bool RpsNetwork::contains(const View& view, NodeId id) const {
@@ -41,7 +89,9 @@ void RpsNetwork::rebuild_cache(std::uint32_t node) {
   auto& view = views_[node];
   view.ids_cache.clear();
   view.ids_cache.reserve(view.entries.size());
-  for (const auto& e : view.entries) view.ids_cache.push_back(e.id);
+  for (const auto& e : view.entries) {
+    if (!stale(e)) view.ids_cache.push_back(e.id);
+  }
 }
 
 void RpsNetwork::run_round() {
@@ -51,6 +101,7 @@ void RpsNetwork::run_round() {
   for (std::uint32_t i = 0; i < views_.size(); ++i) order[i] = i;
   rng_.shuffle(order);
   for (const auto initiator : order) {
+    if (alive_[initiator] == 0) continue;
     shuffle_pair(initiator);
   }
   for (std::uint32_t i = 0; i < views_.size(); ++i) rebuild_cache(i);
@@ -58,6 +109,7 @@ void RpsNetwork::run_round() {
 
 void RpsNetwork::shuffle_pair(std::uint32_t initiator) {
   auto& mine = views_[initiator];
+  purge_stale(mine);
   if (mine.entries.empty()) return;
   for (auto& e : mine.entries) ++e.age;
 
@@ -68,6 +120,7 @@ void RpsNetwork::shuffle_pair(std::uint32_t initiator) {
       [](const Entry& a, const Entry& b) { return a.age < b.age; });
   const NodeId peer_id = oldest->id;
   auto& theirs = views_[peer_id.value()];
+  purge_stale(theirs);
 
   // Pick subsets to exchange; the initiator always offers itself (age 0).
   const auto pick_subset = [&](View& view, NodeId exclude,
@@ -85,7 +138,7 @@ void RpsNetwork::shuffle_pair(std::uint32_t initiator) {
   };
 
   auto sent = pick_subset(mine, peer_id, shuffle_length_ - 1);
-  sent.push_back(Entry{NodeId{initiator}, 0});
+  sent.push_back(Entry{NodeId{initiator}, 0, epoch_[initiator]});
   const auto received = pick_subset(theirs, NodeId{initiator},
                                     shuffle_length_);
 
@@ -101,7 +154,7 @@ void RpsNetwork::shuffle_pair(std::uint32_t initiator) {
       if (it != view.entries.end()) view.entries.erase(it);
     }
     for (const auto& in : incoming) {
-      if (in.id == self) continue;
+      if (in.id == self || stale(in)) continue;
       const auto it = std::find_if(
           view.entries.begin(), view.entries.end(),
           [&](const Entry& e) { return e.id == in.id; });
@@ -143,8 +196,11 @@ const std::vector<NodeId>& RpsNetwork::view_of(NodeId self) const {
 
 std::vector<std::uint32_t> RpsNetwork::in_degrees() const {
   std::vector<std::uint32_t> degrees(views_.size(), 0);
-  for (const auto& view : views_) {
-    for (const auto& e : view.entries) ++degrees[e.id.value()];
+  for (std::size_t i = 0; i < views_.size(); ++i) {
+    if (alive_[i] == 0) continue;
+    for (const auto& e : views_[i].entries) {
+      if (!stale(e)) ++degrees[e.id.value()];
+    }
   }
   return degrees;
 }

@@ -33,10 +33,37 @@ class RpsNetwork {
   RpsNetwork(std::uint32_t n, std::size_t view_size, std::size_t shuffle_length,
              std::uint64_t seed);
 
-  /// Runs one synchronous shuffle round over every node.
+  /// Runs one synchronous shuffle round over every live node.
   void run_round();
   void run_rounds(std::uint32_t rounds) {
     for (std::uint32_t i = 0; i < rounds; ++i) run_round();
+  }
+
+  // ---- dynamic membership (alive-epoch masks)
+  //
+  // Views are dense NodeId-indexed tables, so departures cannot compact
+  // them; instead every node carries an alive flag plus a join epoch, and
+  // view entries record the epoch they were learned under. An entry whose
+  // (id, epoch) no longer matches is stale: it is purged lazily during
+  // shuffles, exactly like Cyclon's aging heals dead links. A rejoining id
+  // bumps its epoch, so stale entries from the previous incarnation can
+  // never resurrect it with old state.
+
+  /// Adds `id` (fresh, growing the id space, or returning — epoch bumps).
+  /// The joiner bootstraps its view from random live nodes and spreads into
+  /// other views through subsequent shuffle rounds.
+  void join(NodeId id);
+  /// Marks `id` dead. Its own view empties; references to it elsewhere
+  /// become stale and decay over the following rounds.
+  void leave(NodeId id);
+  [[nodiscard]] bool alive(NodeId id) const {
+    const auto v = static_cast<std::size_t>(id.value());
+    return v < alive_.size() && alive_[v] != 0;
+  }
+  /// Join epoch of `id` (0 = never joined).
+  [[nodiscard]] std::uint32_t epoch_of(NodeId id) const {
+    const auto v = static_cast<std::size_t>(id.value());
+    return v < epoch_.size() ? epoch_[v] : 0;
   }
 
   /// Samples one peer from `self`'s current view (uniform over the view).
@@ -51,7 +78,7 @@ class RpsNetwork {
     return static_cast<std::uint32_t>(views_.size());
   }
 
-  /// In-degree of every node (how many views contain it) — the classic
+  /// In-degree of every live node (how many views contain it) — the classic
   /// RPS health metric: it concentrates around view_size after mixing.
   [[nodiscard]] std::vector<std::uint32_t> in_degrees() const;
 
@@ -59,6 +86,7 @@ class RpsNetwork {
   struct Entry {
     NodeId id;
     std::uint32_t age = 0;
+    std::uint32_t epoch = 1;  // the target's epoch when learned
   };
   struct View {
     std::vector<Entry> entries;
@@ -67,12 +95,19 @@ class RpsNetwork {
 
   void shuffle_pair(std::uint32_t initiator);
   void rebuild_cache(std::uint32_t node);
+  void purge_stale(View& view);
+  [[nodiscard]] bool stale(const Entry& e) const {
+    const auto v = static_cast<std::size_t>(e.id.value());
+    return v >= alive_.size() || alive_[v] == 0 || e.epoch != epoch_[v];
+  }
   [[nodiscard]] bool contains(const View& view, NodeId id) const;
 
   std::size_t view_size_;
   std::size_t shuffle_length_;
   Pcg32 rng_;
   std::vector<View> views_;
+  std::vector<std::uint8_t> alive_;    // dense, indexed by NodeId::value()
+  std::vector<std::uint32_t> epoch_;   // joins so far per id
 };
 
 }  // namespace lifting::membership

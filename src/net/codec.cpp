@@ -21,7 +21,8 @@ class Writer {
     u16(static_cast<std::uint16_t>(list.size()));
     for (const auto c : list) chunk(c);
   }
-  void nodes(const std::vector<NodeId>& list) {
+  template <typename NodeList>  // std::vector<NodeId> or gossip::PartnerList
+  void nodes(const NodeList& list) {
     u16(static_cast<std::uint16_t>(list.size()));
     for (const auto n : list) node(n);
   }
@@ -64,9 +65,10 @@ class Reader {
     for (std::uint16_t i = 0; i < count && ok_; ++i) out.push_back(chunk());
     return out;
   }
-  std::vector<NodeId> nodes() {
+  template <typename NodeList = std::vector<NodeId>>
+  NodeList nodes() {
     const auto count = u16();
-    std::vector<NodeId> out;
+    NodeList out;
     if (!ok_) return out;
     if (static_cast<std::size_t>(count) * 4 > size_ - pos_) {
       ok_ = false;
@@ -275,7 +277,7 @@ std::optional<gossip::Message> decode(const std::uint8_t* data,
       gossip::AckMsg m;
       m.period = r.u32();
       m.chunks = r.chunks();
-      m.partners = r.nodes();
+      m.partners = r.nodes<gossip::PartnerList>();
       msg = std::move(m);
       break;
     }

@@ -22,7 +22,10 @@ void Experiment::build() {
   // --- assign roles: freeriders (never the source), weak links.
   freerider_.assign(n, 0);
   weak_.assign(n, 0);
+  departed_.assign(n, 0);
   expulsion_scheduled_.assign(n, 0);
+  join_time_.assign(n, kSimEpoch);
+  next_join_id_ = n;
   auto role_rng = derive_rng(config_.seed, 0x01);
   const auto freerider_count = static_cast<std::uint32_t>(
       config_.freerider_fraction * static_cast<double>(n));
@@ -50,71 +53,90 @@ void Experiment::build() {
       sim_, derive_rng(config_.seed, 0x02));
   mailer_ = std::make_unique<gossip::Mailer>(*network_, &metrics_);
 
-  // --- behavior of each node
-  gossip::BehaviorSpec freerider_behavior = config_.freerider_behavior;
-  if (freerider_behavior.collusion.has_value()) {
-    freerider_behavior.collusion->coalition = freerider_list_;
-  }
-
-  lifting::Agent::Hooks hooks;
-  hooks.on_blame_emitted = [this](NodeId /*by*/, NodeId target, double value,
-                                  gossip::BlameReason reason) {
-    ledger_.record(target, value, reason);
+  hooks_.on_blame_emitted = [this](NodeId /*by*/, NodeId target, double value,
+                                   gossip::BlameReason reason) {
+    // Ground truth reclassifies blame against already-departed targets:
+    // the emission is real (the wire message carries `reason`), but the
+    // target's "freeriding" was death — see HonestBlameSplit.
+    ledger_.record(target, value,
+                   is_departed(target) ? gossip::BlameReason::kPostDeparture
+                                       : reason);
   };
-  hooks.on_expulsion_committed = [this](NodeId victim, NodeId /*manager*/,
-                                        bool from_audit) {
+  hooks_.on_expulsion_committed = [this](NodeId victim, NodeId /*manager*/,
+                                         bool from_audit) {
     on_expulsion_committed(victim, from_audit);
   };
-  hooks.on_audit_report = [this](NodeId /*auditor*/,
-                                 const lifting::AuditReport& report) {
+  hooks_.on_audit_report = [this](NodeId /*auditor*/,
+                                  const lifting::AuditReport& report) {
     audit_reports_.push_back(report);
   };
 
   // One deployment-wide manager table shared by every agent — the
-  // assignment is a pure function of (n, M, seed).
-  auto assignment = std::make_shared<lifting::ManagerAssignment>(
+  // assignment is a pure function of (n, M, seed); joiners extend it
+  // lazily, drawing their managers from the base pool [0, n).
+  assignment_ = std::make_shared<lifting::ManagerAssignment>(
       n, config_.lifting.managers, config_.seed);
 
   nodes_.resize(n);
   for (std::uint32_t i = 0; i < n; ++i) {
     const NodeId id{i};
-    const bool freeride = is_freerider(id);
-    const auto behavior =
-        freeride ? freerider_behavior : gossip::BehaviorSpec::honest();
-    auto& node = nodes_[i];
-
-    if (config_.lifting_enabled) {
-      node.agent = std::make_unique<lifting::Agent>(
-          sim_, *mailer_, directory_, id, config_.lifting, behavior,
-          derive_rng(config_.seed, 0x1000ULL + i), config_.seed, kSimEpoch,
-          hooks, assignment);
-    }
-    auto params = config_.gossip;
-    params.emit_acks = config_.lifting_enabled;
-    node.engine = std::make_unique<gossip::Engine>(
-        sim_, *mailer_, directory_, id, params, behavior,
-        derive_rng(config_.seed, 0x2000ULL + i),
-        node.agent ? node.agent.get() : nullptr);
-
-    const auto profile = weak_[i] != 0 ? config_.weak_link : config_.link;
-    network_->add_node(id, profile, [this, i](
-                                        sim::Delivery<gossip::Message>& d) {
-      auto& target = nodes_[i];
-      const auto& msg = d.payload;
-      // The leading Message alternatives are the gossip kinds
-      // (propose/request/serve/ack — order pinned by static_asserts next
-      // to the variant); everything else is LiFTinG traffic.
-      if (msg.index() < gossip::kGossipKindCount) {
-        target.engine->handle(d.from, msg);
-      } else if (target.agent) {
-        target.agent->handle(d.from, msg);
-      }
-    });
+    const auto behavior = is_freerider(id)
+                              ? resolve_behavior(config_.freerider_behavior)
+                              : gossip::BehaviorSpec::honest();
+    make_node(i, behavior, weak_[i] != 0 ? config_.weak_link : config_.link);
   }
 
   // --- stream source at node 0
   source_ = std::make_unique<gossip::StreamSource>(sim_, *nodes_[0].engine,
                                                    config_.stream);
+}
+
+gossip::BehaviorSpec Experiment::resolve_behavior(
+    gossip::BehaviorSpec spec) const {
+  if (spec.collusion.has_value() && spec.collusion->coalition.empty()) {
+    spec.collusion->coalition = freerider_list_;
+  }
+  return spec;
+}
+
+void Experiment::make_node(std::uint32_t i,
+                           const gossip::BehaviorSpec& behavior,
+                           const sim::LinkProfile& profile) {
+  const NodeId id{i};
+  auto& node = nodes_[i];
+  // Per-node rng streams live in disjoint 2^32-wide bases so no two
+  // (purpose, node) pairs can ever collide — the old 0x1000+i / 0x2000+i
+  // scheme gave node 4096+k's agent the exact stream of node k's engine,
+  // silently correlating audit sampling with partner selection at the
+  // populations the scale benches measure.
+  if (config_.lifting_enabled) {
+    // Genesis is the node's own join instant: a joiner's score normalizes
+    // over the periods it has actually spent in the system.
+    node.agent = std::make_unique<lifting::Agent>(
+        sim_, *mailer_, directory_, id, config_.lifting, behavior,
+        derive_rng(config_.seed, 0xA00000000ULL + i), config_.seed,
+        sim_.now(), hooks_, assignment_);
+  }
+  auto params = config_.gossip;
+  params.emit_acks = config_.lifting_enabled;
+  node.engine = std::make_unique<gossip::Engine>(
+      sim_, *mailer_, directory_, id, params, behavior,
+      derive_rng(config_.seed, 0xB00000000ULL + i),
+      node.agent ? node.agent.get() : nullptr);
+
+  network_->add_node(id, profile, [this, i](
+                                      sim::Delivery<gossip::Message>& d) {
+    auto& target = nodes_[i];
+    const auto& msg = d.payload;
+    // The leading Message alternatives are the gossip kinds
+    // (propose/request/serve/ack — order pinned by static_asserts next
+    // to the variant); everything else is LiFTinG traffic.
+    if (msg.index() < gossip::kGossipKindCount) {
+      target.engine->handle(d.from, msg);
+    } else if (target.agent) {
+      target.agent->handle(d.from, msg);
+    }
+  });
 }
 
 void Experiment::run_until(TimePoint t) {
@@ -128,11 +150,161 @@ void Experiment::run_until(TimePoint t) {
       if (nodes_[i].agent) nodes_[i].agent->start(offset);
     }
     source_->start();
+    // Timeline events become ordinary simulator events. Scheduling them in
+    // stable time order means equal timestamps apply in insertion order
+    // (the queue's (time, insertion-seq) total order), and run_until
+    // checkpoints cannot observe event boundaries.
+    timeline_events_ = config_.timeline.ordered();
+    for (std::size_t i = 0; i < timeline_events_.size(); ++i) {
+      sim_.schedule_at(kSimEpoch + timeline_events_[i].at,
+                       [this, i] { apply_event(timeline_events_[i]); });
+    }
+    if (score_sample_interval_ > Duration::zero()) schedule_score_sample();
   }
   sim_.run_until(t);
 }
 
 void Experiment::run() { run_until(kSimEpoch + config_.duration); }
+
+void Experiment::wind_down() {
+  wound_down_ = true;
+  if (source_) source_->stop();
+  for (auto& node : nodes_) {
+    if (node.engine) node.engine->stop();
+    if (node.agent) node.agent->stop();
+  }
+  // Drain: with every periodic loop stopped, only in-flight deliveries and
+  // one-shot timers remain, and none of them reschedules. The queue
+  // empties, returning every pooled delivery slot.
+  sim_.run();
+}
+
+// ------------------------------------------------------------- timeline
+
+void Experiment::ensure_tables(std::uint32_t n) {
+  if (nodes_.size() >= n) return;
+  nodes_.resize(n);
+  freerider_.resize(n, 0);
+  weak_.resize(n, 0);
+  departed_.resize(n, 0);
+  expulsion_scheduled_.resize(n, 0);
+  join_time_.resize(n, kSimEpoch);
+}
+
+void Experiment::set_freerider(NodeId id, bool freeride) {
+  auto& flag = freerider_[id.value()];
+  if ((flag != 0) == freeride) return;
+  flag = freeride ? 1 : 0;
+  if (freeride) {
+    freerider_list_.insert(
+        std::lower_bound(freerider_list_.begin(), freerider_list_.end(), id),
+        id);
+  } else {
+    const auto it =
+        std::find(freerider_list_.begin(), freerider_list_.end(), id);
+    if (it != freerider_list_.end()) freerider_list_.erase(it);
+  }
+}
+
+void Experiment::apply_event(const ScenarioEvent& event) {
+  if (wound_down_) return;
+  switch (event.kind) {
+    case ScenarioEventKind::kJoin:
+      join_node(event);
+      break;
+    case ScenarioEventKind::kLeave:
+      retire_node(event.node, /*crash=*/false);
+      break;
+    case ScenarioEventKind::kCrash:
+      retire_node(event.node, /*crash=*/true);
+      break;
+    case ScenarioEventKind::kSetBehavior: {
+      const auto v = static_cast<std::size_t>(event.node.value());
+      require(v < nodes_.size(), "set_behavior on an unknown node");
+      if (is_departed(event.node)) return;
+      set_freerider(event.node, event.freerider);
+      const auto behavior = resolve_behavior(event.behavior);
+      auto& node = nodes_[v];
+      node.engine->set_behavior(behavior);
+      if (node.agent) node.agent->set_behavior(behavior);
+      break;
+    }
+    case ScenarioEventKind::kSetLink: {
+      const auto v = static_cast<std::size_t>(event.node.value());
+      require(v < nodes_.size(), "set_link on an unknown node");
+      if (is_departed(event.node)) return;
+      network_->set_profile(event.node, event.link);
+      break;
+    }
+  }
+}
+
+NodeId Experiment::join_node(const ScenarioEvent& event) {
+  const std::uint32_t idv =
+      event.node == kAutoNodeId ? next_join_id_ : event.node.value();
+  require(idv == next_join_id_,
+          "joiner ids must be fresh and contiguous (base population, then "
+          "join order) — ids are never recycled, so dense tables (ledger, "
+          "scores) can never alias two incarnations, and no hole slots "
+          "without an engine can exist");
+  next_join_id_ = idv + 1;
+  ensure_tables(idv + 1);
+  const NodeId id{idv};
+
+  directory_.join(id);
+  set_freerider(id, event.freerider);
+  join_time_[idv] = sim_.now();
+  make_node(idv, resolve_behavior(event.behavior),
+            event.has_link ? event.link : config_.link);
+
+  // Desynchronized start, like the initial population (own stream so the
+  // draw is independent of join order).
+  auto offset_rng = derive_rng(config_.seed, 0x9000000000ULL + idv);
+  const auto offset = Duration{static_cast<Duration::rep>(
+      offset_rng.uniform() *
+      static_cast<double>(config_.gossip.period.count()))};
+  nodes_[idv].engine->start(offset);
+  if (nodes_[idv].agent) nodes_[idv].agent->start(offset);
+  joins_.push_back(JoinRecord{id, to_seconds(sim_.now()), event.freerider});
+  return id;
+}
+
+void Experiment::retire_node(NodeId id, bool crash) {
+  require(id != source(), "the source is pinned infrastructure");
+  const auto v = static_cast<std::size_t>(id.value());
+  require(v < nodes_.size(), "departure of an unknown node");
+  if (is_departed(id)) return;
+  // A node LiFTinG already expelled is not live; a churn departure
+  // targeting it (the Poisson preset is generated blind to runtime
+  // expulsions) must not reclassify it as a leaver — expulsion keeps it
+  // in the detection statistics as a caught node.
+  if (!directory_.is_live(id)) return;
+  departed_[v] = 1;
+
+  // Wind the node down in place: the objects outlive the departure so
+  // pending timers and deliveries referencing them stay valid, but they
+  // stop proposing, ticking and testifying. The network endpoint is torn
+  // down immediately — packets to a dead host vanish.
+  auto& node = nodes_[v];
+  node.engine->stop();
+  if (node.agent) node.agent->stop();
+  network_->remove_node(id);
+
+  if (crash) {
+    // The membership only learns of a crash when the failure detector
+    // fires; until then partners keep selecting the dead node and its
+    // verifiers blame the silence (wrongful blame, split out by
+    // honest_blame_split / bench_churn).
+    sim_.schedule_after(config_.failure_detection,
+                        [this, id] { directory_.leave(id); });
+  } else {
+    directory_.leave(id);
+  }
+  departures_.push_back(
+      DepartureRecord{id, to_seconds(sim_.now()), crash, is_freerider(id)});
+}
+
+// ------------------------------------------------------------ expulsions
 
 void Experiment::on_expulsion_committed(NodeId victim, bool from_audit) {
   if (!config_.expulsion_enabled) return;
@@ -151,20 +323,21 @@ void Experiment::on_expulsion_committed(NodeId victim, bool from_audit) {
   });
 }
 
+// ----------------------------------------------------------- measurement
+
 double Experiment::true_score(NodeId id) {
   LIFTING_ASSERT(config_.lifting_enabled, "scores require LiFTinG");
-  const auto mgrs = lifting::managers_of(id, config_.nodes,
-                                         config_.lifting.managers,
-                                         config_.seed);
+  const auto& mgrs = assignment_->of(id);
   // Mirrors the protocol read: min-vote by default, mean for the ablation.
   const bool use_min =
       config_.lifting.score_vote == LiftingParams::ScoreVote::kMin;
   double min_score = 0.0;
   double sum = 0.0;
-  bool first = true;
+  std::size_t counted = 0;
   const bool coalition_active =
       config_.freerider_behavior.collusion.has_value() && is_freerider(id);
   for (const auto m : mgrs) {
+    if (is_departed(m)) continue;  // a departed manager answers nothing
     double s =
         nodes_[m.value()].agent->manager_store().normalized_score(id,
                                                                   sim_.now());
@@ -173,29 +346,30 @@ double Experiment::true_score(NodeId id) {
     // (the same inflated value Agent::handle_score_query reports).
     if (coalition_active && is_freerider(m)) s = std::max(s, 25.0);
     sum += s;
-    if (first || s < min_score) {
-      min_score = s;
-      first = false;
-    }
+    if (counted == 0 || s < min_score) min_score = s;
+    ++counted;
   }
-  return use_min ? min_score : sum / static_cast<double>(mgrs.size());
+  if (counted == 0) return 0.0;  // all managers churned out: no reply
+  return use_min ? min_score : sum / static_cast<double>(counted);
 }
 
 bool Experiment::majority_expelled(NodeId id) {
-  const auto mgrs = lifting::managers_of(id, config_.nodes,
-                                         config_.lifting.managers,
-                                         config_.seed);
+  const auto& mgrs = assignment_->of(id);
   std::size_t expelled = 0;
+  std::size_t counted = 0;
   for (const auto m : mgrs) {
+    if (is_departed(m)) continue;
     if (nodes_[m.value()].agent->manager_store().expelled(id)) ++expelled;
+    ++counted;
   }
-  return expelled * 2 > mgrs.size();
+  return counted > 0 && expelled * 2 > counted;
 }
 
 Experiment::ScoreSnapshot Experiment::snapshot_scores() {
   ScoreSnapshot snap;
-  for (std::uint32_t i = 1; i < config_.nodes; ++i) {
+  for (std::uint32_t i = 1; i < population(); ++i) {
     const NodeId id{i};
+    if (is_departed(id)) continue;
     const double s = true_score(id);
     if (is_freerider(id)) {
       snap.freeriders.push_back(s);
@@ -206,10 +380,28 @@ Experiment::ScoreSnapshot Experiment::snapshot_scores() {
   return snap;
 }
 
+void Experiment::sample_scores_every(Duration interval) {
+  require(interval > Duration::zero(), "sampling interval must be positive");
+  require(config_.lifting_enabled, "score sampling requires LiFTinG");
+  const bool arm_now = started_ && score_sample_interval_ == Duration::zero();
+  score_sample_interval_ = interval;
+  if (arm_now) schedule_score_sample();
+}
+
+void Experiment::schedule_score_sample() {
+  sim_.schedule_after(score_sample_interval_, [this] {
+    if (wound_down_) return;
+    score_timeline_.push_back(
+        TimedScores{to_seconds(sim_.now()), snapshot_scores()});
+    schedule_score_sample();
+  });
+}
+
 DetectionStats Experiment::detection_at(double eta) {
   DetectionStats stats;
-  for (std::uint32_t i = 1; i < config_.nodes; ++i) {
+  for (std::uint32_t i = 1; i < population(); ++i) {
     const NodeId id{i};
+    if (is_departed(id)) continue;  // gone through churn: not judgeable
     const bool flagged = !directory_.is_live(id) || true_score(id) < eta;
     if (is_freerider(id)) {
       ++stats.freeriders;
@@ -228,12 +420,32 @@ DetectionStats Experiment::detection_at(double eta) {
   return stats;
 }
 
+HonestBlameSplit Experiment::honest_blame_split() const {
+  HonestBlameSplit split;
+  for (std::uint32_t i = 1; i < population(); ++i) {
+    const NodeId id{i};
+    if (is_freerider(id)) continue;
+    if (is_departed(id)) {
+      ++split.leavers;
+      split.leaver_total += ledger_.total(id);
+    } else {
+      ++split.stayers;
+      split.stayer_total += ledger_.total(id);
+    }
+  }
+  return split;
+}
+
 std::vector<gossip::HealthPoint> Experiment::health_curve(
     const std::vector<double>& lags_seconds, bool honest_only,
     const gossip::PlaybackConfig& playback) {
   std::vector<const gossip::DeliveryLog*> deliveries;
-  for (std::uint32_t i = 1; i < config_.nodes; ++i) {
-    if (honest_only && is_freerider(NodeId{i})) continue;
+  const TimePoint warmup_end = kSimEpoch + playback.warmup;
+  for (std::uint32_t i = 1; i < population(); ++i) {
+    const NodeId id{i};
+    if (honest_only && is_freerider(id)) continue;
+    if (is_departed(id)) continue;          // log froze mid-stream
+    if (join_time_[i] > warmup_end) continue;  // missed judgeable chunks
     deliveries.push_back(&nodes_[i].engine->delivery_times());
   }
   return gossip::health_curve(source_->emitted(), deliveries, sim_.now(),

@@ -67,6 +67,36 @@ struct ExpulsionRecord {
   bool was_freerider = false;
 };
 
+/// Ground-truth churn records (timeline-driven joins and departures).
+struct JoinRecord {
+  NodeId node;
+  double at_seconds = 0.0;
+  bool freerider = false;
+};
+struct DepartureRecord {
+  NodeId node;
+  double at_seconds = 0.0;
+  bool crashed = false;  // abrupt (failure detector lag) vs. clean leave
+  bool was_freerider = false;
+};
+
+/// Ledger blame against honest nodes, split by whether the target departed
+/// through churn — leavers accrue wrongful blame (a crashed partner looks
+/// like a δ1 freerider to its verifiers) that must not be conflated with
+/// the loss-induced blame against stayers.
+struct HonestBlameSplit {
+  double stayer_total = 0.0;
+  double leaver_total = 0.0;
+  std::size_t stayers = 0;
+  std::size_t leavers = 0;
+  [[nodiscard]] double stayer_mean() const {
+    return stayers == 0 ? 0.0 : stayer_total / static_cast<double>(stayers);
+  }
+  [[nodiscard]] double leaver_mean() const {
+    return leavers == 0 ? 0.0 : leaver_total / static_cast<double>(leavers);
+  }
+};
+
 /// Detection outcome over a score snapshot at a threshold η.
 struct DetectionStats {
   double detection = 0.0;        // fraction of freeriders below η (or expelled)
@@ -94,11 +124,23 @@ class Experiment {
 
   /// Runs to the configured duration.
   void run();
-  /// Runs up to `t` (absolute simulation time); resumable.
+  /// Runs up to `t` (absolute simulation time); resumable. Timeline events
+  /// are ordinary simulator events, so checkpoint boundaries never change
+  /// outcomes (tests/test_runtime_timeline.cpp).
   void run_until(TimePoint t);
+
+  /// Stops all periodic activity (source, engines, agents, samplers,
+  /// pending timeline events) and drains the event queue: every in-flight
+  /// delivery lands or is dropped and every one-shot timer fizzles. After
+  /// this, `network_stats` is final and the delivery pool is empty — the
+  /// leak invariant asserted by tests/test_scenario_sweep.cpp.
+  void wind_down();
 
   // ---- structure
   [[nodiscard]] sim::Simulator& simulator() noexcept { return sim_; }
+  [[nodiscard]] sim::Network<gossip::Message>& network() noexcept {
+    return *network_;
+  }
   [[nodiscard]] membership::Directory& directory() noexcept {
     return directory_;
   }
@@ -127,6 +169,25 @@ class Experiment {
     return freerider_list_;
   }
 
+  // ---- dynamic membership
+  /// Every id ever part of the deployment (initial population + joiners);
+  /// ids are never recycled, so this is also the dense table bound.
+  [[nodiscard]] std::uint32_t population() const noexcept {
+    return static_cast<std::uint32_t>(nodes_.size());
+  }
+  [[nodiscard]] bool is_departed(NodeId id) const {
+    const auto v = static_cast<std::size_t>(id.value());
+    return v < departed_.size() && departed_[v];
+  }
+  [[nodiscard]] const std::vector<JoinRecord>& joins() const noexcept {
+    return joins_;
+  }
+  [[nodiscard]] const std::vector<DepartureRecord>& departures()
+      const noexcept {
+    return departures_;
+  }
+  [[nodiscard]] HonestBlameSplit honest_blame_split() const;
+
   // ---- measurements
   /// Min-vote score of `id` over its managers' (lossy) ledgers — exactly
   /// what a protocol-level read returns, obtained without messages.
@@ -141,7 +202,24 @@ class Experiment {
   [[nodiscard]] ScoreSnapshot snapshot_scores();
   [[nodiscard]] DetectionStats detection_at(double eta);
 
-  /// Health curve over honest (non-expelled-at-start) nodes.
+  /// Enables periodic score snapshots every `interval` (requires LiFTinG);
+  /// each sample covers the then-live non-source population. Call before
+  /// the first run_until().
+  void sample_scores_every(Duration interval);
+  struct TimedScores {
+    double at_seconds = 0.0;
+    ScoreSnapshot scores;
+  };
+  [[nodiscard]] const std::vector<TimedScores>& score_timeline()
+      const noexcept {
+    return score_timeline_;
+  }
+
+  /// Health curve over honest nodes. Churn-aware: departed nodes are
+  /// excluded (their logs froze mid-stream), and joiners are only counted
+  /// once they were present for the whole judgeable window (join time
+  /// before the playback warmup end) — otherwise every pre-join chunk
+  /// would count against them.
   [[nodiscard]] std::vector<gossip::HealthPoint> health_curve(
       const std::vector<double>& lags_seconds, bool honest_only = true,
       const gossip::PlaybackConfig& playback = {});
@@ -176,6 +254,20 @@ class Experiment {
   void build();
   void on_expulsion_committed(NodeId victim, bool from_audit);
 
+  // ---- timeline execution
+  void apply_event(const ScenarioEvent& event);
+  NodeId join_node(const ScenarioEvent& event);
+  void retire_node(NodeId id, bool crash);
+  void make_node(std::uint32_t i, const gossip::BehaviorSpec& behavior,
+                 const sim::LinkProfile& profile);
+  void set_freerider(NodeId id, bool freeride);
+  /// Grows every dense per-node table to cover ids < `n`.
+  void ensure_tables(std::uint32_t n);
+  void schedule_score_sample();
+  /// Fills an empty collusion coalition with the current freerider set.
+  [[nodiscard]] gossip::BehaviorSpec resolve_behavior(
+      gossip::BehaviorSpec spec) const;
+
   ScenarioConfig config_;
   Pcg32 rng_;
   sim::Simulator sim_;
@@ -185,16 +277,31 @@ class Experiment {
   std::unique_ptr<gossip::Mailer> mailer_;
   std::vector<Node> nodes_;
   std::unique_ptr<gossip::StreamSource> source_;
+  std::shared_ptr<lifting::ManagerAssignment> assignment_;
+  lifting::Agent::Hooks hooks_;
 
   // Dense per-node role/state tables, indexed by NodeId::value().
   std::vector<std::uint8_t> freerider_;
   std::vector<NodeId> freerider_list_;
   std::vector<std::uint8_t> weak_;
+  std::vector<std::uint8_t> departed_;  // left/crashed through the timeline
+  std::vector<TimePoint> join_time_;
   BlameLedger ledger_;
   std::vector<ExpulsionRecord> expulsions_;
   std::vector<std::uint8_t> expulsion_scheduled_;
   std::vector<lifting::AuditReport> audit_reports_;
+
+  // ---- churn bookkeeping
+  std::vector<ScenarioEvent> timeline_events_;  // time-ordered
+  std::vector<JoinRecord> joins_;
+  std::vector<DepartureRecord> departures_;
+  std::uint32_t next_join_id_ = 0;
+
+  Duration score_sample_interval_ = Duration::zero();
+  std::vector<TimedScores> score_timeline_;
+
   bool started_ = false;
+  bool wound_down_ = false;
 };
 
 }  // namespace lifting::runtime

@@ -11,6 +11,16 @@ void ScenarioConfig::validate() const {
   require(weak_fraction >= 0.0 && weak_fraction <= 1.0,
           "weak fraction must be in [0,1]");
   require(duration > Duration::zero(), "duration must be positive");
+  require(failure_detection >= Duration::zero(),
+          "failure detection delay must be non-negative");
+  for (const auto& event : timeline.events()) {
+    require(event.at >= Duration::zero(), "timeline event in the past");
+    if (event.kind != ScenarioEventKind::kJoin) {
+      require(event.node != kAutoNodeId, "timeline event needs a target node");
+      require(event.node != NodeId{0},
+              "the source (node 0) is pinned infrastructure");
+    }
+  }
   lifting.validate();
 }
 

@@ -8,6 +8,7 @@
 #include "gossip/engine.hpp"
 #include "gossip/stream_source.hpp"
 #include "lifting/params.hpp"
+#include "runtime/timeline.hpp"
 #include "sim/network.hpp"
 
 /// Experiment configuration: one struct describes a full deployment —
@@ -45,6 +46,16 @@ struct ScenarioConfig {
   sim::LinkProfile link;       ///< profile of well-connected nodes
   double weak_fraction = 0.0;  ///< fraction of weak (lossy/slow) honest nodes
   sim::LinkProfile weak_link;  ///< their profile (§7.3's poor connections)
+
+  // ---- dynamic membership
+  /// Scheduled deployment events (joins, leaves, crashes, behavior/link
+  /// switches). Empty = the classic static deployment.
+  ScenarioTimeline timeline;
+  /// How long a crashed node lingers in the membership before the failure
+  /// detector removes it. During this window partners keep selecting the
+  /// dead node and its verifiers blame the silence — the wrongful-blame
+  /// regime bench_churn measures. Clean leaves propagate immediately.
+  Duration failure_detection = seconds(2.0);
 
   void validate() const;
 

@@ -1,0 +1,94 @@
+#include "runtime/timeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+
+namespace lifting::runtime {
+
+std::vector<ScenarioEvent> ScenarioTimeline::ordered() const {
+  std::vector<ScenarioEvent> out = events_;
+  std::stable_sort(out.begin(), out.end(),
+                   [](const ScenarioEvent& a, const ScenarioEvent& b) {
+                     return a.at < b.at;
+                   });
+  return out;
+}
+
+namespace {
+
+/// Exponential interarrival time in seconds; +inf when the rate is zero.
+double exponential_seconds(Pcg32& rng, double rate_per_sec) {
+  if (rate_per_sec <= 0.0) return std::numeric_limits<double>::infinity();
+  return -std::log1p(-rng.uniform()) / rate_per_sec;
+}
+
+}  // namespace
+
+ScenarioTimeline ScenarioTimeline::poisson_churn(const PoissonChurn& churn,
+                                                 std::uint32_t base_nodes,
+                                                 std::uint64_t seed) {
+  require(base_nodes >= 3, "churn needs a base population");
+  require(churn.arrival_fraction_per_min >= 0.0 &&
+              churn.departure_fraction_per_min >= 0.0,
+          "churn rates must be non-negative");
+  require(churn.crash_fraction >= 0.0 && churn.crash_fraction <= 1.0,
+          "crash fraction must be in [0,1]");
+  require(churn.freerider_fraction >= 0.0 && churn.freerider_fraction <= 1.0,
+          "freerider fraction must be in [0,1]");
+  require(churn.end >= churn.start, "churn window must be non-empty");
+
+  ScenarioTimeline timeline;
+  auto rng = derive_rng(seed, 0x434855524EULL);  // "CHURN"
+
+  // The generator mirrors the membership it will produce: candidates for
+  // departure are the currently-live non-source nodes, so a generated
+  // leave/crash always targets a node that is actually present.
+  std::vector<NodeId> live;
+  live.reserve(base_nodes);
+  for (std::uint32_t i = 1; i < base_nodes; ++i) live.push_back(NodeId{i});
+  std::uint32_t next_id = base_nodes;
+
+  const double join_rate =
+      churn.arrival_fraction_per_min / 60.0 * static_cast<double>(base_nodes);
+  const double leave_fraction_per_sec = churn.departure_fraction_per_min / 60.0;
+
+  double t = to_seconds(churn.start);
+  const double end = to_seconds(churn.end);
+  for (;;) {
+    const double leave_rate =
+        leave_fraction_per_sec * static_cast<double>(live.size());
+    const double dt_join = exponential_seconds(rng, join_rate);
+    const double dt_leave = exponential_seconds(rng, leave_rate);
+    const double dt = std::min(dt_join, dt_leave);
+    if (!std::isfinite(dt)) break;
+    t += dt;
+    if (t >= end) break;
+    if (dt_join <= dt_leave) {
+      const NodeId id{next_id++};
+      const bool freeride = rng.bernoulli(churn.freerider_fraction);
+      timeline.join_at(seconds(t),
+                       freeride ? churn.freerider_behavior
+                                : gossip::BehaviorSpec::honest(),
+                       freeride, id);
+      live.push_back(id);
+    } else {
+      if (live.empty()) continue;
+      const auto pick = rng.below(static_cast<std::uint32_t>(live.size()));
+      const NodeId victim = live[pick];
+      live[pick] = live.back();
+      live.pop_back();
+      if (rng.bernoulli(churn.crash_fraction)) {
+        timeline.crash_at(seconds(t), victim);
+      } else {
+        timeline.leave_at(seconds(t), victim);
+      }
+    }
+  }
+  return timeline;
+}
+
+}  // namespace lifting::runtime

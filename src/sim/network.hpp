@@ -65,6 +65,7 @@ struct NetworkStats {
   std::uint64_t reliable_delivered = 0;
   std::uint64_t bytes_sent = 0;
   std::uint64_t bytes_delivered = 0;
+  std::uint64_t no_route = 0;  // sends addressed to a torn-down endpoint
 };
 
 /// A delivered message.
@@ -93,6 +94,8 @@ class Network {
   Network& operator=(const Network&) = delete;
 
   /// Registers a node with its link profile and receive handler.
+  /// Re-registration after remove_node() is allowed (a rejoining id);
+  /// registering a live endpoint twice is a bug.
   void add_node(NodeId id, LinkProfile profile, Handler handler) {
     const auto v = static_cast<std::size_t>(id.value());
     if (v >= nodes_.size()) nodes_.resize(v + 1);
@@ -111,6 +114,11 @@ class Network {
     endpoint(id).handler = std::move(handler);
   }
 
+  /// Replaces a node's link profile mid-run (timeline set_link events).
+  void set_profile(NodeId id, LinkProfile profile) {
+    endpoint(id).profile = profile;
+  }
+
   /// Detaches a node: all traffic to/from it is discarded from now on.
   /// Used for hard churn in tests; expulsion in LiFTinG is a membership-level
   /// decision and does not detach the victim.
@@ -119,13 +127,35 @@ class Network {
     return endpoint(id).attached;
   }
 
+  /// Tears an endpoint down (node left or crashed): the registration is
+  /// cleared, the handler is released, and every in-flight delivery to the
+  /// id lands in the void — its pooled slot is still recycled when the
+  /// delivery event fires, so teardown never leaks pool slots. The id may
+  /// be re-registered later via add_node().
+  void remove_node(NodeId id) {
+    Endpoint* ep = maybe_endpoint(id);
+    if (ep == nullptr) return;
+    ep->registered = false;
+    ep->attached = false;
+    ep->handler = nullptr;
+    ep->uplink_free = kSimEpoch;
+  }
+
+  /// In-flight deliveries currently occupying pool slots. Returns to zero
+  /// once every scheduled delivery event has fired (leak check in tests).
+  [[nodiscard]] std::size_t in_flight() const noexcept {
+    return pool_.size() - free_.size();
+  }
+
   /// Sends `payload` of `bytes` from `from` to `to` on `channel`.
   /// Datagrams may be lost or dropped; reliable messages always arrive.
   void send(NodeId from, NodeId to, Channel channel, std::size_t bytes,
             Payload payload) {
     LIFTING_ASSERT(from != to, "node sending to itself");
-    auto& src = endpoint(from);
-    const auto& dst = endpoint(to);
+    Endpoint* src_ep = maybe_endpoint(from);
+    if (src_ep == nullptr) return;  // departed sender: nothing leaves the NIC
+    auto& src = *src_ep;
+    const Endpoint* dst_ep = maybe_endpoint(to);
     stats_.bytes_sent += bytes;
     if (channel == Channel::kDatagram) {
       ++stats_.datagrams_sent;
@@ -133,6 +163,14 @@ class Network {
       ++stats_.reliable_sent;
     }
     if (!src.attached) return;
+    if (dst_ep == nullptr) {
+      // Stale destination (a departed manager/partner id held by a live
+      // node): the packet vanishes on the wire.
+      if (channel == Channel::kDatagram) ++stats_.datagrams_lost;
+      ++stats_.no_route;
+      return;
+    }
+    const auto& dst = *dst_ep;
 
     // Uplink serialization: the message occupies the sender's uplink for
     // bytes*8/capacity seconds, queued behind earlier sends. Small control
@@ -210,6 +248,12 @@ class Network {
                    "unknown node id");
     return nodes_[v];
   }
+  /// Like endpoint(), but null for ids never registered or torn down.
+  [[nodiscard]] Endpoint* maybe_endpoint(NodeId id) {
+    const auto v = static_cast<std::size_t>(id.value());
+    if (v >= nodes_.size() || !nodes_[v].registered) return nullptr;
+    return &nodes_[v];
+  }
 
   [[nodiscard]] std::uint32_t acquire() {
     if (free_.empty()) {
@@ -223,18 +267,20 @@ class Network {
 
   void deliver(std::uint32_t slot) {
     // Move the delivery out before running the handler: the handler may
-    // send (growing the pool and invalidating references into it).
+    // send (growing the pool and invalidating references into it). The
+    // slot is recycled before any drop check, so deliveries to torn-down
+    // endpoints cannot leak pool slots.
     Delivery<Payload> d = std::move(pool_[slot]);
     free_.push_back(slot);
-    auto& dest = endpoint(d.to);
-    if (!dest.attached || !dest.handler) return;
+    Endpoint* dest = maybe_endpoint(d.to);
+    if (dest == nullptr || !dest->attached || !dest->handler) return;
     if (d.channel == Channel::kDatagram) {
       ++stats_.datagrams_delivered;
     } else {
       ++stats_.reliable_delivered;
     }
     stats_.bytes_delivered += d.bytes;
-    dest.handler(d);
+    dest->handler(d);
   }
 
   [[nodiscard]] static Duration transmission_time(std::size_t bytes,

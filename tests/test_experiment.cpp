@@ -13,8 +13,14 @@ TEST(Experiment, HonestSystemDisseminatesAndScoresStayHealthy) {
   Experiment ex(cfg);
   ex.run();
 
-  // Dissemination: every emitted chunk reaches (almost) every node.
-  const auto curve = ex.health_curve({5.0});
+  // Dissemination: every emitted chunk reaches (almost) every node. The
+  // default 0.99 clear threshold allows zero misses over the ~25 eligible
+  // chunks, and under infect-and-die a propose wave occasionally dies
+  // before covering all 50 nodes — give each node one chunk of slack so
+  // the assertion tests dissemination, not wave-death coin flips.
+  gossip::PlaybackConfig playback;
+  playback.clear_threshold = 0.95;
+  const auto curve = ex.health_curve({5.0}, /*honest_only=*/true, playback);
   ASSERT_EQ(curve.size(), 1u);
   EXPECT_GT(curve[0].fraction_clear, 0.95);
 

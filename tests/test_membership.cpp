@@ -223,5 +223,56 @@ TEST(Rps, HistoriesBuiltFromRpsPassTheGammaCheck) {
   EXPECT_GT(entropies.min(), 6.3);
 }
 
+// ----------------------------------------------------------- RPS + churn
+
+TEST(Rps, LeaveDecaysFromAllViews) {
+  RpsNetwork rps(120, 10, 5, 48);
+  rps.run_rounds(10);
+  rps.leave(NodeId{7});
+  EXPECT_FALSE(rps.alive(NodeId{7}));
+  EXPECT_TRUE(rps.view_of(NodeId{7}).empty());
+  rps.run_rounds(10);
+  // Stale entries are purged lazily during shuffles; after a few rounds no
+  // live view references the dead node.
+  const auto degrees = rps.in_degrees();
+  EXPECT_EQ(degrees[7], 0u);
+  for (std::uint32_t i = 0; i < 120; ++i) {
+    if (i == 7) continue;
+    const auto& view = rps.view_of(NodeId{i});
+    EXPECT_EQ(std::count(view.begin(), view.end(), NodeId{7}), 0)
+        << "node " << i << " still references the departed node";
+  }
+}
+
+TEST(Rps, JoinSpreadsThroughShuffles) {
+  RpsNetwork rps(120, 10, 5, 49);
+  rps.run_rounds(10);
+  rps.join(NodeId{120});
+  EXPECT_TRUE(rps.alive(NodeId{120}));
+  EXPECT_GE(rps.view_of(NodeId{120}).size(), 5u);  // bootstrapped view
+  rps.run_rounds(12);
+  const auto degrees = rps.in_degrees();
+  // The joiner offers itself on every shuffle it initiates; after mixing
+  // it is referenced like any other node.
+  EXPECT_GT(degrees[120], 2u);
+}
+
+TEST(Rps, RejoinEpochPreventsStaleResurrection) {
+  RpsNetwork rps(100, 8, 4, 50);
+  rps.run_rounds(8);
+  EXPECT_EQ(rps.epoch_of(NodeId{5}), 1u);
+  rps.leave(NodeId{5});
+  // Entries learned under epoch 1 are stale the moment the node rejoins as
+  // epoch 2 — they cannot count for (or resurrect) the new incarnation.
+  rps.join(NodeId{5});
+  EXPECT_EQ(rps.epoch_of(NodeId{5}), 2u);
+  EXPECT_TRUE(rps.alive(NodeId{5}));
+  const auto degrees_now = rps.in_degrees();
+  EXPECT_EQ(degrees_now[5], 0u) << "old-epoch entries counted for rejoiner";
+  rps.run_rounds(12);
+  const auto degrees_later = rps.in_degrees();
+  EXPECT_GT(degrees_later[5], 2u) << "rejoiner failed to spread";
+}
+
 }  // namespace
 }  // namespace lifting::membership

@@ -1,0 +1,238 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "runtime/experiment.hpp"
+#include "runtime/timeline.hpp"
+
+/// Property tests for the scenario timeline: ordering semantics (equal
+/// timestamps apply in insertion order), run_until transparency (an event
+/// boundary is not observable through checkpointing), and id hygiene (a
+/// leave followed by a join can never alias blame totals, because joiner
+/// ids are fresh and directory epochs disambiguate reuse).
+
+namespace lifting::runtime {
+namespace {
+
+ScenarioConfig churn_config() {
+  auto cfg = ScenarioConfig::small(40);
+  cfg.duration = seconds(16.0);
+  cfg.stream.duration = seconds(14.0);
+  cfg.freerider_fraction = 0.15;
+  cfg.freerider_behavior = gossip::BehaviorSpec::freerider(0.5);
+  cfg.link.loss = 0.02;
+  return cfg;
+}
+
+TEST(ScenarioTimeline, OrderedIsStableForEqualTimestamps) {
+  ScenarioTimeline timeline;
+  timeline.leave_at(seconds(2.0), NodeId{3});
+  timeline.crash_at(seconds(1.0), NodeId{4});
+  timeline.leave_at(seconds(2.0), NodeId{5});
+  timeline.leave_at(seconds(2.0), NodeId{6});
+  const auto ordered = timeline.ordered();
+  ASSERT_EQ(ordered.size(), 4u);
+  EXPECT_EQ(ordered[0].node, NodeId{4});  // earliest time first
+  // Equal timestamps keep insertion order.
+  EXPECT_EQ(ordered[1].node, NodeId{3});
+  EXPECT_EQ(ordered[2].node, NodeId{5});
+  EXPECT_EQ(ordered[3].node, NodeId{6});
+}
+
+TEST(ScenarioTimeline, EqualTimestampEventsApplyInInsertionOrder) {
+  // Two set_link events on the same node at the same instant: the one
+  // added last must win.
+  auto cfg = churn_config();
+  sim::LinkProfile first = cfg.link;
+  first.loss = 0.11;
+  sim::LinkProfile second = cfg.link;
+  second.loss = 0.23;
+  cfg.timeline.set_link_at(seconds(4.0), NodeId{7}, first);
+  cfg.timeline.set_link_at(seconds(4.0), NodeId{7}, second);
+  Experiment ex(cfg);
+  ex.run_until(kSimEpoch + seconds(5.0));
+  EXPECT_DOUBLE_EQ(ex.network().profile(NodeId{7}).loss, 0.23);
+}
+
+TEST(ScenarioTimeline, PoissonChurnIsDeterministicAndConsistent) {
+  ScenarioTimeline::PoissonChurn churn;
+  churn.arrival_fraction_per_min = 0.4;
+  churn.departure_fraction_per_min = 0.4;
+  churn.crash_fraction = 0.5;
+  churn.start = seconds(2.0);
+  churn.end = seconds(50.0);
+  const auto a = ScenarioTimeline::poisson_churn(churn, 100, 77);
+  const auto b = ScenarioTimeline::poisson_churn(churn, 100, 77);
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_GT(a.size(), 0u);
+
+  // Same seed, same timeline; joiner ids are fresh and increasing; every
+  // departure targets a node that is present at that time.
+  std::vector<std::uint8_t> present(100, 1);
+  std::uint32_t last_join = 99;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.events()[i].kind, b.events()[i].kind);
+    EXPECT_EQ(a.events()[i].node, b.events()[i].node);
+    EXPECT_EQ(a.events()[i].at, b.events()[i].at);
+    const auto& e = a.events()[i];
+    const auto v = e.node.value();
+    if (e.kind == ScenarioEventKind::kJoin) {
+      EXPECT_GT(v, last_join);
+      last_join = v;
+      if (present.size() <= v) present.resize(v + 1, 0);
+      present[v] = 1;
+    } else {
+      EXPECT_NE(e.node, NodeId{0});  // the source never departs
+      ASSERT_LT(v, present.size());
+      EXPECT_EQ(present[v], 1);
+      present[v] = 0;
+    }
+  }
+}
+
+struct Outcome {
+  std::uint64_t events = 0;
+  std::uint64_t datagrams = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t emissions = 0;
+  std::size_t joins = 0;
+  std::size_t departures = 0;
+  std::size_t live = 0;
+};
+
+Outcome outcome_of(Experiment& ex) {
+  return Outcome{ex.simulator().events_processed(),
+                 ex.network_stats().datagrams_sent,
+                 ex.network_stats().bytes_sent,
+                 ex.ledger().emissions(),
+                 ex.joins().size(),
+                 ex.departures().size(),
+                 ex.directory().live_count()};
+}
+
+TEST(ScenarioTimeline, RunUntilAcrossEventBoundaryMatchesStraightRun) {
+  auto make = [] {
+    auto cfg = churn_config();
+    cfg.timeline.join_at(seconds(4.0));
+    cfg.timeline.crash_at(seconds(6.0), NodeId{9});
+    cfg.timeline.leave_at(seconds(8.0), NodeId{11});
+    cfg.timeline.join_at(seconds(8.0));
+    return cfg;
+  };
+
+  Experiment straight(make());
+  straight.run();
+
+  // Checkpoints landing exactly on and between event timestamps.
+  Experiment stepped(make());
+  for (const double t : {2.0, 4.0, 5.0, 6.0, 8.0, 9.0, 16.0}) {
+    stepped.run_until(kSimEpoch + seconds(t));
+  }
+
+  const auto a = outcome_of(straight);
+  const auto b = outcome_of(stepped);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.datagrams, b.datagrams);
+  EXPECT_EQ(a.bytes, b.bytes);
+  EXPECT_EQ(a.emissions, b.emissions);
+  EXPECT_EQ(a.joins, b.joins);
+  EXPECT_EQ(a.departures, b.departures);
+  EXPECT_EQ(a.live, b.live);
+  EXPECT_EQ(a.joins, 2u);
+  EXPECT_EQ(a.departures, 2u);
+}
+
+TEST(ScenarioTimeline, LeaveThenJoinNeverAliasesBlameTotals) {
+  auto cfg = churn_config();
+  // Node 5 freerides hard, accrues blame, then leaves; a fresh node joins
+  // right after. The joiner must not inherit one cent of node 5's ledger.
+  cfg.freerider_fraction = 0.0;
+  cfg.timeline.set_behavior_at(seconds(0.5), NodeId{5},
+                               gossip::BehaviorSpec::freerider(0.8),
+                               /*freerider=*/true);
+  cfg.timeline.leave_at(seconds(10.0), NodeId{5});
+  cfg.timeline.join_at(seconds(10.0));
+  Experiment ex(cfg);
+  ex.run_until(kSimEpoch + seconds(10.0));  // both events just applied
+
+  ASSERT_EQ(ex.joins().size(), 1u);
+  const NodeId joiner = ex.joins().front().node;
+  // Fresh id, outside the base population — never a recycled slot.
+  EXPECT_GE(joiner.value(), cfg.nodes);
+  // At the join instant the departed node's blame stays where it was
+  // earned and the joiner's ledger entry starts from zero — the aliasing
+  // that id recycling would cause.
+  const double blame_at_leave = ex.ledger().total(NodeId{5});
+  EXPECT_GT(blame_at_leave, 0.0);
+  EXPECT_DOUBLE_EQ(ex.ledger().total(joiner), 0.0);
+
+  ex.run();
+  // The joiner stays an honest, independent identity to the end: its loss
+  // noise never approaches the freerider's accumulated total.
+  EXPECT_LT(ex.ledger().total(joiner), ex.ledger().total(NodeId{5}) * 0.5);
+  EXPECT_GE(ex.ledger().total(NodeId{5}), blame_at_leave);
+  EXPECT_TRUE(ex.is_departed(NodeId{5}));
+  EXPECT_FALSE(ex.is_departed(joiner));
+  EXPECT_TRUE(ex.directory().is_live(joiner));
+  EXPECT_FALSE(ex.directory().is_live(NodeId{5}));
+}
+
+TEST(ScenarioTimeline, DirectoryEpochDisambiguatesIdReuse) {
+  membership::Directory dir(10);
+  EXPECT_EQ(dir.epoch_of(NodeId{4}), 1u);
+  dir.leave(NodeId{4});
+  EXPECT_FALSE(dir.is_live(NodeId{4}));
+  EXPECT_EQ(dir.epoch_of(NodeId{4}), 1u);  // epoch survives departure
+  dir.join(NodeId{4});
+  EXPECT_TRUE(dir.is_live(NodeId{4}));
+  EXPECT_EQ(dir.epoch_of(NodeId{4}), 2u);  // rejoin is a new incarnation
+  // Fresh id beyond the initial range grows the dense id space.
+  dir.join(NodeId{12});
+  EXPECT_TRUE(dir.is_live(NodeId{12}));
+  EXPECT_EQ(dir.epoch_of(NodeId{12}), 1u);
+  EXPECT_EQ(dir.id_capacity(), 13u);
+  EXPECT_EQ(dir.departed().size(), 1u);
+  EXPECT_TRUE(dir.expelled().empty());
+}
+
+TEST(ScenarioTimeline, CrashedNodeAccruesPostDepartureBlame) {
+  auto cfg = churn_config();
+  cfg.freerider_fraction = 0.0;
+  cfg.failure_detection = seconds(3.0);
+  cfg.timeline.crash_at(seconds(8.0), NodeId{6});
+  Experiment ex(cfg);
+  ex.run();
+
+  // During the detection window partners kept proposing to the corpse and
+  // its verifiers blamed the silence; the ledger reclassifies those
+  // emissions as post-departure so churn-induced wrongful blame is
+  // separable from live-node blame.
+  const double posthumous =
+      ex.ledger().total(NodeId{6}, gossip::BlameReason::kPostDeparture);
+  EXPECT_GT(posthumous, 0.0);
+  const auto split = ex.honest_blame_split();
+  EXPECT_EQ(split.leavers, 1u);
+  EXPECT_GT(split.leaver_total, 0.0);
+  // Every post-departure emission is part of the victim's split bucket.
+  EXPECT_LE(posthumous, split.leaver_total + 1e-9);
+}
+
+TEST(ScenarioTimeline, MidStreamJoinerCatchesUp) {
+  auto cfg = churn_config();
+  cfg.freerider_fraction = 0.0;
+  cfg.timeline.join_at(seconds(5.0));
+  Experiment ex(cfg);
+  ex.run();
+
+  ASSERT_EQ(ex.joins().size(), 1u);
+  const NodeId joiner = ex.joins().front().node;
+  // The joiner was wired into membership, received stream chunks, and its
+  // managers can score it.
+  EXPECT_TRUE(ex.directory().is_live(joiner));
+  EXPECT_GT(ex.engine(joiner).stats().chunks_received, 0u);
+  EXPECT_TRUE(std::isfinite(ex.true_score(joiner)));
+}
+
+}  // namespace
+}  // namespace lifting::runtime

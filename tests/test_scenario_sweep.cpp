@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "lifting/managers.hpp"
+#include "runtime/experiment.hpp"
+
+/// Randomized scenario sweep: ~20 small configurations (population,
+/// δ-vector, loss, weak fraction, churn on/off) derived from one fixed
+/// seed, each run end to end and checked against structural invariants
+/// rather than pinned numbers:
+///
+///   * no pool-slot leaks — after wind_down() the delivery pool is empty
+///     and the event queue fully drained (exercises endpoint teardown);
+///   * detection/false-positive/health fractions in [0,1], scores finite;
+///   * every manager's view of a target never exceeds the ground-truth
+///     ledger (managers only know what was emitted, minus losses);
+///   * detection >= false-positive at a mid-gap threshold for δ >= 0.3;
+///   * the health curve is monotone in the playback lag.
+///
+/// The sweep is deterministic (fixed seed), so a failure names the exact
+/// config; the same suite runs under ASan/UBSan in CI to surface teardown
+/// and lifetime bugs loudly.
+
+namespace lifting::runtime {
+namespace {
+
+struct SweepCase {
+  std::uint32_t index = 0;
+  double delta = 0.0;
+  bool churn = false;
+  ScenarioConfig config;
+};
+
+SweepCase make_case(std::uint32_t index, Pcg32& rng) {
+  SweepCase c;
+  c.index = index;
+  const std::uint32_t nodes = 40 + rng.below(60);
+  c.config = ScenarioConfig::small(nodes);
+  c.config.seed = 0x5EEDULL + index;
+  c.config.duration = seconds(10.0 + rng.uniform() * 4.0);
+  c.config.stream.duration = c.config.duration - seconds(2.0);
+
+  static constexpr double kDeltas[] = {0.1, 0.3, 0.5, 0.7};
+  c.delta = kDeltas[rng.below(4)];
+  c.config.freerider_fraction = 0.1 + rng.uniform() * 0.15;
+  c.config.freerider_behavior = gossip::BehaviorSpec::freerider(c.delta);
+
+  c.config.link.loss = rng.uniform() * 0.04;
+  c.config.weak_fraction = rng.uniform() * 0.2;
+  c.config.weak_link = c.config.link;
+  c.config.weak_link.loss = std::min(0.15, c.config.link.loss * 3 + 0.02);
+  c.config.weak_link.upload_capacity_bps = 5e6;
+
+  c.churn = (index % 2) == 1;
+  if (c.churn) {
+    ScenarioTimeline::PoissonChurn churn;
+    churn.arrival_fraction_per_min = 0.3 + rng.uniform() * 0.4;
+    churn.departure_fraction_per_min = 0.3 + rng.uniform() * 0.4;
+    churn.crash_fraction = rng.uniform();
+    churn.freerider_fraction = 0.1;
+    churn.freerider_behavior = c.config.freerider_behavior;
+    churn.start = seconds(2.0);
+    churn.end = c.config.duration - seconds(2.0);
+    c.config.timeline =
+        ScenarioTimeline::poisson_churn(churn, nodes, c.config.seed);
+  }
+  return c;
+}
+
+void check_invariants(const SweepCase& c) {
+  SCOPED_TRACE(::testing::Message()
+               << "sweep case " << c.index << ": nodes=" << c.config.nodes
+               << " delta=" << c.delta << " loss=" << c.config.link.loss
+               << " churn=" << (c.churn ? c.config.timeline.size() : 0)
+               << " events");
+  Experiment ex(c.config);
+  ex.run();
+
+  // ---- scores: finite, and split cleanly into honest/freerider samples.
+  const auto snap = ex.snapshot_scores();
+  double honest_sum = 0.0;
+  double freerider_sum = 0.0;
+  for (const double s : snap.honest) {
+    ASSERT_TRUE(std::isfinite(s));
+    honest_sum += s;
+  }
+  for (const double s : snap.freeriders) {
+    ASSERT_TRUE(std::isfinite(s));
+    freerider_sum += s;
+  }
+  ASSERT_FALSE(snap.honest.empty());
+  ASSERT_FALSE(snap.freeriders.empty());
+  const double honest_mean =
+      honest_sum / static_cast<double>(snap.honest.size());
+  const double freerider_mean =
+      freerider_sum / static_cast<double>(snap.freeriders.size());
+
+  // ---- detection dominates false positives at a mid-gap threshold once
+  // the freeriding degree is substantial.
+  const double eta = (honest_mean + freerider_mean) / 2.0;
+  const auto stats = ex.detection_at(eta);
+  EXPECT_GE(stats.detection, 0.0);
+  EXPECT_LE(stats.detection, 1.0);
+  EXPECT_GE(stats.false_positive, 0.0);
+  EXPECT_LE(stats.false_positive, 1.0);
+  if (c.delta >= 0.3) {
+    EXPECT_LE(freerider_mean, honest_mean);
+    EXPECT_GE(stats.detection, stats.false_positive);
+  }
+
+  // ---- the managers' (lossy) view never exceeds the ground-truth ledger.
+  for (std::uint32_t i = 1; i < ex.population(); ++i) {
+    const NodeId id{i};
+    const double emitted = ex.ledger().total(id);
+    for (const auto m : lifting::managers_of(id, c.config.nodes,
+                                             c.config.lifting.managers,
+                                             c.config.seed)) {
+      const double view =
+          ex.agent(m).manager_store().raw_blame_total(id);
+      ASSERT_LE(view, emitted + 1e-6)
+          << "manager " << m.value() << " knows more blame against "
+          << i << " than was ever emitted";
+    }
+  }
+
+  // ---- health monotone in lag, fractions in [0,1]. One common judging
+  // window across lags — per-lag eligible sets would break comparability.
+  gossip::PlaybackConfig playback;
+  playback.warmup = seconds(2.0);
+  playback.clear_threshold = 0.9;
+  playback.common_window_lag = 4.0;
+  const auto curve = ex.health_curve({1.0, 2.0, 4.0}, /*honest_only=*/true,
+                                     playback);
+  double prev = 0.0;
+  for (const auto& point : curve) {
+    EXPECT_GE(point.fraction_clear, 0.0);
+    EXPECT_LE(point.fraction_clear, 1.0);
+    EXPECT_GE(point.fraction_clear, prev) << "health not monotone in lag";
+    prev = point.fraction_clear;
+  }
+
+  // ---- churn consistency: the directory and the records agree.
+  if (c.churn) {
+    std::size_t expected_live = c.config.nodes + ex.joins().size() -
+                                ex.directory().expelled().size() -
+                                ex.directory().departed().size();
+    EXPECT_EQ(ex.directory().live_count(), expected_live);
+  }
+
+  // ---- teardown: drain the deployment; nothing may leak.
+  ex.wind_down();
+  EXPECT_EQ(ex.network().in_flight(), 0u) << "delivery pool slot leak";
+  EXPECT_EQ(ex.simulator().pending_events(), 0u) << "event queue not drained";
+}
+
+TEST(ScenarioSweep, RandomizedConfigsHoldStructuralInvariants) {
+  auto rng = derive_rng(0xC0FFEE, 0x5357454550ULL);  // "SWEEP"
+  for (std::uint32_t i = 0; i < 20; ++i) {
+    check_invariants(make_case(i, rng));
+  }
+}
+
+}  // namespace
+}  // namespace lifting::runtime
