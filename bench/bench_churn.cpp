@@ -19,8 +19,10 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <thread>
 #include <vector>
 
+#include "common/build_info.hpp"
 #include "common/table.hpp"
 #include "runtime/experiment.hpp"
 
@@ -119,6 +121,11 @@ int main(int argc, char** argv) {
   if (populations.empty()) populations = {1000, 5000};
 
   std::printf("=== churn deployment: stream health under 5%%/min join+leave ===\n");
+  // Self-describing header: saved bench logs must say what was measured.
+  std::printf("build=%s sanitizer=%s threads=1 (serial rows) "
+              "hardware_threads=%u\n",
+              lifting::build_type(), lifting::sanitizer_tag(),
+              std::thread::hardware_concurrency());
   std::printf(
       "674 kbps stream, f=7, Tg=500 ms, LiFTinG on, 10%% deterred "
       "freeriders,\n5%%/min Poisson arrivals + departures (half crashes, "

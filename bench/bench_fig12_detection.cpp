@@ -5,21 +5,23 @@
 /// Paper landmarks: α(0.05) ≈ 65%; α ≥ 99% beyond δ = 0.1; a freerider
 /// gains 10% at δ = 0.035 where α ≈ 50%.
 ///
-/// Runs the Monte-Carlo sweep in parallel (one thread per δ, each with its
-/// own sampler and RNG stream).
+/// Runs the Monte-Carlo sweep on the ParallelRunner (one task per δ, each
+/// with its own sampler and RNG stream derived from the task index, so the
+/// table is identical at any --threads value).
 
 #include <cmath>
 #include <cstdio>
-#include <thread>
 #include <vector>
 
 #include "analysis/formulas.hpp"
 #include "analysis/sampler.hpp"
+#include "common/build_info.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
+#include "runtime/runner.hpp"
 #include "stats/summary.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lifting;
   using namespace lifting::analysis;
 
@@ -28,9 +30,13 @@ int main() {
   const std::uint32_t r = 50;
   const std::uint32_t trials = 4000;
 
+  runtime::ParallelRunner runner(
+      runtime::ParallelRunner::threads_from_args(argc, argv));
+
   std::printf("=== Figure 12: detection vs degree of freeriding ===\n");
-  std::printf("eta=%.2f, r=%u periods, %u Monte-Carlo nodes per point\n\n",
-              eta, r, trials);
+  std::printf("eta=%.2f, r=%u periods, %u Monte-Carlo nodes per point "
+              "[build=%s threads=%u]\n\n",
+              eta, r, trials, build_type(), runner.threads());
 
   const std::vector<double> deltas{0.00, 0.01, 0.02, 0.035, 0.05, 0.075,
                                    0.10, 0.125, 0.15, 0.175, 0.20};
@@ -42,31 +48,23 @@ int main() {
     double beta_mc = 0.0;
     double alpha_bound = 0.0;
   };
-  std::vector<Row> rows(deltas.size());
-
-  {
-    std::vector<std::jthread> workers;
-    workers.reserve(deltas.size());
-    for (std::size_t i = 0; i < deltas.size(); ++i) {
-      workers.emplace_back([&, i] {
-        const double delta = deltas[i];
-        const auto d = FreeriderDegree::uniform(delta);
-        BlameSampler sampler(model);
-        Pcg32 rng = derive_rng(20120, i);
-        const auto est = estimate_detection(sampler, d, eta, r, trials, rng);
-        // Chebyshev lower bound using Monte-Carlo σ(b') (σ's closed form
-        // for freeriders is deferred to [8] in the paper).
-        stats::Summary per_period;
-        for (int k = 0; k < 20000; ++k) {
-          per_period.add(sampler.sample_period(rng, d));
-        }
-        const double excess = expected_blame_freerider(model, d) -
-                              expected_wrongful_blame(model);
-        rows[i] = Row{delta, d.gain(), est.detection, est.false_positive,
-                      detection_bound(excess, per_period.stddev(), eta, r)};
-      });
+  const auto rows = runner.map<Row>(deltas.size(), [&](std::size_t i) {
+    const double delta = deltas[i];
+    const auto d = FreeriderDegree::uniform(delta);
+    BlameSampler sampler(model);
+    Pcg32 rng = derive_rng(20120, i);
+    const auto est = estimate_detection(sampler, d, eta, r, trials, rng);
+    // Chebyshev lower bound using Monte-Carlo σ(b') (σ's closed form
+    // for freeriders is deferred to [8] in the paper).
+    stats::Summary per_period;
+    for (int k = 0; k < 20000; ++k) {
+      per_period.add(sampler.sample_period(rng, d));
     }
-  }
+    const double excess = expected_blame_freerider(model, d) -
+                          expected_wrongful_blame(model);
+    return Row{delta, d.gain(), est.detection, est.false_positive,
+               detection_bound(excess, per_period.stddev(), eta, r)};
+  });
 
   TextTable table({"delta", "gain", "alpha (detection)", "alpha bound",
                    "beta (false pos.)"});

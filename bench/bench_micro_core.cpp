@@ -1,12 +1,18 @@
 /// Micro-benchmarks of the substrate hot paths (google-benchmark):
 /// event queue throughput, entropy computation, RNG sampling, the blame
 /// sampler, and message size computation.
+///
+/// The JSON context carries `lifting_build_type` — the build type of THIS
+/// binary (google-benchmark's own `library_build_type` describes the
+/// packaged benchmark library, not our code). BENCH_baseline.json must
+/// say `"lifting_build_type": "release"`; CI enforces it.
 
 #include <benchmark/benchmark.h>
 
 #include <vector>
 
 #include "analysis/sampler.hpp"
+#include "common/build_info.hpp"
 #include "common/rng.hpp"
 #include "gossip/message.hpp"
 #include "sim/event_queue.hpp"
@@ -104,3 +110,13 @@ void BM_WireSizePropose(benchmark::State& state) {
 BENCHMARK(BM_WireSizePropose);
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::AddCustomContext("lifting_build_type", lifting::build_type());
+  benchmark::AddCustomContext("lifting_sanitizer", lifting::sanitizer_tag());
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

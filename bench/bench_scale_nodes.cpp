@@ -15,8 +15,10 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <thread>
 #include <vector>
 
+#include "common/build_info.hpp"
 #include "common/table.hpp"
 #include "runtime/experiment.hpp"
 
@@ -96,6 +98,13 @@ int main(int argc, char** argv) {
   if (populations.empty()) populations = {300, 1000, 5000, 20000};
 
   std::printf("=== simulation-core scaling: stream-health scenario ===\n");
+  // Self-describing header: saved bench logs must say what was measured.
+  // Rows run serially on purpose (one sim per row, per-row wall timing);
+  // hardware_threads records the machine the log came from.
+  std::printf("build=%s sanitizer=%s threads=1 (serial rows) "
+              "hardware_threads=%u\n",
+              lifting::build_type(), lifting::sanitizer_tag(),
+              std::thread::hardware_concurrency());
   std::printf(
       "674 kbps stream, f=7, Tg=500 ms, LiFTinG on, 10%% deterred "
       "freeriders, 20%% weak links\n\n");

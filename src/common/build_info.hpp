@@ -1,0 +1,43 @@
+#ifndef LIFTING_COMMON_BUILD_INFO_HPP
+#define LIFTING_COMMON_BUILD_INFO_HPP
+
+/// Build self-description for bench headers: saved bench logs must say what
+/// was measured. A debug-built bench number is meaningless as a baseline
+/// (the checked-in BENCH_baseline.json was once captured from a debug build
+/// precisely because nothing said so), and sanitizer builds distort timing
+/// by an order of magnitude.
+
+namespace lifting {
+
+/// "release" when compiled with NDEBUG (assert()-free codegen), else
+/// "debug". Tracks the translation unit including this header, which for
+/// the benches matches the library build (one CMake build type per tree).
+[[nodiscard]] constexpr const char* build_type() noexcept {
+#ifdef NDEBUG
+  return "release";
+#else
+  return "debug";
+#endif
+}
+
+/// Sanitizer instrumentation compiled into this binary, or "none".
+/// GCC defines __SANITIZE_*__; Clang exposes the same via __has_feature.
+#if !defined(__has_feature)
+#define LIFTING_HAS_FEATURE(x) 0
+#else
+#define LIFTING_HAS_FEATURE(x) __has_feature(x)
+#endif
+[[nodiscard]] constexpr const char* sanitizer_tag() noexcept {
+#if defined(__SANITIZE_THREAD__) || LIFTING_HAS_FEATURE(thread_sanitizer)
+  return "tsan";
+#elif defined(__SANITIZE_ADDRESS__) || LIFTING_HAS_FEATURE(address_sanitizer)
+  return "asan";
+#else
+  return "none";
+#endif
+}
+#undef LIFTING_HAS_FEATURE
+
+}  // namespace lifting
+
+#endif  // LIFTING_COMMON_BUILD_INFO_HPP

@@ -44,6 +44,20 @@ class ManagerAssignment {
   ManagerAssignment(std::uint32_t n, std::uint32_t m, std::uint64_t seed)
       : n_(n), m_(m), seed_(seed), cache_(n), ready_(n, 0) {}
 
+  /// Re-targets the table at a (possibly) different deployment. A no-op
+  /// when (n, m, seed) are unchanged — the assignment is a pure function of
+  /// them, so every cached row (including lazily-added churn joiners) stays
+  /// valid. Otherwise the rows are invalidated in place and refilled
+  /// lazily, keeping the outer table storage (Experiment::reset).
+  void rebind(std::uint32_t n, std::uint32_t m, std::uint64_t seed) {
+    if (n == n_ && m == m_ && seed == seed_) return;
+    n_ = n;
+    m_ = m;
+    seed_ = seed;
+    cache_.resize(n);
+    ready_.assign(n, 0);
+  }
+
   [[nodiscard]] const std::vector<NodeId>& of(NodeId target) {
     const auto v = static_cast<std::size_t>(target.value());
     if (v >= cache_.size()) {  // churn joiner beyond the base population

@@ -6,6 +6,22 @@
 
 namespace lifting {
 
+namespace {
+
+/// Sorted-unique insert into a ChunkIdList — the std::set semantics the
+/// verification trackers rely on, without the per-element node allocation.
+void insert_sorted_unique(gossip::ChunkIdList& list, ChunkId c) {
+  const auto it = std::lower_bound(list.begin(), list.end(), c);
+  if (it == list.end() || *it != c) list.insert(it, c);
+}
+
+void erase_sorted(gossip::ChunkIdList& list, ChunkId c) {
+  const auto it = std::lower_bound(list.begin(), list.end(), c);
+  if (it != list.end() && *it == c) list.erase(it, it + 1);
+}
+
+}  // namespace
+
 // ------------------------------------------------------- DirectVerifier
 
 void DirectVerifier::on_request_sent(NodeId proposer, PeriodIndex period,
@@ -13,7 +29,7 @@ void DirectVerifier::on_request_sent(NodeId proposer, PeriodIndex period,
   if (chunks.empty()) return;
   const Key key{proposer, period};
   auto& pending = pending_[key];
-  for (const auto c : chunks) pending.outstanding.insert(c);
+  for (const auto c : chunks) insert_sorted_unique(pending.outstanding, c);
   pending.requested += chunks.size();
   sim_.schedule_after(params_.dv_timeout, [this, key] { on_deadline(key); });
 }
@@ -22,7 +38,7 @@ void DirectVerifier::on_serve_received(NodeId sender, PeriodIndex period,
                                        ChunkId chunk) {
   const auto it = pending_.find(Key{sender, period});
   if (it == pending_.end()) return;
-  it->second.outstanding.erase(chunk);
+  erase_sorted(it->second.outstanding, chunk);
 }
 
 void DirectVerifier::on_deadline(Key key) {
@@ -50,7 +66,7 @@ void CrossChecker::on_chunks_served(NodeId receiver, PeriodIndex period,
   batch.receiver = receiver;
   batch.serve_period = period;
   batch.generation = ++generation_;
-  for (const auto c : chunks) batch.chunks.insert(c);
+  for (const auto c : chunks) insert_sorted_unique(batch.chunks, c);
   const auto generation = batch.generation;
   sim_.schedule_after(params_.ack_timeout,
                       [this, receiver, period, generation] {

@@ -4,8 +4,6 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <set>
-#include <unordered_map>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -62,8 +60,12 @@ class DirectVerifier {
                                     : period < o.period;
     }
   };
+  /// Outstanding chunk ids, kept sorted and unique — a SmallVector with
+  /// inline capacity >= the typical |R|, so tracking a verification
+  /// allocates nothing (the per-request std::set it replaces paid one node
+  /// allocation per chunk, the top allocator of whole runs).
   struct Pending {
-    std::set<ChunkId> outstanding;
+    gossip::ChunkIdList outstanding;
     std::size_t requested = 0;
   };
 
@@ -105,7 +107,7 @@ class CrossChecker {
   struct Batch {
     NodeId receiver;
     PeriodIndex serve_period;  // our proposal period the serve answered
-    std::set<ChunkId> chunks;
+    gossip::ChunkIdList chunks;  // sorted + unique (see Pending::outstanding)
     bool covered = false;  // fully covered by an ack
     std::uint64_t generation = 0;
   };

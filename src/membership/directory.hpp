@@ -31,7 +31,17 @@ class Directory {
   /// Creates a directory over nodes {0, 1, ..., n-1}, all live.
   /// Node ids are dense, so membership is a flat position table — liveness
   /// checks on the per-message path are a single array read.
-  explicit Directory(std::uint32_t n) {
+  explicit Directory(std::uint32_t n) { reset(n); }
+
+  /// Rewinds to the initial membership over {0, ..., n-1}, all live at
+  /// epoch 1, with empty expulsion/departure records. Table capacity is
+  /// kept (Experiment::reset).
+  void reset(std::uint32_t n) {
+    live_.clear();
+    position_.clear();
+    epoch_.clear();
+    expelled_.clear();
+    departed_.clear();
     live_.reserve(n);
     position_.reserve(n);
     epoch_.reserve(n);

@@ -16,6 +16,37 @@ Experiment::Experiment(ScenarioConfig config)
   build();
 }
 
+void Experiment::reset(ScenarioConfig config) {
+  config_ = std::move(config);
+  config_.validate();
+  rewind();
+  build();
+}
+
+void Experiment::reset(std::uint64_t seed) {
+  auto cfg = config_;
+  cfg.seed = seed;
+  reset(std::move(cfg));
+}
+
+void Experiment::rewind() {
+  sim_.reset();
+  metrics_.reset_all();  // counters zeroed; Mailer's cached handles stay valid
+  directory_.reset(config_.nodes);
+  rng_ = derive_rng(config_.seed, /*stream=*/0xE58);
+  ledger_.reset();
+  expulsions_.clear();
+  audit_reports_.clear();
+  joins_.clear();
+  departures_.clear();
+  timeline_events_.clear();
+  score_timeline_.clear();
+  freerider_list_.clear();
+  score_sample_interval_ = Duration::zero();
+  started_ = false;
+  wound_down_ = false;
+}
+
 void Experiment::build() {
   const std::uint32_t n = config_.nodes;
 
@@ -49,9 +80,15 @@ void Experiment::build() {
   // Pre-size the event arena for the steady-state in-flight population
   // (a few dozen timers/deliveries per node).
   sim_.reserve_events(static_cast<std::size_t>(n) * 32);
-  network_ = std::make_unique<sim::Network<gossip::Message>>(
-      sim_, derive_rng(config_.seed, 0x02));
-  mailer_ = std::make_unique<gossip::Mailer>(*network_, &metrics_);
+  if (network_ == nullptr) {
+    network_ = std::make_unique<sim::Network<gossip::Message>>(
+        sim_, derive_rng(config_.seed, 0x02));
+    mailer_ = std::make_unique<gossip::Mailer>(*network_, &metrics_);
+  } else {
+    // Reset path: same network object (the Mailer's reference stays
+    // valid), fresh endpoints and statistics, reused delivery pool.
+    network_->reset(derive_rng(config_.seed, 0x02));
+  }
 
   hooks_.on_blame_emitted = [this](NodeId /*by*/, NodeId target, double value,
                                    gossip::BlameReason reason) {
@@ -73,9 +110,14 @@ void Experiment::build() {
 
   // One deployment-wide manager table shared by every agent — the
   // assignment is a pure function of (n, M, seed); joiners extend it
-  // lazily, drawing their managers from the base pool [0, n).
-  assignment_ = std::make_shared<lifting::ManagerAssignment>(
-      n, config_.lifting.managers, config_.seed);
+  // lazily, drawing their managers from the base pool [0, n). On reset the
+  // table rebinds in place (a no-op when (n, M, seed) are unchanged).
+  if (assignment_ == nullptr) {
+    assignment_ = std::make_shared<lifting::ManagerAssignment>(
+        n, config_.lifting.managers, config_.seed);
+  } else {
+    assignment_->rebind(n, config_.lifting.managers, config_.seed);
+  }
 
   nodes_.resize(n);
   for (std::uint32_t i = 0; i < n; ++i) {

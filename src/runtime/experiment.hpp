@@ -53,6 +53,13 @@ class BlameLedger {
   }
   [[nodiscard]] std::uint64_t emissions() const noexcept { return emissions_; }
 
+  /// Forgets all recorded blame, keeping table capacity.
+  void reset() noexcept {
+    totals_.clear();
+    by_reason_.clear();
+    emissions_ = 0;
+  }
+
  private:
   using ReasonTotals = std::array<double, gossip::kBlameReasonCount>;
   std::vector<double> totals_;
@@ -121,6 +128,25 @@ struct OverheadReport {
 class Experiment {
  public:
   explicit Experiment(ScenarioConfig config);
+
+  /// Rewinds the built deployment and rebuilds it for `config` — the
+  /// cheap-repetition path for Monte-Carlo sweeps. Outcomes are
+  /// bit-identical to constructing a fresh Experiment(config) (asserted by
+  /// tests/test_parallel_runner.cpp), but the expensive substrate storage
+  /// is reused instead of torn down and re-grown: the event-queue arena,
+  /// the delivery pool, the dense per-node tables, the metrics registry
+  /// (counters zeroed, handles kept) and — when (nodes, managers, seed)
+  /// are unchanged — the shared ManagerAssignment table. Everything a
+  /// fresh Experiment would not have is gone: measurement hooks like
+  /// sample_scores_every() must be re-armed after every reset.
+  void reset(ScenarioConfig config);
+  /// Same-scenario repetition under a new seed (reset(config) with only
+  /// the seed replaced). Note: a timeline embedded in the config was
+  /// generated by the caller, typically from the old seed; regenerate it
+  /// (use the full reset(config) overload) if it should track the seed.
+  void reset(std::uint64_t seed);
+  /// Repeats the identical scenario (same config, same seed).
+  void reset() { reset(config_.seed); }
 
   /// Runs to the configured duration.
   void run();
@@ -252,6 +278,10 @@ class Experiment {
   };
 
   void build();
+  /// Clears every per-run state table (keeping capacity) so build() can
+  /// repopulate a reused deployment — the shared core of the constructor
+  /// and the reset() path.
+  void rewind();
   void on_expulsion_committed(NodeId victim, bool from_audit);
 
   // ---- timeline execution

@@ -1,0 +1,215 @@
+#ifndef LIFTING_RUNTIME_RUNNER_HPP
+#define LIFTING_RUNTIME_RUNNER_HPP
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "runtime/experiment.hpp"
+#include "runtime/scenario.hpp"
+
+/// Parallel experiment runner: shards independent scenario runs across a
+/// fixed worker pool. The simulator itself stays single-threaded by design
+/// (DESIGN.md §4/§6) — every Experiment is confined to the worker that runs
+/// it, and parallelism lives entirely at the run boundary.
+///
+/// Determinism contract (DESIGN.md §6):
+///   * per-task seeds come from the task's RunSpec — never from thread
+///     identity, scheduling, or completion order;
+///   * results land in a slot-per-task vector, so aggregation happens in
+///     task order no matter which worker finished first;
+///   * a reduce over that vector is bit-identical to the serial run, for
+///     every thread count (tests/test_parallel_runner.cpp).
+
+namespace lifting::runtime {
+
+/// One unit of sweep work: a scenario, the seed that makes it a concrete
+/// run, and a human-readable label for reports.
+struct RunSpec {
+  ScenarioConfig config;
+  std::uint64_t seed = 0;  ///< authoritative: overrides config.seed
+  std::string label;
+
+  RunSpec() = default;
+  RunSpec(ScenarioConfig cfg, std::uint64_t run_seed, std::string run_label = {})
+      : config(std::move(cfg)), seed(run_seed), label(std::move(run_label)) {
+    config.seed = seed;
+  }
+  explicit RunSpec(ScenarioConfig cfg)
+      : config(std::move(cfg)), seed(config.seed) {}
+};
+
+/// Derives the seed of sweep task `index` from a sweep-level base seed —
+/// a pure function, so a task's run is reproducible in isolation.
+[[nodiscard]] inline std::uint64_t derive_task_seed(
+    std::uint64_t base, std::uint64_t index) noexcept {
+  return splitmix64(base ^ splitmix64(0x7461736bULL + index));  // "task"
+}
+
+/// Slice [lo, hi) of `total` items owned by `shard` of `shards` — the one
+/// shared slicing rule for fixed-shard Monte-Carlo benches (shard counts
+/// are constants, never thread counts, so outputs are --threads-invariant).
+struct ShardRange {
+  std::size_t lo = 0;
+  std::size_t hi = 0;
+};
+[[nodiscard]] constexpr ShardRange shard_range(std::size_t shard,
+                                               std::size_t shards,
+                                               std::size_t total) noexcept {
+  return {shard * total / shards, (shard + 1) * total / shards};
+}
+
+/// Parses a numeric `--name N` / `--name=N` CLI flag for the benches.
+/// Returns `fallback` when the flag is absent; a malformed or missing
+/// value prints a diagnostic and exits 2 (a typo must not silently become
+/// the default). The accepted range is [lo, hi].
+[[nodiscard]] std::uint32_t parse_flag(int argc, const char* const* argv,
+                                       const char* name, std::uint32_t lo,
+                                       std::uint32_t hi,
+                                       std::uint32_t fallback);
+
+/// Order-insensitive exact fingerprint of one run's outcome — the per-run
+/// counters the determinism suites and the scaling bench compare across
+/// thread counts. operator== compares doubles bit-for-bit on purpose: the
+/// parallel aggregate must EQUAL the serial one, not approximate it.
+struct RunDigest {
+  std::uint64_t events = 0;
+  std::uint64_t datagrams_sent = 0;
+  std::uint64_t datagrams_lost = 0;
+  std::uint64_t datagrams_dropped = 0;
+  std::uint64_t datagrams_delivered = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_delivered = 0;
+  std::uint64_t blame_emissions = 0;
+  std::uint64_t joins = 0;
+  std::uint64_t departures = 0;
+  std::size_t honest_scored = 0;
+  std::size_t freeriders_scored = 0;
+  double honest_score_sum = 0.0;
+  double freerider_score_sum = 0.0;
+
+  friend bool operator==(const RunDigest&, const RunDigest&) = default;
+
+  /// Captures the digest of a completed run (scores only when LiFTinG ran).
+  [[nodiscard]] static RunDigest of(Experiment& ex);
+  /// Element-wise accumulation (for a task-ordered aggregate).
+  void accumulate(const RunDigest& other) noexcept;
+};
+
+/// Fixed pool of worker threads executing independent tasks. Construction
+/// spawns threads() - 1 workers; the calling thread participates as worker
+/// 0, so a 1-thread runner executes everything inline on the caller with
+/// no synchronization at all.
+class ParallelRunner {
+ public:
+  /// `threads` = 0 resolves via resolve_threads() (env override, then
+  /// hardware_concurrency).
+  explicit ParallelRunner(unsigned threads = 0);
+  ~ParallelRunner();
+  ParallelRunner(const ParallelRunner&) = delete;
+  ParallelRunner& operator=(const ParallelRunner&) = delete;
+
+  [[nodiscard]] unsigned threads() const noexcept { return threads_; }
+
+  /// Executes fn(task_index, worker_index) for every task in [0, count).
+  /// worker_index identifies the executing lane in [0, threads()) — use it
+  /// to index per-worker scratch, never to derive randomness or results.
+  /// Blocks until every task completed. The first task exception (lowest
+  /// task index) is rethrown on the caller; remaining tasks still run.
+  /// Not reentrant: tasks must not call back into the same runner.
+  void for_each(std::size_t count,
+                const std::function<void(std::size_t, unsigned)>& fn);
+
+  /// Deterministic parallel map: returns {fn(0), fn(1), ...} with results
+  /// in task order regardless of scheduling. R must be default-constructible
+  /// and assignable.
+  template <typename R, typename Fn>
+  [[nodiscard]] std::vector<R> map(std::size_t count, Fn&& fn) {
+    static_assert(!std::is_same_v<R, bool>,
+                  "vector<bool> packs 8 slots per byte — concurrent slot "
+                  "writes would race; map to char/int instead");
+    std::vector<R> out(count);
+    for_each(count,
+             [&](std::size_t i, unsigned /*worker*/) { out[i] = fn(i); });
+    return out;
+  }
+
+  /// Runs every spec (config with config.seed = spec.seed) and returns
+  /// fn(spec, experiment) per spec, in spec order. Each worker lane builds
+  /// one Experiment and rewinds it via Experiment::reset for each further
+  /// spec it executes — reset is bit-identical to fresh construction, so
+  /// which lane (and which deployment history) a task lands on cannot
+  /// affect its result.
+  template <typename R, typename Fn>
+  [[nodiscard]] std::vector<R> run_specs(const std::vector<RunSpec>& specs,
+                                         Fn&& fn) {
+    static_assert(!std::is_same_v<R, bool>,
+                  "vector<bool> packs 8 slots per byte — concurrent slot "
+                  "writes would race; map to char/int instead");
+    std::vector<R> out(specs.size());
+    std::vector<std::unique_ptr<Experiment>> lanes(threads_);
+    for_each(specs.size(), [&](std::size_t i, unsigned worker) {
+      const RunSpec& spec = specs[i];
+      ScenarioConfig cfg = spec.config;
+      cfg.seed = spec.seed;
+      auto& lane = lanes[worker];
+      if (lane == nullptr) {
+        lane = std::make_unique<Experiment>(std::move(cfg));
+      } else {
+        lane->reset(std::move(cfg));
+      }
+      out[i] = fn(spec, *lane);
+    });
+    return out;
+  }
+
+  /// Runs every spec to its configured duration and digests the outcome —
+  /// the common sweep shape (bench_sweep_scaling, determinism suites).
+  [[nodiscard]] std::vector<RunDigest> run_digests(
+      const std::vector<RunSpec>& specs);
+
+  /// Thread-count policy: `requested` if nonzero, else the LIFTING_THREADS
+  /// environment variable, else hardware_concurrency (minimum 1).
+  [[nodiscard]] static unsigned resolve_threads(unsigned requested = 0);
+
+  /// Parses `--threads N` / `--threads=N` out of argv (for the benches) and
+  /// resolves the rest of the policy. Unrelated arguments are ignored.
+  [[nodiscard]] static unsigned threads_from_args(int argc,
+                                                  const char* const* argv);
+
+ private:
+  void worker_loop(unsigned worker_index);
+  /// Claims and runs tasks of the current batch until none remain.
+  void drain_batch(unsigned worker_index);
+
+  unsigned threads_;
+  std::vector<std::thread> workers_;  // threads_ - 1 spawned lanes
+
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  const std::function<void(std::size_t, unsigned)>* job_ = nullptr;
+  std::size_t job_count_ = 0;
+  std::atomic<std::size_t> next_task_{0};
+  std::size_t active_workers_ = 0;
+  std::uint64_t generation_ = 0;
+  bool shutdown_ = false;
+
+  std::mutex error_mu_;
+  std::exception_ptr first_error_;
+  std::size_t first_error_task_ = 0;
+};
+
+}  // namespace lifting::runtime
+
+#endif  // LIFTING_RUNTIME_RUNNER_HPP

@@ -1,0 +1,75 @@
+#include "runtime/sweep.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/rng.hpp"
+
+namespace lifting::runtime {
+
+namespace {
+
+SweepCase make_case(std::uint32_t index, Pcg32& rng) {
+  SweepCase c;
+  c.index = index;
+  const std::uint32_t nodes = 40 + rng.below(60);
+  c.config = ScenarioConfig::small(nodes);
+  c.config.seed = 0x5EEDULL + index;
+  c.config.duration = seconds(10.0 + rng.uniform() * 4.0);
+  c.config.stream.duration = c.config.duration - seconds(2.0);
+
+  static constexpr double kDeltas[] = {0.1, 0.3, 0.5, 0.7};
+  c.delta = kDeltas[rng.below(4)];
+  c.config.freerider_fraction = 0.1 + rng.uniform() * 0.15;
+  c.config.freerider_behavior = gossip::BehaviorSpec::freerider(c.delta);
+
+  c.config.link.loss = rng.uniform() * 0.04;
+  c.config.weak_fraction = rng.uniform() * 0.2;
+  c.config.weak_link = c.config.link;
+  c.config.weak_link.loss = std::min(0.15, c.config.link.loss * 3 + 0.02);
+  c.config.weak_link.upload_capacity_bps = 5e6;
+
+  c.churn = (index % 2) == 1;
+  if (c.churn) {
+    ScenarioTimeline::PoissonChurn churn;
+    churn.arrival_fraction_per_min = 0.3 + rng.uniform() * 0.4;
+    churn.departure_fraction_per_min = 0.3 + rng.uniform() * 0.4;
+    churn.crash_fraction = rng.uniform();
+    churn.freerider_fraction = 0.1;
+    churn.freerider_behavior = c.config.freerider_behavior;
+    churn.start = seconds(2.0);
+    churn.end = c.config.duration - seconds(2.0);
+    c.config.timeline =
+        ScenarioTimeline::poisson_churn(churn, nodes, c.config.seed);
+  }
+  return c;
+}
+
+}  // namespace
+
+std::vector<SweepCase> scenario_sweep_cases(std::uint32_t count) {
+  auto rng = derive_rng(0xC0FFEE, 0x5357454550ULL);  // "SWEEP"
+  std::vector<SweepCase> cases;
+  cases.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    cases.push_back(make_case(i, rng));
+  }
+  return cases;
+}
+
+std::vector<RunSpec> scenario_sweep_specs(std::uint32_t count) {
+  auto cases = scenario_sweep_cases(count);
+  std::vector<RunSpec> specs;
+  specs.reserve(cases.size());
+  for (auto& c : cases) {
+    char label[64];
+    std::snprintf(label, sizeof(label), "sweep/%02u n=%u delta=%.1f%s",
+                  c.index, c.config.nodes, c.delta,
+                  c.churn ? " churn" : "");
+    const std::uint64_t seed = c.config.seed;
+    specs.emplace_back(std::move(c.config), seed, label);
+  }
+  return specs;
+}
+
+}  // namespace lifting::runtime

@@ -1,0 +1,39 @@
+#ifndef LIFTING_RUNTIME_SWEEP_HPP
+#define LIFTING_RUNTIME_SWEEP_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/runner.hpp"
+#include "runtime/scenario.hpp"
+
+/// The randomized scenario-sweep workload: ~count small configurations
+/// (population, δ-vector, loss, weak fraction, churn on/off) derived from
+/// one fixed seed. Shared by tests/test_scenario_sweep.cpp (structural
+/// invariants per case) and bench/bench_sweep_scaling.cpp (throughput and
+/// parallel-vs-serial identity over the same case set), so "the sweep
+/// workload" means the same thing in both.
+
+namespace lifting::runtime {
+
+struct SweepCase {
+  std::uint32_t index = 0;
+  double delta = 0.0;
+  bool churn = false;
+  ScenarioConfig config;
+};
+
+/// Generates the deterministic sweep cases. The generator rng is consumed
+/// strictly sequentially across cases, so scenario_sweep_cases(20) yields
+/// the exact historical 20-config suite as a prefix of any longer sweep.
+[[nodiscard]] std::vector<SweepCase> scenario_sweep_cases(
+    std::uint32_t count = 20);
+
+/// The same workload as labeled RunSpecs for the parallel runner (the
+/// spec's seed is the case config's seed).
+[[nodiscard]] std::vector<RunSpec> scenario_sweep_specs(
+    std::uint32_t count = 20);
+
+}  // namespace lifting::runtime
+
+#endif  // LIFTING_RUNTIME_SWEEP_HPP

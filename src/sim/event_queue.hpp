@@ -38,6 +38,14 @@
 /// deterministic: the queue realizes exactly the total order (time, seq) —
 /// two events scheduled for the same instant always execute in scheduling
 /// order, on every platform, matching the binary-heap queue it replaced.
+///
+/// Min-event stash: an event pushed into an otherwise empty queue is held
+/// in a one-entry stash instead of the wheel, and later pushes keep the
+/// stash holding the global (time, seq) minimum — an earlier newcomer
+/// swaps in and the previous front is placed into the wheel. Pop and
+/// next_time() serve the stash directly, so the single-outstanding-event
+/// shape (a chain of self-reschedules, the binary heap's best case) skips
+/// all bucket bookkeeping while realizing the identical total order.
 
 namespace lifting::sim {
 
@@ -46,18 +54,38 @@ class EventQueue {
   using Action = UniqueFunction<void()>;
 
   void push(TimePoint at, Action action) {
+    if (size_ == 0) {
+      // Empty queue: the newcomer is trivially the minimum — stash it.
+      stash_at_ = at;
+      stash_idx_ = allocate(at, next_seq_++, std::move(action));
+      size_ = 1;
+      return;
+    }
+    const std::uint64_t seq = next_seq_++;
+    if (stash_idx_ != kNil && at < stash_at_) {
+      // Strictly earlier than the stashed front (a time tie keeps the
+      // stash: its seq is lower): swap the newcomer in and demote the
+      // previous front into the wheel via place() — it already owns an
+      // arena entry.
+      const std::uint32_t demoted = stash_idx_;
+      stash_idx_ = allocate(at, seq, std::move(action));
+      stash_at_ = at;
+      place(demoted);
+      ++size_;
+      return;
+    }
     const std::uint64_t q = quantum_of(at);
     if (q < cursor_) {
       rewind_to(q);
     }
     if (q - cursor_ >= kWheelSlots) {
-      // Beyond the wheel horizon: park in the overflow min-heap.
-      overflow_.push_back(OverflowEntry{at, next_seq_++, std::move(action)});
+      // Beyond the wheel horizon: straight into the overflow min-heap,
+      // with no arena round-trip.
+      overflow_.push_back(OverflowEntry{at, seq, std::move(action)});
       std::push_heap(overflow_.begin(), overflow_.end(), Later{});
       ++size_;
       return;
     }
-    const std::uint64_t seq = next_seq_++;
     const std::uint32_t idx = allocate(at, seq, std::move(action));
     if (current_prepared_ && q == cursor_) {
       // The cursor's quantum is already harvested into order_; route the
@@ -87,6 +115,7 @@ class EventQueue {
 
   /// Earliest pending event's time. Precondition: !empty().
   [[nodiscard]] TimePoint next_time() {
+    if (stash_idx_ != kNil) return stash_at_;
     ensure_head();
     return order_[drain_pos_].at;
   }
@@ -104,6 +133,12 @@ class EventQueue {
   /// caller invokes *action (pushes during the invocation are fine) and
   /// then calls finish_pop(idx). Precondition: !empty().
   [[nodiscard]] Popped begin_pop() {
+    if (stash_idx_ != kNil) {
+      const std::uint32_t idx = stash_idx_;
+      stash_idx_ = kNil;
+      --size_;
+      return Popped{stash_at_, &entry(idx).action, idx};
+    }
     ensure_head();
     const OrderKey& head = order_[drain_pos_];
     ++drain_pos_;
@@ -124,6 +159,45 @@ class EventQueue {
     std::pair<TimePoint, Action> out{popped.at, std::move(*popped.action)};
     finish_pop(popped.idx);
     return out;
+  }
+
+  /// Discards every pending event (destroying the closures) and rewinds the
+  /// queue to its initial state, but keeps the arena chunks and the scratch
+  /// vectors' capacity — a reset queue re-runs a scenario without re-paying
+  /// the event-storage allocations (Experiment::reset).
+  void clear() noexcept {
+    if (stash_idx_ != kNil) {
+      entry(stash_idx_).action = Action{};
+      stash_idx_ = kNil;
+    }
+    if (current_prepared_) {
+      for (std::size_t i = drain_pos_; i < order_.size(); ++i) {
+        entry(order_[i].idx).action = Action{};
+      }
+    }
+    order_.clear();
+    drain_pos_ = 0;
+    current_prepared_ = false;
+    current_dirty_ = false;
+    for (auto& head : heads_) {
+      for (std::uint32_t i = head; i != kNil;) {
+        Entry& e = entry(i);
+        e.action = Action{};
+        i = e.next;
+      }
+      head = kNil;
+    }
+    overflow_.clear();
+    // Rebuild the free list over the whole arena, lowest index first, so a
+    // reset queue allocates entries in the same order a fresh one would.
+    free_head_ = kNil;
+    for (std::uint32_t i = arena_size_; i > 0; --i) {
+      entry(i - 1).next = free_head_;
+      free_head_ = i - 1;
+    }
+    cursor_ = 0;
+    size_ = 0;
+    next_seq_ = 0;
   }
 
  private:
@@ -208,6 +282,39 @@ class EventQueue {
   void release(std::uint32_t idx) noexcept {
     entry(idx).next = free_head_;
     free_head_ = idx;
+  }
+
+  /// Routes an already-allocated entry into the wheel, the cursor's
+  /// harvested order_, or the overflow heap according to its quantum —
+  /// used by stash demotion, where the event owns an arena entry (push()
+  /// routes fresh events itself so overflow-bound ones skip the arena).
+  void place(std::uint32_t idx) {
+    Entry& e = entry(idx);
+    const std::uint64_t q = quantum_of(e.at);
+    if (q < cursor_) {
+      rewind_to(q);
+    }
+    if (q - cursor_ >= kWheelSlots) {
+      // Beyond the wheel horizon: park in the overflow min-heap.
+      overflow_.push_back(OverflowEntry{e.at, e.seq, std::move(e.action)});
+      std::push_heap(overflow_.begin(), overflow_.end(), Later{});
+      release(idx);
+      return;
+    }
+    if (current_prepared_ && q == cursor_) {
+      // The cursor's quantum is already harvested into order_; route the
+      // event there directly. Unlike push()'s append (whose seq is always
+      // the highest so far, so a time tie stays sorted), a demoted entry
+      // carries an OLDER seq than later pushes — compare the full
+      // (time, seq) key against the tail.
+      if (drain_pos_ < order_.size() &&
+          KeyEarlier{}(OrderKey{e.at, e.seq, idx}, order_.back())) {
+        current_dirty_ = true;
+      }
+      order_.push_back(OrderKey{e.at, e.seq, idx});
+    } else {
+      link(idx, q & kWheelMask);
+    }
   }
 
   void link(std::uint32_t idx, std::uint64_t slot) noexcept {
@@ -327,6 +434,13 @@ class EventQueue {
   std::vector<OrderKey> order_;  // sorted drain scratch for the cursor slot
   std::array<std::uint32_t, kWheelSlots> heads_;  // slot list heads
   std::uint32_t free_head_ = kNil;
+  /// Min-event stash: when != kNil, entry stash_idx_ (scheduled at
+  /// stash_at_) is the queue's global (time, seq) minimum and is NOT linked
+  /// into any wheel slot. Invariant: every other pending event was either
+  /// pushed while the stash held an earlier-or-equal key, or was demoted
+  /// out of the stash by a strictly earlier newcomer.
+  std::uint32_t stash_idx_ = kNil;
+  TimePoint stash_at_{};
   std::uint64_t cursor_ = 0;   // quantum currently being drained
   std::size_t drain_pos_ = 0;  // consumed prefix of order_
   bool current_prepared_ = false;  // cursor slot harvested into order_

@@ -147,6 +147,21 @@ class Network {
     return pool_.size() - free_.size();
   }
 
+  /// Rewinds the network for a fresh run: endpoints and statistics are
+  /// cleared and the rng replaced, but the delivery pool keeps its slots
+  /// (stale payloads are overwritten on reuse) — the steady-state in-flight
+  /// population of the next run occupies already-grown storage instead of
+  /// re-paying the pool's growth allocations (Experiment::reset). Slot
+  /// indices are invisible to outcomes (delivery order is the event
+  /// queue's (time, seq) order), so reuse order does not affect results.
+  void reset(Pcg32 rng) {
+    rng_ = rng;
+    nodes_.clear();
+    stats_ = NetworkStats{};
+    free_.resize(pool_.size());
+    for (std::uint32_t i = 0; i < free_.size(); ++i) free_[i] = i;
+  }
+
   /// Sends `payload` of `bytes` from `from` to `to` on `channel`.
   /// Datagrams may be lost or dropped; reliable messages always arrive.
   void send(NodeId from, NodeId to, Channel channel, std::size_t bytes,

@@ -48,6 +48,16 @@ class Simulator {
   /// (e.g. experiments sized by node count).
   void reserve_events(std::size_t events) { queue_.reserve(events); }
 
+  /// Rewinds the simulator for a fresh run: the clock returns to the epoch,
+  /// pending events are discarded and the processed count restarts, but the
+  /// event arena keeps its chunks — a reset simulator replays a scenario
+  /// without re-paying event-storage allocation (Experiment::reset).
+  void reset() noexcept {
+    queue_.clear();
+    now_ = kSimEpoch;
+    events_processed_ = 0;
+  }
+
   [[nodiscard]] std::uint64_t events_processed() const noexcept {
     return events_processed_;
   }

@@ -28,6 +28,18 @@ class Histogram {
     ++total_;
   }
 
+  /// Merges another histogram with identical binning (parallel shards of
+  /// one distribution combine their partial counts).
+  void merge(const Histogram& other) {
+    LIFTING_ASSERT(other.lo_ == lo_ && other.hi_ == hi_ &&
+                       other.counts_.size() == counts_.size(),
+                   "Histogram::merge requires identical binning");
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      counts_[i] += other.counts_[i];
+    }
+    total_ += other.total_;
+  }
+
   [[nodiscard]] std::size_t bin_index(double x) const noexcept {
     if (x < lo_) return 0;
     const double w = width();

@@ -6,11 +6,14 @@
 
 #include "lifting/managers.hpp"
 #include "runtime/experiment.hpp"
+#include "runtime/runner.hpp"
+#include "runtime/sweep.hpp"
 
 /// Randomized scenario sweep: ~20 small configurations (population,
 /// δ-vector, loss, weak fraction, churn on/off) derived from one fixed
-/// seed, each run end to end and checked against structural invariants
-/// rather than pinned numbers:
+/// seed (src/runtime/sweep.hpp — the same workload bench_sweep_scaling
+/// measures), each run end to end and checked against structural
+/// invariants rather than pinned numbers:
 ///
 ///   * no pool-slot leaks — after wind_down() the delivery pool is empty
 ///     and the event queue fully drained (exercises endpoint teardown);
@@ -22,53 +25,13 @@
 ///
 /// The sweep is deterministic (fixed seed), so a failure names the exact
 /// config; the same suite runs under ASan/UBSan in CI to surface teardown
-/// and lifetime bugs loudly.
+/// and lifetime bugs loudly. The cases execute on the ParallelRunner
+/// (runs share no state — DESIGN.md §6), so the suite also exercises the
+/// sharded sweep path on every run; gtest assertions are thread-safe on
+/// pthread platforms.
 
 namespace lifting::runtime {
 namespace {
-
-struct SweepCase {
-  std::uint32_t index = 0;
-  double delta = 0.0;
-  bool churn = false;
-  ScenarioConfig config;
-};
-
-SweepCase make_case(std::uint32_t index, Pcg32& rng) {
-  SweepCase c;
-  c.index = index;
-  const std::uint32_t nodes = 40 + rng.below(60);
-  c.config = ScenarioConfig::small(nodes);
-  c.config.seed = 0x5EEDULL + index;
-  c.config.duration = seconds(10.0 + rng.uniform() * 4.0);
-  c.config.stream.duration = c.config.duration - seconds(2.0);
-
-  static constexpr double kDeltas[] = {0.1, 0.3, 0.5, 0.7};
-  c.delta = kDeltas[rng.below(4)];
-  c.config.freerider_fraction = 0.1 + rng.uniform() * 0.15;
-  c.config.freerider_behavior = gossip::BehaviorSpec::freerider(c.delta);
-
-  c.config.link.loss = rng.uniform() * 0.04;
-  c.config.weak_fraction = rng.uniform() * 0.2;
-  c.config.weak_link = c.config.link;
-  c.config.weak_link.loss = std::min(0.15, c.config.link.loss * 3 + 0.02);
-  c.config.weak_link.upload_capacity_bps = 5e6;
-
-  c.churn = (index % 2) == 1;
-  if (c.churn) {
-    ScenarioTimeline::PoissonChurn churn;
-    churn.arrival_fraction_per_min = 0.3 + rng.uniform() * 0.4;
-    churn.departure_fraction_per_min = 0.3 + rng.uniform() * 0.4;
-    churn.crash_fraction = rng.uniform();
-    churn.freerider_fraction = 0.1;
-    churn.freerider_behavior = c.config.freerider_behavior;
-    churn.start = seconds(2.0);
-    churn.end = c.config.duration - seconds(2.0);
-    c.config.timeline =
-        ScenarioTimeline::poisson_churn(churn, nodes, c.config.seed);
-  }
-  return c;
-}
 
 void check_invariants(const SweepCase& c) {
   SCOPED_TRACE(::testing::Message()
@@ -157,10 +120,11 @@ void check_invariants(const SweepCase& c) {
 }
 
 TEST(ScenarioSweep, RandomizedConfigsHoldStructuralInvariants) {
-  auto rng = derive_rng(0xC0FFEE, 0x5357454550ULL);  // "SWEEP"
-  for (std::uint32_t i = 0; i < 20; ++i) {
-    check_invariants(make_case(i, rng));
-  }
+  const auto cases = scenario_sweep_cases(20);
+  ParallelRunner runner;  // LIFTING_THREADS-aware; serial when 1 core
+  runner.for_each(cases.size(), [&](std::size_t i, unsigned /*worker*/) {
+    check_invariants(cases[i]);
+  });
 }
 
 }  // namespace

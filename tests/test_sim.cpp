@@ -98,6 +98,84 @@ TEST(EventQueue, EventsScheduledWhileDrainingKeepOrder) {
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
 }
 
+TEST(EventQueue, SingleOutstandingEventChainStaysOrdered) {
+  // The min-event stash fast path: a chain that always holds exactly one
+  // event (push into empty queue, then pop) must behave identically to the
+  // general path — including across the wheel horizon and time ties.
+  EventQueue q;
+  std::vector<int> popped;
+  auto t = kSimEpoch;
+  for (int i = 0; i < 1000; ++i) {
+    t += microseconds(10);
+    q.push(t, [&popped, i] { popped.push_back(i); });
+    EXPECT_EQ(q.size(), 1u);
+    EXPECT_EQ(q.next_time(), t);
+    q.pop().second();
+  }
+  // Far-future single event (would overflow the wheel) is stashed too.
+  q.push(kSimEpoch + seconds(1000.0), [&] { popped.push_back(1000); });
+  EXPECT_EQ(q.next_time(), kSimEpoch + seconds(1000.0));
+  q.pop().second();
+  ASSERT_EQ(popped.size(), 1001u);
+  for (int i = 0; i <= 1000; ++i) EXPECT_EQ(popped[i], i);
+}
+
+TEST(EventQueue, StashDemotionPreservesTotalOrder) {
+  // A stashed front must yield to a strictly earlier newcomer (and keep
+  // priority over an equal-time one — its sequence number is lower).
+  EventQueue q;
+  std::vector<int> order;
+  const auto t = kSimEpoch + milliseconds(10);
+  q.push(t, [&] { order.push_back(1); });                       // stashed
+  q.push(t, [&] { order.push_back(2); });                       // tie: stash wins
+  q.push(t - milliseconds(5), [&] { order.push_back(0); });     // demotes stash
+  q.push(t + milliseconds(5), [&] { order.push_back(3); });
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(EventQueue, StashDemotionIntoHarvestedTailKeepsTieOrder) {
+  // Regression: a demoted stash entry appended to the cursor's harvested
+  // order_ carries an OLDER seq than a later push at the same instant —
+  // the tail must be flagged for a re-sort or same-instant events run out
+  // of scheduling order.
+  EventQueue q;
+  std::vector<int> order;
+  const auto t = kSimEpoch + microseconds(100);
+  q.push(t, [&] { order.push_back(0); });  // stashed
+  q.push(t, [&] { order.push_back(1); });  // into the wheel
+  q.pop().second();                        // pops 0 (stash)
+  q.pop().second();  // pops 1; the quantum stays harvested (drained tail)
+  const auto t2 = t + microseconds(10);  // same quantum as the cursor
+  q.push(t2, [&] { order.push_back(2); });  // stashed (queue empty again)
+  q.push(t2, [&] { order.push_back(3); });  // appended to the harvested tail
+  // Earlier newcomer: demotes 2 into the tail behind 3 — equal time,
+  // older seq, so 2 must still pop before 3.
+  q.push(t2 - microseconds(1), [&] { order.push_back(4); });
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 4, 2, 3}));
+}
+
+TEST(EventQueue, ClearKeepsArenaAndRewindsSequence) {
+  EventQueue q;
+  int fired = 0;
+  for (int i = 0; i < 100; ++i) {
+    q.push(kSimEpoch + milliseconds(i), [&] { ++fired; });
+  }
+  q.push(kSimEpoch + seconds(100.0), [&] { ++fired; });  // overflow too
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(fired, 0);  // pending closures destroyed, never invoked
+  // The cleared queue orders a fresh schedule exactly like a new one.
+  std::vector<int> order;
+  q.push(kSimEpoch + milliseconds(2), [&] { order.push_back(1); });
+  q.push(kSimEpoch + milliseconds(1), [&] { order.push_back(0); });
+  q.push(kSimEpoch + milliseconds(2), [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
 // -------------------------------------------------------------- simulator
 
 TEST(Simulator, AdvancesClockThroughEvents) {
