@@ -13,9 +13,19 @@
 /// ends with a wind-down drain and prints the delivery-pool leak count,
 /// which must be 0.
 ///
+/// A second table runs the churn-resilient accountability scenario
+/// (DESIGN.md §7): the same churn plus manager handoff, a 500 ms divergent
+/// membership-view lag, and 50% of departures rejoining. Per population it
+/// reports the handoff count (assignment promotions), the manager-quorum
+/// trajectory (mean at end, minimum over per-second samples — without
+/// handoff this decays with departures; with it the minimum stays pinned
+/// at M until the base pool thins), and the honest wrongful-blame split
+/// by churn role: stayer / leaver / rejoiner. Pool-leak must still be 0.
+///
 /// Usage: bench_churn [nodes...]
 ///   default populations: 1000 5000
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -30,7 +40,28 @@ namespace {
 
 using namespace lifting;
 
-runtime::ScenarioConfig churn_config(std::uint32_t n, double sim_seconds) {
+/// The one churn model both tables run ("same churn" in the output is a
+/// code-level guarantee): 5%/min joins + 5%/min leaves/crashes, half
+/// crashes, 10% freeriding joiners. The resilience table adds only the
+/// rejoin knobs on top.
+runtime::ScenarioTimeline::PoissonChurn churn_model(
+    const runtime::ScenarioConfig& cfg, double sim_seconds,
+    double rejoin_fraction) {
+  runtime::ScenarioTimeline::PoissonChurn churn;
+  churn.arrival_fraction_per_min = 0.05;    // 5%/min joins
+  churn.departure_fraction_per_min = 0.05;  // 5%/min leaves+crashes
+  churn.crash_fraction = 0.5;
+  churn.freerider_fraction = 0.10;
+  churn.freerider_behavior = cfg.freerider_behavior;
+  churn.rejoin_fraction = rejoin_fraction;
+  churn.rejoin_delay_mean = seconds(5.0);
+  churn.start = seconds(2.0);
+  churn.end = seconds(sim_seconds * 0.9);
+  return churn;
+}
+
+/// Deployment knobs shared by both tables, without a timeline.
+runtime::ScenarioConfig base_config(std::uint32_t n, double sim_seconds) {
   auto cfg = runtime::ScenarioConfig::planetlab();
   cfg.nodes = n;
   cfg.duration = seconds(sim_seconds);
@@ -39,17 +70,13 @@ runtime::ScenarioConfig churn_config(std::uint32_t n, double sim_seconds) {
   cfg.freerider_fraction = 0.10;
   cfg.freerider_behavior = gossip::BehaviorSpec::freerider(0.035);
   cfg.failure_detection = seconds(2.0);
+  return cfg;
+}
 
-  runtime::ScenarioTimeline::PoissonChurn churn;
-  churn.arrival_fraction_per_min = 0.05;    // 5%/min joins
-  churn.departure_fraction_per_min = 0.05;  // 5%/min leaves+crashes
-  churn.crash_fraction = 0.5;
-  churn.freerider_fraction = 0.10;
-  churn.freerider_behavior = cfg.freerider_behavior;
-  churn.start = seconds(2.0);
-  churn.end = seconds(sim_seconds * 0.9);
-  cfg.timeline =
-      runtime::ScenarioTimeline::poisson_churn(churn, n, cfg.seed);
+runtime::ScenarioConfig churn_config(std::uint32_t n, double sim_seconds) {
+  auto cfg = base_config(n, sim_seconds);
+  cfg.timeline = runtime::ScenarioTimeline::poisson_churn(
+      churn_model(cfg, sim_seconds, /*rejoin_fraction=*/0.0), n, cfg.seed);
   return cfg;
 }
 
@@ -71,6 +98,57 @@ struct Row {
   double leaver_blame = 0.0;  // mean ledger blame per honest leaver
   std::size_t pool_leak = 0;
 };
+
+/// The churn-resilient accountability scenario: churn_config's exact churn
+/// model plus manager handoff, divergent views, and rejoining leavers
+/// (half of the departed come back after ~5 s offline).
+runtime::ScenarioConfig resilience_config(std::uint32_t n,
+                                          double sim_seconds) {
+  auto cfg = base_config(n, sim_seconds);
+  cfg.view_propagation = milliseconds(500);
+  cfg.manager_handoff_delay = milliseconds(500);
+  cfg.timeline = runtime::ScenarioTimeline::poisson_churn(
+      churn_model(cfg, sim_seconds, /*rejoin_fraction=*/0.5), n, cfg.seed);
+  return cfg;
+}
+
+struct ResilienceRow {
+  std::uint32_t nodes = 0;
+  std::uint64_t handoffs = 0;
+  std::size_t rejoins = 0;
+  double quorum_mean_end = 0.0;
+  std::size_t quorum_min = 0;  // minimum over per-second samples
+  double stayer_blame = 0.0;
+  double leaver_blame = 0.0;
+  double rejoiner_blame = 0.0;
+  std::size_t pool_leak = 0;
+};
+
+ResilienceRow run_resilience(std::uint32_t n) {
+  ResilienceRow row;
+  row.nodes = n;
+  const double sim_seconds = horizon_seconds(n);
+  runtime::Experiment ex(resilience_config(n, sim_seconds));
+  // Drive in 1 s slices to sample the quorum trajectory (quorum_stats is
+  // outcome-neutral by the assignment's replay contract).
+  row.quorum_min = ex.config().lifting.managers;
+  for (double t = 1.0; t <= sim_seconds; t += 1.0) {
+    ex.run_until(kSimEpoch + seconds(t));
+    const auto quorum = ex.quorum_stats();
+    row.quorum_min = std::min(row.quorum_min, quorum.min);
+    row.quorum_mean_end = quorum.mean;
+  }
+  ex.run();
+  row.handoffs = ex.handoff_promotions();
+  row.rejoins = ex.rejoins().size();
+  const auto split = ex.honest_blame_split();
+  row.stayer_blame = split.stayer_mean();
+  row.leaver_blame = split.leaver_mean();
+  row.rejoiner_blame = split.rejoiner_mean();
+  ex.wind_down();
+  row.pool_leak = ex.network().in_flight();
+  return row;
+}
 
 Row run(std::uint32_t n) {
   Row row;
@@ -162,5 +240,36 @@ int main(int argc, char** argv) {
     std::fflush(stdout);
   }
   table.print();
+
+  std::printf(
+      "\n=== churn-resilient accountability: manager handoff + 500 ms "
+      "divergent views + rejoin ===\n"
+      "same churn, 50%% of departures rejoin after ~5 s offline; quorum "
+      "min sampled per second\n\n");
+  lifting::TextTable resilience({"nodes", "handoffs", "rejoins",
+                                 "quorum min", "quorum mean", "blame/stayer",
+                                 "blame/leaver", "blame/rejoiner",
+                                 "pool leak"});
+  for (const auto n : populations) {
+    const ResilienceRow row = run_resilience(n);
+    std::fprintf(stderr,
+                 "[resilience] n=%u: %llu handoffs, %zu rejoins, quorum "
+                 "min=%zu, leak=%zu\n",
+                 row.nodes, (unsigned long long)row.handoffs, row.rejoins,
+                 row.quorum_min, row.pool_leak);
+    if (row.pool_leak != 0) ++leaks;
+    resilience.add_row(
+        {lifting::TextTable::num(row.nodes, 0),
+         lifting::TextTable::num(static_cast<double>(row.handoffs), 0),
+         lifting::TextTable::num(static_cast<double>(row.rejoins), 0),
+         lifting::TextTable::num(static_cast<double>(row.quorum_min), 0),
+         lifting::TextTable::num(row.quorum_mean_end, 2),
+         lifting::TextTable::num(row.stayer_blame, 2),
+         lifting::TextTable::num(row.leaver_blame, 2),
+         lifting::TextTable::num(row.rejoiner_blame, 2),
+         lifting::TextTable::num(static_cast<double>(row.pool_leak), 0)});
+    std::fflush(stdout);
+  }
+  resilience.print();
   return leaks == 0 ? 0 : 1;
 }

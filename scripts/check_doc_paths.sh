@@ -1,0 +1,32 @@
+#!/bin/sh
+# Doc drift check: every src/tests/bench/examples path cited in the
+# project's markdown must exist in the tree, so the README / DESIGN /
+# ROADMAP cannot silently rot as code moves. Run from the repo root.
+#
+# Usage: scripts/check_doc_paths.sh [file.md ...]
+#   default files: README.md DESIGN.md ROADMAP.md
+
+set -eu
+
+files="${*:-README.md DESIGN.md ROADMAP.md}"
+status=0
+
+for doc in $files; do
+  [ -f "$doc" ] || { echo "check_doc_paths: missing doc $doc" >&2; status=1; continue; }
+  # Cited paths: src/... tests/... bench/... examples/... scripts/...
+  # Trailing punctuation (sentence periods, quotes, parens) is stripped;
+  # a citation may name a directory (src/lifting/) or a file.
+  paths=$(grep -oE '(src|tests|bench|examples|scripts)/[A-Za-z0-9_./-]+' "$doc" \
+            | sed -e 's/[.,;:)]*$//' | sort -u)
+  for path in $paths; do
+    if [ ! -e "$path" ]; then
+      echo "check_doc_paths: $doc cites missing path: $path" >&2
+      status=1
+    fi
+  done
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "check_doc_paths: all cited paths exist"
+fi
+exit "$status"

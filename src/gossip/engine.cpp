@@ -71,7 +71,9 @@ void Engine::inject_chunk(const ChunkMeta& chunk) {
 void Engine::handle(NodeId from, const Message& message) {
   // Honest nodes ignore traffic from expelled nodes; freeriders have no
   // incentive to talk to them either (expelled nodes cannot reciprocate).
-  if (!directory_.is_live(from)) return;
+  // Under divergent views (DESIGN.md §7) the test is what *this* node
+  // currently believes: a joiner it has not yet learned of is ignored too.
+  if (!directory_.sees(self_, from, sim_.now())) return;
   if (const auto* propose = std::get_if<ProposeMsg>(&message)) {
     handle_propose(from, *propose);
   } else if (const auto* request = std::get_if<RequestMsg>(&message)) {
@@ -215,11 +217,18 @@ void Engine::handle_serve(NodeId from, const ServeMsg& msg) {
 
 std::vector<NodeId> Engine::pick_partners(std::size_t count) {
   if (behavior_.collusion.has_value() && behavior_.collusion->bias_pm > 0.0) {
+    // Colluding freeriders coordinate out of band, so their biased
+    // selection keeps the shared view (the coalition always knows who of
+    // its own is up); only honest selection diverges under view lag.
     return membership::sample_biased(rng_, directory_, self_, count,
                                      behavior_.collusion->coalition,
                                      behavior_.collusion->bias_pm);
   }
-  return membership::sample_uniform(rng_, directory_, self_, count);
+  // View-aware: with a membership-propagation lag this node may still
+  // select a recently-departed partner (wrongful blame follows when the
+  // silence is verified) and cannot yet select joiners it has not heard
+  // of. Identical to sample_uniform when the view model is off.
+  return membership::sample_view(rng_, directory_, self_, count, sim_.now());
 }
 
 void Engine::propose_phase() {
@@ -336,9 +345,14 @@ void Engine::send_acks(PeriodIndex period, const std::vector<FreshChunk>& fresh,
   // — the hash map this replaces allocated per phase *and* iterated in
   // stdlib-dependent order.
   ack_scratch_.clear();
+  const TimePoint ack_now = sim_.now();
   for (const auto& c : fresh) {
     if (!c.has_origin) continue;  // source-injected: nobody to acknowledge
-    if (c.ack_to == self_ || !directory_.is_live(c.ack_to)) continue;
+    // View-aware liveness: a laggard keeps acking a server it believes
+    // alive (the datagram vanishes at the dead endpoint).
+    if (c.ack_to == self_ || !directory_.sees(self_, c.ack_to, ack_now)) {
+      continue;
+    }
     ack_scratch_.emplace_back(c.ack_to, c.id);
   }
   std::stable_sort(ack_scratch_.begin(), ack_scratch_.end(),

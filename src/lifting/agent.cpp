@@ -124,7 +124,10 @@ void Agent::tick() {
       !recent_contacts_.empty() && old_enough_for_detection(now)) {
     const NodeId target = recent_contacts_[rng_.below(
         static_cast<std::uint32_t>(recent_contacts_.size()))];
-    if (directory_.is_live(target) && target != self_ &&
+    // View-aware: this node polices whoever *it* believes is still a
+    // member — under a propagation lag that can be a recent leaver, and
+    // the read then runs against whatever quorum still answers.
+    if (directory_.sees(self_, target, now) && target != self_ &&
         !behavior_.colludes_with(target)) {
       score_check(target);
     }
@@ -136,7 +139,11 @@ void Agent::tick() {
   if (params_.audit_probability > 0.0 &&
       age_periods >= params_.audit_warmup_periods &&
       rng_.bernoulli(params_.audit_probability)) {
-    const auto pick = membership::sample_uniform(rng_, directory_, self_, 1);
+    // View-aware subject pick: an auditor can select a node it does not
+    // yet know has departed; the audit then times out against silence —
+    // one of the wrongful-blame sources divergent views introduce.
+    const auto pick =
+        membership::sample_view(rng_, directory_, self_, 1, now);
     if (!pick.empty() && !behavior_.colludes_with(pick.front())) {
       auditor_.start_audit(pick.front());
     }

@@ -1,5 +1,7 @@
 #include "lifting/managers.hpp"
 
+#include <algorithm>
+
 #include "common/assert.hpp"
 
 namespace lifting {
@@ -29,6 +31,174 @@ std::vector<NodeId> managers_of(NodeId target, std::uint32_t n,
     out.push_back(NodeId{shifted});
   }
   return out;
+}
+
+// ------------------------------------------------------ ManagerAssignment
+
+void ManagerAssignment::rebind(std::uint32_t n, std::uint32_t m,
+                               std::uint64_t seed) {
+  // Handoff state never survives a rebind: the churn log belongs to one
+  // run's event history. Promoted rows revert to the base assignment.
+  if (!churn_log_.empty()) {
+    for (const auto v : promoted_rows_) {
+      if (v < ready_.size()) ready_[v] = 0;
+    }
+    churn_log_.clear();
+    departed_mask_.assign(departed_mask_.size(), 0);
+    reverse_.clear();  // emptiness marks "index not built" for the next run
+    handoff_rngs_.clear();
+    promoted_rows_.clear();
+    promotions_ = 0;
+  }
+  // Drop joiner rows from the previous run unconditionally: a fresh table
+  // holds only base rows, and the first-churn bootstrap materializes and
+  // indexes EVERY cached row — a leftover row for an id that has not
+  // joined yet this run would be promoted (and reported) ahead of its
+  // existence, diverging reset from fresh. Joiner rows re-derive at join.
+  if (cache_.size() > n_) {
+    cache_.resize(n_);
+    ready_.resize(n_);
+  }
+  if (n == n_ && m == m_ && seed == seed_) return;
+  n_ = n;
+  m_ = m;
+  seed_ = seed;
+  cache_.resize(n);
+  ready_.assign(n, 0);
+}
+
+const std::vector<NodeId>& ManagerAssignment::of(NodeId target) {
+  const auto v = static_cast<std::size_t>(target.value());
+  if (v >= cache_.size()) {  // churn joiner beyond the base population
+    cache_.resize(v + 1);
+    ready_.resize(v + 1, 0);
+  }
+  if (ready_[v] == 0) materialize(v);
+  return cache_[v];
+}
+
+Pcg32& ManagerAssignment::handoff_rng(std::uint32_t target) {
+  const auto it = std::find_if(
+      handoff_rngs_.begin(), handoff_rngs_.end(),
+      [target](const auto& kv) { return kv.first == target; });
+  if (it != handoff_rngs_.end()) return it->second;
+  // Same shared-hash scheme as managers_of: every participant derives the
+  // identical replacement stream from (target, seed).
+  handoff_rngs_.emplace_back(
+      target, derive_rng(seed_ ^ (0x9e3779b9ULL * (target + 1)),
+                         /*stream=*/0x48414e444f4646ULL));  // "HANDOFF"
+  return handoff_rngs_.back().second;
+}
+
+template <typename DepartedFn>
+NodeId ManagerAssignment::promote(std::size_t v, NodeId departed,
+                                  const DepartedFn& is_departed) {
+  auto& row = cache_[v];
+  const auto slot = std::find(row.begin(), row.end(), departed);
+  if (slot == row.end()) return kNoReplacement;  // replaced earlier in the log
+  auto& rng = handoff_rng(static_cast<std::uint32_t>(v));
+  // Walk the target's deterministic handoff stream for the first candidate
+  // that is not the target, not already in the quorum, and not departed at
+  // this log position. Bounded attempts: when churn has consumed nearly the
+  // whole base pool there may be no eligible candidate left, in which case
+  // the slot is dropped and the quorum shrinks (the pre-handoff behavior).
+  const std::uint32_t max_attempts = 16 * std::max(n_, 8U);
+  for (std::uint32_t attempt = 0; attempt < max_attempts; ++attempt) {
+    const NodeId candidate{rng.below(n_)};
+    if (candidate.value() == v) continue;
+    if (is_departed(candidate)) continue;
+    if (std::find(row.begin(), row.end(), candidate) != row.end()) continue;
+    *slot = candidate;
+    reverse_[candidate.value()].push_back(static_cast<std::uint32_t>(v));
+    promoted_rows_.push_back(static_cast<std::uint32_t>(v));
+    ++promotions_;
+    return candidate;
+  }
+  row.erase(slot);
+  promoted_rows_.push_back(static_cast<std::uint32_t>(v));
+  return kNoReplacement;
+}
+
+void ManagerAssignment::materialize(std::size_t v) {
+  cache_[v] = managers_of(NodeId{static_cast<std::uint32_t>(v)}, n_, m_,
+                          seed_);
+  ready_[v] = 1;
+  if (churn_log_.empty()) return;
+  // Index the *base* row before the replay, mirroring the eager path (a
+  // row that existed pre-churn was indexed with its base managers, and
+  // promote() appends each replacement itself) — indexing after the replay
+  // would double-count replayed replacements. Entries for managers the
+  // replay then replaces go stale, which the index tolerates by design.
+  if (reverse_.empty()) reverse_.resize(n_);
+  for (const auto manager : cache_[v]) {
+    reverse_[manager.value()].push_back(static_cast<std::uint32_t>(v));
+  }
+  // Replay the churn log against a reconstructed prefix mask so this row
+  // ends up exactly as if it had existed (and been promoted incrementally)
+  // since the start — materialization order must never change row content.
+  scratch_mask_.assign(departed_mask_.size(), 0);
+  for (const auto& event : churn_log_) {
+    const auto node = static_cast<std::size_t>(event.node.value());
+    if (event.returned) {
+      scratch_mask_[node] = 0;
+      continue;
+    }
+    scratch_mask_[node] = 1;
+    promote(v, event.node, [this](NodeId c) {
+      const auto cv = static_cast<std::size_t>(c.value());
+      return cv < scratch_mask_.size() && scratch_mask_[cv] != 0;
+    });
+  }
+}
+
+std::vector<ManagerAssignment::Handoff> ManagerAssignment::mark_departed(
+    NodeId id) {
+  const auto v = static_cast<std::size_t>(id.value());
+  if (departed_mask_.size() <= v) departed_mask_.resize(v + 1, 0);
+  std::vector<Handoff> executed;
+  if (departed_mask_[v] != 0) return executed;  // already registered
+  if (churn_log_.empty() && reverse_.empty()) {
+    // First churn event: materialize EVERY known row, then index them all.
+    // Materialization is outcome-neutral (replay contract), and with every
+    // row present the promotion counter becomes a property of the run
+    // alone — a lazily-skipped row would otherwise replay (and count) its
+    // promotions only if some measurement happened to look at it later.
+    // One-time O(n·M); joiner rows added later are forced at join time
+    // (Experiment::join_node).
+    reverse_.resize(n_);
+    for (std::size_t row = 0; row < ready_.size(); ++row) {
+      if (ready_[row] == 0) materialize(row);
+      for (const auto manager : cache_[row]) {
+        reverse_[manager.value()].push_back(static_cast<std::uint32_t>(row));
+      }
+    }
+  }
+  churn_log_.push_back(ChurnEvent{id, /*returned=*/false});
+  departed_mask_[v] = 1;
+  if (id.value() >= n_) return executed;  // joiners never manage anyone
+  if (reverse_.size() < n_) reverse_.resize(n_);
+  // The reverse index is append-only, so verify each entry against the row
+  // before promoting (the manager may have been replaced there already).
+  // promote() appends to reverse_[replacement], never to reverse_[id], so
+  // iterating a snapshot is safe.
+  const auto targets = reverse_[id.value()];
+  const auto is_departed_now = [this](NodeId c) { return departed(c); };
+  for (const auto target : targets) {
+    const auto row = static_cast<std::size_t>(target);
+    if (ready_[row] == 0) continue;
+    const NodeId replacement = promote(row, id, is_departed_now);
+    if (replacement != kNoReplacement) {
+      executed.push_back(Handoff{NodeId{target}, id, replacement});
+    }
+  }
+  return executed;
+}
+
+void ManagerAssignment::mark_returned(NodeId id) {
+  const auto v = static_cast<std::size_t>(id.value());
+  if (v >= departed_mask_.size() || departed_mask_[v] == 0) return;
+  churn_log_.push_back(ChurnEvent{id, /*returned=*/true});
+  departed_mask_[v] = 0;
 }
 
 }  // namespace lifting

@@ -28,55 +28,127 @@ namespace lifting {
 /// id range [0, n). A target outside that range (a churn joiner) still gets
 /// M deterministic managers from the base pool — every participant derives
 /// the same set from (target, n, m, seed) the moment the joiner appears,
-/// with no reassignment protocol. Base-pool managers that later depart
-/// simply stop answering; the min-vote read tolerates the shrunken quorum.
+/// with no reassignment protocol. When a base-pool manager departs, the
+/// ManagerAssignment below promotes a deterministic replacement (DESIGN.md
+/// §7); without handoff the min-vote read tolerates the shrunken quorum.
 [[nodiscard]] std::vector<NodeId> managers_of(NodeId target, std::uint32_t n,
                                               std::uint32_t m,
                                               std::uint64_t seed);
 
 /// Lazily-materialized manager assignment for a whole deployment, indexed
-/// densely by target id. The assignment is a pure function of
+/// densely by target id. The *base* assignment is a pure function of
 /// (n, m, seed), so one instance is shared by every agent of an experiment
 /// — the per-blame manager lookup is an array read instead of a hash plus
 /// a fresh O(m) sample.
+///
+/// Manager handoff (DESIGN.md §7): the table additionally tracks churn
+/// among the base pool through an ordered log of departures/returns
+/// (`mark_departed` / `mark_returned`, driven by the Experiment after the
+/// handoff delay). When a departed node sits in a target's manager row, it
+/// is replaced by the next eligible candidate from a per-target
+/// deterministic handoff stream — the same shared-hash idea as the base
+/// assignment, so every participant derives the same replacement from
+/// (target, seed, departure history). Rows materialized after churn replay
+/// the log against a reconstructed prefix mask, so WHEN a row is first
+/// looked at can never change WHAT it contains — measurement code may
+/// materialize rows early without perturbing outcomes. Promotions are
+/// sticky: a manager that departs and later returns does not demote its
+/// replacement (it becomes an eligible candidate again, nothing more).
 class ManagerAssignment {
  public:
   ManagerAssignment(std::uint32_t n, std::uint32_t m, std::uint64_t seed)
       : n_(n), m_(m), seed_(seed), cache_(n), ready_(n, 0) {}
 
-  /// Re-targets the table at a (possibly) different deployment. A no-op
-  /// when (n, m, seed) are unchanged — the assignment is a pure function of
-  /// them, so every cached row (including lazily-added churn joiners) stays
-  /// valid. Otherwise the rows are invalidated in place and refilled
-  /// lazily, keeping the outer table storage (Experiment::reset).
-  void rebind(std::uint32_t n, std::uint32_t m, std::uint64_t seed) {
-    if (n == n_ && m == m_ && seed == seed_) return;
-    n_ = n;
-    m_ = m;
-    seed_ = seed;
-    cache_.resize(n);
-    ready_.assign(n, 0);
+  /// Re-targets the table at a (possibly) different deployment, always
+  /// clearing handoff state (churn log, promotions, handoff rngs) and
+  /// dropping joiner rows (ids >= n re-derive at their next join; keeping
+  /// them would let the first-churn bootstrap see rows for nodes that do
+  /// not exist yet this run). When (n, m, seed) are unchanged the base
+  /// rows untouched by promotions stay valid — the base assignment is a
+  /// pure function of the triple. Otherwise every row is invalidated in
+  /// place and refilled lazily, keeping the outer table storage
+  /// (Experiment::reset).
+  void rebind(std::uint32_t n, std::uint32_t m, std::uint64_t seed);
+
+  /// The current M managers of `target`: the base assignment with every
+  /// handoff promotion logged so far applied. The row reference is stable
+  /// until the next promotion touching it.
+  [[nodiscard]] const std::vector<NodeId>& of(NodeId target);
+
+  /// One executed promotion: `departed` left `target`'s quorum and
+  /// `replacement` took its slot (and should adopt its ledger row).
+  struct Handoff {
+    NodeId target;
+    NodeId departed;
+    NodeId replacement;
+  };
+
+  /// Registers a base-pool departure in the churn log and promotes a
+  /// replacement in every *materialized* row containing `id`. Returns those
+  /// promotions so the caller can migrate ledger rows; rows materialized
+  /// later replay the log internally (they never held ledger state, so
+  /// there is nothing to migrate for them). No-op (empty result) when the
+  /// node is already marked departed.
+  std::vector<Handoff> mark_departed(NodeId id);
+
+  /// Registers a rejoin: `id` becomes an eligible replacement candidate
+  /// again. Promotions that already happened stay (handoff is sticky).
+  void mark_returned(NodeId id);
+
+  [[nodiscard]] bool departed(NodeId id) const {
+    const auto v = static_cast<std::size_t>(id.value());
+    return v < departed_mask_.size() && departed_mask_[v] != 0;
   }
 
-  [[nodiscard]] const std::vector<NodeId>& of(NodeId target) {
-    const auto v = static_cast<std::size_t>(target.value());
-    if (v >= cache_.size()) {  // churn joiner beyond the base population
-      cache_.resize(v + 1);
-      ready_.resize(v + 1, 0);
-    }
-    if (ready_[v] == 0) {
-      cache_[v] = managers_of(target, n_, m_, seed_);
-      ready_[v] = 1;
-    }
-    return cache_[v];
+  /// Total promotions executed (eager and replayed) — the bench's
+  /// "handoff count".
+  [[nodiscard]] std::uint64_t promotions() const noexcept {
+    return promotions_;
   }
 
  private:
+  struct ChurnEvent {
+    NodeId node;
+    bool returned;  // false = departed, true = returned
+  };
+
+  /// Fills row `v` with the base assignment and replays the full churn log
+  /// against a reconstructed prefix mask (scratch_mask_), so a late
+  /// materialization reproduces exactly the promotions an early one would
+  /// have received incrementally.
+  void materialize(std::size_t v);
+  /// Replaces `departed` in row `v` with the next eligible candidate from
+  /// the target's handoff stream and returns it; returns kNoReplacement
+  /// when `departed` is not in the row (already replaced) or no eligible
+  /// candidate exists (the slot is dropped and the quorum shrinks).
+  /// `is_departed(candidate)` must answer against the mask valid at this
+  /// log position.
+  static constexpr NodeId kNoReplacement{0xFFFFFFFFU};
+  template <typename DepartedFn>
+  NodeId promote(std::size_t v, NodeId departed,
+                 const DepartedFn& is_departed);
+  [[nodiscard]] Pcg32& handoff_rng(std::uint32_t target);
+
   std::uint32_t n_;
   std::uint32_t m_;
   std::uint64_t seed_;
   std::vector<std::vector<NodeId>> cache_;
   std::vector<std::uint8_t> ready_;
+
+  // ---- handoff state (cleared by rebind)
+  std::vector<ChurnEvent> churn_log_;
+  std::vector<std::uint8_t> departed_mask_;  // current, dense by id
+  /// manager id -> target ids whose materialized row contains it (append-
+  /// only; entries go stale when the manager is replaced and are verified
+  /// against the row before use). Sized by base pool: only [0, n) ids can
+  /// ever be managers.
+  std::vector<std::vector<std::uint32_t>> reverse_;
+  /// Per-target handoff stream, created on first promotion (flat map —
+  /// promotions are rare relative to rows).
+  std::vector<std::pair<std::uint32_t, Pcg32>> handoff_rngs_;
+  std::vector<std::uint32_t> promoted_rows_;  // rows to invalidate on rebind
+  std::vector<std::uint8_t> scratch_mask_;    // replay prefix mask
+  std::uint64_t promotions_ = 0;
 };
 
 /// Per-node manager state: the blame ledger for the nodes this node
@@ -85,6 +157,12 @@ class ManagerAssignment {
 ///   s = (r·b̃ - Σ blames) / r
 /// which has zero mean for honest nodes. A-posteriori-check blames are
 /// compensated by Eq. 4 when they arrive (audits are sporadic — §6.2).
+///
+/// Churn support (DESIGN.md §7): a row can be handed off to a replacement
+/// manager (`take_record` / `adopt_record` — the blame total moves exactly
+/// once) and a rejoining target can restart its score history
+/// (`begin_incarnation` — blame cleared, score periods counted from the
+/// rejoin instant via a per-record genesis override).
 class ManagerStore {
  public:
   ManagerStore(const LiftingParams& params, TimePoint genesis)
@@ -110,19 +188,20 @@ class ManagerStore {
     }
   }
 
-  /// Normalized, compensated score of `target` at time `now`.
+  /// Normalized, compensated score of `target` at time `now`. The period
+  /// count r runs from this manager's genesis unless the target's record
+  /// carries an incarnation override (a rejoiner restarting fresh).
   [[nodiscard]] double normalized_score(NodeId target, TimePoint now) const {
-    const double r = periods_in_system(now);
     const Record* rec = find_record(target);
+    const double r = periods_since(
+        rec != nullptr && rec->has_genesis ? rec->genesis : genesis_, now);
     const double blames = rec == nullptr ? 0.0 : rec->blame_total;
     return (r * per_period_compensation_ - blames) / r;
   }
 
   /// Number of gossip periods the target has spent in the system (>= 1).
   [[nodiscard]] double periods_in_system(TimePoint now) const {
-    const auto age = now - genesis_;
-    const double r = static_cast<double>(age / params_.period);
-    return r < 1.0 ? 1.0 : r;
+    return periods_since(genesis_, now);
   }
 
   [[nodiscard]] bool expelled(NodeId target) const {
@@ -137,6 +216,54 @@ class ManagerStore {
     return first;
   }
 
+  /// A ledger row in transit between managers (handoff migration).
+  struct MigratedRecord {
+    double blame_total = 0.0;
+    bool expelled = false;
+    bool has_genesis = false;
+    TimePoint genesis{};
+    bool valid = false;  ///< false: the source never held a row
+  };
+
+  /// Extracts and *zeroes* the target's row — the departing manager's half
+  /// of a handoff. Calling it again returns {valid = false}, which is what
+  /// makes "migrated exactly once" checkable.
+  MigratedRecord take_record(NodeId target) {
+    Record* rec = find_mutable(target);
+    if (rec == nullptr || (!rec->has_genesis && rec->blame_total == 0.0 &&
+                           !rec->expelled)) {
+      return {};
+    }
+    MigratedRecord out{rec->blame_total, rec->expelled, rec->has_genesis,
+                       rec->genesis, true};
+    *rec = Record{};
+    return out;
+  }
+
+  /// Merges a migrated row into this store — the replacement manager's
+  /// half of a handoff. Blame accumulates on top of anything already
+  /// routed here since the promotion.
+  void adopt_record(NodeId target, const MigratedRecord& migrated) {
+    if (!migrated.valid) return;
+    auto& rec = record(target);
+    rec.blame_total += migrated.blame_total;
+    rec.expelled = rec.expelled || migrated.expelled;
+    if (migrated.has_genesis && !rec.has_genesis) {
+      rec.has_genesis = true;
+      rec.genesis = migrated.genesis;
+    }
+  }
+
+  /// Restarts the target's score history at `now` (rejoin with the fresh
+  /// score policy): blame forgotten, period count restarted. The expulsion
+  /// mark survives — an indictment is not erased by leaving and returning.
+  void begin_incarnation(NodeId target, TimePoint now) {
+    auto& rec = record(target);
+    rec.blame_total = 0.0;
+    rec.has_genesis = true;
+    rec.genesis = now;
+  }
+
   [[nodiscard]] double raw_blame_total(NodeId target) const {
     const Record* rec = find_record(target);
     return rec == nullptr ? 0.0 : rec->blame_total;
@@ -149,12 +276,26 @@ class ManagerStore {
   struct Record {
     double blame_total = 0.0;
     bool expelled = false;
+    bool has_genesis = false;  ///< per-incarnation genesis override set?
+    TimePoint genesis{};
   };
+
+  [[nodiscard]] double periods_since(TimePoint genesis, TimePoint now) const {
+    const auto age = now - genesis;
+    const double r = static_cast<double>(age / params_.period);
+    return r < 1.0 ? 1.0 : r;
+  }
 
   /// A node manages ~M targets, so the record table is a small flat map:
   /// a linear scan over contiguous keys beats hashing at this size and
   /// keeps the per-blame path allocation- and hash-free.
   [[nodiscard]] const Record* find_record(NodeId target) const noexcept {
+    for (std::size_t i = 0; i < keys_.size(); ++i) {
+      if (keys_[i] == target) return &recs_[i];
+    }
+    return nullptr;
+  }
+  [[nodiscard]] Record* find_mutable(NodeId target) noexcept {
     for (std::size_t i = 0; i < keys_.size(); ++i) {
       if (keys_[i] == target) return &recs_[i];
     }

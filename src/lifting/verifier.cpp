@@ -24,37 +24,54 @@ void erase_sorted(gossip::ChunkIdList& list, ChunkId c) {
 
 // ------------------------------------------------------- DirectVerifier
 
+namespace {
+constexpr auto kPendingKeyLess = [](const auto& p, const auto& k) {
+  return p.key < k;
+};
+}  // namespace
+
+DirectVerifier::Pending* DirectVerifier::find_pending(const Key& key) {
+  const auto it = std::lower_bound(pending_.begin(), pending_.end(), key,
+                                   kPendingKeyLess);
+  return it != pending_.end() && it->key == key ? &*it : nullptr;
+}
+
 void DirectVerifier::on_request_sent(NodeId proposer, PeriodIndex period,
                                      const gossip::ChunkIdList& chunks) {
   if (chunks.empty()) return;
   const Key key{proposer, period};
-  auto& pending = pending_[key];
-  for (const auto c : chunks) insert_sorted_unique(pending.outstanding, c);
-  pending.requested += chunks.size();
+  // One binary search serves both the hit and the miss: lower_bound is
+  // simultaneously the lookup answer and the sorted insert position.
+  auto it = std::lower_bound(pending_.begin(), pending_.end(), key,
+                             kPendingKeyLess);
+  if (it == pending_.end() || it->key != key) {
+    it = pending_.insert(it, Pending{key, {}, 0});
+  }
+  for (const auto c : chunks) insert_sorted_unique(it->outstanding, c);
+  it->requested += chunks.size();
   sim_.schedule_after(params_.dv_timeout, [this, key] { on_deadline(key); });
 }
 
 void DirectVerifier::on_serve_received(NodeId sender, PeriodIndex period,
                                        ChunkId chunk) {
-  const auto it = pending_.find(Key{sender, period});
-  if (it == pending_.end()) return;
-  erase_sorted(it->second.outstanding, chunk);
+  Pending* pending = find_pending(Key{sender, period});
+  if (pending == nullptr) return;
+  erase_sorted(pending->outstanding, chunk);
 }
 
 void DirectVerifier::on_deadline(Key key) {
-  const auto it = pending_.find(key);
-  if (it == pending_.end()) return;
-  const auto& pending = it->second;
+  Pending* pending = find_pending(key);
+  if (pending == nullptr) return;
   // Blame f/|R| per chunk requested but never served (§5.2, Table 1);
   // |R| is this request's actual size.
-  if (!pending.outstanding.empty()) {
+  if (!pending->outstanding.empty()) {
     const double value = static_cast<double>(params_.fanout) *
-                         static_cast<double>(pending.outstanding.size()) /
-                         static_cast<double>(pending.requested);
+                         static_cast<double>(pending->outstanding.size()) /
+                         static_cast<double>(pending->requested);
     blame_(key.proposer, value, gossip::BlameReason::kDirectVerification);
   }
   ++completed_;
-  pending_.erase(it);
+  pending_.erase(pending_.begin() + (pending - pending_.data()));
 }
 
 // --------------------------------------------------------- CrossChecker

@@ -55,6 +55,7 @@ class DirectVerifier {
   struct Key {
     NodeId proposer;
     PeriodIndex period;
+    friend bool operator==(const Key&, const Key&) = default;
     bool operator<(const Key& o) const {
       return proposer != o.proposer ? proposer < o.proposer
                                     : period < o.period;
@@ -65,16 +66,24 @@ class DirectVerifier {
   /// allocates nothing (the per-request std::set it replaces paid one node
   /// allocation per chunk, the top allocator of whole runs).
   struct Pending {
+    Key key;
     gossip::ChunkIdList outstanding;
     std::size_t requested = 0;
   };
+
+  /// A node has at most ~f concurrent outstanding verifications (one per
+  /// proposer contacted within dv_timeout ≈ one period), so the pending set
+  /// is a key-sorted flat vector: binary search, ordered insert/erase, and
+  /// — unlike the std::map it replaces — zero per-entry node allocations
+  /// once the vector's capacity has warmed up (Experiment::reset keeps it).
+  [[nodiscard]] Pending* find_pending(const Key& key);
 
   void on_deadline(Key key);
 
   sim::Simulator& sim_;
   const LiftingParams& params_;
   BlameFn blame_;
-  std::map<Key, Pending> pending_;
+  std::vector<Pending> pending_;  // sorted by key
   std::uint64_t completed_ = 0;
 };
 

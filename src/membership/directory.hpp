@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "common/assert.hpp"
+#include "common/rng.hpp"
+#include "common/time.hpp"
 #include "common/types.hpp"
 
 /// Full-membership directory (paper §2: "we assume that nodes can pick
@@ -13,16 +15,26 @@
 ///
 /// The directory also records expulsions: once LiFTinG's managers commit an
 /// expulsion, honest nodes neither select the victim as a partner nor accept
-/// its traffic. We model the membership layer as shared state with the
-/// expulsion applied after a configurable propagation delay (scheduled by
-/// the caller); per-node divergent views would only add noise without
-/// changing any mechanism under test.
+/// its traffic. Expulsions are shared state applied after a configurable
+/// propagation delay (scheduled by the caller).
 ///
 /// Churn support: join()/leave() grow and shrink the membership mid-run.
 /// Every id carries an *alive epoch* — a counter bumped on each (re)join —
 /// so dense NodeId-indexed tables elsewhere can detect id reuse ((id, epoch)
-/// pairs are never ambiguous) even though the Experiment's allocation policy
-/// never recycles ids in the first place.
+/// pairs are never ambiguous) even when an id rejoins at the Experiment
+/// level.
+///
+/// Divergent views (DESIGN.md §7): membership changes do not reach every
+/// node at once — in a deployment they spread through RPS shuffles, so two
+/// observers can disagree about a third node's liveness for a few rounds.
+/// `set_view_model(max_lag, seed)` turns that on: each (observer, event)
+/// pair gets a deterministic pseudo-random visibility delay in [0, max_lag]
+/// (a pure hash — no per-pair storage, no extra rng draws), and `sees()` /
+/// the view-aware samplers answer per-observer liveness. Departed nodes
+/// linger in a limbo list for up to max_lag so laggard observers keep
+/// selecting them — the wrongful-blame source the paper's PlanetLab runs
+/// exhibit. With max_lag == 0 (the default) every view collapses to the
+/// shared membership and the legacy behavior is bit-identical.
 
 namespace lifting::membership {
 
@@ -34,23 +46,85 @@ class Directory {
   explicit Directory(std::uint32_t n) { reset(n); }
 
   /// Rewinds to the initial membership over {0, ..., n-1}, all live at
-  /// epoch 1, with empty expulsion/departure records. Table capacity is
-  /// kept (Experiment::reset).
+  /// epoch 1, with empty expulsion/departure/limbo records. Table capacity
+  /// and the view model are kept (Experiment::reset re-arms the latter).
   void reset(std::uint32_t n) {
     live_.clear();
     position_.clear();
     epoch_.clear();
     expelled_.clear();
     departed_.clear();
+    visible_since_.clear();
+    limbo_.clear();
     live_.reserve(n);
     position_.reserve(n);
     epoch_.reserve(n);
+    visible_since_.reserve(n);
     for (std::uint32_t i = 0; i < n; ++i) {
       position_.push_back(i);
       live_.push_back(NodeId{i});
       epoch_.push_back(1);
+      // The initial population is common knowledge from before t = 0.
+      visible_since_.push_back(TimePoint::min());
     }
     initial_size_ = n;
+  }
+
+  // ---- divergent-view model
+
+  /// Arms the per-observer view model: each membership event becomes
+  /// visible to observer o after a deterministic pseudo-random delay in
+  /// [0, max_lag] hashed from (seed, o, subject, epoch, event kind).
+  /// max_lag == 0 (default) disables the model entirely.
+  void set_view_model(Duration max_lag, std::uint64_t seed) {
+    LIFTING_ASSERT(max_lag >= Duration::zero(), "view lag must be >= 0");
+    view_lag_ = max_lag;
+    view_seed_ = seed;
+  }
+  [[nodiscard]] Duration view_lag() const noexcept { return view_lag_; }
+
+  /// A node recently departed (leave/crash-detected) that laggard observers
+  /// may still believe alive. Entries outlive the departure by at most
+  /// view_lag() and are pruned on later mutations.
+  struct LimboEntry {
+    NodeId id;
+    TimePoint left_at{};
+    std::uint32_t epoch = 0;  ///< the incarnation that departed
+  };
+  [[nodiscard]] const std::vector<LimboEntry>& limbo() const noexcept {
+    return limbo_;
+  }
+
+  /// Does `observer` currently believe `id` is a live member? This is the
+  /// per-observer counterpart of is_live(): under a zero view lag the two
+  /// agree exactly; with a lag, joins become visible late and departures
+  /// stay invisible for up to view_lag(). A node always knows its own
+  /// status, and expulsions use the shared propagation path (is_live).
+  [[nodiscard]] bool sees(NodeId observer, NodeId id, TimePoint now) const {
+    if (is_live(id)) {
+      if (view_lag_ == Duration::zero() || observer == id) return true;
+      const auto v = static_cast<std::size_t>(id.value());
+      const TimePoint since = visible_since_[v];
+      if (since == TimePoint::min()) return true;  // initial population
+      return now >= since + view_jitter(observer, id, epoch_[v], kJoinSalt);
+    }
+    if (view_lag_ == Duration::zero() || observer == id) return false;
+    // Departed: visible-as-live to observers the departure has not reached,
+    // provided they had learned of the join in the first place.
+    for (const auto& entry : limbo_) {
+      if (entry.id != id) continue;
+      if (entry.epoch != epoch_of(id)) continue;  // stale incarnation
+      if (now >= entry.left_at +
+                     view_jitter(observer, id, entry.epoch, kLeaveSalt)) {
+        return false;
+      }
+      const auto v = static_cast<std::size_t>(id.value());
+      const TimePoint since =
+          v < visible_since_.size() ? visible_since_[v] : TimePoint::min();
+      return since == TimePoint::min() ||
+             now >= since + view_jitter(observer, id, entry.epoch, kJoinSalt);
+    }
+    return false;
   }
 
   [[nodiscard]] std::size_t live_count() const noexcept {
@@ -71,28 +145,42 @@ class Directory {
   }
 
   /// Removes a node by expulsion (LiFTinG indictment). Idempotent.
+  /// Expulsions are announced, not gossiped: they use the shared
+  /// `expulsion_propagation` delay, never the per-observer view lag.
   void expel(NodeId id) {
     if (remove(id)) expelled_.push_back(id);
   }
 
   /// Removes a node by churn (leave or detected crash) — a departure, not
-  /// an indictment; recorded separately from expulsions. Idempotent.
-  void leave(NodeId id) {
-    if (remove(id)) departed_.push_back(id);
+  /// an indictment; recorded separately from expulsions. Idempotent. `now`
+  /// feeds the divergent-view model (laggard observers keep seeing the node
+  /// until their per-observer delay elapses); immaterial when the view
+  /// model is off.
+  void leave(NodeId id, TimePoint now = kSimEpoch) {
+    if (!remove(id)) return;
+    departed_.push_back(id);
+    if (view_lag_ > Duration::zero()) {
+      prune_limbo(now);
+      limbo_.push_back(LimboEntry{id, now, epoch_of(id)});
+    }
   }
 
   /// Adds `id` to the membership — a fresh id (growing the dense id space)
-  /// or a returning one. Each (re)join bumps the id's alive epoch.
-  void join(NodeId id) {
+  /// or a returning one. Each (re)join bumps the id's alive epoch. `now` is
+  /// the join instant for the view model (observers learn of the joiner
+  /// after their per-observer delay).
+  void join(NodeId id, TimePoint now = kSimEpoch) {
     const auto v = static_cast<std::size_t>(id.value());
     if (v >= position_.size()) {
       position_.resize(v + 1, kDead);
       epoch_.resize(v + 1, 0);
+      visible_since_.resize(v + 1, TimePoint::min());
     }
     LIFTING_ASSERT(position_[v] == kDead, "join of a node already live");
     position_[v] = static_cast<std::uint32_t>(live_.size());
     live_.push_back(id);
     ++epoch_[v];
+    visible_since_[v] = now;
   }
 
   /// Dense id-space bound: every id ever seen is < id_capacity().
@@ -113,7 +201,8 @@ class Directory {
     return expelled_;
   }
 
-  /// Nodes departed through churn, in departure order.
+  /// Nodes departed through churn, in departure order (a rejoining id
+  /// appears once per departed incarnation).
   [[nodiscard]] const std::vector<NodeId>& departed() const noexcept {
     return departed_;
   }
@@ -129,6 +218,37 @@ class Directory {
 
  private:
   static constexpr std::uint32_t kDead = 0xFFFFFFFFU;
+  static constexpr std::uint64_t kJoinSalt = 0;
+  static constexpr std::uint64_t kLeaveSalt = 1;
+
+  /// Deterministic per-(observer, event) visibility delay in [0, view_lag_]
+  /// — a pure hash, so every component (and every rerun) derives the same
+  /// divergent views without coordination or storage. Two-stage mix:
+  /// (observer, id) occupy disjoint bit fields of the first key; the
+  /// bijective splitmix64 output then absorbs (epoch, salt), so no two
+  /// coordinates can structurally alias each other (XORing overlapping
+  /// shifted fields would let an epoch masquerade as an id).
+  [[nodiscard]] Duration view_jitter(NodeId observer, NodeId id,
+                                     std::uint32_t epoch,
+                                     std::uint64_t salt) const {
+    const std::uint64_t pair =
+        splitmix64(view_seed_ ^
+                   ((static_cast<std::uint64_t>(observer.value()) << 32U) |
+                    id.value()));
+    const std::uint64_t key =
+        pair + ((static_cast<std::uint64_t>(epoch) << 1U) | salt);
+    const auto span = static_cast<std::uint64_t>(view_lag_.count()) + 1;
+    return Duration{static_cast<Duration::rep>(splitmix64(key) % span)};
+  }
+
+  /// Drops limbo entries no observer can still see (older than the lag).
+  void prune_limbo(TimePoint now) {
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < limbo_.size(); ++i) {
+      if (limbo_[i].left_at + view_lag_ >= now) limbo_[keep++] = limbo_[i];
+    }
+    limbo_.resize(keep);
+  }
 
   /// Swap-removes `id` from the live set. Returns false when already gone.
   bool remove(NodeId id) {
@@ -148,7 +268,11 @@ class Directory {
   std::vector<std::uint32_t> epoch_;     // NodeId value -> joins so far
   std::vector<NodeId> expelled_;
   std::vector<NodeId> departed_;
+  std::vector<TimePoint> visible_since_;  // join instant per id (view model)
+  std::vector<LimboEntry> limbo_;
   std::uint32_t initial_size_{0};
+  Duration view_lag_ = Duration::zero();
+  std::uint64_t view_seed_ = 0;
 };
 
 }  // namespace lifting::membership

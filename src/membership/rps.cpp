@@ -205,4 +205,28 @@ std::vector<std::uint32_t> RpsNetwork::in_degrees() const {
   return degrees;
 }
 
+double RpsNetwork::coverage_of(NodeId id) const {
+  std::size_t holders = 0;
+  std::size_t observers = 0;
+  for (std::size_t i = 0; i < views_.size(); ++i) {
+    if (alive_[i] == 0 || NodeId{static_cast<std::uint32_t>(i)} == id) {
+      continue;
+    }
+    ++observers;
+    for (const auto& e : views_[i].entries) {
+      // Count any entry naming the id, stale or not: a holder of a stale
+      // entry still *believes* the node is reachable until a shuffle
+      // purges it — exactly the laggard-observer population the
+      // Directory's view lag models.
+      if (e.id == id) {
+        ++holders;
+        break;
+      }
+    }
+  }
+  return observers == 0 ? 0.0
+                        : static_cast<double>(holders) /
+                              static_cast<double>(observers);
+}
+
 }  // namespace lifting::membership

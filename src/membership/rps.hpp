@@ -82,6 +82,17 @@ class RpsNetwork {
   /// RPS health metric: it concentrates around view_size after mixing.
   [[nodiscard]] std::vector<std::uint32_t> in_degrees() const;
 
+  /// Fraction of live views (excluding `id`'s own) that currently contain
+  /// an entry naming `id` — stale entries included on purpose: a holder of
+  /// a stale entry still *believes* the node is reachable until a shuffle
+  /// purges it, which is precisely the laggard-observer population the
+  /// Directory's view-propagation lag models (DESIGN.md §7). After a join
+  /// the value climbs from 0 toward the in-degree plateau over a few
+  /// shuffle rounds; after a leave it decays only as shuffles purge the
+  /// stale references — the calibration test in
+  /// tests/test_churn_resilience.cpp measures both curves.
+  [[nodiscard]] double coverage_of(NodeId id) const;
+
  private:
   struct Entry {
     NodeId id;

@@ -30,6 +30,46 @@ std::vector<NodeId> sample_uniform(Pcg32& rng, const Directory& directory,
   return partners;
 }
 
+std::vector<NodeId> sample_view(Pcg32& rng, const Directory& directory,
+                                NodeId self, std::size_t k, TimePoint now) {
+  if (directory.view_lag() == Duration::zero()) {
+    return sample_uniform(rng, directory, self, k);
+  }
+  const auto& live = directory.live();
+  const auto& limbo = directory.limbo();
+  const auto pool =
+      static_cast<std::uint32_t>(live.size() + limbo.size());
+  std::vector<NodeId> partners;
+  if (pool == 0) return partners;
+  partners.reserve(k);
+  // Rejection sampling over live ∪ limbo: the candidate pool mixes nodes
+  // `self` knows about with departures it has not yet heard of; `sees`
+  // filters both directions of divergence. Bounded attempts keep the loop
+  // finite when most of the pool is invisible to this observer.
+  const std::size_t max_attempts = 64 * std::max<std::size_t>(k, 1);
+  std::size_t attempts = 0;
+  while (partners.size() < k && attempts++ < max_attempts) {
+    const auto idx = rng.below(pool);
+    NodeId id;
+    if (idx < live.size()) {
+      id = live[idx];
+    } else {
+      const auto& entry = limbo[idx - live.size()];
+      // A stale limbo entry (the id rejoined since) would double-count the
+      // live incarnation; skip it.
+      if (entry.epoch != directory.epoch_of(entry.id)) continue;
+      id = entry.id;
+    }
+    if (id == self) continue;
+    if (std::find(partners.begin(), partners.end(), id) != partners.end()) {
+      continue;
+    }
+    if (!directory.sees(self, id, now)) continue;
+    partners.push_back(id);
+  }
+  return partners;
+}
+
 std::vector<NodeId> sample_biased(Pcg32& rng, const Directory& directory,
                                   NodeId self, std::size_t k,
                                   const std::vector<NodeId>& coalition,

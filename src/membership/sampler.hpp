@@ -22,6 +22,17 @@ namespace lifting::membership {
                                                  const Directory& directory,
                                                  NodeId self, std::size_t k);
 
+/// View-aware uniform selection (DESIGN.md §7): picks up to `k` distinct
+/// partners uniformly from what `self` currently *believes* the membership
+/// is — joins it has not yet learned of are excluded, recent departures it
+/// has not yet learned of are still included (the directory's limbo list).
+/// With the view model off (view_lag() == 0) this is sample_uniform down to
+/// the exact rng draw sequence, so fixed-seed goldens are unaffected.
+[[nodiscard]] std::vector<NodeId> sample_view(Pcg32& rng,
+                                              const Directory& directory,
+                                              NodeId self, std::size_t k,
+                                              TimePoint now);
+
 /// Biased selection used by colluding freeriders: each slot is filled with
 /// a (uniform) coalition member with probability `p_m`, otherwise with a
 /// uniform non-coalition node. Partners are distinct; when the coalition is

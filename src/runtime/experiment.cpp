@@ -1,12 +1,28 @@
 #include "runtime/experiment.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <string>
 
 #include "common/assert.hpp"
 #include "lifting/managers.hpp"
 
 namespace lifting::runtime {
+
+namespace {
+/// Rng-stream key for incarnations past the first: purpose tag, node id
+/// and epoch occupy fully disjoint bit fields (56..63 / 24..55 / 0..23),
+/// so no two (purpose, node, epoch) triples can alias — the layout is
+/// load-bearing for the no-replayed-randomness guarantee and must only
+/// exist here. Epoch-1 streams keep the legacy `base + i` constants
+/// (fixed-seed goldens).
+[[nodiscard]] std::uint64_t incarnation_stream(std::uint64_t purpose,
+                                               std::uint32_t node,
+                                               std::uint32_t epoch) {
+  return splitmix64((purpose << 56U) |
+                    (static_cast<std::uint64_t>(node) << 24U) | epoch);
+}
+}  // namespace
 
 Experiment::Experiment(ScenarioConfig config)
     : config_(std::move(config)),
@@ -39,6 +55,9 @@ void Experiment::rewind() {
   audit_reports_.clear();
   joins_.clear();
   departures_.clear();
+  rejoins_.clear();
+  handoffs_.clear();
+  retired_.clear();
   timeline_events_.clear();
   score_timeline_.clear();
   freerider_list_.clear();
@@ -54,9 +73,13 @@ void Experiment::build() {
   freerider_.assign(n, 0);
   weak_.assign(n, 0);
   departed_.assign(n, 0);
+  ever_rejoined_.assign(n, 0);
   expulsion_scheduled_.assign(n, 0);
   join_time_.assign(n, kSimEpoch);
   next_join_id_ = n;
+  // Per-observer membership views (DESIGN.md §7): a zero lag (default)
+  // collapses to the legacy shared view bit-for-bit.
+  directory_.set_view_model(config_.view_propagation, config_.seed);
   auto role_rng = derive_rng(config_.seed, 0x01);
   const auto freerider_count = static_cast<std::uint32_t>(
       config_.freerider_fraction * static_cast<double>(n));
@@ -150,20 +173,27 @@ void Experiment::make_node(std::uint32_t i,
   // (purpose, node) pairs can ever collide — the old 0x1000+i / 0x2000+i
   // scheme gave node 4096+k's agent the exact stream of node k's engine,
   // silently correlating audit sampling with partner selection at the
-  // populations the scale benches measure.
+  // populations the scale benches measure. A rejoining incarnation
+  // (epoch > 1) must not replay its predecessor's randomness, so later
+  // epochs mix (base, node, epoch) through splitmix64 instead — the
+  // epoch-1 constants are untouched to keep fixed-seed goldens valid.
+  const std::uint32_t epoch = std::max(directory_.epoch_of(id), 1U);
+  const auto stream = [&](std::uint64_t legacy_base, std::uint64_t purpose) {
+    return epoch == 1 ? legacy_base + i : incarnation_stream(purpose, i, epoch);
+  };
   if (config_.lifting_enabled) {
     // Genesis is the node's own join instant: a joiner's score normalizes
     // over the periods it has actually spent in the system.
     node.agent = std::make_unique<lifting::Agent>(
         sim_, *mailer_, directory_, id, config_.lifting, behavior,
-        derive_rng(config_.seed, 0xA00000000ULL + i), config_.seed,
+        derive_rng(config_.seed, stream(0xA00000000ULL, 0xA5)), config_.seed,
         sim_.now(), hooks_, assignment_);
   }
   auto params = config_.gossip;
   params.emit_acks = config_.lifting_enabled;
   node.engine = std::make_unique<gossip::Engine>(
       sim_, *mailer_, directory_, id, params, behavior,
-      derive_rng(config_.seed, 0xB00000000ULL + i),
+      derive_rng(config_.seed, stream(0xB00000000ULL, 0xB5)),
       node.agent ? node.agent.get() : nullptr);
 
   network_->add_node(id, profile, [this, i](
@@ -229,6 +259,7 @@ void Experiment::ensure_tables(std::uint32_t n) {
   freerider_.resize(n, 0);
   weak_.resize(n, 0);
   departed_.resize(n, 0);
+  ever_rejoined_.resize(n, 0);
   expulsion_scheduled_.resize(n, 0);
   join_time_.resize(n, kSimEpoch);
 }
@@ -259,6 +290,9 @@ void Experiment::apply_event(const ScenarioEvent& event) {
       break;
     case ScenarioEventKind::kCrash:
       retire_node(event.node, /*crash=*/true);
+      break;
+    case ScenarioEventKind::kRejoin:
+      rejoin_node(event.node);
       break;
     case ScenarioEventKind::kSetBehavior: {
       const auto v = static_cast<std::size_t>(event.node.value());
@@ -293,11 +327,15 @@ NodeId Experiment::join_node(const ScenarioEvent& event) {
   ensure_tables(idv + 1);
   const NodeId id{idv};
 
-  directory_.join(id);
+  directory_.join(id, sim_.now());
   set_freerider(id, event.freerider);
   join_time_[idv] = sim_.now();
   make_node(idv, resolve_behavior(event.behavior),
             event.has_link ? event.link : config_.link);
+  // Materialize the joiner's manager row at a protocol-defined instant so
+  // the assignment's promotion counter cannot depend on whether (and when)
+  // measurement code later looks at the row.
+  if (config_.lifting_enabled) (void)assignment_->of(id);
 
   // Desynchronized start, like the initial population (own stream so the
   // draw is independent of join order).
@@ -336,14 +374,131 @@ void Experiment::retire_node(NodeId id, bool crash) {
     // The membership only learns of a crash when the failure detector
     // fires; until then partners keep selecting the dead node and its
     // verifiers blame the silence (wrongful blame, split out by
-    // honest_blame_split / bench_churn).
-    sim_.schedule_after(config_.failure_detection,
-                        [this, id] { directory_.leave(id); });
+    // honest_blame_split / bench_churn). Epoch-guarded: if the node
+    // rejoins before detection, the stale detector must not evict the new
+    // incarnation (rejoin_node records the departure itself in that case).
+    const std::uint32_t epoch = directory_.epoch_of(id);
+    sim_.schedule_after(config_.failure_detection, [this, id, epoch] {
+      if (directory_.epoch_of(id) == epoch && is_departed(id)) {
+        directory_.leave(id, sim_.now());
+      }
+    });
   } else {
-    directory_.leave(id);
+    directory_.leave(id, sim_.now());
   }
   departures_.push_back(
       DepartureRecord{id, to_seconds(sim_.now()), crash, is_freerider(id)});
+
+  // Manager handoff (DESIGN.md §7): once the membership has learned of the
+  // departure and the reassignment round has run, promote replacements and
+  // migrate the departed node's ledger rows. Epoch-guarded like the
+  // failure detector: a rejoin cancels the pending handoff.
+  if (config_.manager_handoff && config_.lifting_enabled) {
+    const std::uint32_t epoch = directory_.epoch_of(id);
+    const Duration delay =
+        (crash ? config_.failure_detection : Duration::zero()) +
+        config_.manager_handoff_delay;
+    sim_.schedule_after(delay, [this, id, epoch] {
+      if (directory_.epoch_of(id) == epoch) run_handoff(id);
+    });
+  }
+}
+
+void Experiment::run_handoff(NodeId id) {
+  if (wound_down_ || !is_departed(id)) return;
+  const auto executed = assignment_->mark_departed(id);
+  for (const auto& handoff : executed) {
+    bool migrated = false;
+    auto* from = nodes_[handoff.departed.value()].agent.get();
+    auto* to = nodes_[handoff.replacement.value()].agent.get();
+    if (from != nullptr && to != nullptr) {
+      // The move zeroes the departing store's row, so a row can migrate at
+      // most once (tests/test_churn_resilience.cpp pins this).
+      const auto record = from->manager_store().take_record(handoff.target);
+      migrated = record.valid;
+      to->manager_store().adopt_record(handoff.target, record);
+    }
+    handoffs_.push_back(HandoffRecord{handoff.target, handoff.departed,
+                                      handoff.replacement,
+                                      directory_.epoch_of(handoff.departed),
+                                      to_seconds(sim_.now()), migrated});
+  }
+}
+
+void Experiment::rejoin_node(NodeId id) {
+  require(id != source(), "the source is pinned infrastructure");
+  const auto v = static_cast<std::size_t>(id.value());
+  require(v < nodes_.size(), "rejoin of an unknown node");
+  // Lenient like retire_node: the timeline is generated blind to runtime
+  // outcomes, so a rejoin of a node that never departed — or that LiFTinG
+  // expelled first (an indictment is not outlived by leaving) — is a no-op.
+  if (!is_departed(id)) return;
+  // A committed expulsion whose propagation the departure preempted is
+  // still an indictment: the managers agreed before the node vanished, so
+  // it may not slip back in (and the latched expulsion_scheduled_ flag
+  // would otherwise block ever expelling the new incarnation).
+  if (expulsion_scheduled_[v] != 0) return;
+  // If this node's own manager handoff is still pending (it bounced back
+  // inside the handoff window), execute it NOW: the epoch bump below
+  // cancels the scheduled timer, and without the early migration the
+  // graveyard move would destroy every ledger row the old incarnation
+  // held — bouncing must not be a way to flush blame records.
+  if (config_.manager_handoff && config_.lifting_enabled) run_handoff(id);
+  departed_[v] = 0;
+  ever_rejoined_[v] = 1;
+  // A crashed node whose failure detector has not fired yet is still in
+  // the membership; record the departure now so the rejoin below bumps the
+  // alive epoch (the stale detector lambda is epoch-guarded and fizzles).
+  if (directory_.is_live(id)) directory_.leave(id, sim_.now());
+  directory_.join(id, sim_.now());
+  join_time_[v] = sim_.now();
+
+  // The old incarnation's objects move to the graveyard — in-flight timers
+  // and deliveries may still reference them (DESIGN.md §5 retirement
+  // contract); a fresh Engine/Agent pair with epoch-keyed rng streams and
+  // genesis = now takes the slot. Prior roles (freerider flag, weak link)
+  // are restored from the deployment's role tables.
+  retired_.push_back(std::move(nodes_[v]));
+  const auto behavior = is_freerider(id)
+                            ? resolve_behavior(config_.freerider_behavior)
+                            : gossip::BehaviorSpec::honest();
+  make_node(static_cast<std::uint32_t>(v), behavior,
+            weak_[v] != 0 ? config_.weak_link : config_.link);
+
+  // Desynchronized start, keyed like make_node's streams so no incarnation
+  // replays another's offset draw.
+  auto offset_rng = derive_rng(
+      config_.seed,
+      incarnation_stream(0x95, static_cast<std::uint32_t>(v),
+                         directory_.epoch_of(id)));
+  const auto offset = Duration{static_cast<Duration::rep>(
+      offset_rng.uniform() *
+      static_cast<double>(config_.gossip.period.count()))};
+  nodes_[v].engine->start(offset);
+  if (nodes_[v].agent) nodes_[v].agent->start(offset);
+
+  if (config_.lifting_enabled) {
+    // The returning node becomes an eligible handoff candidate again;
+    // promotions that already happened stay (handoff is sticky).
+    if (config_.manager_handoff) assignment_->mark_returned(id);
+    if (config_.rejoin_scores == ScenarioConfig::RejoinScores::kFresh) {
+      // Fresh score policy: the managers restart the row at the rejoin
+      // instant — blame forgotten, period count restarted (the expulsion
+      // mark, if any, survives). kCarried keeps the rows untouched.
+      // Departed managers are restarted too: their stores are live memory
+      // (in-place retirement), and a pending handoff would otherwise
+      // migrate the previous incarnation's blame to the replacement,
+      // silently violating the fresh policy.
+      for (const auto manager : assignment_->of(id)) {
+        auto* agent = nodes_[manager.value()].agent.get();
+        if (agent != nullptr) {
+          agent->manager_store().begin_incarnation(id, sim_.now());
+        }
+      }
+    }
+  }
+  rejoins_.push_back(RejoinRecord{id, to_seconds(sim_.now()),
+                                  directory_.epoch_of(id), is_freerider(id)});
 }
 
 // ------------------------------------------------------------ expulsions
@@ -468,14 +623,47 @@ HonestBlameSplit Experiment::honest_blame_split() const {
     const NodeId id{i};
     if (is_freerider(id)) continue;
     if (is_departed(id)) {
+      // Currently gone counts as a leaver even if it rejoined in between —
+      // its most recent transition is a departure.
       ++split.leavers;
       split.leaver_total += ledger_.total(id);
+    } else if (ever_rejoined(id)) {
+      ++split.rejoiners;
+      split.rejoiner_total += ledger_.total(id);
     } else {
       ++split.stayers;
       split.stayer_total += ledger_.total(id);
     }
   }
   return split;
+}
+
+std::uint64_t Experiment::handoff_promotions() const noexcept {
+  return assignment_ == nullptr ? 0 : assignment_->promotions();
+}
+
+QuorumStats Experiment::quorum_stats() {
+  QuorumStats stats;
+  if (assignment_ == nullptr) return stats;
+  std::size_t min_present = std::numeric_limits<std::size_t>::max();
+  double sum = 0.0;
+  for (std::uint32_t i = 1; i < population(); ++i) {
+    const NodeId id{i};
+    if (is_departed(id) || !directory_.is_live(id)) continue;
+    const auto& managers = assignment_->of(id);
+    std::size_t present = 0;
+    for (const auto manager : managers) {
+      if (!is_departed(manager)) ++present;
+    }
+    sum += static_cast<double>(present);
+    min_present = std::min(min_present, present);
+    ++stats.targets;
+  }
+  if (stats.targets > 0) {
+    stats.mean = sum / static_cast<double>(stats.targets);
+    stats.min = min_present;
+  }
+  return stats;
 }
 
 std::vector<gossip::HealthPoint> Experiment::health_curve(

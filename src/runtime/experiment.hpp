@@ -86,21 +86,54 @@ struct DepartureRecord {
   bool crashed = false;  // abrupt (failure detector lag) vs. clean leave
   bool was_freerider = false;
 };
+struct RejoinRecord {
+  NodeId node;
+  double at_seconds = 0.0;
+  std::uint32_t epoch = 0;  // the new incarnation's alive epoch (>= 2)
+  bool freerider = false;
+};
 
-/// Ledger blame against honest nodes, split by whether the target departed
-/// through churn — leavers accrue wrongful blame (a crashed partner looks
-/// like a δ1 freerider to its verifiers) that must not be conflated with
-/// the loss-induced blame against stayers.
+/// One executed manager handoff: `departed` left `target`'s quorum and
+/// `replacement` adopted its ledger row (migrated exactly once — the
+/// departing store is zeroed by the move).
+struct HandoffRecord {
+  NodeId target;
+  NodeId departed;
+  NodeId replacement;
+  std::uint32_t departed_epoch = 0;  // incarnation that departed
+  double at_seconds = 0.0;
+  bool migrated = false;  // false: the departing manager held no row yet
+};
+
+/// Quorum health over the current manager assignment: how many managers of
+/// each live non-source node are themselves still present.
+struct QuorumStats {
+  double mean = 0.0;
+  std::size_t min = 0;
+  std::size_t targets = 0;
+};
+
+/// Ledger blame against honest nodes, split by churn role — leavers accrue
+/// wrongful blame (a crashed partner looks like a δ1 freerider to its
+/// verifiers) that must not be conflated with the loss-induced blame
+/// against stayers, and rejoiners additionally absorb the divergent-view
+/// window around each of their transitions.
 struct HonestBlameSplit {
   double stayer_total = 0.0;
   double leaver_total = 0.0;
+  double rejoiner_total = 0.0;
   std::size_t stayers = 0;
   std::size_t leavers = 0;
+  std::size_t rejoiners = 0;  // rejoined and currently present
   [[nodiscard]] double stayer_mean() const {
     return stayers == 0 ? 0.0 : stayer_total / static_cast<double>(stayers);
   }
   [[nodiscard]] double leaver_mean() const {
     return leavers == 0 ? 0.0 : leaver_total / static_cast<double>(leavers);
+  }
+  [[nodiscard]] double rejoiner_mean() const {
+    return rejoiners == 0 ? 0.0
+                          : rejoiner_total / static_cast<double>(rejoiners);
   }
 };
 
@@ -212,7 +245,32 @@ class Experiment {
       const noexcept {
     return departures_;
   }
+  [[nodiscard]] const std::vector<RejoinRecord>& rejoins() const noexcept {
+    return rejoins_;
+  }
+  /// Has `id` ever re-entered after a departure (any incarnation)?
+  [[nodiscard]] bool ever_rejoined(NodeId id) const {
+    const auto v = static_cast<std::size_t>(id.value());
+    return v < ever_rejoined_.size() && ever_rejoined_[v] != 0;
+  }
   [[nodiscard]] HonestBlameSplit honest_blame_split() const;
+
+  // ---- manager handoff (DESIGN.md §7)
+  /// Handoffs executed so far, in execution order. Handoffs for rows the
+  /// assignment materializes later (no ledger state to migrate) are
+  /// counted by the assignment's promotion counter instead.
+  [[nodiscard]] const std::vector<HandoffRecord>& handoffs() const noexcept {
+    return handoffs_;
+  }
+  /// Total promotions (the bench's handoff count). Measurement-
+  /// independent: every row is materialized at a protocol-defined instant
+  /// (base rows when churn starts, joiner rows at join), so the counter is
+  /// a property of the run, not of who looked at which row when.
+  [[nodiscard]] std::uint64_t handoff_promotions() const noexcept;
+  /// Present-manager quorum over every live non-source node. Outcome-
+  /// neutral (rows are already materialized and the replay contract covers
+  /// stragglers) — safe to call mid-run for quorum-over-time curves.
+  [[nodiscard]] QuorumStats quorum_stats();
 
   // ---- measurements
   /// Min-vote score of `id` over its managers' (lossy) ledgers — exactly
@@ -288,6 +346,11 @@ class Experiment {
   void apply_event(const ScenarioEvent& event);
   NodeId join_node(const ScenarioEvent& event);
   void retire_node(NodeId id, bool crash);
+  void rejoin_node(NodeId id);
+  /// Executes the delayed manager handoff for a departed node: registers
+  /// the departure with the assignment and migrates ledger rows to the
+  /// promoted replacements.
+  void run_handoff(NodeId id);
   void make_node(std::uint32_t i, const gossip::BehaviorSpec& behavior,
                  const sim::LinkProfile& profile);
   void set_freerider(NodeId id, bool freeride);
@@ -325,6 +388,14 @@ class Experiment {
   std::vector<ScenarioEvent> timeline_events_;  // time-ordered
   std::vector<JoinRecord> joins_;
   std::vector<DepartureRecord> departures_;
+  std::vector<RejoinRecord> rejoins_;
+  std::vector<HandoffRecord> handoffs_;
+  std::vector<std::uint8_t> ever_rejoined_;  // dense, any incarnation
+  /// Retired incarnations of rejoined ids: the old Engine/Agent objects
+  /// must outlive any in-flight timer that still references them, so a
+  /// rejoin moves them here instead of destroying them (same in-place
+  /// retirement contract as plain departures, DESIGN.md §5/§7).
+  std::vector<Node> retired_;
   std::uint32_t next_join_id_ = 0;
 
   Duration score_sample_interval_ = Duration::zero();

@@ -13,6 +13,10 @@ void ScenarioConfig::validate() const {
   require(duration > Duration::zero(), "duration must be positive");
   require(failure_detection >= Duration::zero(),
           "failure detection delay must be non-negative");
+  require(manager_handoff_delay >= Duration::zero(),
+          "manager handoff delay must be non-negative");
+  require(view_propagation >= Duration::zero(),
+          "view propagation lag must be non-negative");
   for (const auto& event : timeline.events()) {
     require(event.at >= Duration::zero(), "timeline event in the past");
     if (event.kind != ScenarioEventKind::kJoin) {

@@ -48,14 +48,39 @@ struct ScenarioConfig {
   sim::LinkProfile weak_link;  ///< their profile (§7.3's poor connections)
 
   // ---- dynamic membership
-  /// Scheduled deployment events (joins, leaves, crashes, behavior/link
-  /// switches). Empty = the classic static deployment.
+  /// Scheduled deployment events (joins, leaves, crashes, rejoins,
+  /// behavior/link switches). Empty = the classic static deployment.
   ScenarioTimeline timeline;
   /// How long a crashed node lingers in the membership before the failure
   /// detector removes it. During this window partners keep selecting the
   /// dead node and its verifiers blame the silence — the wrongful-blame
   /// regime bench_churn measures. Clean leaves propagate immediately.
   Duration failure_detection = seconds(2.0);
+
+  // ---- churn-resilient accountability (DESIGN.md §7)
+  /// When a manager departs, promote a deterministic replacement from the
+  /// base pool and migrate its ledger row (manager handoff). Off = the
+  /// quorum silently shrinks (the pre-handoff baseline) AND a departed
+  /// manager that rejoins comes back with empty stores — without a
+  /// migration protocol, blame knowledge is not conserved across a
+  /// bounce. Expulsions never trigger handoff in either mode (DESIGN.md
+  /// §7 scope limits).
+  bool manager_handoff = true;
+  /// Delay between a departure becoming known to the membership and the
+  /// handoff executing (models the reassignment round). For crashes the
+  /// failure-detection lag is added first.
+  Duration manager_handoff_delay = seconds(1.0);
+  /// Maximum per-observer membership-view propagation lag: joins/leaves
+  /// become visible to each node after a deterministic pseudo-random delay
+  /// in [0, view_propagation] (divergent views — verifiers and auditors
+  /// can disagree about liveness). Zero = the legacy shared view,
+  /// bit-identical to pre-view behavior.
+  Duration view_propagation = Duration::zero();
+  /// Score history of a rejoining id: kFresh restarts the blame record and
+  /// period count at the rejoin instant; kCarried keeps the previous
+  /// incarnation's record (a returning node answers for its past).
+  enum class RejoinScores : std::uint8_t { kFresh, kCarried };
+  RejoinScores rejoin_scores = RejoinScores::kFresh;
 
   void validate() const;
 

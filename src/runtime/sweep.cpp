@@ -31,6 +31,10 @@ SweepCase make_case(std::uint32_t index, Pcg32& rng) {
 
   c.churn = (index % 2) == 1;
   if (c.churn) {
+    // The churn-resilience knobs (PR 4) draw from a stream derived from
+    // the case seed, NOT the shared generator rng — the historical case
+    // fields above keep their exact values and the prefix property holds.
+    auto resilience_rng = derive_rng(c.config.seed, 0x524553494CULL);  // "RESIL"
     ScenarioTimeline::PoissonChurn churn;
     churn.arrival_fraction_per_min = 0.3 + rng.uniform() * 0.4;
     churn.departure_fraction_per_min = 0.3 + rng.uniform() * 0.4;
@@ -39,8 +43,20 @@ SweepCase make_case(std::uint32_t index, Pcg32& rng) {
     churn.freerider_behavior = c.config.freerider_behavior;
     churn.start = seconds(2.0);
     churn.end = c.config.duration - seconds(2.0);
+    churn.rejoin_fraction = resilience_rng.uniform() * 0.6;
+    churn.rejoin_delay_mean = seconds(1.0 + resilience_rng.uniform() * 4.0);
     c.config.timeline =
         ScenarioTimeline::poisson_churn(churn, nodes, c.config.seed);
+    // Divergent membership views on half the churn cases; handoff runs on
+    // all of them (it is the default); a third of the rejoin cases carry
+    // score history across incarnations.
+    if (resilience_rng.bernoulli(0.5)) {
+      c.config.view_propagation =
+          seconds(0.2 + resilience_rng.uniform() * 0.8);
+    }
+    if (resilience_rng.bernoulli(0.33)) {
+      c.config.rejoin_scores = ScenarioConfig::RejoinScores::kCarried;
+    }
   }
   return c;
 }

@@ -8,29 +8,41 @@
 #include "runtime/scenario.hpp"
 
 /// The randomized scenario-sweep workload: ~count small configurations
-/// (population, δ-vector, loss, weak fraction, churn on/off) derived from
-/// one fixed seed. Shared by tests/test_scenario_sweep.cpp (structural
-/// invariants per case) and bench/bench_sweep_scaling.cpp (throughput and
-/// parallel-vs-serial identity over the same case set), so "the sweep
-/// workload" means the same thing in both.
+/// (population, δ-vector, loss, weak fraction, churn on/off — churn cases
+/// additionally draw rejoin rates, divergent-view lags and the rejoin
+/// score policy) derived from one fixed seed. Shared by
+/// tests/test_scenario_sweep.cpp (structural invariants per case) and
+/// bench/bench_sweep_scaling.cpp (throughput and parallel-vs-serial
+/// identity over the same case set), so "the sweep workload" means the
+/// same thing in both.
 
 namespace lifting::runtime {
 
 struct SweepCase {
-  std::uint32_t index = 0;
-  double delta = 0.0;
-  bool churn = false;
-  ScenarioConfig config;
+  std::uint32_t index = 0;   ///< position in the sweep (labels, sharding)
+  double delta = 0.0;        ///< the case's uniform freeriding degree Δ
+  bool churn = false;        ///< has a Poisson churn timeline (odd indices)
+  ScenarioConfig config;     ///< self-contained: seed + timeline embedded
 };
 
-/// Generates the deterministic sweep cases. The generator rng is consumed
-/// strictly sequentially across cases, so scenario_sweep_cases(20) yields
-/// the exact historical 20-config suite as a prefix of any longer sweep.
+/// Generates the deterministic sweep cases. Two stability rules make sweep
+/// numbers comparable across PRs:
+///   1. the shared generator rng is consumed strictly sequentially across
+///      cases, so scenario_sweep_cases(20) yields the exact historical
+///      20-config suite as a prefix of any longer sweep;
+///   2. knobs added later (e.g. the churn-resilience fields) draw from
+///      per-case rngs derived from the case seed, never from the shared
+///      generator — extending a case cannot shift any other case's draws.
+/// Each case's config.seed is 0x5EED + index; its churn timeline is
+/// regenerated from that seed, so a RunSpec carrying the case is fully
+/// reproducible in isolation.
 [[nodiscard]] std::vector<SweepCase> scenario_sweep_cases(
     std::uint32_t count = 20);
 
-/// The same workload as labeled RunSpecs for the parallel runner (the
-/// spec's seed is the case config's seed).
+/// The same workload as labeled RunSpecs for the parallel runner. The
+/// spec's seed is the case config's seed (no re-derivation — the case
+/// already owns a seed and a timeline generated from it), and the label
+/// encodes (index, n, Δ, churn) for reports.
 [[nodiscard]] std::vector<RunSpec> scenario_sweep_specs(
     std::uint32_t count = 20);
 

@@ -41,16 +41,25 @@ ScenarioTimeline ScenarioTimeline::poisson_churn(const PoissonChurn& churn,
           "freerider fraction must be in [0,1]");
   require(churn.end >= churn.start, "churn window must be non-empty");
 
+  require(churn.rejoin_fraction >= 0.0 && churn.rejoin_fraction <= 1.0,
+          "rejoin fraction must be in [0,1]");
+
   ScenarioTimeline timeline;
   auto rng = derive_rng(seed, 0x434855524EULL);  // "CHURN"
 
   // The generator mirrors the membership it will produce: candidates for
   // departure are the currently-live non-source nodes, so a generated
-  // leave/crash always targets a node that is actually present.
+  // leave/crash always targets a node that is actually present, and a
+  // rejoined node re-enters the departure pool only from its rejoin time.
   std::vector<NodeId> live;
   live.reserve(base_nodes);
   for (std::uint32_t i = 1; i < base_nodes; ++i) live.push_back(NodeId{i});
   std::uint32_t next_id = base_nodes;
+  struct PendingRejoin {
+    double at = 0.0;
+    NodeId node;
+  };
+  std::vector<PendingRejoin> pending_rejoins;  // unordered; drained by time
 
   const double join_rate =
       churn.arrival_fraction_per_min / 60.0 * static_cast<double>(base_nodes);
@@ -67,6 +76,16 @@ ScenarioTimeline ScenarioTimeline::poisson_churn(const PoissonChurn& churn,
     if (!std::isfinite(dt)) break;
     t += dt;
     if (t >= end) break;
+    // Rejoins scheduled in the meantime put their node back in the pool.
+    for (std::size_t i = 0; i < pending_rejoins.size();) {
+      if (pending_rejoins[i].at <= t) {
+        live.push_back(pending_rejoins[i].node);
+        pending_rejoins[i] = pending_rejoins.back();
+        pending_rejoins.pop_back();
+      } else {
+        ++i;
+      }
+    }
     if (dt_join <= dt_leave) {
       const NodeId id{next_id++};
       const bool freeride = rng.bernoulli(churn.freerider_fraction);
@@ -85,6 +104,20 @@ ScenarioTimeline ScenarioTimeline::poisson_churn(const PoissonChurn& churn,
         timeline.crash_at(seconds(t), victim);
       } else {
         timeline.leave_at(seconds(t), victim);
+      }
+      // Guarded so the zero-rejoin preset consumes the exact historical
+      // draw sequence (comparable timelines across PRs).
+      if (churn.rejoin_fraction > 0.0 &&
+          rng.bernoulli(churn.rejoin_fraction)) {
+        const double back = t + exponential_seconds(
+                                    rng, 1.0 / std::max(
+                                             to_seconds(
+                                                 churn.rejoin_delay_mean),
+                                             1e-6));
+        if (back < end) {
+          timeline.rejoin_at(seconds(back), victim);
+          pending_rejoins.push_back(PendingRejoin{back, victim});
+        }
       }
     }
   }

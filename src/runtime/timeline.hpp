@@ -32,6 +32,7 @@ enum class ScenarioEventKind : std::uint8_t {
   kJoin,         ///< a new node enters the deployment
   kLeave,        ///< graceful departure (membership updated immediately)
   kCrash,        ///< abrupt death (membership notices after failure_detection)
+  kRejoin,       ///< a previously-departed id re-enters (epoch bumps)
   kSetBehavior,  ///< node switches behavior mid-run
   kSetLink,      ///< node's link profile changes mid-run
 };
@@ -87,6 +88,21 @@ class ScenarioTimeline {
     e.node = node;
     return add(std::move(e));
   }
+  /// Re-enters a departed id (DESIGN.md §7). The Experiment restores the
+  /// node's *scenario-level* role — freerider flag (with the scenario's
+  /// freerider behavior) and weak-link class; a custom BehaviorSpec or link
+  /// installed mid-run via set_behavior/set_link is NOT carried across the
+  /// departure (re-apply it after the rejoin if needed) — and bumps its
+  /// alive epoch. The event is skipped if the node is not actually departed
+  /// when it applies (e.g. it was expelled first — an indictment is not
+  /// outlived by leaving).
+  ScenarioTimeline& rejoin_at(Duration at, NodeId node) {
+    ScenarioEvent e;
+    e.at = at;
+    e.kind = ScenarioEventKind::kRejoin;
+    e.node = node;
+    return add(std::move(e));
+  }
   ScenarioTimeline& set_behavior_at(Duration at, NodeId node,
                                     gossip::BehaviorSpec behavior,
                                     bool freerider) {
@@ -134,6 +150,13 @@ class ScenarioTimeline {
     /// Fraction of joiners that freeride, with this behavior.
     double freerider_fraction = 0.0;
     gossip::BehaviorSpec freerider_behavior{};
+    /// Fraction of departures that later rejoin (DESIGN.md §7). Zero keeps
+    /// the generated timeline — and its rng draw sequence — byte-identical
+    /// to the pre-rejoin preset.
+    double rejoin_fraction = 0.0;
+    /// Mean of the exponential offline time before a rejoin. Rejoins that
+    /// would land past `end` are dropped (the node stays gone).
+    Duration rejoin_delay_mean = seconds(10.0);
     Duration start = seconds(5.0);
     Duration end = seconds(55.0);
   };

@@ -105,9 +105,13 @@ void check_invariants(const SweepCase& c) {
     prev = point.fraction_clear;
   }
 
-  // ---- churn consistency: the directory and the records agree.
+  // ---- churn consistency: the directory and the records agree. Every
+  // rejoin pairs with exactly one recorded directory departure (a crash
+  // rejoined before detection records its departure at the rejoin), so the
+  // balance closes with the rejoin count added back.
   if (c.churn) {
-    std::size_t expected_live = c.config.nodes + ex.joins().size() -
+    std::size_t expected_live = c.config.nodes + ex.joins().size() +
+                                ex.rejoins().size() -
                                 ex.directory().expelled().size() -
                                 ex.directory().departed().size();
     EXPECT_EQ(ex.directory().live_count(), expected_live);
