@@ -1,0 +1,256 @@
+/// Adaptive-adversary frontier — the adaptive analogue of Fig. 12. The
+/// paper's detection/gain trade-off assumes *static* freeriders (one Δ for
+/// the whole run); this bench runs every catalog strategy from
+/// src/adversary/strategy.hpp through one fixed accountability scenario
+/// (score policing + expulsion + manager/expulsion handoff + divergent
+/// views + churn with an early honest-departure burst that pre-thins the
+/// manager quorums) and prints one frontier row per strategy:
+///
+///   gain        realized upload-bandwidth gain: BehaviorSpec::gain()
+///               integrated over the adversaries' present time
+///   detection   committed expulsion by a manager majority (an indictment
+///               outlives a departure — it blocks the rejoin), or present
+///               at the end with a min-vote score below η
+///   stayer blame  mean ledger blame per honest stayer (wrongful blame)
+///
+/// Monte-Carlo repetitions are sharded over a FIXED task grid on the
+/// ParallelRunner (never threads()), with per-rep seeds from
+/// derive_task_seed shared across cells (paired comparisons) and
+/// task-ordered reduces, so the printed table is bit-identical at any
+/// --threads value.
+///
+/// The second section is the whitewasher A/B the churn-resilient
+/// accountability machinery exists for (ROADMAP's timed-departure
+/// adversary): with manager handoff OFF, the pre-thinned quorums stay
+/// broken — score reads about the whitewasher fall below min_score_replies
+/// and expel votes cannot reach a majority of the (fixed-size) manager
+/// row, so flee-before-the-commit + rejoin-with-fresh-scores wins and the
+/// whitewasher must measurably beat the static freerider on
+/// evasion-adjusted gain = gain x (1 - detection). With manager handoff +
+/// expulsion handoff ON, every hole is promoted over and ledger rows
+/// migrate, the expulsion pipeline completes during the lay-low window,
+/// and the indictment latch must collapse that edge (exit 1 otherwise).
+///
+/// Usage: bench_adversary_frontier [--threads N] [--reps N]
+
+#include <cstdio>
+#include <vector>
+
+#include "adversary/strategy.hpp"
+#include "common/build_info.hpp"
+#include "common/table.hpp"
+#include "runtime/runner.hpp"
+#include "runtime/sweep.hpp"
+
+namespace {
+
+using namespace lifting;
+
+/// One cell of the fixed Monte-Carlo grid over the shared accountability
+/// scenario (runtime::adversary_frontier_config — the same deployment
+/// tests/test_adversary.cpp pins the A/B on).
+struct Cell {
+  const char* name;  ///< catalog name or "static"
+  adversary::AdversaryConfig adversary;  ///< kNone = static baseline
+  bool handoff_on = true;
+};
+
+/// One repetition's measurements (means accumulate in task order).
+struct Sample {
+  double gain = 0.0;
+  double detection = 0.0;
+  double false_positive = 0.0;
+  double stayer_blame = 0.0;
+  double present_fraction = 0.0;
+  double bounces = 0.0;
+  double probes = 0.0;
+  double expulsions = 0.0;
+};
+
+struct CellResult {
+  Sample mean;
+  std::uint32_t reps = 0;
+  void add(const Sample& s) {
+    ++reps;
+    mean.gain += s.gain;
+    mean.detection += s.detection;
+    mean.false_positive += s.false_positive;
+    mean.stayer_blame += s.stayer_blame;
+    mean.present_fraction += s.present_fraction;
+    mean.bounces += s.bounces;
+    mean.probes += s.probes;
+    mean.expulsions += s.expulsions;
+  }
+  void finalize() {
+    if (reps == 0) return;
+    const double r = static_cast<double>(reps);
+    mean.gain /= r;
+    mean.detection /= r;
+    mean.false_positive /= r;
+    mean.stayer_blame /= r;
+    mean.present_fraction /= r;
+    mean.bounces /= r;
+    mean.probes /= r;
+    mean.expulsions /= r;
+  }
+  [[nodiscard]] double adjusted_gain() const {
+    return mean.gain * (1.0 - mean.detection);
+  }
+};
+
+Sample measure(runtime::Experiment& ex) {
+  Sample s;
+  const double eta = ex.config().lifting.eta;
+  std::size_t detected = 0;
+  std::size_t adversaries = 0;
+  for (const auto id : ex.freerider_ids()) {
+    ++adversaries;
+    // Caught = a manager majority committed the expulsion (the indictment
+    // is latched — it blocks any rejoin, even when the victim slipped away
+    // before the expulsion propagated), or present with a min-vote read
+    // below η at the end.
+    if (ex.majority_expelled(id) ||
+        (!ex.is_departed(id) && ex.true_score(id) < eta)) {
+      ++detected;
+    }
+  }
+  s.detection = adversaries == 0 ? 0.0
+                                 : static_cast<double>(detected) /
+                                       static_cast<double>(adversaries);
+  s.false_positive = ex.detection_at(eta).false_positive;
+  s.stayer_blame = ex.honest_blame_split().stayer_mean();
+  s.expulsions = static_cast<double>(ex.expulsions().size());
+  if (ex.config().adversary.enabled()) {
+    const auto adv = ex.adversary_stats();
+    s.gain = adv.mean_realized_gain;
+    s.present_fraction = adv.mean_present_fraction;
+    s.bounces = static_cast<double>(adv.bounces);
+    s.probes = static_cast<double>(adv.probes);
+  } else {
+    // Static baseline: full throttle while in the system. No controller
+    // integrates presence over time, so approximate with the end-state
+    // fraction of adversaries still present (expelled nodes are shunned,
+    // churned ones departed) — comparable to the adaptive rows' integral.
+    s.gain = ex.config().freerider_behavior.gain();
+    std::size_t present = 0;
+    for (const auto id : ex.freerider_ids()) {
+      if (!ex.is_departed(id) && ex.directory().is_live(id)) ++present;
+    }
+    s.present_fraction = adversaries == 0
+                             ? 0.0
+                             : static_cast<double>(present) /
+                                   static_cast<double>(adversaries);
+  }
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint32_t reps =
+      runtime::parse_flag(argc, argv, "--reps", 1, 1'000, 4);
+  runtime::ParallelRunner runner(
+      runtime::ParallelRunner::threads_from_args(argc, argv));
+
+  std::printf("=== adversary frontier: catalog strategies vs the full "
+              "accountability stack ===\n");
+  std::printf("n=120, 35 s, delta=0.5, eta=-2.0, M=4, 40%% honest burst, "
+              "%u reps/cell [build=%s threads=%u]\n\n",
+              reps, build_type(), runner.threads());
+
+  // Fixed cell grid: the defended frontier (handoff on) for the static
+  // baseline + every catalog entry, then the whitewash A/B's handoff-off
+  // cells. Grid and rep counts are constants and per-rep seeds are shared
+  // across cells (paired comparisons), so every printed digit is
+  // --threads-invariant.
+  std::vector<Cell> cells;
+  cells.push_back({"static", {}, true});
+  for (const auto& entry : adversary::catalog()) {
+    cells.push_back({entry.name, entry.config, true});
+  }
+  adversary::AdversaryConfig whitewash;
+  for (const auto& entry : adversary::catalog()) {
+    if (entry.config.strategy == adversary::Strategy::kWhitewash) {
+      whitewash = entry.config;
+    }
+  }
+  cells.push_back({"static", {}, false});
+  cells.push_back({"whitewash", whitewash, false});
+
+  const std::size_t tasks = cells.size() * reps;
+  const auto samples = runner.map<Sample>(tasks, [&](std::size_t task) {
+    const Cell& cell = cells[task / reps];
+    const auto rep = static_cast<std::uint64_t>(task % reps);
+    auto cfg = runtime::adversary_frontier_config(
+        cell.handoff_on, runtime::derive_task_seed(0xF407ULL, rep));
+    cfg.adversary = cell.adversary;
+    runtime::Experiment ex(cfg);
+    ex.run();
+    return measure(ex);
+  });
+
+  std::vector<CellResult> results(cells.size());
+  for (std::size_t task = 0; task < samples.size(); ++task) {
+    results[task / reps].add(samples[task]);  // task order: deterministic
+  }
+  for (auto& r : results) r.finalize();
+
+  TextTable table({"strategy", "handoff", "gain", "detection", "gain*(1-d)",
+                   "false pos", "stayer blame", "present", "bounces",
+                   "probes", "expulsions"});
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const auto& r = results[i];
+    table.add_row({cells[i].name, cells[i].handoff_on ? "on" : "off",
+                   TextTable::num(r.mean.gain, 3),
+                   TextTable::num(r.mean.detection, 3),
+                   TextTable::num(r.adjusted_gain(), 3),
+                   TextTable::num(r.mean.false_positive, 3),
+                   TextTable::num(r.mean.stayer_blame, 2),
+                   TextTable::num(r.mean.present_fraction, 2),
+                   TextTable::num(r.mean.bounces, 1),
+                   TextTable::num(r.mean.probes, 1),
+                   TextTable::num(r.mean.expulsions, 1)});
+  }
+  table.print();
+
+  // ---- the whitewasher A/B assertion (the reason expulsion handoff
+  // exists): without handoff, flee-and-rejoin must out-earn static
+  // freeriding on evasion-adjusted gain; with manager handoff + expulsion
+  // handoff the edge must collapse.
+  const auto& static_on = results[0];
+  const CellResult* ww_on = nullptr;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (cells[i].handoff_on &&
+        cells[i].adversary.strategy == adversary::Strategy::kWhitewash) {
+      ww_on = &results[i];
+    }
+  }
+  const auto& static_off = results[cells.size() - 2];
+  const auto& ww_off = results[cells.size() - 1];
+
+  const double edge_off = ww_off.adjusted_gain() - static_off.adjusted_gain();
+  const double edge_on = ww_on->adjusted_gain() - static_on.adjusted_gain();
+  std::printf("\nwhitewash edge over static (gain*(1-detection)): "
+              "handoff off %+0.3f | handoff+expulsion-handoff on %+0.3f\n",
+              edge_off, edge_on);
+
+  int failures = 0;
+  if (edge_off <= 0.3) {
+    std::fprintf(stderr, "bench_adversary_frontier: whitewasher failed to "
+                 "beat the static freerider with handoff off "
+                 "(edge %+0.3f, floor 0.30)\n", edge_off);
+    ++failures;
+  }
+  if (edge_on > edge_off * 0.8) {
+    std::fprintf(stderr, "bench_adversary_frontier: handoff + expulsion "
+                 "handoff did not collapse the whitewash edge "
+                 "(off %+0.3f, on %+0.3f, ceiling 0.8x)\n",
+                 edge_off, edge_on);
+    ++failures;
+  }
+  if (failures == 0) {
+    std::printf("whitewash A/B holds: evades without handoff, indicted "
+                "with handoff + expulsion handoff.\n");
+  }
+  return failures == 0 ? 0 : 1;
+}

@@ -234,6 +234,18 @@ int main(int argc, char** argv) {
                    TextTable::num(static_cast<double>(reset_cost.calls) / reps, 0),
                    TextTable::num(static_cast<double>(reset_cost.bytes) / reps, 0),
                    ratio});
+    // The absolute saving per repetition, for trend-tracking flat-map work
+    // (DirectVerifier::pending_ in PR 4, CrossChecker::batches_/rounds_
+    // in this PR): the delta is what those changes shrink.
+    alloc.add_row(
+        {"", "delta (fresh - reset)",
+         TextTable::num((static_cast<double>(fresh_cost.calls) -
+                         static_cast<double>(reset_cost.calls)) /
+                            reps, 0),
+         TextTable::num((static_cast<double>(fresh_cost.bytes) -
+                         static_cast<double>(reset_cost.bytes)) /
+                            reps, 0),
+         "saved/rep"});
     if (!(reset_digest == fresh_digest)) {
       std::fprintf(stderr, "bench_sweep_scaling: reset repetition digest "
                    "diverged from fresh construction (%s)\n", regime.name);

@@ -26,6 +26,26 @@ for doc in $files; do
   done
 done
 
+# Subsystem coverage: the architecture docs must actually cite the
+# subsystems the tree ships (a new layer that no doc mentions is drift in
+# the other direction). One record per line: "subsystem-dir doc ...";
+# each record only applies to docs named on this run.
+while read -r subsystem docs; do
+  [ -n "$subsystem" ] || continue
+  for doc in $docs; do
+    case " $files " in
+      *" $doc "*)
+        if ! grep -q "$subsystem" "$doc"; then
+          echo "check_doc_paths: $doc never cites $subsystem (subsystem undocumented)" >&2
+          status=1
+        fi
+        ;;
+    esac
+  done
+done <<REQUIRED_CITATIONS
+src/adversary/ DESIGN.md README.md
+REQUIRED_CITATIONS
+
 if [ "$status" -eq 0 ]; then
   echo "check_doc_paths: all cited paths exist"
 fi

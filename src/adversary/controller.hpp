@@ -1,0 +1,198 @@
+#ifndef LIFTING_ADVERSARY_CONTROLLER_HPP
+#define LIFTING_ADVERSARY_CONTROLLER_HPP
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "adversary/strategy.hpp"
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "common/types.hpp"
+#include "gossip/behavior.hpp"
+#include "sim/simulator.hpp"
+
+/// The per-node adversary controller: executes one AdversaryConfig policy
+/// for one adversarial node, as ordinary deterministic simulator events.
+///
+/// The controller sits ABOVE the protocol stack — it is the node's
+/// "operator", not a protocol component. It observes only signals a real
+/// freerider could observe locally (its own score as reported by its
+/// managers through real §5.1 score reads, whether a manager already marked
+/// it expelled, its own membership view) and acts only through capabilities
+/// a real freerider has (mutating its own behavior, leaving, rejoining).
+/// Those capabilities are injected as Hooks by the deployment (the
+/// Experiment), so the adversary layer depends on nothing above gossip.
+///
+/// Determinism: every decision happens inside a tick scheduled on the
+/// shared simulator, randomness comes from the controller's own derived
+/// stream, and coalition intel flows through a CoalitionHub mutated only
+/// from tick events — runs are bit-identical at any thread count, and a
+/// scenario without adversaries never constructs any of this (inertness).
+
+namespace lifting::adversary {
+
+/// One completed self score probe, as the managers answered it.
+struct ScoreEstimate {
+  double score = 0.0;          ///< min-vote over the replies that arrived
+  std::size_t replies = 0;     ///< 0 = every manager was silent
+  bool expelled_hint = false;  ///< some manager already marked us expelled
+};
+using ScoreEstimateFn = std::function<void(const ScoreEstimate&)>;
+
+/// Shared intelligence of one coalition (kCoalition): members pool
+/// membership sightings so the cover-up set survives divergent views. The
+/// hub is plain data owned by the deployment — one per Experiment, mutated
+/// only from controller ticks (simulator event order), reachable from no
+/// other Experiment (the DESIGN.md §6 re-entrancy contract).
+class CoalitionHub {
+ public:
+  /// Registers a coalition member (idempotent; keeps members sorted so
+  /// every derived cover-up list is in deterministic order).
+  void enroll(NodeId id);
+
+  /// A member reported seeing `subject` alive at `now`.
+  void report_sighting(NodeId subject, TimePoint now);
+
+  /// Was `subject` reported alive within the last `stale` window?
+  [[nodiscard]] bool recently_seen(NodeId subject, TimePoint now,
+                                   Duration stale) const;
+
+  [[nodiscard]] const std::vector<NodeId>& members() const noexcept {
+    return members_;
+  }
+
+ private:
+  std::vector<NodeId> members_;  // sorted
+  /// Last pooled sighting per member, aligned with members_.
+  std::vector<TimePoint> last_seen_;
+};
+
+class AdversaryController {
+ public:
+  /// Capabilities the deployment grants the adversary. All of them act on
+  /// the controller's own node; null hooks disable the matching feature
+  /// (e.g. no probe channel when LiFTinG is disabled).
+  struct Hooks {
+    /// Install a new BehaviorSpec on the node's engine + agent (the
+    /// set_behavior machinery timeline events use).
+    std::function<void(const gossip::BehaviorSpec&)> apply_behavior;
+    /// Start a §5.1 score read about ourselves through our managers; the
+    /// callback fires once, at the read's reply deadline.
+    std::function<void(ScoreEstimateFn)> probe_score;
+    /// Clean self-departure (whitewash flee).
+    std::function<void()> leave;
+    /// Attempt to re-enter after a departure. May be refused (a committed
+    /// expulsion outlives the departure) — observable via present().
+    std::function<void()> rejoin;
+    /// Is the node currently a live deployment member?
+    std::function<bool()> present;
+    /// Does *this node's* membership view currently contain `id`?
+    std::function<bool(NodeId)> sees;
+  };
+
+  /// Counters and time integrals for the gain-vs-detection frontier.
+  /// gain_seconds integrates BehaviorSpec::gain() over present time, so
+  /// gain_seconds / present_seconds is the realized upload-bandwidth gain
+  /// (the adaptive analogue of Fig. 12's x-axis).
+  struct Stats {
+    double gain_seconds = 0.0;
+    double present_seconds = 0.0;
+    std::uint64_t behavior_switches = 0;
+    std::uint64_t probes = 0;
+    std::uint64_t bounces = 0;
+    [[nodiscard]] double realized_gain() const {
+      return present_seconds <= 0.0 ? 0.0 : gain_seconds / present_seconds;
+    }
+  };
+
+  /// `freeride` is the node's full-throttle behavior (the scenario's
+  /// freerider spec); `eta` the deployment's expulsion threshold the
+  /// score-reactive strategies steer against. `hub` is required for
+  /// kCoalition and ignored otherwise.
+  AdversaryController(sim::Simulator& sim, NodeId self, AdversaryConfig config,
+                      gossip::BehaviorSpec freeride, double eta, Pcg32 rng,
+                      Hooks hooks, CoalitionHub* hub);
+
+  AdversaryController(const AdversaryController&) = delete;
+  AdversaryController& operator=(const AdversaryController&) = delete;
+
+  /// Schedules the first decision tick after a fraction of the decision
+  /// period drawn from the controller's own stream (desynchronized, like
+  /// engine/agent starts).
+  void start();
+
+  /// Stops the decision loop (wind-down). Pending ticks fizzle.
+  void stop() noexcept { stopped_ = true; }
+
+  /// The deployment rebuilt this node's Engine/Agent with the scenario's
+  /// full-throttle freerider behavior (a rejoin — whether initiated by
+  /// this controller's whitewash flee or by the scenario timeline).
+  /// Resynchronizes the controller's mode state with what is actually
+  /// installed: full throttle, no score estimate (fresh incarnation, and
+  /// any in-flight probe will report zero replies from the retired
+  /// agent), cover-up set forgotten so a coalition reinstalls its pooled
+  /// view on the next tick.
+  void on_reincarnated();
+
+  /// Finalizes the time integrals up to `now` and returns the counters.
+  [[nodiscard]] Stats stats(TimePoint now);
+
+  [[nodiscard]] NodeId self() const noexcept { return self_; }
+  /// Latest score estimate (NaN before the first completed probe).
+  [[nodiscard]] double latest_score() const noexcept { return score_; }
+  [[nodiscard]] bool freeriding() const noexcept { return freeriding_; }
+  /// Permanently out (rejoin refused after a flee, or bounce budget spent
+  /// while away): the controller stops rescheduling.
+  [[nodiscard]] bool dormant() const noexcept { return dormant_; }
+
+ private:
+  void tick();
+  void decide(TimePoint now);
+  void decide_oscillate(TimePoint now);
+  void decide_score_aware();
+  void decide_whitewash(TimePoint now);
+  void decide_coalition(TimePoint now);
+  /// Installs `freeriding` mode (full-throttle vs honest), accounting the
+  /// integral boundary at `now`. No-op when already in that mode.
+  void switch_mode(bool freeriding, TimePoint now);
+  /// Accumulates gain/present integrals over [mark_, now].
+  void account(TimePoint now);
+  void maybe_probe(TimePoint now);
+
+  sim::Simulator& sim_;
+  NodeId self_;
+  AdversaryConfig config_;
+  gossip::BehaviorSpec freeride_;
+  double eta_;
+  Pcg32 rng_;
+  Hooks hooks_;
+  CoalitionHub* hub_;
+
+  bool started_ = false;
+  bool stopped_ = false;
+  bool dormant_ = false;
+  bool freeriding_ = true;  // deployments start adversaries at full throttle
+  TimePoint mark_{};        // integral boundary
+  TimePoint phase_origin_{};  // oscillator epoch (first tick)
+
+  double score_;  // NaN until the first probe completes
+  bool probe_in_flight_ = false;
+  TimePoint next_probe_{};
+
+  bool awaiting_rejoin_ = false;
+  TimePoint rejoin_due_{};
+  std::uint32_t rejoin_attempts_ = 0;
+
+  /// Last cover-up set installed (kCoalition), to skip no-op re-installs,
+  /// and the per-tick recomputation scratch (steady state: no allocation).
+  std::vector<NodeId> cover_set_;
+  std::vector<NodeId> effective_scratch_;
+
+  Stats stats_;
+};
+
+}  // namespace lifting::adversary
+
+#endif  // LIFTING_ADVERSARY_CONTROLLER_HPP

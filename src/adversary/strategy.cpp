@@ -1,0 +1,92 @@
+#include "adversary/strategy.hpp"
+
+#include "common/assert.hpp"
+
+namespace lifting::adversary {
+
+const char* strategy_name(Strategy strategy) noexcept {
+  switch (strategy) {
+    case Strategy::kNone:
+      return "none";
+    case Strategy::kOscillate:
+      return "oscillate";
+    case Strategy::kScoreAware:
+      return "score-aware";
+    case Strategy::kWhitewash:
+      return "whitewash";
+    case Strategy::kCoalition:
+      return "coalition";
+  }
+  return "?";
+}
+
+void AdversaryConfig::validate() const {
+  if (!enabled()) return;
+  require(decision_period > Duration::zero(),
+          "adversary decision period must be positive");
+  require(probe_interval > Duration::zero(),
+          "adversary probe interval must be positive");
+  if (strategy == Strategy::kOscillate) {
+    require(duty_on > Duration::zero() && duty_off > Duration::zero(),
+            "oscillator duty phases must be positive");
+  }
+  if (strategy == Strategy::kScoreAware) {
+    require(resume_margin >= throttle_margin,
+            "score-aware resume margin must be >= throttle margin "
+            "(hysteresis, not a flapping band)");
+  }
+  if (strategy == Strategy::kWhitewash) {
+    require(lay_low > Duration::zero(), "whitewash lay-low must be positive");
+    require(max_bounces >= 1, "whitewash needs a bounce budget >= 1");
+  }
+  if (strategy == Strategy::kCoalition) {
+    require(intel_stale >= Duration::zero(),
+            "coalition intel staleness must be non-negative");
+  }
+}
+
+const std::vector<CatalogEntry>& catalog() {
+  static const std::vector<CatalogEntry> entries = [] {
+    std::vector<CatalogEntry> list;
+
+    {
+      AdversaryConfig cfg;
+      cfg.strategy = Strategy::kOscillate;
+      cfg.duty_on = seconds(3.0);
+      cfg.duty_off = seconds(3.0);
+      list.push_back({"oscillate", "§4 attacks, burst-mode vs §6.2 "
+                                   "score normalization",
+                      cfg});
+    }
+    {
+      AdversaryConfig cfg;
+      cfg.strategy = Strategy::kScoreAware;
+      cfg.throttle_margin = 1.5;
+      cfg.resume_margin = 3.0;
+      list.push_back({"score-aware", "§5.1 score reads turned against the "
+                                     "η threshold (Fig. 11/12)",
+                      cfg});
+    }
+    {
+      AdversaryConfig cfg;
+      cfg.strategy = Strategy::kWhitewash;
+      cfg.flee_margin = 1.0;
+      cfg.lay_low = seconds(3.0);
+      list.push_back({"whitewash", "timed departures vs expulsion commit "
+                                   "(§5.1) and rejoin (DESIGN.md §7)",
+                      cfg});
+    }
+    {
+      AdversaryConfig cfg;
+      cfg.strategy = Strategy::kCoalition;
+      cfg.intel_stale = seconds(2.0);
+      list.push_back({"coalition", "⋆ collusion (§5.2/§6.3.2) under "
+                                   "divergent views (DESIGN.md §7)",
+                      cfg});
+    }
+    return list;
+  }();
+  return entries;
+}
+
+}  // namespace lifting::adversary

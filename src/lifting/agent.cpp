@@ -329,9 +329,22 @@ void Agent::handle_score_query(NodeId from, const gossip::ScoreQueryMsg& msg) {
                                       expelled});
 }
 
-void Agent::score_check(NodeId target) {
+void Agent::score_check(NodeId target) { begin_score_read(target, {}); }
+
+void Agent::probe_score(NodeId target, ScoreFeedbackFn on_done) {
+  if (stopped_) {
+    // A retired incarnation probes nothing; answer "no replies" so the
+    // caller's in-flight bookkeeping still resolves.
+    if (on_done) on_done(ScoreFeedback{});
+    return;
+  }
+  begin_score_read(target, std::move(on_done));
+}
+
+void Agent::begin_score_read(NodeId target, ScoreFeedbackFn probe) {
   const std::uint32_t query_id = next_query_id_++;
-  score_reads_.emplace(query_id, PendingScoreRead{target, {}, false});
+  score_reads_.emplace(query_id,
+                       PendingScoreRead{target, {}, false, std::move(probe)});
   for (const auto manager : managers_for(target)) {
     if (manager == self_) {
       auto& read = score_reads_.at(query_id);
@@ -357,6 +370,23 @@ void Agent::finish_score_read(std::uint32_t query_id) {
   if (it == score_reads_.end()) return;
   const auto read = it->second;
   score_reads_.erase(it);
+  if (read.probe) {
+    // Feedback read: report what the managers answered and stop — probes
+    // never feed the expulsion protocol. A read that outlived its
+    // incarnation (the node retired mid-flight) reports zero replies so
+    // cross-incarnation estimates cannot leak.
+    ScoreFeedback feedback;
+    if (!stopped_) {
+      feedback.replies = read.replies.size();
+      feedback.expelled_hint = read.target_already_expelled;
+      if (!read.replies.empty()) {
+        feedback.score =
+            *std::min_element(read.replies.begin(), read.replies.end());
+      }
+    }
+    read.probe(feedback);
+    return;
+  }
   if (read.target_already_expelled) return;  // nothing to do
   if (read.replies.size() < params_.min_score_replies) return;
   // Min-vote (§5.1) by default: the most pessimistic manager saw the most
@@ -423,6 +453,15 @@ void Agent::finish_expel_vote(NodeId target) {
     }
   }
   expel_votes_.erase(target);
+  // The request latch only serializes rounds — it must not outlive this
+  // one. A committed expulsion normally takes effect (the target drops out
+  // of recent contacts and later reads return the expelled mark, so a
+  // retry is naturally bounded); but when the commit fails to take hold —
+  // the managers refuse corroboration because the target's incarnation
+  // changed mid-vote (a whitewasher bouncing through the pipeline,
+  // DESIGN.md §8) — the checker must be able to indict again next time
+  // its read comes back bad, exactly as a live deployment would.
+  expel_requested_.erase(target);
 }
 
 void Agent::handle_expel_commit(const gossip::ExpelCommitMsg& msg) {
@@ -444,6 +483,7 @@ void Agent::handle_expel_commit(const gossip::ExpelCommitMsg& msg) {
 
 void Agent::handle_audit_request(NodeId from,
                                  const gossip::AuditRequestMsg& msg) {
+  ++audit_requests_received_;
   auto records = sent_history_.snapshot();
   if (behavior_.lie_in_history && behavior_.collusion.has_value()) {
     // Replace coalition partners with random live nodes: beats the entropy

@@ -105,6 +105,24 @@ class Agent final : public gossip::EngineObserver {
   /// the score is below η (also used by the periodic policy).
   void score_check(NodeId target);
 
+  /// One completed feedback score read (probe_score below).
+  struct ScoreFeedback {
+    double score = 0.0;          ///< min-vote over the replies that arrived
+    std::size_t replies = 0;     ///< 0 = no manager answered in time
+    bool expelled_hint = false;  ///< a reply carried the expulsion mark
+  };
+  using ScoreFeedbackFn = std::function<void(const ScoreFeedback&)>;
+
+  /// Runs a §5.1 score read about `target` purely as *feedback*: the same
+  /// query datagrams, manager replies and reply deadline as score_check,
+  /// but the outcome is handed to `on_done` (exactly once, at the
+  /// deadline) instead of feeding the expulsion protocol. This is the
+  /// manager score-feedback channel the adaptive adversaries use to probe
+  /// their own standing (src/adversary/) — anyone can query anyone's
+  /// managers, so a freerider asking about itself is protocol-legal and
+  /// costs it real query bandwidth. A retired agent reports zero replies.
+  void probe_score(NodeId target, ScoreFeedbackFn on_done);
+
   // --- introspection for experiments and tests
   [[nodiscard]] const ManagerStore& manager_store() const noexcept {
     return managers_;
@@ -116,6 +134,13 @@ class Agent final : public gossip::EngineObserver {
   [[nodiscard]] NodeId self() const noexcept { return self_; }
   [[nodiscard]] double blame_emitted_total() const noexcept {
     return blame_emitted_total_;
+  }
+  /// Audit requests answered so far — the one detection-pressure signal
+  /// the protocol leaks to its *subject* (auditors must ask the audited
+  /// node for its history, §5.3). The adversary layer reads it as a
+  /// received-blame proxy.
+  [[nodiscard]] std::uint64_t audit_requests_received() const noexcept {
+    return audit_requests_received_;
   }
   /// The working cross-check probability (== configured p_dcc unless
   /// adaptive_pdcc has decayed it during clean periods).
@@ -140,6 +165,10 @@ class Agent final : public gossip::EngineObserver {
   void handle_expel_commit(const gossip::ExpelCommitMsg& msg);
   void handle_audit_request(NodeId from, const gossip::AuditRequestMsg& msg);
   void handle_history_poll(NodeId from, const gossip::HistoryPollMsg& msg);
+  /// Fans the score queries out to `target`'s managers and arms the reply
+  /// deadline — shared by score_check (expulsion path) and probe_score
+  /// (feedback path, `probe` set).
+  void begin_score_read(NodeId target, ScoreFeedbackFn probe);
   void finish_score_read(std::uint32_t query_id);
   void finish_expel_vote(NodeId target);
   void note_contact(NodeId id);
@@ -172,6 +201,9 @@ class Agent final : public gossip::EngineObserver {
     NodeId target;
     std::vector<double> replies;
     bool target_already_expelled = false;
+    /// Set for probe reads: the deadline reports here and the expulsion
+    /// machinery is skipped.
+    ScoreFeedbackFn probe;
   };
   std::unordered_map<std::uint32_t, PendingScoreRead> score_reads_;
   std::uint32_t next_query_id_ = 1;
@@ -185,6 +217,7 @@ class Agent final : public gossip::EngineObserver {
   std::unordered_set<NodeId> expel_requested_;
 
   double blame_emitted_total_ = 0.0;
+  std::uint64_t audit_requests_received_ = 0;
   double base_pdcc_ = 1.0;
   double blame_emitted_this_period_ = 0.0;
   double blame_rate_ewma_ = 0.0;

@@ -76,12 +76,38 @@ void DirectVerifier::on_deadline(Key key) {
 
 // --------------------------------------------------------- CrossChecker
 
+namespace {
+constexpr auto kEntryKeyLess = [](const auto& entry, const auto& key) {
+  return entry.key() < key;
+};
+}  // namespace
+
+CrossChecker::Batch* CrossChecker::find_batch(NodeId receiver,
+                                              PeriodIndex serve_period) {
+  const auto key = std::make_pair(receiver, serve_period);
+  const auto it = std::lower_bound(batches_.begin(), batches_.end(), key,
+                                   kEntryKeyLess);
+  return it != batches_.end() && it->key() == key ? &*it : nullptr;
+}
+
+CrossChecker::ConfirmRound* CrossChecker::find_round(
+    NodeId subject, PeriodIndex subject_period) {
+  const auto key = std::make_pair(subject, subject_period);
+  const auto it =
+      std::lower_bound(rounds_.begin(), rounds_.end(), key, kEntryKeyLess);
+  return it != rounds_.end() && it->key() == key ? &*it : nullptr;
+}
+
 void CrossChecker::on_chunks_served(NodeId receiver, PeriodIndex period,
                                     const gossip::ChunkIdList& chunks) {
   const auto key = std::make_pair(receiver, period);
-  auto& batch = batches_[key];
-  batch.receiver = receiver;
-  batch.serve_period = period;
+  // One binary search is both the lookup and the sorted insert position.
+  auto it = std::lower_bound(batches_.begin(), batches_.end(), key,
+                             kEntryKeyLess);
+  if (it == batches_.end() || it->key() != key) {
+    it = batches_.insert(it, Batch{receiver, period, {}, false, 0});
+  }
+  auto& batch = *it;
   batch.generation = ++generation_;
   for (const auto c : chunks) insert_sorted_unique(batch.chunks, c);
   const auto generation = batch.generation;
@@ -95,7 +121,7 @@ void CrossChecker::on_ack_received(NodeId from, const gossip::AckMsg& ack) {
   // Unsolicited acks (we served this node nothing) carry no weight.
   const bool expected = std::any_of(
       batches_.begin(), batches_.end(),
-      [&](const auto& kv) { return kv.first.first == from; });
+      [&](const Batch& b) { return b.receiver == from; });
   if (!expected) return;
 
   // Fanout check happens once per ack: the ack asserts the receiver's
@@ -110,8 +136,8 @@ void CrossChecker::on_ack_received(NodeId from, const gossip::AckMsg& ack) {
   // fully covers; covered batches with a triggered check share one confirm
   // round per (subject, subject-period).
   gossip::ChunkIdList covered_chunks;
-  for (auto& [key, batch] : batches_) {
-    if (key.first != from || batch.covered) continue;
+  for (auto& batch : batches_) {
+    if (batch.receiver != from || batch.covered) continue;
     const bool all = std::all_of(
         batch.chunks.begin(), batch.chunks.end(), [&](ChunkId c) {
           return std::find(ack.chunks.begin(), ack.chunks.end(), c) !=
@@ -133,7 +159,11 @@ void CrossChecker::start_confirm_round(const gossip::AckMsg& ack,
                                        NodeId subject,
                                        const gossip::ChunkIdList& chunks) {
   const auto key = std::make_pair(subject, ack.period);
-  if (rounds_.contains(key)) return;  // one round per receiver propose phase
+  const auto it =
+      std::lower_bound(rounds_.begin(), rounds_.end(), key, kEntryKeyLess);
+  if (it != rounds_.end() && it->key() == key) {
+    return;  // one round per receiver propose phase
+  }
   ConfirmRound round;
   round.subject = subject;
   round.subject_period = ack.period;
@@ -145,7 +175,7 @@ void CrossChecker::start_confirm_round(const gossip::AckMsg& ack,
   }
   if (sent == 0) return;
   round.witnesses = sent;
-  rounds_.emplace(key, round);
+  rounds_.insert(it, round);
   ++rounds_started_;
   sim_.schedule_after(params_.confirm_timeout,
                       [this, subject, period = ack.period] {
@@ -155,47 +185,43 @@ void CrossChecker::start_confirm_round(const gossip::AckMsg& ack,
 
 void CrossChecker::on_confirm_response(NodeId /*witness*/,
                                        const gossip::ConfirmRespMsg& msg) {
-  const auto it =
-      rounds_.find(std::make_pair(msg.subject, msg.subject_period));
-  if (it == rounds_.end()) return;
-  auto& round = it->second;
-  if (round.yes + round.no >= round.witnesses) return;  // late duplicates
+  ConfirmRound* round = find_round(msg.subject, msg.subject_period);
+  if (round == nullptr) return;
+  if (round->yes + round->no >= round->witnesses) return;  // late duplicates
   if (msg.confirmed) {
-    ++round.yes;
+    ++round->yes;
   } else {
-    ++round.no;
+    ++round->no;
   }
 }
 
 void CrossChecker::on_confirm_deadline(NodeId subject,
                                        PeriodIndex subject_period) {
-  const auto it = rounds_.find(std::make_pair(subject, subject_period));
-  if (it == rounds_.end()) return;
-  const auto& round = it->second;
+  ConfirmRound* round = find_round(subject, subject_period);
+  if (round == nullptr) return;
   // Blame 1 per contradictory testimony; a missing testimony is
   // indistinguishable from a lost witness chain and blames 1 as well
   // (Eq. 3's (1-pr³) term).
-  const std::size_t failures = round.witnesses - round.yes;
+  const std::size_t failures = round->witnesses - round->yes;
   if (failures > 0) {
     blame_(subject, static_cast<double>(failures),
            gossip::BlameReason::kTestimony);
   }
-  rounds_.erase(it);
+  rounds_.erase(rounds_.begin() + (round - rounds_.data()));
 }
 
 void CrossChecker::on_ack_deadline(NodeId receiver, PeriodIndex serve_period,
                                    std::uint64_t generation) {
-  const auto it = batches_.find(std::make_pair(receiver, serve_period));
-  if (it == batches_.end()) return;
-  const auto& batch = it->second;
-  if (batch.generation != generation) return;  // superseded by later serves
-  if (!batch.covered) {
+  Batch* batch = find_batch(receiver, serve_period);
+  if (batch == nullptr) return;
+  if (batch->generation != generation) return;  // superseded by later serves
+  if (!batch->covered) {
     // No acknowledgment covering the batch: blame f (§5.2 — same value as
     // not proposing at all).
     blame_(receiver, static_cast<double>(params_.fanout),
            gossip::BlameReason::kInvalidAck);
   }
-  batches_.erase(it);
+  batches_.erase(batches_.begin() + (batch - batches_.data()));
 }
 
 }  // namespace lifting

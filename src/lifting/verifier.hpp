@@ -3,7 +3,7 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
+#include <utility>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -113,12 +113,24 @@ class CrossChecker {
   }
 
  private:
+  /// Key of both tracker tables: (peer, period). The tables were std::maps
+  /// over this pair; a node has only ~f outstanding serve batches and a
+  /// handful of running confirm rounds at any instant, so — like
+  /// DirectVerifier::pending_ above — they are key-sorted flat vectors
+  /// now: binary search, ordered insert/erase, identical iteration order
+  /// to the maps they replace (sorted by key), and zero per-entry node
+  /// allocations once the vectors' capacity has warmed up
+  /// (Experiment::reset keeps it; bench_sweep_scaling prints the
+  /// fresh-vs-reset delta this buys).
   struct Batch {
     NodeId receiver;
     PeriodIndex serve_period;  // our proposal period the serve answered
     gossip::ChunkIdList chunks;  // sorted + unique (see Pending::outstanding)
     bool covered = false;  // fully covered by an ack
     std::uint64_t generation = 0;
+    [[nodiscard]] std::pair<NodeId, PeriodIndex> key() const noexcept {
+      return {receiver, serve_period};
+    }
   };
   struct ConfirmRound {
     NodeId subject;
@@ -126,7 +138,14 @@ class CrossChecker {
     std::size_t witnesses = 0;
     std::size_t yes = 0;
     std::size_t no = 0;
+    [[nodiscard]] std::pair<NodeId, PeriodIndex> key() const noexcept {
+      return {subject, subject_period};
+    }
   };
+
+  [[nodiscard]] Batch* find_batch(NodeId receiver, PeriodIndex serve_period);
+  [[nodiscard]] ConfirmRound* find_round(NodeId subject,
+                                         PeriodIndex subject_period);
 
   void on_ack_deadline(NodeId receiver, PeriodIndex serve_period,
                        std::uint64_t generation);
@@ -141,10 +160,10 @@ class CrossChecker {
   BlameFn blame_;
   SendFn send_;
 
-  /// Outstanding serve batches, keyed (receiver, serve_period).
-  std::map<std::pair<NodeId, PeriodIndex>, Batch> batches_;
-  /// Running confirm rounds, keyed (subject, subject_period).
-  std::map<std::pair<NodeId, PeriodIndex>, ConfirmRound> rounds_;
+  /// Outstanding serve batches, sorted by (receiver, serve_period).
+  std::vector<Batch> batches_;
+  /// Running confirm rounds, sorted by (subject, subject_period).
+  std::vector<ConfirmRound> rounds_;
   std::uint64_t generation_ = 0;
   std::uint64_t rounds_started_ = 0;
 };

@@ -22,7 +22,34 @@ namespace {
   return splitmix64((purpose << 56U) |
                     (static_cast<std::uint64_t>(node) << 24U) | epoch);
 }
+
+/// Draws the freerider role set (sorted; never the source) from the role
+/// stream. Shared by build() — whose weak-link picks continue the same
+/// stream — and the standalone derive_freerider_ids().
+[[nodiscard]] std::vector<NodeId> sample_freerider_roles(Pcg32& role_rng,
+                                                         std::uint32_t n,
+                                                         double fraction) {
+  std::vector<NodeId> freeriders;
+  const auto count =
+      static_cast<std::uint32_t>(fraction * static_cast<double>(n));
+  if (count > 0) {
+    const auto picks = sample_k_distinct(role_rng, n - 1, count);
+    freeriders.reserve(picks.size());
+    for (const auto p : picks) {
+      freeriders.push_back(NodeId{p + 1});  // skip the source (node 0)
+    }
+    std::sort(freeriders.begin(), freeriders.end());
+  }
+  return freeriders;
+}
 }  // namespace
+
+std::vector<NodeId> Experiment::derive_freerider_ids(std::uint64_t seed,
+                                                     std::uint32_t nodes,
+                                                     double fraction) {
+  auto role_rng = derive_rng(seed, 0x01);
+  return sample_freerider_roles(role_rng, nodes, fraction);
+}
 
 Experiment::Experiment(ScenarioConfig config)
     : config_(std::move(config)),
@@ -53,6 +80,8 @@ void Experiment::rewind() {
   ledger_.reset();
   expulsions_.clear();
   audit_reports_.clear();
+  controllers_.clear();
+  coalition_hub_.reset();
   joins_.clear();
   departures_.clear();
   rejoins_.clear();
@@ -75,23 +104,19 @@ void Experiment::build() {
   departed_.assign(n, 0);
   ever_rejoined_.assign(n, 0);
   expulsion_scheduled_.assign(n, 0);
+  expelled_applied_.assign(n, 0);
   join_time_.assign(n, kSimEpoch);
+  controllers_.resize(n);
   next_join_id_ = n;
   // Per-observer membership views (DESIGN.md §7): a zero lag (default)
   // collapses to the legacy shared view bit-for-bit.
   directory_.set_view_model(config_.view_propagation, config_.seed);
   auto role_rng = derive_rng(config_.seed, 0x01);
-  const auto freerider_count = static_cast<std::uint32_t>(
-      config_.freerider_fraction * static_cast<double>(n));
-  if (freerider_count > 0) {
-    const auto picks = sample_k_distinct(role_rng, n - 1, freerider_count);
-    for (const auto p : picks) {
-      const NodeId id{p + 1};  // skip the source (node 0)
-      freerider_[id.value()] = 1;
-      freerider_list_.push_back(id);
-    }
-    std::sort(freerider_list_.begin(), freerider_list_.end());
-  }
+  freerider_list_ =
+      sample_freerider_roles(role_rng, n, config_.freerider_fraction);
+  for (const auto id : freerider_list_) freerider_[id.value()] = 1;
+  // The weak-link picks continue the same role stream (order is
+  // load-bearing for fixed-seed outcomes).
   const auto weak_count = static_cast<std::uint32_t>(
       config_.weak_fraction * static_cast<double>(n));
   if (weak_count > 0) {
@@ -154,6 +179,70 @@ void Experiment::build() {
   // --- stream source at node 0
   source_ = std::make_unique<gossip::StreamSource>(sim_, *nodes_[0].engine,
                                                    config_.stream);
+
+  // --- adaptive adversaries (DESIGN.md §8). Guarded so the default
+  // (Strategy::kNone) constructs nothing, draws nothing and schedules
+  // nothing — the fixed-seed goldens pin that inertness.
+  if (config_.adversary.enabled()) {
+    if (config_.adversary.strategy == adversary::Strategy::kCoalition) {
+      coalition_hub_ = std::make_unique<adversary::CoalitionHub>();
+    }
+    for (const auto id : freerider_list_) make_controller(id);
+  }
+}
+
+void Experiment::make_controller(NodeId id) {
+  if (!config_.adversary.enabled()) return;
+  const auto v = static_cast<std::size_t>(id.value());
+  adversary::AdversaryController::Hooks hooks;
+  // Behavior mutation rides the same set_behavior machinery as timeline
+  // kSetBehavior events (engine + agent), but never touches the freerider
+  // role flag: an adversary playing nice is still ground-truth adversarial
+  // for the detection statistics.
+  hooks.apply_behavior = [this, v](const gossip::BehaviorSpec& spec) {
+    if (is_departed(NodeId{static_cast<std::uint32_t>(v)})) return;
+    auto& node = nodes_[v];
+    node.engine->set_behavior(spec);
+    if (node.agent) node.agent->set_behavior(spec);
+  };
+  if (config_.lifting_enabled) {
+    // Manager score-feedback channel: a real §5.1 read about ourselves,
+    // through whatever agent incarnation currently occupies the slot.
+    hooks.probe_score = [this, id, v](adversary::ScoreEstimateFn on_done) {
+      auto* agent = nodes_[v].agent.get();
+      if (agent == nullptr) {
+        on_done(adversary::ScoreEstimate{});
+        return;
+      }
+      agent->probe_score(
+          id, [cb = std::move(on_done)](const lifting::Agent::ScoreFeedback&
+                                            feedback) {
+            cb(adversary::ScoreEstimate{feedback.score, feedback.replies,
+                                        feedback.expelled_hint});
+          });
+    };
+  }
+  hooks.leave = [this, id] {
+    if (!wound_down_) retire_node(id, /*crash=*/false);
+  };
+  hooks.rejoin = [this, id] {
+    if (!wound_down_) rejoin_node(id);
+  };
+  hooks.present = [this, id] {
+    return !is_departed(id) && directory_.is_live(id);
+  };
+  hooks.sees = [this, id](NodeId subject) {
+    return directory_.sees(id, subject, sim_.now());
+  };
+  // Controller rng streams live in their own 2^32-wide base (0xC...), like
+  // the agents' 0xA and engines' 0xB bases; the stream exists only when a
+  // strategy is configured, so unconfigured runs draw nothing.
+  controllers_[v] = std::make_unique<adversary::AdversaryController>(
+      sim_, id, config_.adversary,
+      resolve_behavior(config_.freerider_behavior), config_.lifting.eta,
+      derive_rng(config_.seed, 0xC00000000ULL + v), std::move(hooks),
+      coalition_hub_.get());
+  controllers_[v]->start();
 }
 
 gossip::BehaviorSpec Experiment::resolve_behavior(
@@ -245,6 +334,11 @@ void Experiment::wind_down() {
     if (node.engine) node.engine->stop();
     if (node.agent) node.agent->stop();
   }
+  // Adversary controllers reschedule themselves like agents do; stopping
+  // them is what lets the drain below terminate.
+  for (auto& controller : controllers_) {
+    if (controller) controller->stop();
+  }
   // Drain: with every periodic loop stopped, only in-flight deliveries and
   // one-shot timers remain, and none of them reschedules. The queue
   // empties, returning every pooled delivery slot.
@@ -261,7 +355,9 @@ void Experiment::ensure_tables(std::uint32_t n) {
   departed_.resize(n, 0);
   ever_rejoined_.resize(n, 0);
   expulsion_scheduled_.resize(n, 0);
+  expelled_applied_.resize(n, 0);
   join_time_.resize(n, kSimEpoch);
+  controllers_.resize(n);
 }
 
 void Experiment::set_freerider(NodeId id, bool freeride) {
@@ -345,6 +441,10 @@ NodeId Experiment::join_node(const ScenarioEvent& event) {
       static_cast<double>(config_.gossip.period.count()))};
   nodes_[idv].engine->start(offset);
   if (nodes_[idv].agent) nodes_[idv].agent->start(offset);
+  // A freeriding joiner is an adversary like any base-population one: it
+  // gets a controller the moment it enters (a coalition recruits it as the
+  // members' views catch up).
+  if (event.freerider) make_controller(id);
   joins_.push_back(JoinRecord{id, to_seconds(sim_.now()), event.freerider});
   return id;
 }
@@ -406,7 +506,21 @@ void Experiment::retire_node(NodeId id, bool crash) {
 
 void Experiment::run_handoff(NodeId id) {
   if (wound_down_ || !is_departed(id)) return;
-  const auto executed = assignment_->mark_departed(id);
+  execute_handoffs(assignment_->mark_departed(id), /*expelled=*/false);
+}
+
+void Experiment::run_expulsion_handoff(NodeId victim) {
+  if (wound_down_) return;
+  // mark_departed is shared with the churn path and idempotent, so an
+  // expelled manager that ALSO appears in a churn departure can never have
+  // a row promoted (or migrated) twice — whichever event lands first wins,
+  // the other finds the mask already set and executes nothing.
+  execute_handoffs(assignment_->mark_departed(victim), /*expelled=*/true);
+}
+
+void Experiment::execute_handoffs(
+    const std::vector<lifting::ManagerAssignment::Handoff>& executed,
+    bool expelled) {
   for (const auto& handoff : executed) {
     bool migrated = false;
     auto* from = nodes_[handoff.departed.value()].agent.get();
@@ -421,7 +535,8 @@ void Experiment::run_handoff(NodeId id) {
     handoffs_.push_back(HandoffRecord{handoff.target, handoff.departed,
                                       handoff.replacement,
                                       directory_.epoch_of(handoff.departed),
-                                      to_seconds(sim_.now()), migrated});
+                                      to_seconds(sim_.now()), migrated,
+                                      expelled});
   }
 }
 
@@ -497,6 +612,13 @@ void Experiment::rejoin_node(NodeId id) {
       }
     }
   }
+  // An adversary's controller survives the incarnation change (it is the
+  // node's operator, not part of the node) — resynchronize it with the
+  // full-throttle behavior make_node just reinstalled, whether the rejoin
+  // was its own whitewash bounce or a timeline event.
+  if (auto* controller = controllers_[v].get()) {
+    controller->on_reincarnated();
+  }
   rejoins_.push_back(RejoinRecord{id, to_seconds(sim_.now()),
                                   directory_.epoch_of(id), is_freerider(id)});
 }
@@ -514,9 +636,20 @@ void Experiment::on_expulsion_committed(NodeId victim, bool from_audit) {
                                                       from_audit] {
     if (!directory_.is_live(victim)) return;
     directory_.expel(victim);
+    expelled_applied_[victim.value()] = 1;
     expulsions_.push_back(ExpulsionRecord{victim, to_seconds(sim_.now()),
                                           from_audit,
                                           is_freerider(victim)});
+    // Expulsion handoff (DESIGN.md §7): an expelled manager vacates its
+    // quorum slots the same way a departed one does — replacement promoted
+    // after the reassignment round, ledger rows migrated. Without it the
+    // indicted manager leaves a permanent quorum hole (the pre-fix
+    // baseline expulsion_handoff = false preserves for A/B runs).
+    if (config_.manager_handoff && config_.expulsion_handoff &&
+        config_.lifting_enabled) {
+      sim_.schedule_after(config_.manager_handoff_delay,
+                          [this, victim] { run_expulsion_handoff(victim); });
+    }
   });
 }
 
@@ -638,6 +771,30 @@ HonestBlameSplit Experiment::honest_blame_split() const {
   return split;
 }
 
+Experiment::AdversaryStats Experiment::adversary_stats() {
+  AdversaryStats stats;
+  const double elapsed = to_seconds(sim_.now());
+  double gain_sum = 0.0;
+  double presence_sum = 0.0;
+  for (auto& controller : controllers_) {
+    if (!controller) continue;
+    const auto s = controller->stats(sim_.now());
+    ++stats.adversaries;
+    gain_sum += s.realized_gain();
+    if (elapsed > 0.0) presence_sum += s.present_seconds / elapsed;
+    stats.behavior_switches += s.behavior_switches;
+    stats.probes += s.probes;
+    stats.bounces += s.bounces;
+  }
+  if (stats.adversaries > 0) {
+    stats.mean_realized_gain =
+        gain_sum / static_cast<double>(stats.adversaries);
+    stats.mean_present_fraction =
+        presence_sum / static_cast<double>(stats.adversaries);
+  }
+  return stats;
+}
+
 std::uint64_t Experiment::handoff_promotions() const noexcept {
   return assignment_ == nullptr ? 0 : assignment_->promotions();
 }
@@ -653,7 +810,10 @@ QuorumStats Experiment::quorum_stats() {
     const auto& managers = assignment_->of(id);
     std::size_t present = 0;
     for (const auto manager : managers) {
-      if (!is_departed(manager)) ++present;
+      // An expelled manager is not a working quorum member even when no
+      // handoff replaced it (the pre-fix accounting counted it present,
+      // hiding the permanent hole expulsions used to leave).
+      if (!is_departed(manager) && !is_expelled_member(manager)) ++present;
     }
     sum += static_cast<double>(present);
     min_present = std::min(min_present, present);

@@ -6,6 +6,7 @@
 #include <optional>
 #include <vector>
 
+#include "adversary/controller.hpp"
 #include "common/rng.hpp"
 #include "gossip/engine.hpp"
 #include "gossip/mailer.hpp"
@@ -103,6 +104,9 @@ struct HandoffRecord {
   std::uint32_t departed_epoch = 0;  // incarnation that departed
   double at_seconds = 0.0;
   bool migrated = false;  // false: the departing manager held no row yet
+  /// The manager left the quorum by *expulsion*, not departure (the
+  /// expulsion-handoff extension, DESIGN.md §7).
+  bool expelled = false;
 };
 
 /// Quorum health over the current manager assignment: how many managers of
@@ -227,6 +231,14 @@ class Experiment {
   [[nodiscard]] const std::vector<NodeId>& freerider_ids() const noexcept {
     return freerider_list_;
   }
+  /// The freerider ids a fresh Experiment over (seed, nodes, fraction)
+  /// would flag (sorted), derivable without building one — the role
+  /// assignment is a pure function of the triple. The ONE source of that
+  /// derivation: scenario builders that need the roles up front (e.g.
+  /// adversary_frontier_config's honest-departure burst) must call this
+  /// instead of re-implementing the stream.
+  [[nodiscard]] static std::vector<NodeId> derive_freerider_ids(
+      std::uint64_t seed, std::uint32_t nodes, double fraction);
 
   // ---- dynamic membership
   /// Every id ever part of the deployment (initial population + joiners);
@@ -267,10 +279,43 @@ class Experiment {
   /// (base rows when churn starts, joiner rows at join), so the counter is
   /// a property of the run, not of who looked at which row when.
   [[nodiscard]] std::uint64_t handoff_promotions() const noexcept;
-  /// Present-manager quorum over every live non-source node. Outcome-
+  /// Present-manager quorum over every live non-source node. A manager
+  /// counts as present only while it is neither churn-departed nor expelled
+  /// from the membership (an indicted manager is not a working quorum
+  /// member, whether or not expulsion_handoff replaced it). Outcome-
   /// neutral (rows are already materialized and the replay contract covers
   /// stragglers) — safe to call mid-run for quorum-over-time curves.
   [[nodiscard]] QuorumStats quorum_stats();
+
+  /// Has an expulsion of `id` been applied to the membership (committed
+  /// AND propagated)? The latched commit alone (majority_expelled) does
+  /// not yet vacate the manager role.
+  [[nodiscard]] bool is_expelled_member(NodeId id) const {
+    const auto v = static_cast<std::size_t>(id.value());
+    return v < expelled_applied_.size() && expelled_applied_[v] != 0;
+  }
+
+  // ---- adaptive adversaries (src/adversary/, DESIGN.md §8)
+  /// Aggregate over every adversary controller of the run, finalized at
+  /// the current simulation time. mean_realized_gain is the adaptive
+  /// analogue of Fig. 12's bandwidth gain: BehaviorSpec::gain() integrated
+  /// over each adversary's present time.
+  struct AdversaryStats {
+    std::size_t adversaries = 0;
+    double mean_realized_gain = 0.0;
+    double mean_present_fraction = 0.0;  // of elapsed simulation time
+    std::uint64_t behavior_switches = 0;
+    std::uint64_t probes = 0;
+    std::uint64_t bounces = 0;
+  };
+  [[nodiscard]] AdversaryStats adversary_stats();
+  /// The controller steering `id`, or null (honest node, or no strategy
+  /// configured). For tests and measurement code.
+  [[nodiscard]] adversary::AdversaryController* adversary_controller(
+      NodeId id) {
+    const auto v = static_cast<std::size_t>(id.value());
+    return v < controllers_.size() ? controllers_[v].get() : nullptr;
+  }
 
   // ---- measurements
   /// Min-vote score of `id` over its managers' (lossy) ledgers — exactly
@@ -351,6 +396,18 @@ class Experiment {
   /// the departure with the assignment and migrates ledger rows to the
   /// promoted replacements.
   void run_handoff(NodeId id);
+  /// Same promotion + migration for a node whose expulsion was applied to
+  /// the membership (expulsion_handoff, DESIGN.md §7). Shares the
+  /// assignment's departed mask with the churn path, so the two can never
+  /// migrate the same row twice.
+  void run_expulsion_handoff(NodeId victim);
+  /// Migrates the ledger rows of `executed` promotions and records them.
+  void execute_handoffs(
+      const std::vector<lifting::ManagerAssignment::Handoff>& executed,
+      bool expelled);
+  /// Builds and starts the adversary controller of freerider `id` (no-op
+  /// unless a strategy is configured).
+  void make_controller(NodeId id);
   void make_node(std::uint32_t i, const gossip::BehaviorSpec& behavior,
                  const sim::LinkProfile& profile);
   void set_freerider(NodeId id, bool freeride);
@@ -382,7 +439,13 @@ class Experiment {
   BlameLedger ledger_;
   std::vector<ExpulsionRecord> expulsions_;
   std::vector<std::uint8_t> expulsion_scheduled_;
+  std::vector<std::uint8_t> expelled_applied_;  // expulsion reached membership
   std::vector<lifting::AuditReport> audit_reports_;
+
+  // ---- adaptive adversaries (one controller per adversarial node; empty
+  // vectors of nulls when no strategy is configured — the inert default)
+  std::vector<std::unique_ptr<adversary::AdversaryController>> controllers_;
+  std::unique_ptr<adversary::CoalitionHub> coalition_hub_;
 
   // ---- churn bookkeeping
   std::vector<ScenarioEvent> timeline_events_;  // time-ordered

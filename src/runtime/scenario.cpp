@@ -25,6 +25,7 @@ void ScenarioConfig::validate() const {
               "the source (node 0) is pinned infrastructure");
     }
   }
+  adversary.validate();
   lifting.validate();
 }
 

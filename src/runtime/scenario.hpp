@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "adversary/strategy.hpp"
 #include "common/time.hpp"
 #include "gossip/behavior.hpp"
 #include "gossip/engine.hpp"
@@ -42,6 +43,15 @@ struct ScenarioConfig {
   /// is filled with the actual freerider ids by the experiment.
   gossip::BehaviorSpec freerider_behavior;
 
+  // ---- adaptive adversaries (src/adversary/, DESIGN.md §8)
+  /// Reactive attack policy run by every freerider on top of (and mutating)
+  /// `freerider_behavior` — oscillating duty cycles, score-aware
+  /// throttling, whitewashing departures, coalition view pooling. The
+  /// default (Strategy::kNone) builds no controllers, draws no rng streams
+  /// and schedules no events: a run without a strategy is bit-identical to
+  /// one predating the subsystem.
+  adversary::AdversaryConfig adversary;
+
   // ---- network conditions
   sim::LinkProfile link;       ///< profile of well-connected nodes
   double weak_fraction = 0.0;  ///< fraction of weak (lossy/slow) honest nodes
@@ -63,13 +73,19 @@ struct ScenarioConfig {
   /// quorum silently shrinks (the pre-handoff baseline) AND a departed
   /// manager that rejoins comes back with empty stores — without a
   /// migration protocol, blame knowledge is not conserved across a
-  /// bounce. Expulsions never trigger handoff in either mode (DESIGN.md
-  /// §7 scope limits).
+  /// bounce.
   bool manager_handoff = true;
   /// Delay between a departure becoming known to the membership and the
   /// handoff executing (models the reassignment round). For crashes the
   /// failure-detection lag is added first.
   Duration manager_handoff_delay = seconds(1.0);
+  /// Extend manager handoff to *expelled* managers: once an expulsion has
+  /// been applied to the membership, the victim's manager rows promote the
+  /// same deterministic replacements a departure would (and migrate their
+  /// ledger state), after the same manager_handoff_delay. Off = the
+  /// pre-fix baseline where an expelled manager leaves a permanent quorum
+  /// hole. Requires manager_handoff; inert while nothing is expelled.
+  bool expulsion_handoff = true;
   /// Maximum per-observer membership-view propagation lag: joins/leaves
   /// become visible to each node after a deterministic pseudo-random delay
   /// in [0, view_propagation] (divergent views — verifiers and auditors

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "adversary/strategy.hpp"
 #include "common/rng.hpp"
 
 namespace lifting::runtime {
@@ -58,6 +59,20 @@ SweepCase make_case(std::uint32_t index, Pcg32& rng) {
       c.config.rejoin_scores = ScenarioConfig::RejoinScores::kCarried;
     }
   }
+
+  // Adaptive adversaries (this PR) draw from their own per-case stream —
+  // rule 2 above: the shared generator and the resilience stream keep
+  // their exact historical draw sequences, so every pre-adversary case
+  // field is byte-identical and the prefix property holds. A third of the
+  // cases arm a random catalog strategy over the case's freeriders.
+  auto adversary_rng = derive_rng(c.config.seed, 0x414456ULL);  // "ADV"
+  if (adversary_rng.bernoulli(0.33)) {
+    const auto& entries = adversary::catalog();
+    c.config.adversary =
+        entries[adversary_rng.below(
+                    static_cast<std::uint32_t>(entries.size()))]
+            .config;
+  }
   return c;
 }
 
@@ -73,15 +88,80 @@ std::vector<SweepCase> scenario_sweep_cases(std::uint32_t count) {
   return cases;
 }
 
+ScenarioConfig adversary_frontier_config(bool handoff_on,
+                                         std::uint64_t seed) {
+  auto cfg = ScenarioConfig::small(120);
+  cfg.seed = seed;
+  cfg.duration = seconds(35.0);
+  cfg.stream.duration = seconds(33.0);
+
+  cfg.freerider_fraction = 0.15;
+  cfg.freerider_behavior = gossip::BehaviorSpec::freerider(0.5);
+
+  cfg.lifting.eta = -2.0;
+  cfg.lifting.score_check_probability = 0.7;
+  cfg.lifting.managers = 4;
+  cfg.lifting.min_score_replies = 3;
+  cfg.lifting.min_periods_before_detection = 8;
+  cfg.expulsion_enabled = true;
+  cfg.expulsion_propagation = seconds(0.5);
+
+  cfg.view_propagation = seconds(1.0);
+  cfg.manager_handoff = handoff_on;
+  cfg.expulsion_handoff = handoff_on;
+  cfg.manager_handoff_delay = milliseconds(500);
+  cfg.failure_detection = seconds(1.0);
+
+  ScenarioTimeline::PoissonChurn churn;
+  churn.arrival_fraction_per_min = 0.3;
+  churn.departure_fraction_per_min = 0.3;
+  churn.crash_fraction = 0.5;
+  churn.freerider_fraction = 0.10;
+  churn.freerider_behavior = cfg.freerider_behavior;
+  churn.rejoin_fraction = 0.5;
+  churn.rejoin_delay_mean = seconds(4.0);
+  churn.start = seconds(3.0);
+  churn.end = seconds(31.0);
+  cfg.timeline =
+      ScenarioTimeline::poisson_churn(churn, cfg.nodes, cfg.seed);
+
+  // Early honest-departure burst over honest nodes only — draining the
+  // adversaries would change the question, not the answer. The roles come
+  // from the Experiment's own derivation (a pure function of (seed, n,
+  // fraction)), so burst targets cannot drift from the deployment's
+  // actual role assignment.
+  std::vector<std::uint8_t> freerider(cfg.nodes, 0);
+  for (const auto id : Experiment::derive_freerider_ids(
+           cfg.seed, cfg.nodes, cfg.freerider_fraction)) {
+    freerider[id.value()] = 1;
+  }
+  auto burst_rng = derive_rng(seed, 0xB5257ULL);  // "BURST"
+  std::vector<std::uint32_t> honest;
+  for (std::uint32_t i = 1; i < cfg.nodes; ++i) {
+    if (freerider[i] == 0) honest.push_back(i);
+  }
+  burst_rng.shuffle(honest);
+  const std::size_t burst = honest.size() * 2 / 5;
+  for (std::size_t j = 0; j < burst; ++j) {
+    cfg.timeline.leave_at(seconds(1.0 + 1.5 * burst_rng.uniform()),
+                          NodeId{honest[j]});
+  }
+  return cfg;
+}
+
 std::vector<RunSpec> scenario_sweep_specs(std::uint32_t count) {
   auto cases = scenario_sweep_cases(count);
   std::vector<RunSpec> specs;
   specs.reserve(cases.size());
   for (auto& c : cases) {
-    char label[64];
-    std::snprintf(label, sizeof(label), "sweep/%02u n=%u delta=%.1f%s",
+    char label[80];
+    std::snprintf(label, sizeof(label), "sweep/%02u n=%u delta=%.1f%s%s%s",
                   c.index, c.config.nodes, c.delta,
-                  c.churn ? " churn" : "");
+                  c.churn ? " churn" : "",
+                  c.config.adversary.enabled() ? " adv=" : "",
+                  c.config.adversary.enabled()
+                      ? adversary::strategy_name(c.config.adversary.strategy)
+                      : "");
     const std::uint64_t seed = c.config.seed;
     specs.emplace_back(std::move(c.config), seed, label);
   }

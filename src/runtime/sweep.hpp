@@ -46,6 +46,19 @@ struct SweepCase {
 [[nodiscard]] std::vector<RunSpec> scenario_sweep_specs(
     std::uint32_t count = 20);
 
+/// The adversary-frontier accountability scenario (DESIGN.md §8), shared
+/// by bench_adversary_frontier and tests/test_adversary.cpp so the
+/// whitewash A/B means the same thing in both: 120 nodes / 35 s with
+/// aggressive freeriders (Δ = 0.5), dense score policing and expulsions
+/// over a small quorum (M = 4, actionable reads need 3 replies), divergent
+/// views, mild Poisson churn, and an early burst in which 40% of the
+/// honest base population leaves — the quorum damage manager handoff +
+/// expulsion handoff repair (`handoff_on`) and the baseline mode carries
+/// for the rest of the run. Pure function of (handoff_on, seed); arm
+/// `config.adversary` yourself.
+[[nodiscard]] ScenarioConfig adversary_frontier_config(bool handoff_on,
+                                                       std::uint64_t seed);
+
 }  // namespace lifting::runtime
 
 #endif  // LIFTING_RUNTIME_SWEEP_HPP

@@ -354,6 +354,160 @@ TEST(ChurnResilience, BouncingManagerCannotFlushItsLedgerRows) {
   EXPECT_EQ(ex.agent(manager).manager_store().raw_blame_total(victim), 0.0);
 }
 
+/// A scenario that reliably commits and applies expulsions: aggressive
+/// static freeriders under score policing, short propagation, no churn —
+/// every quorum change comes from the expulsions themselves.
+ScenarioConfig expulsion_config() {
+  auto cfg = ScenarioConfig::small(40);
+  cfg.freerider_fraction = 0.15;
+  cfg.freerider_behavior = gossip::BehaviorSpec::freerider(0.7);
+  cfg.duration = seconds(16.0);
+  cfg.stream.duration = seconds(15.0);
+  cfg.lifting.eta = -2.0;
+  cfg.lifting.score_check_probability = 0.3;
+  cfg.lifting.min_periods_before_detection = 8;
+  cfg.expulsion_enabled = true;
+  cfg.expulsion_propagation = milliseconds(500);
+  cfg.manager_handoff = true;
+  cfg.expulsion_handoff = true;
+  cfg.manager_handoff_delay = milliseconds(300);
+  return cfg;
+}
+
+TEST(ChurnResilience, ExpelledManagerHandoffPromotesAndMigratesOnce) {
+  // A committed-and-applied expulsion vacates the victim's manager slots
+  // exactly like a departure: replacements promoted, ledger rows migrated
+  // (zeroing the source), each (target, victim incarnation) at most once.
+  Experiment ex(expulsion_config());
+  ex.run();
+  ASSERT_FALSE(ex.expulsions().empty()) << "scenario never expelled anyone";
+
+  std::size_t expelled_handoffs = 0;
+  std::size_t migrated = 0;
+  for (const auto& handoff : ex.handoffs()) {
+    ASSERT_TRUE(handoff.expelled)
+        << "churn-free scenario produced a departure handoff";
+    ++expelled_handoffs;
+    EXPECT_TRUE(ex.is_expelled_member(handoff.departed));
+    EXPECT_FALSE(ex.is_departed(handoff.departed))
+        << "expulsion is not churn — the victim never 'departed'";
+    if (handoff.migrated) {
+      ++migrated;
+      EXPECT_EQ(
+          ex.agent(handoff.departed).manager_store().raw_blame_total(
+              handoff.target),
+          0.0)
+          << "expelled manager " << handoff.departed
+          << " still holds the row for " << handoff.target;
+    }
+  }
+  EXPECT_GT(expelled_handoffs, 0u)
+      << "no expelled victim ever sat in a manager row";
+  EXPECT_GT(migrated, 0u) << "no expelled-manager row carried ledger state";
+
+  std::set<std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>> seen;
+  for (const auto& handoff : ex.handoffs()) {
+    const auto key = std::make_tuple(handoff.target.value(),
+                                     handoff.departed.value(),
+                                     handoff.departed_epoch);
+    EXPECT_TRUE(seen.insert(key).second)
+        << "duplicate expelled handoff of target " << handoff.target
+        << " from " << handoff.departed;
+  }
+}
+
+TEST(ChurnResilience, ExpulsionHandoffSharesTheDepartureMask) {
+  // An expelled victim that later also appears in a churn departure must
+  // not migrate twice: the expulsion handoff and the departure handoff
+  // share the assignment's departed mask, so whichever lands first wins.
+  auto cfg = expulsion_config();
+  Experiment probe(cfg);
+  probe.run();
+  ASSERT_FALSE(probe.expulsions().empty());
+  const NodeId victim = probe.expulsions().front().victim;
+  const auto victim_handoffs = [&](const Experiment& ex) {
+    std::size_t count = 0;
+    for (const auto& handoff : ex.handoffs()) {
+      if (handoff.departed == victim) ++count;
+    }
+    return count;
+  };
+  const std::size_t reference = victim_handoffs(probe);
+  ASSERT_GT(reference, 0u) << "probe victim never sat in a manager row";
+
+  // Same run, but the timeline also tries to remove the victim afterwards
+  // (a churn generator is blind to runtime expulsions). The leave is a
+  // no-op — the victim is already out of the membership — and no second
+  // handoff or migration may happen.
+  cfg.timeline.leave_at(seconds(15.0), victim);
+  Experiment ex(cfg);
+  ex.run();
+  EXPECT_EQ(victim_handoffs(ex), reference);
+  EXPECT_FALSE(ex.is_departed(victim));
+}
+
+TEST(ChurnResilience, QuorumStatsCountExpelledManagersAbsent) {
+  // The pre-fix accounting counted an expelled manager as present forever;
+  // now the hole is visible — and expulsion handoff is what closes it.
+  auto cfg = expulsion_config();
+  Experiment with(cfg);
+  with.run();
+  ASSERT_FALSE(with.expulsions().empty());
+  const auto quorum_with = with.quorum_stats();
+
+  cfg.expulsion_handoff = false;
+  Experiment without(cfg);
+  without.run();
+  ASSERT_FALSE(without.expulsions().empty());
+  EXPECT_TRUE(without.handoffs().empty())
+      << "expulsion_handoff off must not promote anyone in a churn-free run";
+  const auto quorum_without = without.quorum_stats();
+
+  // Off: every expelled manager is a permanent hole, so the mean quorum
+  // sits strictly below full strength. On: promotions close the holes
+  // (up to expulsions younger than the handoff delay).
+  EXPECT_LT(quorum_without.mean,
+            static_cast<double>(cfg.lifting.managers));
+  EXPECT_GT(quorum_with.mean, quorum_without.mean);
+  EXPECT_GE(quorum_with.min, quorum_without.min);
+}
+
+TEST(ChurnResilience, ExpulsionHandoffDeterministicAcrossThreadsAndReset) {
+  // Expulsion handoff is scheduled protocol state like everything else:
+  // bit-identical at any thread count and across Experiment::reset.
+  std::vector<RunSpec> specs;
+  for (std::uint64_t s = 0; s < 4; ++s) {
+    auto cfg = expulsion_config();
+    specs.emplace_back(std::move(cfg), derive_task_seed(0xE89A, s),
+                       "expulsion");
+  }
+  ParallelRunner serial(1);
+  ParallelRunner parallel(4);
+  const auto ref = serial.run_digests(specs);
+  const auto par = parallel.run_digests(specs);
+  ASSERT_EQ(ref.size(), par.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_EQ(ref[i], par[i]) << "spec " << i;
+  }
+
+  const auto cfg = expulsion_config();
+  Experiment ex(cfg);
+  ex.run();
+  const auto fresh_handoffs = ex.handoffs();
+  const auto fresh_expulsions = ex.expulsions().size();
+  ASSERT_GT(fresh_handoffs.size(), 0u);
+  ex.reset(cfg);
+  ex.run();
+  ASSERT_EQ(ex.handoffs().size(), fresh_handoffs.size());
+  for (std::size_t i = 0; i < fresh_handoffs.size(); ++i) {
+    EXPECT_EQ(ex.handoffs()[i].target, fresh_handoffs[i].target);
+    EXPECT_EQ(ex.handoffs()[i].departed, fresh_handoffs[i].departed);
+    EXPECT_EQ(ex.handoffs()[i].replacement, fresh_handoffs[i].replacement);
+    EXPECT_EQ(ex.handoffs()[i].expelled, fresh_handoffs[i].expelled);
+  }
+  EXPECT_EQ(ex.expulsions().size(), fresh_expulsions);
+}
+
 TEST(ChurnResilience, CommittedExpulsionBlocksRejoin) {
   // Regression: a node whose expulsion was committed but departed before
   // the propagation delay applied it must not rejoin (the indictment

@@ -69,7 +69,10 @@ void check_invariants(const SweepCase& c) {
   EXPECT_LE(stats.detection, 1.0);
   EXPECT_GE(stats.false_positive, 0.0);
   EXPECT_LE(stats.false_positive, 1.0);
-  if (c.delta >= 0.3) {
+  // An armed adaptive adversary (src/adversary/) deliberately blurs the
+  // score gap — throttling near η, oscillating, whitewashing the record —
+  // so the mid-gap dominance expectation only applies to static cases.
+  if (c.delta >= 0.3 && !c.config.adversary.enabled()) {
     EXPECT_LE(freerider_mean, honest_mean);
     EXPECT_GE(stats.detection, stats.false_positive);
   }
