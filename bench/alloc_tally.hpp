@@ -1,0 +1,130 @@
+#ifndef LIFTING_BENCH_ALLOC_TALLY_HPP
+#define LIFTING_BENCH_ALLOC_TALLY_HPP
+
+/// Heap accounting for bench binaries: a counting `operator new`/`delete`
+/// pair plus a peak-RSS probe.
+///
+/// Including this header REPLACES the global allocation functions of the
+/// final binary (the library is statically linked in, so every library
+/// allocation is counted too). Include it from exactly one translation
+/// unit per executable — each bench is a single .cpp, which is why a
+/// header works where a shared object could not.
+///
+/// Tracked, all with relaxed atomics (the parallel-runner bench allocates
+/// from worker threads):
+///   - calls / bytes: cumulative allocation count and requested bytes —
+///     the fresh-vs-reset delta currency of bench_sweep_scaling.
+///   - live / high_water: currently-live heap bytes and their peak. Sized
+///     on both sides with malloc_usable_size(), so frees balance
+///     allocations exactly regardless of which delete overload fires.
+///     reset_live_high_water() rebases the peak to the current live load,
+///     scoping "high water" to one measured region (one bench row).
+///
+/// Debug/sanitizer builds inflate the absolute numbers; benches assert on
+/// deltas and documented Release budgets only.
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <malloc.h>
+#include <new>
+#include <sys/resource.h>
+
+namespace lifting::bench {
+
+inline std::atomic<std::uint64_t> g_alloc_calls{0};
+inline std::atomic<std::uint64_t> g_alloc_bytes{0};
+inline std::atomic<std::uint64_t> g_live_bytes{0};
+inline std::atomic<std::uint64_t> g_live_high_water{0};
+
+struct AllocSnapshot {
+  std::uint64_t calls = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t live = 0;
+  std::uint64_t high_water = 0;
+
+  static AllocSnapshot now() {
+    return {g_alloc_calls.load(std::memory_order_relaxed),
+            g_alloc_bytes.load(std::memory_order_relaxed),
+            g_live_bytes.load(std::memory_order_relaxed),
+            g_live_high_water.load(std::memory_order_relaxed)};
+  }
+  [[nodiscard]] AllocSnapshot delta_since(const AllocSnapshot& start) const {
+    return {calls - start.calls, bytes - start.bytes, live, high_water};
+  }
+  /// Peak heap growth of the region that started at `start` (after a
+  /// reset_live_high_water()): bytes the region added on top of what was
+  /// already live when it began.
+  [[nodiscard]] std::uint64_t high_water_since(
+      const AllocSnapshot& start) const {
+    return high_water > start.live ? high_water - start.live : 0;
+  }
+};
+
+/// Rebases the live-bytes peak to the current live load; call at the start
+/// of each measured region.
+inline void reset_live_high_water() {
+  g_live_high_water.store(g_live_bytes.load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+}
+
+/// Peak resident set size of this process in kB, from /proc/self/status
+/// (VmHWM), with a getrusage fallback. Process-global and monotone — only
+/// the largest row of a bench moves it.
+inline std::uint64_t peak_rss_kb() {
+  if (std::FILE* f = std::fopen("/proc/self/status", "r")) {
+    char line[256];
+    std::uint64_t kb = 0;
+    while (std::fgets(line, sizeof(line), f)) {
+      if (std::strncmp(line, "VmHWM:", 6) == 0) {
+        kb = std::strtoull(line + 6, nullptr, 10);
+        break;
+      }
+    }
+    std::fclose(f);
+    if (kb != 0) return kb;
+  }
+  struct rusage ru{};
+  getrusage(RUSAGE_SELF, &ru);
+  return static_cast<std::uint64_t>(ru.ru_maxrss);
+}
+
+inline void tally_alloc(void* p, std::size_t requested) {
+  g_alloc_calls.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(requested, std::memory_order_relaxed);
+  const std::uint64_t usable = malloc_usable_size(p);
+  const std::uint64_t live =
+      g_live_bytes.fetch_add(usable, std::memory_order_relaxed) + usable;
+  // Racy-max under threads: good enough for a bench high-water mark.
+  std::uint64_t peak = g_live_high_water.load(std::memory_order_relaxed);
+  while (live > peak && !g_live_high_water.compare_exchange_weak(
+                            peak, live, std::memory_order_relaxed)) {
+  }
+}
+
+inline void tally_free(void* p) {
+  if (p == nullptr) return;
+  g_live_bytes.fetch_sub(malloc_usable_size(p), std::memory_order_relaxed);
+}
+
+}  // namespace lifting::bench
+
+void* operator new(std::size_t size) {
+  if (void* p = std::malloc(size == 0 ? 1 : size)) {
+    lifting::bench::tally_alloc(p, size);
+    return p;
+  }
+  throw std::bad_alloc{};
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept {
+  lifting::bench::tally_free(p);
+  std::free(p);
+}
+void operator delete[](void* p) noexcept { ::operator delete(p); }
+void operator delete(void* p, std::size_t) noexcept { ::operator delete(p); }
+void operator delete[](void* p, std::size_t) noexcept { ::operator delete(p); }
+
+#endif  // LIFTING_BENCH_ALLOC_TALLY_HPP

@@ -6,18 +6,37 @@
 /// systems evaluate at thousands to tens of thousands of peers. This bench
 /// reports the simulator's raw throughput — events/sec and wall-clock per
 /// simulated second — so substrate regressions show up as numbers, not
-/// vibes. Larger populations run a shorter simulated horizon to keep the
-/// bench's wall-clock budget flat-ish across rows.
+/// vibes, plus the memory columns the million-node rows are budgeted by:
+/// heap high-water bytes per node (counting operator new, see
+/// bench/alloc_tally.hpp) and process peak RSS. Larger populations run a
+/// shorter simulated horizon to keep the bench's wall-clock budget
+/// flat-ish across rows.
 ///
-/// Usage: bench_scale_nodes [nodes...]
+/// Rows above kDietNodes run the memory-diet configuration: streamed
+/// health (Experiment::enable_streamed_health — delivery logs fold into
+/// O(nodes) counters instead of retaining a stamp per chunk) and a
+/// shortened lifting.history_retention (proposal rings keep the confirm
+/// window, not the full 25 s audit window). Below the threshold the
+/// classic retained configuration keeps rows comparable with earlier
+/// logs; the streamed health value itself is bit-identical either way
+/// (tests/test_streamed_health.cpp).
+///
+/// Usage: bench_scale_nodes [nodes...] [--json PATH]
+///                          [--budget-bytes-per-node N]
 ///   default populations: 300 1000 5000 20000
+///   --json writes the rows as JSON (the committed BENCH_memory.json)
+///   --budget-bytes-per-node asserts every row's heap high-water per node
+///   stays at or under N — exit 1 on a regression (the CI memory gate)
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "alloc_tally.hpp"
 #include "common/build_info.hpp"
 #include "common/table.hpp"
 #include "runtime/experiment.hpp"
@@ -25,6 +44,12 @@
 namespace {
 
 using namespace lifting;
+
+/// Populations above this run the memory-diet configuration (streamed
+/// health + shortened history retention). The classic rows (<= 20k) keep
+/// the retained configuration so their events/s stay comparable across
+/// bench logs.
+constexpr std::uint32_t kDietNodes = 20000;
 
 /// Fig. 1's deployment shape at population n: the 674 kbps stream, f = 7,
 /// Tg = 500 ms, PlanetLab-like lossy links, a tail of weak nodes, and the
@@ -38,6 +63,13 @@ runtime::ScenarioConfig stream_health_config(std::uint32_t n,
   cfg.weak_fraction = 0.2;
   cfg.freerider_fraction = 0.10;
   cfg.freerider_behavior = gossip::BehaviorSpec::freerider(0.035);
+  if (n > kDietNodes) {
+    // Proposal/receipt rings keep 6 periods (3 s at Tg = 500 ms) instead
+    // of the 25 s audit window: enough for every confirm (window: 3
+    // periods) and the cross-check lag, and the dominant per-node saving
+    // at million scale.
+    cfg.lifting.history_retention = seconds(3.0);
+  }
   return cfg;
 }
 
@@ -46,7 +78,8 @@ runtime::ScenarioConfig stream_health_config(std::uint32_t n,
 double horizon_seconds(std::uint32_t n) {
   if (n <= 1000) return 30.0;
   if (n <= 5000) return 15.0;
-  return 8.0;
+  if (n <= 50000) return 8.0;
+  return 5.0;
 }
 
 struct Row {
@@ -56,34 +89,98 @@ struct Row {
   std::uint64_t datagrams = 0;
   double wall_seconds = 0.0;
   double health = 0.0;  // fraction of honest nodes clear at 5 s lag
+  bool streamed = false;
+  std::uint64_t heap_high_water = 0;  // peak live heap growth of the row
+  std::uint64_t peak_rss_kb = 0;      // process-global, monotone
+  [[nodiscard]] double bytes_per_node() const {
+    return static_cast<double>(heap_high_water) / nodes;
+  }
 };
 
 Row run(std::uint32_t n) {
   Row row;
   row.nodes = n;
   row.sim_seconds = horizon_seconds(n);
+  row.streamed = n > kDietNodes;
+  // Both ends of the judgeable window [warmup, horizon - lag] must sit
+  // inside the shortest (5 s) horizon.
+  gossip::PlaybackConfig playback;
+  playback.clear_threshold = 0.95;
+  playback.warmup = seconds(2.0);
+  const std::vector<double> lags{5.0 - (row.sim_seconds < 8.0 ? 2.5 : 0.0)};
+
+  bench::reset_live_high_water();
+  const auto mem_start = bench::AllocSnapshot::now();
   runtime::Experiment ex(stream_health_config(n, row.sim_seconds));
+  if (row.streamed) {
+    ex.enable_streamed_health(lags, /*honest_only=*/true, playback,
+                              /*fold_interval=*/seconds(1.0));
+  }
   const auto t0 = std::chrono::steady_clock::now();
   ex.run();
   const auto t1 = std::chrono::steady_clock::now();
   row.events = ex.simulator().events_processed();
   row.datagrams = ex.network_stats().datagrams_sent;
   row.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
-  // Sanity column: the judgeable window is [warmup, horizon - lag], so keep
-  // both ends well inside the shortest (8 s) horizon.
-  gossip::PlaybackConfig playback;
-  playback.clear_threshold = 0.95;
-  playback.warmup = seconds(2.0);
-  const auto curve = ex.health_curve({5.0}, /*honest_only=*/true, playback);
+  const auto curve = row.streamed
+                         ? ex.streamed_health_curve()
+                         : ex.health_curve(lags, /*honest_only=*/true,
+                                           playback);
   row.health = curve.empty() ? 0.0 : curve.front().fraction_clear;
+  // Peak live heap this row added (construction + run + health read), per
+  // node — the budgeted number. RSS is sampled after, for the OS view.
+  row.heap_high_water = bench::AllocSnapshot::now().high_water_since(mem_start);
+  row.peak_rss_kb = bench::peak_rss_kb();
   return row;
+}
+
+void write_json(const char* path, const std::vector<Row>& rows,
+                std::uint64_t budget) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_scale_nodes: cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"bench_scale_nodes\",\n"
+               "  \"build\": \"%s\",\n  \"sanitizer\": \"%s\",\n"
+               "  \"budget_bytes_per_node\": %llu,\n  \"rows\": [\n",
+               build_type(), sanitizer_tag(), (unsigned long long)budget);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(
+        f,
+        "    {\"nodes\": %u, \"sim_seconds\": %.1f, \"events\": %llu, "
+        "\"wall_seconds\": %.3f, \"events_per_second\": %.0f, "
+        "\"health\": %.3f, \"streamed\": %s, "
+        "\"heap_high_water_bytes\": %llu, \"bytes_per_node\": %.0f, "
+        "\"peak_rss_kb\": %llu}%s\n",
+        r.nodes, r.sim_seconds, (unsigned long long)r.events, r.wall_seconds,
+        static_cast<double>(r.events) / r.wall_seconds, r.health,
+        r.streamed ? "true" : "false", (unsigned long long)r.heap_high_water,
+        r.bytes_per_node(), (unsigned long long)r.peak_rss_kb,
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   std::vector<std::uint32_t> populations;
+  const char* json_path = nullptr;
+  std::uint64_t budget = 0;
   for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+      continue;
+    }
+    if (std::strcmp(argv[i], "--budget-bytes-per-node") == 0 && i + 1 < argc) {
+      budget = std::strtoull(argv[++i], nullptr, 10);
+      continue;
+    }
     char* end = nullptr;
     const unsigned long v = std::strtoul(argv[i], &end, 10);
     if (end == argv[i] || *end != '\0' || v < 3 || v > 10'000'000) {
@@ -107,15 +204,24 @@ int main(int argc, char** argv) {
               std::thread::hardware_concurrency());
   std::printf(
       "674 kbps stream, f=7, Tg=500 ms, LiFTinG on, 10%% deterred "
-      "freeriders, 20%% weak links\n\n");
+      "freeriders, 20%% weak links\n"
+      "rows > %u nodes: memory diet on (streamed health, 3 s history "
+      "retention), health lag 2.5 s\n\n",
+      kDietNodes);
 
-  lifting::TextTable table({"nodes", "sim s", "events", "wall s",
-                            "events/s", "wall s per sim s", "health@5s"});
+  lifting::TextTable table({"nodes", "sim s", "events", "wall s", "events/s",
+                            "wall s per sim s", "health", "bytes/node",
+                            "peak RSS MB"});
+  std::vector<Row> rows;
+  int failures = 0;
   for (const auto n : populations) {
     const Row row = run(n);
-    std::fprintf(stderr, "[scale] n=%u: %llu events in %.2fs (%.0f ev/s)\n",
+    std::fprintf(stderr,
+                 "[scale] n=%u: %llu events in %.2fs (%.0f ev/s, "
+                 "%.0f B/node, rss %llu MB)\n",
                  row.nodes, (unsigned long long)row.events, row.wall_seconds,
-                 static_cast<double>(row.events) / row.wall_seconds);
+                 static_cast<double>(row.events) / row.wall_seconds,
+                 row.bytes_per_node(), (unsigned long long)(row.peak_rss_kb / 1024));
     table.add_row({lifting::TextTable::num(row.nodes, 0),
                    lifting::TextTable::num(row.sim_seconds, 0),
                    lifting::TextTable::num(static_cast<double>(row.events), 0),
@@ -125,9 +231,25 @@ int main(int argc, char** argv) {
                                            0),
                    lifting::TextTable::num(row.wall_seconds / row.sim_seconds,
                                            3),
-                   lifting::TextTable::num(row.health, 3)});
+                   lifting::TextTable::num(row.health, 3),
+                   lifting::TextTable::num(row.bytes_per_node(), 0),
+                   lifting::TextTable::num(
+                       static_cast<double>(row.peak_rss_kb) / 1024.0, 0)});
+    if (budget != 0 && row.bytes_per_node() > static_cast<double>(budget)) {
+      std::fprintf(stderr,
+                   "bench_scale_nodes: n=%u uses %.0f heap bytes/node, over "
+                   "the %llu budget\n",
+                   row.nodes, row.bytes_per_node(), (unsigned long long)budget);
+      ++failures;
+    }
+    rows.push_back(row);
     std::fflush(stdout);
   }
   table.print();
-  return 0;
+  if (budget != 0) {
+    std::printf("\nbytes/node budget: %llu — %s\n", (unsigned long long)budget,
+                failures == 0 ? "all rows within budget" : "EXCEEDED");
+  }
+  if (json_path != nullptr) write_json(json_path, rows, budget);
+  return failures == 0 ? 0 : 1;
 }

@@ -12,69 +12,41 @@
 /// (there is nothing to scale onto).
 ///
 /// The second section measures what Experiment::reset buys: heap
-/// allocation (calls and bytes, via a counting operator new in this
-/// binary) per repetition of one sweep scenario, rebuilding from scratch
-/// vs rewinding the built deployment. The reset path must allocate
-/// strictly less (exit 1 otherwise).
+/// allocation (calls, bytes and live-bytes high water, via the counting
+/// operator new in bench/alloc_tally.hpp) per repetition of one sweep
+/// scenario, rebuilding from scratch vs rewinding the built deployment.
+/// The reset path must allocate strictly less (exit 1 otherwise).
+///
+/// The third section is the steady-state claim behind the memory diet:
+/// once a reused planetlab deployment is past warmup, running further
+/// periods performs ZERO heap allocations — every per-period structure
+/// (proposal rings, scratch buffers, event arena, delivery pool) recycles
+/// storage it already owns. Asserted exactly (exit 1 on any allocation).
 ///
 /// Usage: bench_sweep_scaling [--threads N] [--cases N] [--reps N]
 ///   --threads caps the largest thread count exercised (default: all of
 ///   1/2/4/hardware_concurrency that fit); --cases sizes the workload
 ///   (default 20); --reps sizes the allocation comparison (default 4).
 
-#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
-#include <new>
 #include <thread>
 #include <vector>
 
+#include "alloc_tally.hpp"
 #include "common/build_info.hpp"
 #include "common/table.hpp"
 #include "runtime/runner.hpp"
 #include "runtime/sweep.hpp"
 
-// ---- allocation accounting: every heap allocation of this binary (the
-// library is statically linked in) bumps two counters. Debug/sanitizer
-// builds inflate the absolute numbers; the fresh-vs-reset *delta* is what
-// the bench asserts on.
-namespace {
-std::atomic<std::uint64_t> g_alloc_calls{0};
-std::atomic<std::uint64_t> g_alloc_bytes{0};
-}  // namespace
-
-void* operator new(std::size_t size) {
-  g_alloc_calls.fetch_add(1, std::memory_order_relaxed);
-  g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
-  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
-  throw std::bad_alloc{};
-}
-void* operator new[](std::size_t size) { return ::operator new(size); }
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
-
 namespace {
 
 using namespace lifting;
+using bench::AllocSnapshot;
 using runtime::ParallelRunner;
 using runtime::RunDigest;
 using runtime::RunSpec;
-
-struct AllocSnapshot {
-  std::uint64_t calls = 0;
-  std::uint64_t bytes = 0;
-  static AllocSnapshot now() {
-    return {g_alloc_calls.load(std::memory_order_relaxed),
-            g_alloc_bytes.load(std::memory_order_relaxed)};
-  }
-  AllocSnapshot delta_since(const AllocSnapshot& start) const {
-    return {calls - start.calls, bytes - start.bytes};
-  }
-};
 
 bool digests_match(const std::vector<RunDigest>& a,
                    const std::vector<RunDigest>& b) {
@@ -198,27 +170,33 @@ int main(int argc, char** argv) {
   };
 
   TextTable alloc({"repetition regime", "path", "allocs/rep", "bytes/rep",
-                   "vs fresh"});
+                   "high-water B", "vs fresh"});
   for (const auto& regime : regimes) {
     auto fresh_digest = RunDigest{};
+    bench::reset_live_high_water();
     const auto fresh_start = AllocSnapshot::now();
     for (std::uint32_t r = 0; r < reps; ++r) {
       runtime::Experiment ex(regime.config);
       ex.run();
       fresh_digest = RunDigest::of(ex);
     }
-    const auto fresh_cost = AllocSnapshot::now().delta_since(fresh_start);
+    const auto fresh_end = AllocSnapshot::now();
+    const auto fresh_cost = fresh_end.delta_since(fresh_start);
+    const auto fresh_hw = fresh_end.high_water_since(fresh_start);
 
     runtime::Experiment reused(regime.config);  // built outside the tally
     reused.run();
     auto reset_digest = RunDigest::of(reused);
+    bench::reset_live_high_water();
     const auto reset_start = AllocSnapshot::now();
     for (std::uint32_t r = 0; r < reps; ++r) {
       reused.reset();
       reused.run();
       reset_digest = RunDigest::of(reused);
     }
-    const auto reset_cost = AllocSnapshot::now().delta_since(reset_start);
+    const auto reset_end = AllocSnapshot::now();
+    const auto reset_cost = reset_end.delta_since(reset_start);
+    const auto reset_hw = reset_end.high_water_since(reset_start);
 
     char ratio[32];
     std::snprintf(ratio, sizeof(ratio), "%.1f%% of bytes",
@@ -229,10 +207,12 @@ int main(int argc, char** argv) {
     alloc.add_row({regime.name, "fresh build",
                    TextTable::num(static_cast<double>(fresh_cost.calls) / reps, 0),
                    TextTable::num(static_cast<double>(fresh_cost.bytes) / reps, 0),
+                   TextTable::num(static_cast<double>(fresh_hw), 0),
                    "100%"});
     alloc.add_row({"", "reset reuse",
                    TextTable::num(static_cast<double>(reset_cost.calls) / reps, 0),
                    TextTable::num(static_cast<double>(reset_cost.bytes) / reps, 0),
+                   TextTable::num(static_cast<double>(reset_hw), 0),
                    ratio});
     // The absolute saving per repetition, for trend-tracking flat-map work
     // (DirectVerifier::pending_ in PR 4, CrossChecker::batches_/rounds_
@@ -245,6 +225,8 @@ int main(int argc, char** argv) {
          TextTable::num((static_cast<double>(fresh_cost.bytes) -
                          static_cast<double>(reset_cost.bytes)) /
                             reps, 0),
+         TextTable::num(static_cast<double>(fresh_hw) -
+                            static_cast<double>(reset_hw), 0),
          "saved/rep"});
     if (!(reset_digest == fresh_digest)) {
       std::fprintf(stderr, "bench_sweep_scaling: reset repetition digest "
@@ -260,6 +242,52 @@ int main(int argc, char** argv) {
     }
   }
   alloc.print();
+
+  // ---- steady-state allocation: a warmed planetlab deployment in the
+  // memory-diet configuration (streamed health folding delivery logs,
+  // shortened history retention) must run further protocol periods without
+  // a single heap allocation — rings, scratch buffers, spill-block cache,
+  // the event arena and the delivery pool all recycle storage they already
+  // own, and every remaining container is either window-bounded or
+  // pre-sized for the stream. The first pass runs the full horizon so
+  // every structure reaches the high-water mark this exact event sequence
+  // demands; reset() then tears the per-node objects down — returning all
+  // their recycled blocks to the thread's spill cache — and replays the
+  // identical run. Replay demand at any instant is a prefix of what the
+  // first pass released, so the warmed window is allocation-free by
+  // construction, not by statistical luck. This is the per-period
+  // zero-allocation invariant the ring-buffer histories, the flat engine
+  // tables and the spill-block recycler exist for.
+  {
+    auto diet_cfg = runtime::ScenarioConfig::planetlab();
+    diet_cfg.duration = seconds(12.0);
+    diet_cfg.stream.duration = seconds(11.0);
+    diet_cfg.lifting.history_retention = seconds(3.0);
+    gossip::PlaybackConfig playback;
+    playback.clear_threshold = 0.95;
+    playback.warmup = seconds(2.0);
+    runtime::Experiment steady(diet_cfg);
+    steady.enable_streamed_health({2.0}, /*honest_only=*/true, playback,
+                                  /*fold_interval=*/seconds(0.5));
+    steady.run();   // first pass: every structure reaches its high water
+    steady.reset(); // blocks return to the spill cache; replay re-takes them
+    steady.enable_streamed_health({2.0}, /*honest_only=*/true, playback,
+                                  /*fold_interval=*/seconds(0.5));
+    steady.run_until(kSimEpoch + seconds(6.0));  // replayed warmup
+    const auto steady_start = AllocSnapshot::now();
+    steady.run_until(kSimEpoch + seconds(11.0));
+    const auto steady_cost = AllocSnapshot::now().delta_since(steady_start);
+    std::printf("\nsteady-state allocations (planetlab 300, memory diet, "
+                "continuous run, sim t=6s -> 11s): %llu calls, %llu bytes\n",
+                (unsigned long long)steady_cost.calls,
+                (unsigned long long)steady_cost.bytes);
+    if (steady_cost.calls != 0) {
+      std::fprintf(stderr, "bench_sweep_scaling: steady-state window "
+                   "performed %llu heap allocations (expected 0)\n",
+                   (unsigned long long)steady_cost.calls);
+      ++failures;
+    }
+  }
 
   return failures == 0 ? 0 : 1;
 }

@@ -50,15 +50,12 @@ int main() {
               ex.directory().live_count());
 
   std::printf("\nper-epoch score snapshots (mean honest vs freerider):\n");
-  for (const auto& sample : ex.score_timeline()) {
-    double honest = 0.0;
-    for (const double s : sample.scores.honest) honest += s;
-    honest /= static_cast<double>(sample.scores.honest.size());
-    double freeriding = 0.0;
-    for (const double s : sample.scores.freeriders) freeriding += s;
-    freeriding /= static_cast<double>(sample.scores.freeriders.size());
+  // The default sampling mode streams O(1) summaries per epoch; pass
+  // ScoreSampleMode::kRetained to sample_scores_every for the full
+  // per-node vectors (score_timeline()).
+  for (const auto& sample : ex.score_summaries()) {
     std::printf("  t=%4.1fs   honest %8.2f   freerider %8.2f\n",
-                sample.at_seconds, honest, freeriding);
+                sample.at_seconds, sample.honest_mean, sample.freerider_mean);
   }
 
   const NodeId joiner = ex.joins().front().node;

@@ -1,0 +1,108 @@
+#ifndef LIFTING_COMMON_RING_LOG_HPP
+#define LIFTING_COMMON_RING_LOG_HPP
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/small_vector.hpp"
+
+/// A flat circular log: push at the back, prune from the front, O(1) both.
+///
+/// This is the storage behind the per-node accountability histories
+/// (src/lifting/history.hpp) and the engine's sent-proposal window. Those
+/// logs hold a sliding window of the last n_h periods, so a deque is the
+/// obvious shape — but deques allocate per block and, worse, entries whose
+/// payload is a SmallVector lose their spilled heap capacity every time an
+/// entry is popped and a new one is constructed. A ring never destroys its
+/// slots: pop_front() just advances the head index and the slot's payload
+/// buffers stay allocated until the same slot is reused by a later
+/// push_slot(). Once the ring has grown to the window's high-water entry
+/// count, a steady-state run performs zero allocations here.
+///
+/// Contract for slot reuse: refill payload containers with `.assign()` /
+/// `.clear()` + `push_back`, never `operator=` — SmallVector's assignment
+/// operators release the spilled buffer, which would defeat the reuse.
+///
+/// Growth doubles the backing vector and linearizes the live entries (the
+/// only moment entries are moved); capacity is never given back. The
+/// backing storage is a RecycledVector, so growth reallocations (and the
+/// final release at teardown) cycle through the thread's spill-block
+/// cache instead of the system allocator.
+
+namespace lifting {
+
+template <typename T>
+class RingLog {
+ public:
+  RingLog() = default;
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return buf_.size(); }
+
+  /// Oldest-first access: (*this)[0] is the front, [size()-1] the back.
+  [[nodiscard]] T& operator[](std::size_t i) noexcept {
+    LIFTING_ASSERT(i < size_, "RingLog index out of range");
+    return buf_[wrap(head_ + i)];
+  }
+  [[nodiscard]] const T& operator[](std::size_t i) const noexcept {
+    LIFTING_ASSERT(i < size_, "RingLog index out of range");
+    return buf_[wrap(head_ + i)];
+  }
+
+  [[nodiscard]] T& front() noexcept { return (*this)[0]; }
+  [[nodiscard]] const T& front() const noexcept { return (*this)[0]; }
+  [[nodiscard]] T& back() noexcept { return (*this)[size_ - 1]; }
+  [[nodiscard]] const T& back() const noexcept { return (*this)[size_ - 1]; }
+
+  /// Appends an entry and returns the (recycled) slot for the caller to
+  /// fill. The slot holds whatever a previously pruned entry left behind —
+  /// callers overwrite every field they read back.
+  [[nodiscard]] T& push_slot() {
+    if (size_ == buf_.size()) grow();
+    T& slot = buf_[wrap(head_ + size_)];
+    ++size_;
+    return slot;
+  }
+
+  /// Drops the oldest entry without destroying the slot (its payload
+  /// capacity is recycled by a future push_slot()).
+  void pop_front() noexcept {
+    LIFTING_ASSERT(size_ > 0, "pop_front on empty RingLog");
+    head_ = wrap(head_ + 1);
+    --size_;
+  }
+
+  /// Forgets the live entries; slots (and their payload capacity) remain.
+  void clear() noexcept {
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  [[nodiscard]] std::size_t wrap(std::size_t i) const noexcept {
+    return i < buf_.size() ? i : i - buf_.size();
+  }
+
+  void grow() {
+    const std::size_t new_cap = buf_.empty() ? 8 : buf_.size() * 2;
+    RecycledVector<T> next;
+    next.reserve(new_cap);
+    for (std::size_t i = 0; i < size_; ++i) {
+      next.push_back(std::move((*this)[i]));
+    }
+    next.resize(new_cap);
+    buf_.swap(next);
+    head_ = 0;
+  }
+
+  RecycledVector<T> buf_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace lifting
+
+#endif  // LIFTING_COMMON_RING_LOG_HPP

@@ -1,7 +1,7 @@
 #include "common/rng.hpp"
 
+#include <algorithm>
 #include <cmath>
-#include <unordered_set>
 
 namespace lifting {
 
@@ -52,26 +52,29 @@ std::uint32_t round_randomized(Pcg32& rng, double x) {
 
 std::vector<std::uint32_t> sample_k_distinct(Pcg32& rng, std::uint32_t n,
                                              std::uint32_t k) {
-  LIFTING_ASSERT(k <= n, "sample_k_distinct requires k <= n");
-  // Floyd's algorithm: for j in [n-k, n), pick t in [0, j]; insert t unless
-  // already chosen, in which case insert j. Produces a uniform k-subset.
-  std::unordered_set<std::uint32_t> chosen;
   std::vector<std::uint32_t> result;
-  chosen.reserve(k * 2);
-  result.reserve(k);
+  sample_k_distinct_into(rng, n, k, result);
+  return result;
+}
+
+void sample_k_distinct_into(Pcg32& rng, std::uint32_t n, std::uint32_t k,
+                            std::vector<std::uint32_t>& out) {
+  LIFTING_ASSERT(k <= n, "sample_k_distinct requires k <= n");
+  // Floyd's algorithm: for j in [n-k, n), pick t in [0, j]; take t unless
+  // already chosen, in which case take j (always new — every earlier pick
+  // is <= j-1). Produces a uniform k-subset. The partial result doubles as
+  // the chosen-set, so no hash set and no allocation beyond `out`'s
+  // (retained) capacity.
+  out.clear();
+  out.reserve(k);
   for (std::uint32_t j = n - k; j < n; ++j) {
     const std::uint32_t t = rng.below(j + 1);
-    if (chosen.insert(t).second) {
-      result.push_back(t);
-    } else {
-      chosen.insert(j);
-      result.push_back(j);
-    }
+    const bool taken = std::find(out.begin(), out.end(), t) != out.end();
+    out.push_back(taken ? j : t);
   }
   // Floyd's method biases element order (later slots favor later indices);
   // shuffle so callers may truncate or iterate without order effects.
-  rng.shuffle(result);
-  return result;
+  rng.shuffle(out);
 }
 
 }  // namespace lifting

@@ -114,6 +114,13 @@ class Pcg32 {
                                                            std::uint32_t n,
                                                            std::uint32_t k);
 
+/// Allocation-free variant: fills `out` (cleared first; capacity reused)
+/// with the same k-subset, drawing the identical rng sequence — membership
+/// during Floyd's walk is a linear scan of the partial result instead of a
+/// hash set (k is single digits on the gossip hot path).
+void sample_k_distinct_into(Pcg32& rng, std::uint32_t n, std::uint32_t k,
+                            std::vector<std::uint32_t>& out);
+
 /// Rounds x to an integer whose expectation is exactly x
 /// (floor(x) + Bernoulli(frac(x))). Used wherever the protocol needs an
 /// integer count matching a fractional degree, e.g. (1-δ3)·|R| chunks.

@@ -48,8 +48,13 @@ std::ostream& operator<<(std::ostream& os, StrongId<Tag, Rep> id) {
 /// Identifies a participant in the system. Dense in [0, n).
 using NodeId = StrongId<struct NodeIdTag, std::uint32_t>;
 
-/// Identifies a stream chunk. Dense in emission order.
-using ChunkId = StrongId<struct ChunkIdTag, std::uint64_t>;
+/// Identifies a stream chunk. Dense in emission order. 32-bit storage: at
+/// the paper's 56 chunks/s a stream would need 2.4 years to overflow, and
+/// the chunk tables every node keeps (held set, delivery log, proposal
+/// histories) halve their footprint — see DESIGN.md §9. The wire model
+/// still prices chunk ids at 8 bytes (src/gossip/message.cpp), so measured
+/// traffic is unchanged.
+using ChunkId = StrongId<struct ChunkIdTag, std::uint32_t>;
 
 /// Index of a gossip period (multiples of Tg since the node joined).
 using PeriodIndex = std::uint32_t;

@@ -1,6 +1,7 @@
 #ifndef LIFTING_GOSSIP_CHUNK_HPP
 #define LIFTING_GOSSIP_CHUNK_HPP
 
+#include <algorithm>
 #include <cstdint>
 #include <utility>
 #include <vector>
@@ -24,49 +25,125 @@ struct ChunkMeta {
 
 /// A small set of chunk ids — proposals, requests and serve batches are all
 /// chunk-id sets of size ~|P| or ~|R| (single digits to tens). Inline
-/// capacity 16 covers the steady state, so building and moving these lists
-/// is allocation-free on the gossip hot path.
-using ChunkIdList = SmallVector<ChunkId, 16>;
+/// capacity 32 covers the steady state including the planetlab preset's
+/// |P| ≈ 28 chunks/period, so building and moving these lists is
+/// allocation-free on the gossip hot path (with 4-byte ChunkIds the inline
+/// buffer costs the same 128 bytes the old 16×8 layout did).
+using ChunkIdList = SmallVector<ChunkId, 32>;
 
 /// First-delivery times of the chunks a node received (or injected).
 ///
-/// Chunk ids are dense in emission order, so a flat index replaces the
-/// hash map: containment and lookup are O(1) array reads on the per-serve
-/// hot path, while the insertion-ordered (chunk, time) log keeps iteration
-/// and reporting cheap.
+/// Chunk ids are dense in emission order, so the log is a presence bitmap
+/// (1 bit/chunk, never compacted — has_chunk must answer for the whole
+/// stream) plus a flat time table (8 B/chunk): containment and lookup are
+/// O(1) array reads on the per-serve hot path. Long streamed runs call
+/// compact_before(horizon) once per fold to drop the *times* of chunks
+/// older than the judgment horizon — delivery counts and presence survive,
+/// so memory is O(window), not O(stream length). find() returns nullptr
+/// for a folded chunk; callers that need folded times must consume them
+/// before the fold (src/runtime/experiment.cpp's streamed health does).
 class DeliveryLog {
  public:
   [[nodiscard]] bool contains(ChunkId id) const noexcept {
     const auto v = static_cast<std::size_t>(id.value());
-    return v < index_.size() && index_[v] != kAbsent;
+    const std::size_t word = v / 64;
+    return word < present_.size() &&
+           (present_[word] >> (v % 64) & 1ULL) != 0;
   }
 
-  /// Delivery time of `id`, or nullptr when the chunk never arrived.
+  /// Delivery time of `id`, or nullptr when the chunk never arrived (or
+  /// its time was folded away by compact_before).
   [[nodiscard]] const TimePoint* find(ChunkId id) const noexcept {
+    if (!contains(id)) return nullptr;
     const auto v = static_cast<std::size_t>(id.value());
-    if (v >= index_.size() || index_[v] == kAbsent) return nullptr;
-    return &log_[index_[v]].second;
+    if (v < base_ || v - base_ >= at_.size()) return nullptr;
+    return &at_[v - base_];
   }
 
   /// Records the first delivery of `id`. Precondition: !contains(id).
   void record(ChunkId id, TimePoint at) {
     const auto v = static_cast<std::size_t>(id.value());
-    if (v >= index_.size()) index_.resize(v + 1, kAbsent);
-    LIFTING_ASSERT(index_[v] == kAbsent, "chunk delivery recorded twice");
-    index_[v] = static_cast<std::uint32_t>(log_.size());
-    log_.emplace_back(id, at);
+    const std::size_t word = v / 64;
+    if (word >= present_.size()) present_.resize(word + 1, 0);
+    LIFTING_ASSERT((present_[word] >> (v % 64) & 1ULL) == 0,
+                   "chunk delivery recorded twice");
+    present_[word] |= 1ULL << (v % 64);
+    ++size_;
+    if (v < base_) return;  // delivered after its window folded: count only
+    if (v - base_ >= at_.size()) at_.resize(v - base_ + 1, TimePoint::min());
+    at_[v - base_] = at;
   }
 
-  [[nodiscard]] std::size_t size() const noexcept { return log_.size(); }
+  /// Number of chunks delivered (folded entries included).
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
 
-  /// Iteration over (chunk, time) in delivery order.
-  [[nodiscard]] auto begin() const noexcept { return log_.begin(); }
-  [[nodiscard]] auto end() const noexcept { return log_.end(); }
+  /// Pre-sizes the presence bitmap for a stream of `chunks` ids total, so
+  /// steady-state record() calls never regrow it (the bitmap is the one
+  /// DeliveryLog structure that scales with stream length, not window).
+  void reserve_stream(std::size_t chunks) { present_.reserve(chunks / 64 + 1); }
+
+  /// Drops the stored delivery times of every chunk with id < `horizon`.
+  /// Presence (contains) and the delivery count are unaffected. Idempotent;
+  /// horizons only move forward.
+  void compact_before(ChunkId horizon) {
+    const auto h = static_cast<std::size_t>(horizon.value());
+    if (h <= base_) return;
+    const std::size_t drop = std::min(h - base_, at_.size());
+    at_.erase(at_.begin(), at_.begin() + static_cast<std::ptrdiff_t>(drop));
+    base_ = h;
+  }
+
+  /// First id whose delivery time is still retained (0 when never folded).
+  [[nodiscard]] ChunkId window_base() const noexcept {
+    return ChunkId{static_cast<ChunkId::rep_type>(base_)};
+  }
+
+  /// Iteration over (chunk, time) for the retained window, in chunk-id
+  /// order (delivery consumers are order-insensitive aggregations).
+  class const_iterator {
+   public:
+    const_iterator(const DeliveryLog* log, std::size_t v) : log_(log), v_(v) {
+      skip_absent();
+    }
+    [[nodiscard]] std::pair<ChunkId, TimePoint> operator*() const {
+      return {ChunkId{static_cast<ChunkId::rep_type>(v_)},
+              log_->at_[v_ - log_->base_]};
+    }
+    const_iterator& operator++() {
+      ++v_;
+      skip_absent();
+      return *this;
+    }
+    friend bool operator==(const const_iterator& a,
+                           const const_iterator& b) noexcept {
+      return a.v_ == b.v_;
+    }
+
+   private:
+    void skip_absent() {
+      const std::size_t end = log_->base_ + log_->at_.size();
+      while (v_ < end &&
+             !log_->contains(ChunkId{static_cast<ChunkId::rep_type>(v_)})) {
+        ++v_;
+      }
+      if (v_ > end) v_ = end;
+    }
+    const DeliveryLog* log_;
+    std::size_t v_;
+  };
+
+  [[nodiscard]] const_iterator begin() const noexcept {
+    return const_iterator{this, base_};
+  }
+  [[nodiscard]] const_iterator end() const noexcept {
+    return const_iterator{this, base_ + at_.size()};
+  }
 
  private:
-  static constexpr std::uint32_t kAbsent = 0xFFFFFFFFU;
-  std::vector<std::pair<ChunkId, TimePoint>> log_;
-  std::vector<std::uint32_t> index_;  // chunk value -> log position
+  RecycledVector<std::uint64_t> present_;  // 1 bit per chunk id, full stream
+  RecycledVector<TimePoint> at_;           // delivery times, ids >= base_
+  std::size_t base_ = 0;                // id of at_[0]
+  std::size_t size_ = 0;                // chunks delivered, ever
 };
 
 }  // namespace lifting::gossip

@@ -1,7 +1,6 @@
 #include "gossip/engine.hpp"
 
 #include <algorithm>
-#include <unordered_set>
 
 #include "common/assert.hpp"
 #include "membership/sampler.hpp"
@@ -55,9 +54,15 @@ void Engine::schedule_next_phase() {
 
 void Engine::add_chunk(ChunkId id, std::uint32_t payload_bytes) {
   LIFTING_ASSERT(payload_bytes != kNotHeld, "unrepresentable payload size");
-  const auto v = static_cast<std::size_t>(id.value());
-  if (v >= held_bytes_.size()) held_bytes_.resize(v + 1, kNotHeld);
-  held_bytes_[v] = payload_bytes;
+  // The delivery log's presence bit doubles as the held-set; payload sizes
+  // collapse to the first-seen default (CBR streams emit constant-size
+  // chunks) plus an exception list for odd-sized ones. The exception list
+  // is never pruned — it stays empty on every in-tree stream shape.
+  if (default_payload_ == kNotHeld) {
+    default_payload_ = payload_bytes;
+  } else if (payload_bytes != default_payload_) {
+    payload_exceptions_.emplace_back(id, payload_bytes);
+  }
   delivery_log_.record(id, sim_.now());
 }
 
@@ -115,11 +120,7 @@ void Engine::handle_propose(NodeId from, const ProposeMsg& msg) {
     std::sort(needed.begin(), needed.end());
   }
   for (const auto chunk : needed) {
-    const auto v = static_cast<std::size_t>(chunk.value());
-    if (v >= pending_until_.size()) {
-      pending_until_.resize(v + 1, TimePoint::min());
-    }
-    pending_until_[v] = now + params_.request_timeout;
+    set_pending(chunk, now + params_.request_timeout);
   }
   ++stats_.requests_sent;
   if (observer_ != nullptr) {
@@ -135,12 +136,13 @@ void Engine::handle_request(NodeId from, const RequestMsg& msg) {
   // period (one per propose phase, newest last), so the lookup scans a
   // handful of records from the most recent backwards.
   const SentProposal* match = nullptr;
-  for (auto it = sent_proposals_.rbegin(); it != sent_proposals_.rend(); ++it) {
-    if (it->period < msg.period) break;
-    if (it->period == msg.period) {
-      if (std::find(it->partners.begin(), it->partners.end(), from) !=
-          it->partners.end()) {
-        match = &*it;
+  for (std::size_t i = sent_proposals_.size(); i-- > 0;) {
+    const SentProposal& rec = sent_proposals_[i];
+    if (rec.period < msg.period) break;
+    if (rec.period == msg.period) {
+      if (std::find(rec.partners.begin(), rec.partners.end(), from) !=
+          rec.partners.end()) {
+        match = &rec;
       }
       break;
     }
@@ -204,8 +206,7 @@ void Engine::handle_serve(NodeId from, const ServeMsg& msg) {
     return;
   }
   add_chunk(msg.chunk, msg.payload_bytes);
-  const auto v = static_cast<std::size_t>(msg.chunk.value());
-  if (v < pending_until_.size()) pending_until_[v] = TimePoint::min();
+  clear_pending(msg.chunk);
   fresh_.push_back(
       FreshChunk{msg.chunk, msg.ack_to, /*has_origin=*/true,
                  msg.payload_bytes});
@@ -215,20 +216,56 @@ void Engine::handle_serve(NodeId from, const ServeMsg& msg) {
   }
 }
 
-std::vector<NodeId> Engine::pick_partners(std::size_t count) {
+void Engine::pick_partners_into(std::size_t count, std::vector<NodeId>& out) {
   if (behavior_.collusion.has_value() && behavior_.collusion->bias_pm > 0.0) {
     // Colluding freeriders coordinate out of band, so their biased
     // selection keeps the shared view (the coalition always knows who of
     // its own is up); only honest selection diverges under view lag.
-    return membership::sample_biased(rng_, directory_, self_, count,
-                                     behavior_.collusion->coalition,
-                                     behavior_.collusion->bias_pm);
+    // (Allocating is fine here — the zero-allocation steady state is the
+    // honest path's contract.)
+    const auto partners = membership::sample_biased(
+        rng_, directory_, self_, count, behavior_.collusion->coalition,
+        behavior_.collusion->bias_pm);
+    out.assign(partners.begin(), partners.end());
+    return;
   }
   // View-aware: with a membership-propagation lag this node may still
   // select a recently-departed partner (wrongful blame follows when the
   // silence is verified) and cannot yet select joiners it has not heard
   // of. Identical to sample_uniform when the view model is off.
-  return membership::sample_view(rng_, directory_, self_, count, sim_.now());
+  membership::sample_view_into(rng_, directory_, self_, count, sim_.now(),
+                               sample_index_scratch_, out);
+}
+
+void Engine::set_pending(ChunkId id, TimePoint until) {
+  // One pass: refresh the chunk's entry if present and sweep out expired
+  // deadlines (they already answer "re-requestable", dropping them changes
+  // no observable outcome). The list stays at ~|P| live entries.
+  const TimePoint now = sim_.now();
+  std::size_t keep = 0;
+  bool updated = false;
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    PendingRequest p = pending_[i];
+    if (p.chunk == id) {
+      p.until = until;
+      updated = true;
+    } else if (p.until <= now) {
+      continue;
+    }
+    pending_[keep++] = p;
+  }
+  pending_.resize(keep);
+  if (!updated) pending_.push_back(PendingRequest{id, until});
+}
+
+void Engine::clear_pending(ChunkId id) {
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    if (pending_[i].chunk == id) {
+      pending_[i] = pending_.back();
+      pending_.pop_back();
+      return;
+    }
+  }
 }
 
 void Engine::propose_phase() {
@@ -237,17 +274,21 @@ void Engine::propose_phase() {
   prune_sent_proposals();
 
   // Collect the chunks received since the last propose phase; infect-and-die
-  // means each chunk is proposed in exactly one phase (§3).
-  std::vector<FreshChunk> fresh;
-  fresh.swap(fresh_);
+  // means each chunk is proposed in exactly one phase (§3). The swap with a
+  // member scratch keeps both buffers' capacity across periods.
+  fresh_scratch_.clear();
+  fresh_scratch_.swap(fresh_);
+  const RecycledVector<FreshChunk>& fresh = fresh_scratch_;
 
   if (!fresh.empty()) {
     // Attack: partial propose — drop the chunks received from a fraction δ2
     // of this period's servers (whole servers: the blame-minimizing choice,
-    // §6.3.1 footnote).
-    std::unordered_set<NodeId> dropped_servers;
+    // §6.3.1 footnote). The dropped set is the shuffled prefix of the
+    // server scratch; membership tests scan that prefix.
+    std::size_t dropped_count = 0;
+    servers_scratch_.clear();
     if (behavior_.delta_propose > 0.0) {
-      std::vector<NodeId> servers;
+      RecycledVector<NodeId>& servers = servers_scratch_;
       for (const auto& c : fresh) {
         if (c.has_origin &&
             std::find(servers.begin(), servers.end(), c.ack_to) ==
@@ -255,20 +296,23 @@ void Engine::propose_phase() {
           servers.push_back(c.ack_to);
         }
       }
-      const auto drop_count = std::min<std::size_t>(
+      dropped_count = std::min<std::size_t>(
           servers.size(),
           round_randomized(rng_, behavior_.delta_propose *
                                      static_cast<double>(servers.size())));
       rng_.shuffle(servers);
-      dropped_servers.insert(servers.begin(),
-                             servers.begin() +
-                                 static_cast<std::ptrdiff_t>(drop_count));
     }
+    const auto dropped_end =
+        servers_scratch_.begin() + static_cast<std::ptrdiff_t>(dropped_count);
+    const auto is_dropped = [&](NodeId id) {
+      return std::find(servers_scratch_.begin(), dropped_end, id) !=
+             dropped_end;
+    };
 
     ChunkIdList proposal;
     proposal.reserve(fresh.size());
     for (const auto& c : fresh) {
-      if (c.has_origin && dropped_servers.contains(c.ack_to)) continue;
+      if (c.has_origin && is_dropped(c.ack_to)) continue;
       proposal.push_back(c.id);
     }
 
@@ -281,10 +325,14 @@ void Engine::propose_phase() {
                         rng_, (1.0 - behavior_.delta_fanout) *
                                   static_cast<double>(params_.fanout)));
       }
-      const auto partners = pick_partners(fanout);
+      pick_partners_into(fanout, partners_scratch_);
+      const std::vector<NodeId>& partners = partners_scratch_;
       if (!proposal.empty()) {
-        sent_proposals_.push_back(
-            SentProposal{period_, sim_.now(), proposal, partners});
+        SentProposal& rec = sent_proposals_.push_slot();
+        rec.period = period_;
+        rec.at = sim_.now();
+        rec.chunks.assign(proposal.begin(), proposal.end());
+        rec.partners.assign(partners.begin(), partners.end());
         for (const auto partner : partners) {
           mailer_.send(self_, partner, sim::Channel::kDatagram,
                        ProposeMsg{period_, proposal});
@@ -295,7 +343,8 @@ void Engine::propose_phase() {
       // Cross-checking ack: what we *claim* our partner set was. A MITM
       // freerider claims coalition members so the verifier's confirms land
       // on nodes that cover for it.
-      std::vector<NodeId> claimed = partners;
+      claimed_scratch_.assign(partners.begin(), partners.end());
+      std::vector<NodeId>& claimed = claimed_scratch_;
       if (behavior_.collusion.has_value() && behavior_.collusion->mitm) {
         claimed.clear();
         std::vector<NodeId> live;
@@ -331,7 +380,8 @@ void Engine::propose_phase() {
   schedule_next_phase();
 }
 
-void Engine::send_acks(PeriodIndex period, const std::vector<FreshChunk>& fresh,
+void Engine::send_acks(PeriodIndex period,
+                       const RecycledVector<FreshChunk>& fresh,
                        const std::vector<NodeId>& claimed_partners) {
   if (!params_.emit_acks) return;
   // Group the served chunks by acknowledgment target. A freerider's ack
@@ -339,11 +389,13 @@ void Engine::send_acks(PeriodIndex period, const std::vector<FreshChunk>& fresh,
   // (δ2) would be self-incriminating; the lie is only caught by the
   // witnesses' contradictory testimonies (§5.2).
   //
-  // Grouping is a stable sort of (target, chunk) pairs in a reusable
-  // scratch buffer: acks go out in ascending target-id order (each one's
-  // chunks in receive order) and the period's last heap allocation is gone
-  // — the hash map this replaces allocated per phase *and* iterated in
-  // stdlib-dependent order.
+  // Grouping sorts (target, seq, chunk) rows in a reusable scratch
+  // buffer: acks go out in ascending target-id order with each one's
+  // chunks in receive order (the seq ties the sort to append order — a
+  // total order, so plain std::sort reproduces what a stable sort by
+  // target alone would, without stable_sort's temporary buffer) and the
+  // period's last heap allocation is gone — the hash map this replaces
+  // allocated per phase *and* iterated in stdlib-dependent order.
   ack_scratch_.clear();
   const TimePoint ack_now = sim_.now();
   for (const auto& c : fresh) {
@@ -353,18 +405,20 @@ void Engine::send_acks(PeriodIndex period, const std::vector<FreshChunk>& fresh,
     if (c.ack_to == self_ || !directory_.sees(self_, c.ack_to, ack_now)) {
       continue;
     }
-    ack_scratch_.emplace_back(c.ack_to, c.id);
+    ack_scratch_.push_back(
+        {c.ack_to, static_cast<std::uint32_t>(ack_scratch_.size()), c.id});
   }
-  std::stable_sort(ack_scratch_.begin(), ack_scratch_.end(),
-                   [](const auto& a, const auto& b) {
-                     return a.first < b.first;
-                   });
+  std::sort(ack_scratch_.begin(), ack_scratch_.end(),
+            [](const AckRow& a, const AckRow& b) {
+              if (a.target != b.target) return a.target < b.target;
+              return a.seq < b.seq;
+            });
   for (std::size_t i = 0; i < ack_scratch_.size();) {
     AckMsg ack;
     ack.period = period;
-    const NodeId target = ack_scratch_[i].first;
-    for (; i < ack_scratch_.size() && ack_scratch_[i].first == target; ++i) {
-      ack.chunks.push_back(ack_scratch_[i].second);
+    const NodeId target = ack_scratch_[i].target;
+    for (; i < ack_scratch_.size() && ack_scratch_[i].target == target; ++i) {
+      ack.chunks.push_back(ack_scratch_[i].chunk);
     }
     ack.partners.assign(claimed_partners.begin(), claimed_partners.end());
     mailer_.send(self_, target, sim::Channel::kDatagram, std::move(ack));

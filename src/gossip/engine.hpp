@@ -2,10 +2,10 @@
 #define LIFTING_GOSSIP_ENGINE_HPP
 
 #include <cstdint>
-#include <deque>
 #include <utility>
 #include <vector>
 
+#include "common/ring_log.hpp"
 #include "common/rng.hpp"
 #include "common/time.hpp"
 #include "common/types.hpp"
@@ -121,12 +121,24 @@ class Engine {
   void inject_chunk(const ChunkMeta& chunk);
 
   [[nodiscard]] bool has_chunk(ChunkId id) const {
-    const auto v = static_cast<std::size_t>(id.value());
-    return v < held_bytes_.size() && held_bytes_[v] != kNotHeld;
+    return delivery_log_.contains(id);
   }
   /// First-delivery times of every chunk this node received (or injected).
   [[nodiscard]] const DeliveryLog& delivery_times() const noexcept {
     return delivery_log_;
+  }
+  /// Streamed-health fold: drops the delivery timestamps of chunks below
+  /// `horizon` (their judgment window has closed). Presence bits stay — the
+  /// log's bitmap is also the engine's held-set — so protocol behavior is
+  /// untouched.
+  void compact_delivery_log(ChunkId horizon) {
+    delivery_log_.compact_before(horizon);
+  }
+  /// Pre-sizes the delivery log's presence bitmap for the whole stream, so
+  /// steady-state deliveries never regrow it (part of the per-period
+  /// zero-allocation invariant).
+  void reserve_stream_chunks(std::size_t chunks) {
+    delivery_log_.reserve_stream(chunks);
   }
   [[nodiscard]] const EngineStats& stats() const noexcept { return stats_; }
   [[nodiscard]] PeriodIndex current_period() const noexcept { return period_; }
@@ -151,19 +163,26 @@ class Engine {
   void handle_request(NodeId from, const RequestMsg& msg);
   void handle_serve(NodeId from, const ServeMsg& msg);
   void send_acks(PeriodIndex period,
-                 const std::vector<FreshChunk>& fresh,
+                 const RecycledVector<FreshChunk>& fresh,
                  const std::vector<NodeId>& claimed_partners);
-  [[nodiscard]] std::vector<NodeId> pick_partners(std::size_t count);
+  void pick_partners_into(std::size_t count, std::vector<NodeId>& out);
   [[nodiscard]] NodeId choose_ack_target();
   void add_chunk(ChunkId id, std::uint32_t payload_bytes);
   [[nodiscard]] std::uint32_t held_payload_bytes(ChunkId id) const {
-    const auto v = static_cast<std::size_t>(id.value());
-    return v < held_bytes_.size() ? held_bytes_[v] : kNotHeld;
+    if (!has_chunk(id)) return kNotHeld;
+    for (const auto& [chunk, bytes] : payload_exceptions_) {
+      if (chunk == id) return bytes;
+    }
+    return default_payload_;
   }
   [[nodiscard]] TimePoint pending_deadline(ChunkId id) const {
-    const auto v = static_cast<std::size_t>(id.value());
-    return v < pending_until_.size() ? pending_until_[v] : TimePoint::min();
+    for (const auto& p : pending_) {
+      if (p.chunk == id) return p.until;
+    }
+    return TimePoint::min();
   }
+  void set_pending(ChunkId id, TimePoint until);
+  void clear_pending(ChunkId id);
   void prune_sent_proposals();
 
   sim::Simulator& sim_;
@@ -178,28 +197,55 @@ class Engine {
   bool running_ = false;
   PeriodIndex period_ = 0;
 
-  /// Dense per-chunk state, indexed by the (emission-ordered) ChunkId
-  /// value: payload bytes of held chunks (kNotHeld otherwise), first
-  /// delivery log, and the re-request deadline of outstanding requests.
-  std::vector<std::uint32_t> held_bytes_;
+  /// Per-chunk state (DESIGN.md §9). The DeliveryLog's presence bitmap is
+  /// the held-set (1 bit/chunk); payload sizes collapse to one default —
+  /// a CBR stream emits constant-size chunks — plus a flat exception list
+  /// for the rare odd-sized ones. The old dense held_bytes_ table paid
+  /// 4 B/chunk/node for a value that is the same everywhere.
   DeliveryLog delivery_log_;
-  std::vector<TimePoint> pending_until_;
-  std::vector<FreshChunk> fresh_;
+  std::uint32_t default_payload_ = kNotHeld;  // set by the first add_chunk
+  RecycledVector<std::pair<ChunkId, std::uint32_t>> payload_exceptions_;
+  /// Outstanding requests awaiting a serve: a flat list of live deadlines
+  /// (~|P| entries, lazily swept) instead of a dense per-chunk table that
+  /// grew with the stream length.
+  struct PendingRequest {
+    ChunkId chunk;
+    TimePoint until;
+  };
+  RecycledVector<PendingRequest> pending_;
+  RecycledVector<FreshChunk> fresh_;
   /// Proposals we sent, newest last, for request validation. One record per
   /// propose phase — the chunk list is shared by all partners of that
   /// period instead of being copied per partner — and only the retention
   /// window is kept, so request validation scans a handful of records
-  /// indexed by period.
+  /// indexed by period. Ring slots recycle their list capacity, so the
+  /// steady-state record path never allocates.
   struct SentProposal {
-    PeriodIndex period;
-    TimePoint at;
+    PeriodIndex period = 0;
+    TimePoint at{};
     ChunkIdList chunks;
-    std::vector<NodeId> partners;
+    SmallVector<NodeId, 8> partners;
   };
-  std::deque<SentProposal> sent_proposals_;
-  /// Reusable (ack target, chunk) scratch for send_acks' grouping sort —
-  /// grows once, then the per-period ack path is allocation-free.
-  std::vector<std::pair<NodeId, ChunkId>> ack_scratch_;
+  RingLog<SentProposal> sent_proposals_;
+  /// Reusable (ack target, append seq, chunk) scratch for send_acks'
+  /// grouping sort — grows once, then the per-period ack path is
+  /// allocation-free. The seq makes (target, seq) a total order, so an
+  /// in-place std::sort yields the same target-major / receive-order-minor
+  /// grouping a stable sort by target would, without its temp buffer.
+  struct AckRow {
+    NodeId target{};
+    std::uint32_t seq = 0;
+    ChunkId chunk{};
+  };
+  RecycledVector<AckRow> ack_scratch_;
+  /// Propose-phase scratch buffers (capacity retained across periods so the
+  /// steady-state phase is allocation-free; see bench_sweep_scaling's
+  /// zero-allocation delta row).
+  RecycledVector<FreshChunk> fresh_scratch_;
+  std::vector<NodeId> partners_scratch_;
+  std::vector<NodeId> claimed_scratch_;
+  RecycledVector<NodeId> servers_scratch_;
+  std::vector<std::uint32_t> sample_index_scratch_;
 
   EngineStats stats_;
 };

@@ -22,6 +22,15 @@ class StreamSource {
     double bitrate_bps = 674'000.0;
     std::uint32_t chunk_payload_bytes = 8'425;  // => 10 chunks/s at 674 kbps
     Duration duration = seconds(60.0);
+
+    /// Chunk ids the full stream will span (ceiling), for pre-sizing
+    /// per-stream structures like the DeliveryLog presence bitmap.
+    [[nodiscard]] std::size_t expected_chunks() const noexcept {
+      const double per_chunk_s =
+          static_cast<double>(chunk_payload_bytes) * 8.0 / bitrate_bps;
+      const double span_s = std::chrono::duration<double>(duration).count();
+      return static_cast<std::size_t>(span_s / per_chunk_s) + 1;
+    }
   };
 
   StreamSource(sim::Simulator& sim, Engine& source_engine, Params params)
@@ -31,6 +40,9 @@ class StreamSource {
     interval_ = Duration{static_cast<Duration::rep>(
         static_cast<double>(params_.chunk_payload_bytes) * 8.0 /
         params_.bitrate_bps * 1e6)};
+    // The emission record grows for the whole stream; sized up front so
+    // mid-stream emits never reallocate it (steady-state zero-alloc).
+    emitted_.reserve(params_.expected_chunks());
   }
 
   /// Starts emitting chunks every `chunk_payload_bytes·8/bitrate` seconds

@@ -10,8 +10,10 @@ namespace lifting {
 namespace {
 /// Witness window for confirm requests: a proposal must have been received
 /// within this many periods to count (the serve→propose causality spans at
-/// most one period plus transit slack).
-constexpr std::uint32_t kConfirmWindowPeriods = 3;
+/// most one period plus transit slack). Also the floor on
+/// LiftingParams::history_retention — pruning must never outrun it.
+constexpr std::uint32_t kConfirmWindowPeriods =
+    LiftingParams::kConfirmWindowPeriods;
 constexpr std::size_t kRecentContactsCap = 64;
 /// The score a colluding manager reports for a coalition member — a
 /// "better than clean" value (§5.1's score-inflation attack).
@@ -78,6 +80,9 @@ Agent::Agent(sim::Simulator& sim, gossip::Mailer& mailer,
           }) {
   params_.validate();
   base_pdcc_ = params_.p_dcc;
+  // A node manages ~M targets in expectation (Poisson(M) tail); pre-size
+  // the blame ledger so the first periods never reallocate it.
+  managers_.reserve(2 * static_cast<std::size_t>(params_.managers));
 }
 
 void Agent::start(Duration offset) {
@@ -90,7 +95,8 @@ void Agent::tick() {
   if (stopped_) return;  // retired: do not reschedule
   const TimePoint now = sim_.now();
   const TimePoint cutoff =
-      now - std::min(now.time_since_epoch(), params_.history_window);
+      now - std::min(now.time_since_epoch(),
+                     params_.effective_history_retention());
   sent_history_.prune(cutoff);
   received_log_.prune(cutoff);
   asker_log_.prune(cutoff);
@@ -191,7 +197,7 @@ void Agent::send_reliable(NodeId to, gossip::Message msg) {
   mailer_.send(self_, to, sim::Channel::kReliable, std::move(msg));
 }
 
-const std::vector<NodeId>& Agent::managers_for(NodeId target) {
+std::span<const NodeId> Agent::managers_for(NodeId target) {
   return assignment_->of(target);
 }
 

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -154,7 +155,7 @@ class Agent final : public gossip::EngineObserver {
   void emit_blame(NodeId target, double value, gossip::BlameReason reason);
   void send_datagram(NodeId to, gossip::Message msg);
   void send_reliable(NodeId to, gossip::Message msg);
-  [[nodiscard]] const std::vector<NodeId>& managers_for(NodeId target);
+  [[nodiscard]] std::span<const NodeId> managers_for(NodeId target);
   [[nodiscard]] bool is_manager_of(NodeId target);
   void handle_confirm_request(NodeId from, const gossip::ConfirmReqMsg& msg);
   void handle_blame(const gossip::BlameMsg& msg);

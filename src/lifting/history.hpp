@@ -1,10 +1,11 @@
 #ifndef LIFTING_LIFTING_HISTORY_HPP
 #define LIFTING_LIFTING_HISTORY_HPP
 
-#include <deque>
-#include <unordered_map>
+#include <algorithm>
 #include <vector>
 
+#include "common/ring_log.hpp"
+#include "common/small_vector.hpp"
 #include "common/time.hpp"
 #include "common/types.hpp"
 #include "gossip/message.hpp"
@@ -20,15 +21,26 @@
 ///    and history polls as a witness.
 ///  * ConfirmAskerLog — who asked this node to confirm whose proposals;
 ///    polled by auditors to reconstruct F'_h (§5.3).
+///
+/// Storage is a flat RingLog per log (entries period/time-ordered, oldest
+/// at the front): the window only ever evicts from the front and appends at
+/// the back, and ring slots recycle their SmallVector payload capacity, so
+/// a steady-state node records its whole history without heap allocation.
+/// These deques were the last per-element allocators of a warm planetlab
+/// run — see DESIGN.md §9.
 
 namespace lifting {
 
 class SentProposalHistory {
  public:
   void record(TimePoint at, PeriodIndex period,
-              std::vector<NodeId> partners, gossip::ChunkIdList chunks) {
-    entries_.push_back(Entry{at, {period, std::move(partners),
-                                  std::move(chunks)}});
+              const std::vector<NodeId>& partners,
+              const gossip::ChunkIdList& chunks) {
+    Entry& e = entries_.push_slot();
+    e.at = at;
+    e.period = period;
+    e.partners.assign(partners.begin(), partners.end());
+    e.chunks.assign(chunks.begin(), chunks.end());
   }
 
   void prune(TimePoint cutoff) {
@@ -39,27 +51,39 @@ class SentProposalHistory {
 
   [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
 
-  /// The audit-visible records, oldest first.
+  /// The audit-visible records, oldest first. Materializes fresh vectors —
+  /// this is the audit-reply path, not a steady-state one.
   [[nodiscard]] std::vector<gossip::HistoryProposalRecord> snapshot() const {
     std::vector<gossip::HistoryProposalRecord> out;
     out.reserve(entries_.size());
-    for (const auto& e : entries_) out.push_back(e.record);
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      const Entry& e = entries_[i];
+      out.push_back(gossip::HistoryProposalRecord{
+          e.period, std::vector<NodeId>(e.partners.begin(), e.partners.end()),
+          e.chunks});
+    }
     return out;
   }
 
  private:
   struct Entry {
-    TimePoint at;
-    gossip::HistoryProposalRecord record;
+    TimePoint at{};
+    PeriodIndex period = 0;
+    SmallVector<NodeId, 8> partners;  // |partners| = fanout (7 on planetlab)
+    gossip::ChunkIdList chunks;
   };
-  std::deque<Entry> entries_;
+  RingLog<Entry> entries_;
 };
 
 class ReceivedProposalLog {
  public:
   void record(TimePoint at, NodeId from, PeriodIndex period,
               const gossip::ChunkIdList& chunks) {
-    entries_.push_back(Entry{at, from, period, chunks});
+    Entry& e = entries_.push_slot();
+    e.at = at;
+    e.from = from;
+    e.period = period;
+    e.chunks.assign(chunks.begin(), chunks.end());
   }
 
   void prune(TimePoint cutoff) {
@@ -74,13 +98,14 @@ class ReceivedProposalLog {
   [[nodiscard]] bool confirms(NodeId subject,
                               const gossip::ChunkIdList& chunks,
                               TimePoint since) const {
-    for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
-      if (it->at < since) break;  // entries are time-ordered
-      if (it->from != subject) continue;
+    for (std::size_t i = entries_.size(); i-- > 0;) {
+      const Entry& e = entries_[i];
+      if (e.at < since) break;  // entries are time-ordered
+      if (e.from != subject) continue;
       bool all = true;
       for (const auto c : chunks) {
-        if (std::find(it->chunks.begin(), it->chunks.end(), c) ==
-            it->chunks.end()) {
+        if (std::find(e.chunks.begin(), e.chunks.end(), c) ==
+            e.chunks.end()) {
           all = false;
           break;
         }
@@ -94,18 +119,21 @@ class ReceivedProposalLog {
 
  private:
   struct Entry {
-    TimePoint at;
-    NodeId from;
-    PeriodIndex period;
+    TimePoint at{};
+    NodeId from{};
+    PeriodIndex period = 0;
     gossip::ChunkIdList chunks;
   };
-  std::deque<Entry> entries_;
+  RingLog<Entry> entries_;
 };
 
 class ConfirmAskerLog {
  public:
   void record(TimePoint at, NodeId subject, NodeId asker) {
-    entries_.push_back(Entry{at, subject, asker});
+    Entry& e = entries_.push_slot();
+    e.at = at;
+    e.subject = subject;
+    e.asker = asker;
   }
 
   void prune(TimePoint cutoff) {
@@ -118,8 +146,8 @@ class ConfirmAskerLog {
   /// multiplicity — the witness's contribution to F'_h.
   [[nodiscard]] std::vector<NodeId> askers_about(NodeId subject) const {
     std::vector<NodeId> out;
-    for (const auto& e : entries_) {
-      if (e.subject == subject) out.push_back(e.asker);
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      if (entries_[i].subject == subject) out.push_back(entries_[i].asker);
     }
     return out;
   }
@@ -128,11 +156,11 @@ class ConfirmAskerLog {
 
  private:
   struct Entry {
-    TimePoint at;
-    NodeId subject;
-    NodeId asker;
+    TimePoint at{};
+    NodeId subject{};
+    NodeId asker{};
   };
-  std::deque<Entry> entries_;
+  RingLog<Entry> entries_;
 };
 
 }  // namespace lifting

@@ -8,29 +8,38 @@ namespace lifting {
 
 std::vector<NodeId> managers_of(NodeId target, std::uint32_t n,
                                 std::uint32_t m, std::uint64_t seed) {
+  std::vector<std::uint32_t> scratch;
+  std::vector<NodeId> out(std::min(m, n));
+  const std::uint32_t count =
+      managers_of_into(target, n, m, seed, scratch, out.data());
+  out.resize(count);
+  return out;
+}
+
+std::uint32_t managers_of_into(NodeId target, std::uint32_t n,
+                               std::uint32_t m, std::uint64_t seed,
+                               std::vector<std::uint32_t>& index_scratch,
+                               NodeId* out) {
   LIFTING_ASSERT(n >= 2, "manager assignment needs at least two nodes");
   auto rng = derive_rng(seed ^ (0x9e3779b9ULL * (target.value() + 1)),
                         /*stream=*/0x4d414e4147455253ULL);  // "MANAGERS"
-  std::vector<NodeId> out;
   if (target.value() >= n) {
     // Churn joiner outside the base pool: every base node is a candidate
     // (the target cannot collide with the pool, so no exclusion shift).
     const std::uint32_t count = std::min(m, n);
-    const auto raw = sample_k_distinct(rng, n, count);
-    out.reserve(count);
-    for (const auto idx : raw) out.push_back(NodeId{idx});
-    return out;
+    sample_k_distinct_into(rng, n, count, index_scratch);
+    for (std::uint32_t i = 0; i < count; ++i) out[i] = NodeId{index_scratch[i]};
+    return count;
   }
   const std::uint32_t count = std::min(m, n - 1);
   // Sample over [0, n-1) and shift indices >= target to exclude the target
   // itself (a node must not manage its own score).
-  const auto raw = sample_k_distinct(rng, n - 1, count);
-  out.reserve(count);
-  for (const auto idx : raw) {
-    const std::uint32_t shifted = idx >= target.value() ? idx + 1 : idx;
-    out.push_back(NodeId{shifted});
+  sample_k_distinct_into(rng, n - 1, count, index_scratch);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint32_t idx = index_scratch[i];
+    out[i] = NodeId{idx >= target.value() ? idx + 1 : idx};
   }
-  return out;
+  return count;
 }
 
 // ------------------------------------------------------ ManagerAssignment
@@ -55,26 +64,32 @@ void ManagerAssignment::rebind(std::uint32_t n, std::uint32_t m,
   // indexes EVERY cached row — a leftover row for an id that has not
   // joined yet this run would be promoted (and reported) ahead of its
   // existence, diverging reset from fresh. Joiner rows re-derive at join.
-  if (cache_.size() > n_) {
-    cache_.resize(n_);
+  if (len_.size() > n_) {
+    flat_.resize(static_cast<std::size_t>(n_) * m_);
+    len_.resize(n_);
     ready_.resize(n_);
   }
   if (n == n_ && m == m_ && seed == seed_) return;
   n_ = n;
   m_ = m;
   seed_ = seed;
-  cache_.resize(n);
+  flat_.resize(static_cast<std::size_t>(n) * m);
+  len_.assign(n, 0);
   ready_.assign(n, 0);
 }
 
-const std::vector<NodeId>& ManagerAssignment::of(NodeId target) {
+void ManagerAssignment::ensure_row(std::size_t v) {
+  if (v < len_.size()) return;
+  flat_.resize((v + 1) * m_);
+  len_.resize(v + 1, 0);
+  ready_.resize(v + 1, 0);
+}
+
+std::span<const NodeId> ManagerAssignment::of(NodeId target) {
   const auto v = static_cast<std::size_t>(target.value());
-  if (v >= cache_.size()) {  // churn joiner beyond the base population
-    cache_.resize(v + 1);
-    ready_.resize(v + 1, 0);
-  }
+  ensure_row(v);  // churn joiner beyond the base population
   if (ready_[v] == 0) materialize(v);
-  return cache_[v];
+  return row(v);
 }
 
 Pcg32& ManagerAssignment::handoff_rng(std::uint32_t target) {
@@ -93,9 +108,9 @@ Pcg32& ManagerAssignment::handoff_rng(std::uint32_t target) {
 template <typename DepartedFn>
 NodeId ManagerAssignment::promote(std::size_t v, NodeId departed,
                                   const DepartedFn& is_departed) {
-  auto& row = cache_[v];
-  const auto slot = std::find(row.begin(), row.end(), departed);
-  if (slot == row.end()) return kNoReplacement;  // replaced earlier in the log
+  const auto r = row(v);
+  const auto slot = std::find(r.begin(), r.end(), departed);
+  if (slot == r.end()) return kNoReplacement;  // replaced earlier in the log
   auto& rng = handoff_rng(static_cast<std::uint32_t>(v));
   // Walk the target's deterministic handoff stream for the first candidate
   // that is not the target, not already in the quorum, and not departed at
@@ -107,21 +122,24 @@ NodeId ManagerAssignment::promote(std::size_t v, NodeId departed,
     const NodeId candidate{rng.below(n_)};
     if (candidate.value() == v) continue;
     if (is_departed(candidate)) continue;
-    if (std::find(row.begin(), row.end(), candidate) != row.end()) continue;
+    if (std::find(r.begin(), r.end(), candidate) != r.end()) continue;
     *slot = candidate;
     reverse_[candidate.value()].push_back(static_cast<std::uint32_t>(v));
     promoted_rows_.push_back(static_cast<std::uint32_t>(v));
     ++promotions_;
     return candidate;
   }
-  row.erase(slot);
+  // Drop the slot: shift the row tail left and shrink the length (the flat
+  // layout's erase).
+  std::move(slot + 1, r.end(), slot);
+  --len_[v];
   promoted_rows_.push_back(static_cast<std::uint32_t>(v));
   return kNoReplacement;
 }
 
 void ManagerAssignment::materialize(std::size_t v) {
-  cache_[v] = managers_of(NodeId{static_cast<std::uint32_t>(v)}, n_, m_,
-                          seed_);
+  len_[v] = managers_of_into(NodeId{static_cast<std::uint32_t>(v)}, n_, m_,
+                             seed_, sample_scratch_, row_data(v));
   ready_[v] = 1;
   if (churn_log_.empty()) return;
   // Index the *base* row before the replay, mirroring the eager path (a
@@ -130,7 +148,7 @@ void ManagerAssignment::materialize(std::size_t v) {
   // would double-count replayed replacements. Entries for managers the
   // replay then replaces go stale, which the index tolerates by design.
   if (reverse_.empty()) reverse_.resize(n_);
-  for (const auto manager : cache_[v]) {
+  for (const auto manager : row(v)) {
     reverse_[manager.value()].push_back(static_cast<std::uint32_t>(v));
   }
   // Replay the churn log against a reconstructed prefix mask so this row
@@ -166,10 +184,10 @@ std::vector<ManagerAssignment::Handoff> ManagerAssignment::mark_departed(
     // One-time O(n·M); joiner rows added later are forced at join time
     // (Experiment::join_node).
     reverse_.resize(n_);
-    for (std::size_t row = 0; row < ready_.size(); ++row) {
-      if (ready_[row] == 0) materialize(row);
-      for (const auto manager : cache_[row]) {
-        reverse_[manager.value()].push_back(static_cast<std::uint32_t>(row));
+    for (std::size_t r = 0; r < ready_.size(); ++r) {
+      if (ready_[r] == 0) materialize(r);
+      for (const auto manager : row(r)) {
+        reverse_[manager.value()].push_back(static_cast<std::uint32_t>(r));
       }
     }
   }

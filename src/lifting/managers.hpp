@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "analysis/formulas.hpp"
@@ -35,6 +36,16 @@ namespace lifting {
                                               std::uint32_t m,
                                               std::uint64_t seed);
 
+/// Allocation-free managers_of: writes up to min(m, ...) managers into
+/// `out` (which must have room for m entries) and returns the count, using
+/// `index_scratch` for the k-subset draw. Identical rng draw sequence and
+/// result as managers_of — this is what fills the ManagerAssignment's flat
+/// row storage without a per-row heap vector.
+std::uint32_t managers_of_into(NodeId target, std::uint32_t n,
+                               std::uint32_t m, std::uint64_t seed,
+                               std::vector<std::uint32_t>& index_scratch,
+                               NodeId* out);
+
 /// Lazily-materialized manager assignment for a whole deployment, indexed
 /// densely by target id. The *base* assignment is a pure function of
 /// (n, m, seed), so one instance is shared by every agent of an experiment
@@ -57,7 +68,12 @@ namespace lifting {
 class ManagerAssignment {
  public:
   ManagerAssignment(std::uint32_t n, std::uint32_t m, std::uint64_t seed)
-      : n_(n), m_(m), seed_(seed), cache_(n), ready_(n, 0) {}
+      : n_(n),
+        m_(m),
+        seed_(seed),
+        flat_(static_cast<std::size_t>(n) * m),
+        len_(n, 0),
+        ready_(n, 0) {}
 
   /// Re-targets the table at a (possibly) different deployment, always
   /// clearing handoff state (churn log, promotions, handoff rngs) and
@@ -71,9 +87,11 @@ class ManagerAssignment {
   void rebind(std::uint32_t n, std::uint32_t m, std::uint64_t seed);
 
   /// The current M managers of `target`: the base assignment with every
-  /// handoff promotion logged so far applied. The row reference is stable
-  /// until the next promotion touching it.
-  [[nodiscard]] const std::vector<NodeId>& of(NodeId target);
+  /// handoff promotion logged so far applied. The returned view is stable
+  /// until the next promotion touching the row or the next joiner-row
+  /// growth (same lifetime callers already respected when rows were heap
+  /// vectors — consume the row before the table can mutate).
+  [[nodiscard]] std::span<const NodeId> of(NodeId target);
 
   /// One executed promotion: `departed` left `target`'s quorum and
   /// `replacement` took its slot (and should adopt its ledger row).
@@ -129,11 +147,28 @@ class ManagerAssignment {
                  const DepartedFn& is_departed);
   [[nodiscard]] Pcg32& handoff_rng(std::uint32_t target);
 
+  /// Grows flat_/len_/ready_ to cover row `v` (churn joiners beyond the
+  /// base pool).
+  void ensure_row(std::size_t v);
+  [[nodiscard]] NodeId* row_data(std::size_t v) noexcept {
+    return flat_.data() + v * m_;
+  }
+  [[nodiscard]] std::span<NodeId> row(std::size_t v) noexcept {
+    return {row_data(v), len_[v]};
+  }
+
   std::uint32_t n_;
   std::uint32_t m_;
   std::uint64_t seed_;
-  std::vector<std::vector<NodeId>> cache_;
+  /// Row storage, structure-of-arrays: one flat m_-strided buffer plus a
+  /// per-row length (rows shrink when a handoff finds no eligible
+  /// replacement). One allocation for the whole deployment instead of one
+  /// heap vector per node — at 10^6 nodes the per-row vector headers and
+  /// allocator slack alone cost more than the manager ids.
+  std::vector<NodeId> flat_;
+  std::vector<std::uint32_t> len_;
   std::vector<std::uint8_t> ready_;
+  std::vector<std::uint32_t> sample_scratch_;  // managers_of_into k-subset
 
   // ---- handoff state (cleared by rebind)
   std::vector<ChurnEvent> churn_log_;
@@ -166,7 +201,7 @@ class ManagerAssignment {
 class ManagerStore {
  public:
   ManagerStore(const LiftingParams& params, TimePoint genesis)
-      : params_(params),
+      : period_(params.period),
         genesis_(genesis),
         per_period_compensation_(params.compensation_factor *
                                  analysis::expected_wrongful_blame(
@@ -174,6 +209,16 @@ class ManagerStore {
         apcc_compensation_(params.compensation_factor *
                            analysis::expected_blame_apcc(
                                params.model(), params.history_periods())) {}
+
+  /// Pre-sizes the flat map for the expected managed-target count. Each of
+  /// n nodes draws M managers uniformly, so a manager serves ~Binomial(n,
+  /// M/n) ≈ Poisson(M) targets; 2·M covers that far beyond any realistic
+  /// tail. Called once at agent construction so the table never reallocates
+  /// during the first periods of a run.
+  void reserve(std::size_t expected_targets) {
+    keys_.reserve(expected_targets);
+    recs_.reserve(expected_targets);
+  }
 
   /// Applies a blame. Rate-check and a-posteriori blames carry their own
   /// compensation; regular verification blames are compensated per period
@@ -282,7 +327,7 @@ class ManagerStore {
 
   [[nodiscard]] double periods_since(TimePoint genesis, TimePoint now) const {
     const auto age = now - genesis;
-    const double r = static_cast<double>(age / params_.period);
+    const double r = static_cast<double>(age / period_);
     return r < 1.0 ? 1.0 : r;
   }
 
@@ -310,7 +355,10 @@ class ManagerStore {
     return recs_.back();
   }
 
-  LiftingParams params_;
+  /// Only the gossip period survives from LiftingParams — copying the whole
+  /// parameter block into every one of n stores wasted ~200 B/node for two
+  /// derived doubles and one Duration.
+  Duration period_;
   TimePoint genesis_;
   double per_period_compensation_;
   double apcc_compensation_;

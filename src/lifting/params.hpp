@@ -96,9 +96,27 @@ struct LiftingParams {
   /// emitted when fewer than rate_tolerance·n_h proposals are on record.
   double rate_tolerance = 0.5;
 
+  // ---- memory budget (DESIGN.md §9)
+  /// Periods a confirm/history-poll answer may look back (§5.2: the
+  /// verifier confirms against the witnesses' last few periods).
+  static constexpr std::uint32_t kConfirmWindowPeriods = 3;
+  /// How long the per-node accountability logs actually retain entries.
+  /// zero (the default) means the full audit window `history_window` —
+  /// required whenever audits run. Deployments that never audit (the
+  /// million-node scale benches) shrink it to the confirm window, cutting
+  /// the dominant per-node allocation ~16x with identical confirm/poll
+  /// answers. Must cover at least kConfirmWindowPeriods + 1 periods.
+  Duration history_retention = Duration::zero();
+
   /// n_h = h / Tg (§5: the number of gossip periods covered by the history).
   [[nodiscard]] std::uint32_t history_periods() const {
     return static_cast<std::uint32_t>(history_window / period);
+  }
+
+  /// The log-retention span actually applied by Agent::tick's prune.
+  [[nodiscard]] Duration effective_history_retention() const {
+    return history_retention == Duration::zero() ? history_window
+                                                 : history_retention;
   }
 
   /// The §6 model with these parameters (for compensation and bounds).
@@ -122,6 +140,11 @@ struct LiftingParams {
     require(eta < 0.0, "eta must be negative");
     require(gamma >= 0.0, "gamma must be non-negative");
     require(history_window >= period, "history must span >= one period");
+    require(history_retention == Duration::zero() ||
+                (history_retention <= history_window &&
+                 history_retention >= period * (kConfirmWindowPeriods + 1)),
+            "history_retention must cover the confirm window and not "
+            "exceed history_window");
     require(rate_tolerance >= 0.0 && rate_tolerance <= 1.0,
             "rate_tolerance in [0,1]");
   }

@@ -83,7 +83,7 @@ class DirectVerifier {
   sim::Simulator& sim_;
   const LiftingParams& params_;
   BlameFn blame_;
-  std::vector<Pending> pending_;  // sorted by key
+  RecycledVector<Pending> pending_;  // sorted by key
   std::uint64_t completed_ = 0;
 };
 
@@ -161,9 +161,9 @@ class CrossChecker {
   SendFn send_;
 
   /// Outstanding serve batches, sorted by (receiver, serve_period).
-  std::vector<Batch> batches_;
+  RecycledVector<Batch> batches_;
   /// Running confirm rounds, sorted by (subject, subject_period).
-  std::vector<ConfirmRound> rounds_;
+  RecycledVector<ConfirmRound> rounds_;
   std::uint64_t generation_ = 0;
   std::uint64_t rounds_started_ = 0;
 };

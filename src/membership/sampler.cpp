@@ -9,38 +9,58 @@ namespace lifting::membership {
 
 std::vector<NodeId> sample_uniform(Pcg32& rng, const Directory& directory,
                                    NodeId self, std::size_t k) {
+  std::vector<std::uint32_t> index_scratch;
+  std::vector<NodeId> partners;
+  sample_uniform_into(rng, directory, self, k, index_scratch, partners);
+  return partners;
+}
+
+void sample_uniform_into(Pcg32& rng, const Directory& directory, NodeId self,
+                         std::size_t k,
+                         std::vector<std::uint32_t>& index_scratch,
+                         std::vector<NodeId>& out) {
+  out.clear();
   const auto& live = directory.live();
   const bool self_live = directory.is_live(self);
   const std::size_t candidates = live.size() - (self_live ? 1 : 0);
   const std::size_t take = std::min(k, candidates);
-  if (take == 0) return {};
+  if (take == 0) return;
 
   // Sample indices over the candidate space [0, candidates) and shift
   // indices at/after the caller's slot so `self` is excluded in O(1).
   const std::size_t self_pos =
       self_live ? directory.position_of(self) : live.size();
-  auto indices = sample_k_distinct(rng, static_cast<std::uint32_t>(candidates),
-                                   static_cast<std::uint32_t>(take));
-  std::vector<NodeId> partners;
-  partners.reserve(take);
-  for (const auto raw : indices) {
+  sample_k_distinct_into(rng, static_cast<std::uint32_t>(candidates),
+                         static_cast<std::uint32_t>(take), index_scratch);
+  out.reserve(take);
+  for (const auto raw : index_scratch) {
     const std::size_t idx = (raw >= self_pos) ? raw + 1 : raw;
-    partners.push_back(live[idx]);
+    out.push_back(live[idx]);
   }
-  return partners;
 }
 
 std::vector<NodeId> sample_view(Pcg32& rng, const Directory& directory,
                                 NodeId self, std::size_t k, TimePoint now) {
+  std::vector<std::uint32_t> index_scratch;
+  std::vector<NodeId> partners;
+  sample_view_into(rng, directory, self, k, now, index_scratch, partners);
+  return partners;
+}
+
+void sample_view_into(Pcg32& rng, const Directory& directory, NodeId self,
+                      std::size_t k, TimePoint now,
+                      std::vector<std::uint32_t>& index_scratch,
+                      std::vector<NodeId>& partners) {
   if (directory.view_lag() == Duration::zero()) {
-    return sample_uniform(rng, directory, self, k);
+    sample_uniform_into(rng, directory, self, k, index_scratch, partners);
+    return;
   }
   const auto& live = directory.live();
   const auto& limbo = directory.limbo();
   const auto pool =
       static_cast<std::uint32_t>(live.size() + limbo.size());
-  std::vector<NodeId> partners;
-  if (pool == 0) return partners;
+  partners.clear();
+  if (pool == 0) return;
   partners.reserve(k);
   // Rejection sampling over live ∪ limbo: the candidate pool mixes nodes
   // `self` knows about with departures it has not yet heard of; `sees`
@@ -67,7 +87,6 @@ std::vector<NodeId> sample_view(Pcg32& rng, const Directory& directory,
     if (!directory.sees(self, id, now)) continue;
     partners.push_back(id);
   }
-  return partners;
 }
 
 std::vector<NodeId> sample_biased(Pcg32& rng, const Directory& directory,

@@ -22,6 +22,16 @@ namespace lifting::membership {
                                                  const Directory& directory,
                                                  NodeId self, std::size_t k);
 
+/// Allocation-free sample_uniform: fills `out` (cleared; capacity reused),
+/// using `index_scratch` for the k-subset draw. Identical rng sequence and
+/// result as sample_uniform — the per-period partner pick is the gossip
+/// loop's hottest sampler, and with retained capacity it never touches the
+/// allocator in steady state.
+void sample_uniform_into(Pcg32& rng, const Directory& directory, NodeId self,
+                         std::size_t k,
+                         std::vector<std::uint32_t>& index_scratch,
+                         std::vector<NodeId>& out);
+
 /// View-aware uniform selection (DESIGN.md §7): picks up to `k` distinct
 /// partners uniformly from what `self` currently *believes* the membership
 /// is — joins it has not yet learned of are excluded, recent departures it
@@ -32,6 +42,12 @@ namespace lifting::membership {
                                               const Directory& directory,
                                               NodeId self, std::size_t k,
                                               TimePoint now);
+
+/// Allocation-free sample_view (same contract as sample_uniform_into).
+void sample_view_into(Pcg32& rng, const Directory& directory, NodeId self,
+                      std::size_t k, TimePoint now,
+                      std::vector<std::uint32_t>& index_scratch,
+                      std::vector<NodeId>& out);
 
 /// Biased selection used by colluding freeriders: each slot is filled with
 /// a (uniform) coalition member with probability `p_m`, otherwise with a

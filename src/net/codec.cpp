@@ -52,7 +52,10 @@ class Reader {
   std::uint64_t u64() { return take<std::uint64_t>(); }
   double f64() { return take<double>(); }
   NodeId node() { return NodeId{u32()}; }
-  ChunkId chunk() { return ChunkId{u64()}; }
+  // Chunk ids travel as 8 bytes on the wire (the in-memory rep is 32-bit;
+  // the wire format predates the shrink and the size model keeps pricing
+  // them at 8 B).
+  ChunkId chunk() { return ChunkId{static_cast<ChunkId::rep_type>(u64())}; }
   gossip::ChunkIdList chunks() {
     const auto count = u16();
     gossip::ChunkIdList out;

@@ -89,8 +89,11 @@ void Experiment::rewind() {
   retired_.clear();
   timeline_events_.clear();
   score_timeline_.clear();
+  score_summaries_.clear();
   freerider_list_.clear();
   score_sample_interval_ = Duration::zero();
+  score_sample_mode_ = ScoreSampleMode::kStream;
+  streamed_ = StreamedHealth{};
   started_ = false;
   wound_down_ = false;
 }
@@ -128,6 +131,7 @@ void Experiment::build() {
   // Pre-size the event arena for the steady-state in-flight population
   // (a few dozen timers/deliveries per node).
   sim_.reserve_events(static_cast<std::size_t>(n) * 32);
+  ledger_.reserve(n);
   if (network_ == nullptr) {
     network_ = std::make_unique<sim::Network<gossip::Message>>(
         sim_, derive_rng(config_.seed, 0x02));
@@ -167,6 +171,7 @@ void Experiment::build() {
     assignment_->rebind(n, config_.lifting.managers, config_.seed);
   }
 
+  network_->reserve_nodes(n);
   nodes_.resize(n);
   for (std::uint32_t i = 0; i < n; ++i) {
     const NodeId id{i};
@@ -284,6 +289,7 @@ void Experiment::make_node(std::uint32_t i,
       sim_, *mailer_, directory_, id, params, behavior,
       derive_rng(config_.seed, stream(0xB00000000ULL, 0xB5)),
       node.agent ? node.agent.get() : nullptr);
+  node.engine->reserve_stream_chunks(config_.stream.expected_chunks());
 
   network_->add_node(id, profile, [this, i](
                                       sim::Delivery<gossip::Message>& d) {
@@ -321,6 +327,7 @@ void Experiment::run_until(TimePoint t) {
                        [this, i] { apply_event(timeline_events_[i]); });
     }
     if (score_sample_interval_ > Duration::zero()) schedule_score_sample();
+    if (streamed_.enabled) schedule_health_fold();
   }
   sim_.run_until(t);
 }
@@ -710,19 +717,53 @@ Experiment::ScoreSnapshot Experiment::snapshot_scores() {
   return snap;
 }
 
-void Experiment::sample_scores_every(Duration interval) {
+void Experiment::sample_scores_every(Duration interval, ScoreSampleMode mode) {
   require(interval > Duration::zero(), "sampling interval must be positive");
   require(config_.lifting_enabled, "score sampling requires LiFTinG");
   const bool arm_now = started_ && score_sample_interval_ == Duration::zero();
   score_sample_interval_ = interval;
+  score_sample_mode_ = mode;
   if (arm_now) schedule_score_sample();
 }
 
 void Experiment::schedule_score_sample() {
   sim_.schedule_after(score_sample_interval_, [this] {
     if (wound_down_) return;
-    score_timeline_.push_back(
-        TimedScores{to_seconds(sim_.now()), snapshot_scores()});
+    // Streamed summary: one pass over the live population, O(1) retained.
+    ScoreSummary summary;
+    summary.at_seconds = to_seconds(sim_.now());
+    double honest_sum = 0.0;
+    double freerider_sum = 0.0;
+    for (std::uint32_t i = 1; i < population(); ++i) {
+      const NodeId id{i};
+      if (is_departed(id)) continue;
+      const double s = true_score(id);
+      if (is_freerider(id)) {
+        ++summary.freeriders;
+        freerider_sum += s;
+        if (summary.freeriders == 1 || s > summary.freerider_max) {
+          summary.freerider_max = s;
+        }
+      } else {
+        ++summary.honest;
+        honest_sum += s;
+        if (summary.honest == 1 || s < summary.honest_min) {
+          summary.honest_min = s;
+        }
+      }
+    }
+    if (summary.honest > 0) {
+      summary.honest_mean = honest_sum / static_cast<double>(summary.honest);
+    }
+    if (summary.freeriders > 0) {
+      summary.freerider_mean =
+          freerider_sum / static_cast<double>(summary.freeriders);
+    }
+    score_summaries_.push_back(summary);
+    if (score_sample_mode_ == ScoreSampleMode::kRetained) {
+      score_timeline_.push_back(
+          TimedScores{summary.at_seconds, snapshot_scores()});
+    }
     schedule_score_sample();
   });
 }
@@ -840,6 +881,149 @@ std::vector<gossip::HealthPoint> Experiment::health_curve(
   }
   return gossip::health_curve(source_->emitted(), deliveries, sim_.now(),
                               lags_seconds, playback);
+}
+
+void Experiment::enable_streamed_health(std::vector<double> lags_seconds,
+                                        bool honest_only,
+                                        const gossip::PlaybackConfig& playback,
+                                        Duration fold_interval) {
+  require(!lags_seconds.empty(), "streamed health needs at least one lag");
+  require(fold_interval > Duration::zero(), "fold interval must be positive");
+  const bool arm_now = started_ && !streamed_.enabled;
+  streamed_.enabled = true;
+  streamed_.lags_seconds = std::move(lags_seconds);
+  streamed_.honest_only = honest_only;
+  streamed_.playback = playback;
+  streamed_.fold_interval = fold_interval;
+  double horizon = playback.common_window_lag;
+  for (const double lag : streamed_.lags_seconds) {
+    horizon = std::max(horizon, lag);
+  }
+  streamed_.fold_horizon = seconds(horizon);
+  streamed_.folded_chunks = 0;
+  streamed_.folded_eligible = 0;
+  streamed_.on_time.assign(static_cast<std::size_t>(population()) *
+                               streamed_.lags_seconds.size(),
+                           0);
+  if (arm_now) schedule_health_fold();
+}
+
+void Experiment::schedule_health_fold() {
+  sim_.schedule_after(streamed_.fold_interval, [this] {
+    if (wound_down_) return;
+    fold_streamed_health();
+    schedule_health_fold();
+  });
+}
+
+void Experiment::fold_streamed_health() {
+  const auto& emitted = source_->emitted();
+  const std::size_t nlags = streamed_.lags_seconds.size();
+  // Joiners since the last fold: extend the counter table (dense by id).
+  streamed_.on_time.resize(static_cast<std::size_t>(population()) * nlags, 0);
+  const TimePoint warmup_end = kSimEpoch + streamed_.playback.warmup;
+  const TimePoint now = sim_.now();
+  std::size_t i = streamed_.folded_chunks;
+  for (; i < emitted.size(); ++i) {
+    const auto& chunk = emitted[i];
+    // Emission times are monotone, so the foldable chunks are a prefix.
+    // Strictly before `now`: a delivery scheduled at this very instant but
+    // ordered after the fold would land exactly on its deadline — folding
+    // the chunk now would judge it late while retained logs judge it on
+    // time. Past-deadline chunks cannot have that race.
+    if (chunk.emitted_at + streamed_.fold_horizon >= now) break;
+    if (chunk.emitted_at < warmup_end) continue;  // ineligible at every lag
+    ++streamed_.folded_eligible;
+    for (std::uint32_t v = 1; v < population(); ++v) {
+      const TimePoint* at = nodes_[v].engine->delivery_times().find(chunk.id);
+      if (at == nullptr) continue;  // never arrived: on time nowhere
+      auto* counters = &streamed_.on_time[static_cast<std::size_t>(v) * nlags];
+      for (std::size_t j = 0; j < nlags; ++j) {
+        if (*at <= chunk.emitted_at + seconds(streamed_.lags_seconds[j])) {
+          ++counters[j];
+        }
+      }
+    }
+  }
+  if (i == streamed_.folded_chunks) return;
+  streamed_.folded_chunks = i;
+  // Every chunk below the fold line is judged at every lag; its delivery
+  // stamps can go. Presence bits stay (they are the engines' held-set).
+  const ChunkId horizon = i < emitted.size()
+                              ? emitted[i].id
+                              : ChunkId{emitted.back().id.value() + 1};
+  for (auto& node : nodes_) {
+    if (node.engine) node.engine->compact_delivery_log(horizon);
+  }
+  for (auto& node : retired_) {
+    if (node.engine) node.engine->compact_delivery_log(horizon);
+  }
+}
+
+std::vector<gossip::HealthPoint> Experiment::streamed_health_curve() {
+  require(streamed_.enabled, "call enable_streamed_health first");
+  const auto& emitted = source_->emitted();
+  const std::size_t nlags = streamed_.lags_seconds.size();
+  streamed_.on_time.resize(static_cast<std::size_t>(population()) * nlags, 0);
+  const TimePoint warmup_end = kSimEpoch + streamed_.playback.warmup;
+  const TimePoint end = sim_.now();
+
+  // Node filter, exactly health_curve's.
+  std::vector<std::uint32_t> included;
+  for (std::uint32_t i = 1; i < population(); ++i) {
+    const NodeId id{i};
+    if (streamed_.honest_only && is_freerider(id)) continue;
+    if (is_departed(id)) continue;             // log froze mid-stream
+    if (join_time_[i] > warmup_end) continue;  // missed judgeable chunks
+    included.push_back(i);
+  }
+
+  const bool common = streamed_.playback.common_window_lag > 0.0;
+  std::vector<gossip::HealthPoint> curve;
+  curve.reserve(nlags);
+  std::vector<std::uint32_t> tail_on_time(included.size());
+  for (std::size_t j = 0; j < nlags; ++j) {
+    const double lag_s = streamed_.lags_seconds[j];
+    const Duration lag = seconds(lag_s);
+    const Duration window_lag =
+        common ? seconds(streamed_.playback.common_window_lag) : lag;
+    // The unfolded tail — chunks whose window closed after the last fold —
+    // still has its delivery stamps and is judged exactly like
+    // health_curve does; the folded prefix contributes integer counters.
+    std::uint64_t eligible = streamed_.folded_eligible;
+    std::fill(tail_on_time.begin(), tail_on_time.end(), 0);
+    for (std::size_t c = streamed_.folded_chunks; c < emitted.size(); ++c) {
+      const auto& chunk = emitted[c];
+      if (chunk.emitted_at < warmup_end) continue;
+      if (chunk.emitted_at + window_lag > end) continue;
+      ++eligible;
+      for (std::size_t k = 0; k < included.size(); ++k) {
+        const TimePoint* at =
+            nodes_[included[k]].engine->delivery_times().find(chunk.id);
+        if (at != nullptr && *at <= chunk.emitted_at + lag) {
+          ++tail_on_time[k];
+        }
+      }
+    }
+    if (eligible == 0) {
+      curve.push_back(gossip::HealthPoint{lag_s, 0.0});
+      continue;
+    }
+    std::size_t clear_nodes = 0;
+    for (std::size_t k = 0; k < included.size(); ++k) {
+      const auto folded =
+          streamed_.on_time[static_cast<std::size_t>(included[k]) * nlags + j];
+      const double frac = static_cast<double>(folded + tail_on_time[k]) /
+                          static_cast<double>(eligible);
+      if (frac >= streamed_.playback.clear_threshold) ++clear_nodes;
+    }
+    curve.push_back(gossip::HealthPoint{
+        lag_s, included.empty()
+                   ? 0.0
+                   : static_cast<double>(clear_nodes) /
+                         static_cast<double>(included.size())});
+  }
+  return curve;
 }
 
 OverheadReport Experiment::overhead() const {

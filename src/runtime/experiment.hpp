@@ -54,6 +54,16 @@ class BlameLedger {
   }
   [[nodiscard]] std::uint64_t emissions() const noexcept { return emissions_; }
 
+  /// Pre-sizes the per-node tables for a known population, so the ledger
+  /// never reallocates during a run (joiners beyond `n` still grow it).
+  /// The ledger is already epoch-compacted by construction: it keeps one
+  /// running total (plus per-reason totals) per node — O(population) —
+  /// instead of the emission log, which grows with time.
+  void reserve(std::uint32_t n) {
+    totals_.reserve(n);
+    by_reason_.reserve(n);
+  }
+
   /// Forgets all recorded blame, keeping table capacity.
   void reset() noexcept {
     totals_.clear();
@@ -331,17 +341,42 @@ class Experiment {
   [[nodiscard]] ScoreSnapshot snapshot_scores();
   [[nodiscard]] DetectionStats detection_at(double eta);
 
-  /// Enables periodic score snapshots every `interval` (requires LiFTinG);
+  /// How periodic score samples are retained. kStream — the default — keeps
+  /// one O(1) statistics summary per sample, so the timeline costs
+  /// O(samples) regardless of population; kRetained additionally stores
+  /// every node's score per sample in score_timeline() (O(nodes × samples),
+  /// the classic mode for per-node trajectory plots).
+  enum class ScoreSampleMode { kStream, kRetained };
+
+  /// Enables periodic score sampling every `interval` (requires LiFTinG);
   /// each sample covers the then-live non-source population. Call before
   /// the first run_until().
-  void sample_scores_every(Duration interval);
+  void sample_scores_every(Duration interval,
+                           ScoreSampleMode mode = ScoreSampleMode::kStream);
   struct TimedScores {
     double at_seconds = 0.0;
     ScoreSnapshot scores;
   };
+  /// Full per-sample score vectors; populated only in kRetained mode.
   [[nodiscard]] const std::vector<TimedScores>& score_timeline()
       const noexcept {
     return score_timeline_;
+  }
+
+  /// One streamed score sample: summary statistics only.
+  struct ScoreSummary {
+    double at_seconds = 0.0;
+    std::size_t honest = 0;
+    std::size_t freeriders = 0;
+    double honest_mean = 0.0;
+    double honest_min = 0.0;
+    double freerider_mean = 0.0;
+    double freerider_max = 0.0;
+  };
+  /// Populated in both sampling modes.
+  [[nodiscard]] const std::vector<ScoreSummary>& score_summaries()
+      const noexcept {
+    return score_summaries_;
   }
 
   /// Health curve over honest nodes. Churn-aware: departed nodes are
@@ -352,6 +387,25 @@ class Experiment {
   [[nodiscard]] std::vector<gossip::HealthPoint> health_curve(
       const std::vector<double>& lags_seconds, bool honest_only = true,
       const gossip::PlaybackConfig& playback = {});
+
+  /// Arms the streaming health measurement — the O(nodes) mode for
+  /// million-node runs. Every `fold_interval`, chunks whose judgment window
+  /// has closed (emitted_at + max queried lag behind the clock) fold into
+  /// per-(node, lag) on-time counters, and every delivery log drops the
+  /// timestamps below the fold line (`DeliveryLog::compact_before`), so
+  /// per-node delivery state is bounded by the fold horizon instead of the
+  /// stream length. streamed_health_curve() then returns bit-identical
+  /// values to health_curve(lags, honest_only, playback) over fully
+  /// retained logs: folding is pure integer bookkeeping over the same
+  /// on-time/eligible counts (asserted by tests/test_streamed_health.cpp).
+  /// Fold events read logs and never touch any rng, so arming this cannot
+  /// perturb fixed-seed outcomes. Call before the first run_until(); like
+  /// sample_scores_every, it must be re-armed after reset().
+  void enable_streamed_health(std::vector<double> lags_seconds,
+                              bool honest_only,
+                              const gossip::PlaybackConfig& playback,
+                              Duration fold_interval);
+  [[nodiscard]] std::vector<gossip::HealthPoint> streamed_health_curve();
 
   [[nodiscard]] OverheadReport overhead() const;
   [[nodiscard]] const sim::MetricsRegistry& metrics() const noexcept {
@@ -414,6 +468,8 @@ class Experiment {
   /// Grows every dense per-node table to cover ids < `n`.
   void ensure_tables(std::uint32_t n);
   void schedule_score_sample();
+  void schedule_health_fold();
+  void fold_streamed_health();
   /// Fills an empty collusion coalition with the current freerider set.
   [[nodiscard]] gossip::BehaviorSpec resolve_behavior(
       gossip::BehaviorSpec spec) const;
@@ -462,7 +518,27 @@ class Experiment {
   std::uint32_t next_join_id_ = 0;
 
   Duration score_sample_interval_ = Duration::zero();
+  ScoreSampleMode score_sample_mode_ = ScoreSampleMode::kStream;
   std::vector<TimedScores> score_timeline_;
+  std::vector<ScoreSummary> score_summaries_;
+
+  /// Streaming health state (enable_streamed_health).
+  struct StreamedHealth {
+    bool enabled = false;
+    std::vector<double> lags_seconds;
+    bool honest_only = true;
+    gossip::PlaybackConfig playback;
+    Duration fold_interval = Duration::zero();
+    /// Chunks fold once emitted_at + fold_horizon <= now: the largest
+    /// queried lag (and the common window), so every lag's verdict on the
+    /// chunk is final at fold time.
+    Duration fold_horizon = Duration::zero();
+    std::size_t folded_chunks = 0;      ///< judged prefix of the stream
+    std::uint64_t folded_eligible = 0;  ///< warmup-passing folded chunks
+    /// Per-(node, lag) on-time deliveries among folded chunks, node-major.
+    std::vector<std::uint32_t> on_time;
+  };
+  StreamedHealth streamed_;
 
   bool started_ = false;
   bool wound_down_ = false;

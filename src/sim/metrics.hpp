@@ -18,10 +18,23 @@ class Counter {
  public:
   void add(std::uint64_t v = 1) noexcept { value_ += v; }
   [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
-  void reset() noexcept { value_ = 0; }
+  void reset() noexcept {
+    value_ = 0;
+    mark_ = 0;
+  }
+
+  /// Windowed (streamed) reads: mark() closes the current window and
+  /// since_mark() reports what accumulated after the last mark — a
+  /// periodic reporter keeps per-window rates in O(1) state instead of
+  /// retaining a sample per epoch.
+  void mark() noexcept { mark_ = value_; }
+  [[nodiscard]] std::uint64_t since_mark() const noexcept {
+    return value_ - mark_;
+  }
 
  private:
   std::uint64_t value_{0};
+  std::uint64_t mark_{0};
 };
 
 class MetricsRegistry {
@@ -56,6 +69,11 @@ class MetricsRegistry {
 
   void reset_all() noexcept {
     for (auto& c : storage_) c.reset();
+  }
+
+  /// Closes every counter's streaming window (see Counter::mark).
+  void mark_all() noexcept {
+    for (auto& c : storage_) c.mark();
   }
 
  private:

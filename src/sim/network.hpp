@@ -93,6 +93,13 @@ class Network {
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
+  /// Pre-sizes the endpoint table for a known deployment: add_node grows
+  /// it one id at a time, and each doubling move-constructs every
+  /// registered handler — pure waste when the population is known up
+  /// front. reset() keeps the capacity, so a reused network pays this
+  /// once.
+  void reserve_nodes(std::size_t n) { nodes_.reserve(n); }
+
   /// Registers a node with its link profile and receive handler.
   /// Re-registration after remove_node() is allowed (a rejoining id);
   /// registering a live endpoint twice is a bug.

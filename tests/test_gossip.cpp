@@ -235,7 +235,7 @@ TEST(Engine, FanoutDecreaseAttackContactsFewerPartners) {
   cheater.start(milliseconds(1));
   for (int round = 0; round < 40; ++round) {
     cheater.inject_chunk(
-        ChunkMeta{ChunkId{static_cast<std::uint64_t>(round)}, 100,
+        ChunkMeta{ChunkId{static_cast<std::uint32_t>(round)}, 100,
                   sim.now()});
     sim.run_until(sim.now() + params.period);
   }
@@ -378,7 +378,7 @@ TEST(Playback, HealthCurveDetectsLaggards) {
   std::vector<ChunkMeta> emitted;
   DeliveryLog fast;
   DeliveryLog slow;
-  for (std::uint64_t i = 0; i < 100; ++i) {
+  for (std::uint32_t i = 0; i < 100; ++i) {
     const ChunkMeta c{ChunkId{i}, 100, kSimEpoch + seconds(6.0 + 0.1 * static_cast<double>(i))};
     emitted.push_back(c);
     fast.record(c.id, c.emitted_at + seconds(1.0));

@@ -118,7 +118,7 @@ TEST(Agent, ScoreCheckExpelsHeavilyBlamedNode) {
   // Pile blames on node 3 well past η, then have node 1 run a score check.
   for (int i = 0; i < 30; ++i) {
     fx.agents[1]->on_request_sent(NodeId{3}, static_cast<PeriodIndex>(i),
-                                  {ChunkId{static_cast<std::uint64_t>(i)}});
+                                  {ChunkId{static_cast<std::uint32_t>(i)}});
   }
   fx.sim.run_until(fx.sim.now() + seconds(5.0));
   ASSERT_LT(fx.true_score(NodeId{3}), fx.params_.eta);

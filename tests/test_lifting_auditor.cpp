@@ -38,7 +38,7 @@ struct AuditorFixture {
     gossip::AuditHistoryMsg msg;
     msg.audit_id = audit_id;
     std::uint32_t next_partner = 50;
-    std::uint64_t next_chunk = 1000;
+    std::uint32_t next_chunk = 1000;
     for (std::uint32_t p = 0; p < periods; ++p) {
       gossip::HistoryProposalRecord rec;
       rec.period = p;

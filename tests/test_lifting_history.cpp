@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <vector>
+
+#include "common/ring_log.hpp"
 #include "lifting/history.hpp"
 
 namespace lifting {
@@ -22,7 +25,7 @@ TEST(SentProposalHistory, PruneDropsOldEntriesOnly) {
   SentProposalHistory history;
   for (int i = 0; i < 10; ++i) {
     history.record(kSimEpoch + seconds(static_cast<double>(i)), i,
-                   {NodeId{1}}, {ChunkId{static_cast<std::uint64_t>(i)}});
+                   {NodeId{1}}, {ChunkId{static_cast<std::uint32_t>(i)}});
   }
   history.prune(kSimEpoch + seconds(5.0));
   EXPECT_EQ(history.size(), 5u);  // entries at t=5..9 survive
@@ -75,6 +78,87 @@ TEST(ConfirmAskerLog, CollectsAskersWithMultiplicity) {
   EXPECT_EQ(std::count(askers.begin(), askers.end(), NodeId{1}), 2);
   EXPECT_EQ(std::count(askers.begin(), askers.end(), NodeId{2}), 1);
   EXPECT_TRUE(log.askers_about(NodeId{9}).empty());
+}
+
+TEST(RingLog, WrapAroundKeepsFifoOrderAcrossGrowth) {
+  RingLog<int> ring;
+  int next = 0;
+  // Interleave pushes and pops so the live window straddles the physical
+  // end of the buffer repeatedly while the ring grows past its initial
+  // capacity.
+  std::vector<int> expect_front;
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 3; ++i) ring.push_slot() = next++;
+    ring.pop_front();
+  }
+  // 150 pushed, 50 popped: [50, 150) survive, oldest first.
+  ASSERT_EQ(ring.size(), 100u);
+  EXPECT_EQ(ring.front(), 50);
+  EXPECT_EQ(ring.back(), 149);
+  for (std::size_t i = 0; i < ring.size(); ++i) {
+    EXPECT_EQ(ring[i], 50 + static_cast<int>(i));
+  }
+}
+
+TEST(RingLog, RecycledSlotsKeepPayloadCapacity) {
+  RingLog<gossip::ChunkIdList> ring;
+  std::vector<ChunkId> big;
+  for (std::uint32_t i = 0; i < 100; ++i) big.push_back(ChunkId{i});
+  // Fill past the inline capacity so the slot's list spills to the heap.
+  ring.push_slot().assign(big.begin(), big.end());
+  const auto spilled = ring.front().capacity();
+  ASSERT_GE(spilled, 100u);
+  ring.pop_front();
+  // pop_front never destroys the slot; the next wrap-around push_slot
+  // hands the same storage back (refill with assign, never operator=).
+  for (std::size_t i = 0; i + 1 < ring.capacity(); ++i) {
+    ring.push_slot().assign(big.begin(), big.begin() + 1);
+    ring.pop_front();
+  }
+  gossip::ChunkIdList& recycled = ring.push_slot();
+  EXPECT_GE(recycled.capacity(), spilled);
+}
+
+TEST(SentProposalHistory, RingRetentionUnderPeriodicPruning) {
+  // Steady-state shape: one record per period, pruned to a fixed window —
+  // the ring wraps many times and the window contents stay exact.
+  SentProposalHistory history;
+  const auto period = seconds(0.5);
+  const auto window = seconds(5.0);
+  for (int p = 0; p < 200; ++p) {
+    const TimePoint now = kSimEpoch + p * period;
+    history.record(now, static_cast<PeriodIndex>(p), {NodeId{1}, NodeId{2}},
+                   {ChunkId{static_cast<std::uint32_t>(p)}});
+    const TimePoint cutoff =
+        now - std::min(now.time_since_epoch(), window);
+    history.prune(cutoff);
+    ASSERT_LE(history.size(), 11u);  // 5 s / 0.5 s + the fresh record
+  }
+  const auto snap = history.snapshot();
+  ASSERT_EQ(snap.size(), 11u);
+  EXPECT_EQ(snap.front().period, 189u);
+  EXPECT_EQ(snap.back().period, 199u);
+  EXPECT_EQ(snap.back().chunks, gossip::ChunkIdList{ChunkId{199}});
+}
+
+TEST(ReceivedProposalLog, WrapAroundConfirmsStayExact) {
+  ReceivedProposalLog log;
+  const auto period = seconds(0.5);
+  for (int p = 0; p < 300; ++p) {
+    const TimePoint now = kSimEpoch + p * period;
+    log.record(now, NodeId{static_cast<std::uint32_t>(p % 5)},
+               static_cast<PeriodIndex>(p),
+               {ChunkId{static_cast<std::uint32_t>(p)}});
+    log.prune(now - std::min(now.time_since_epoch(), seconds(2.0)));
+  }
+  // The prune cutoff trails the last record by 2 s, so the window is
+  // [t=147.5, t=149.5]: periods 295..299 survive.
+  EXPECT_FALSE(log.confirms(NodeId{0}, {ChunkId{290}}, kSimEpoch));
+  EXPECT_TRUE(log.confirms(NodeId{295 % 5}, {ChunkId{295}}, kSimEpoch));
+  EXPECT_TRUE(log.confirms(NodeId{299 % 5}, {ChunkId{299}}, kSimEpoch));
+  // Wrong proposer for a surviving chunk: still denied after wraps.
+  EXPECT_FALSE(log.confirms(NodeId{(295 % 5) + 1}, {ChunkId{295}},
+                            kSimEpoch));
 }
 
 TEST(ConfirmAskerLog, PruneDropsOldAskers) {

@@ -1,0 +1,159 @@
+// Streaming health measurement (Experiment::enable_streamed_health): the
+// folded integer counters must reproduce health_curve() over fully
+// retained delivery logs bit-for-bit, fold events must not perturb
+// fixed-seed outcomes, and folding must actually compact the per-node
+// delivery windows.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "runtime/experiment.hpp"
+#include "runtime/scenario.hpp"
+
+namespace lifting::runtime {
+namespace {
+
+ScenarioConfig streamed_config() {
+  auto cfg = ScenarioConfig::small(80);
+  cfg.duration = seconds(20.0);
+  cfg.stream.duration = seconds(18.0);
+  cfg.freerider_fraction = 0.10;
+  cfg.freerider_behavior = gossip::BehaviorSpec::freerider(0.4);
+  cfg.link.loss = 0.02;
+  return cfg;
+}
+
+void expect_curves_identical(const std::vector<gossip::HealthPoint>& a,
+                             const std::vector<gossip::HealthPoint>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].lag_seconds, b[i].lag_seconds);
+    // Exact: both sides divide the same on-time and eligible integers.
+    EXPECT_DOUBLE_EQ(a[i].fraction_clear, b[i].fraction_clear);
+  }
+}
+
+TEST(StreamedHealth, MatchesRetainedCurveExactly) {
+  const auto cfg = streamed_config();
+  const std::vector<double> lags{2.0, 5.0, 10.0};
+  gossip::PlaybackConfig playback;
+  playback.clear_threshold = 0.9;
+  playback.warmup = seconds(4.0);
+
+  Experiment retained(cfg);
+  retained.run();
+  const auto want = retained.health_curve(lags, /*honest_only=*/true,
+                                          playback);
+
+  Experiment streamed(cfg);
+  streamed.enable_streamed_health(lags, /*honest_only=*/true, playback,
+                                  /*fold_interval=*/seconds(1.5));
+  streamed.run();
+  const auto got = streamed.streamed_health_curve();
+
+  expect_curves_identical(want, got);
+  // The fold ran and actually discarded delivery stamps: the retained
+  // window no longer starts at the first chunk.
+  EXPECT_GT(streamed.engine(NodeId{1}).delivery_times().window_base().value(),
+            0u);
+  // Fold events read logs and draw nothing: protocol outcomes identical.
+  EXPECT_EQ(retained.network_stats().datagrams_sent,
+            streamed.network_stats().datagrams_sent);
+  EXPECT_EQ(retained.network_stats().bytes_delivered,
+            streamed.network_stats().bytes_delivered);
+}
+
+TEST(StreamedHealth, MatchesUnderCommonWindowAndChurn) {
+  auto cfg = streamed_config();
+  cfg.failure_detection = seconds(2.0);
+  cfg.timeline.join_at(seconds(6.0))
+      .join_at(seconds(9.0))
+      .leave_at(seconds(11.0), NodeId{23})
+      .crash_at(seconds(13.0), NodeId{41});
+  const std::vector<double> lags{1.0, 2.0, 4.0};
+  gossip::PlaybackConfig playback;
+  playback.clear_threshold = 0.95;
+  playback.warmup = seconds(4.0);
+  playback.common_window_lag = 4.0;  // one shared eligible set per lag
+
+  Experiment retained(cfg);
+  retained.run();
+  const auto want = retained.health_curve(lags, /*honest_only=*/true,
+                                          playback);
+
+  Experiment streamed(cfg);
+  streamed.enable_streamed_health(lags, /*honest_only=*/true, playback,
+                                  /*fold_interval=*/seconds(2.0));
+  streamed.run();
+  const auto got = streamed.streamed_health_curve();
+
+  expect_curves_identical(want, got);
+}
+
+TEST(StreamedHealth, TailOnlyRunNeedsNoFold) {
+  // A run shorter than the first fold interval: everything is judged from
+  // the retained tail, so the curve still matches.
+  auto cfg = streamed_config();
+  cfg.duration = seconds(8.0);
+  cfg.stream.duration = seconds(7.0);
+  const std::vector<double> lags{2.0};
+  gossip::PlaybackConfig playback;
+  playback.warmup = seconds(3.0);
+
+  Experiment retained(cfg);
+  retained.run();
+  Experiment streamed(cfg);
+  streamed.enable_streamed_health(lags, /*honest_only=*/true, playback,
+                                  /*fold_interval=*/seconds(30.0));
+  streamed.run();
+  expect_curves_identical(
+      retained.health_curve(lags, /*honest_only=*/true, playback),
+      streamed.streamed_health_curve());
+}
+
+TEST(StreamedScores, SummariesMatchRetainedTimeline) {
+  const auto cfg = streamed_config();
+  Experiment ex(cfg);
+  ex.sample_scores_every(seconds(5.0), Experiment::ScoreSampleMode::kRetained);
+  ex.run();
+
+  const auto& timeline = ex.score_timeline();
+  const auto& summaries = ex.score_summaries();
+  ASSERT_GT(summaries.size(), 1u);
+  ASSERT_EQ(timeline.size(), summaries.size());
+  for (std::size_t i = 0; i < summaries.size(); ++i) {
+    const auto& snap = timeline[i].scores;
+    const auto& sum = summaries[i];
+    EXPECT_DOUBLE_EQ(timeline[i].at_seconds, sum.at_seconds);
+    ASSERT_EQ(snap.honest.size(), sum.honest);
+    ASSERT_EQ(snap.freeriders.size(), sum.freeriders);
+    double honest_mean = 0.0;
+    double honest_min = snap.honest.empty() ? 0.0 : snap.honest.front();
+    for (const double s : snap.honest) {
+      honest_mean += s;
+      honest_min = std::min(honest_min, s);
+    }
+    honest_mean /= static_cast<double>(snap.honest.size());
+    EXPECT_DOUBLE_EQ(sum.honest_mean, honest_mean);
+    EXPECT_DOUBLE_EQ(sum.honest_min, honest_min);
+    double freerider_max =
+        snap.freeriders.empty() ? 0.0 : snap.freeriders.front();
+    for (const double s : snap.freeriders) {
+      freerider_max = std::max(freerider_max, s);
+    }
+    EXPECT_DOUBLE_EQ(sum.freerider_max, freerider_max);
+  }
+}
+
+TEST(StreamedScores, StreamModeRetainsNoVectors) {
+  const auto cfg = streamed_config();
+  Experiment ex(cfg);
+  ex.sample_scores_every(seconds(5.0));  // kStream is the default
+  ex.run();
+  EXPECT_TRUE(ex.score_timeline().empty());
+  EXPECT_GT(ex.score_summaries().size(), 1u);
+}
+
+}  // namespace
+}  // namespace lifting::runtime
