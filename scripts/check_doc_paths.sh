@@ -16,7 +16,7 @@ for doc in $files; do
   # Cited paths: src/... tests/... bench/... examples/... scripts/...
   # Trailing punctuation (sentence periods, quotes, parens) is stripped;
   # a citation may name a directory (src/lifting/) or a file.
-  paths=$(grep -oE '(src|tests|bench|examples|scripts)/[A-Za-z0-9_./-]+' "$doc" \
+  paths=$(grep -oE '(src|tests|bench|examples|scripts|tools)/[A-Za-z0-9_./-]+' "$doc" \
             | sed -e 's/[.,;:)]*$//' | sort -u)
   for path in $paths; do
     if [ ! -e "$path" ]; then
@@ -44,6 +44,7 @@ while read -r subsystem docs; do
   done
 done <<REQUIRED_CITATIONS
 src/adversary/ DESIGN.md README.md
+src/net/ DESIGN.md README.md
 REQUIRED_CITATIONS
 
 if [ "$status" -eq 0 ]; then

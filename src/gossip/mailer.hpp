@@ -2,17 +2,23 @@
 #define LIFTING_GOSSIP_MAILER_HPP
 
 #include <array>
+#include <optional>
 #include <string>
 #include <variant>
 
 #include "gossip/message.hpp"
+#include "net/transport.hpp"
 #include "sim/metrics.hpp"
 #include "sim/network.hpp"
 
-/// Sends protocol messages through the simulated network while keeping
-/// per-kind message/byte accounting — the raw data behind Table 5
-/// (verification overhead as a fraction of stream bandwidth) and Table 3
-/// (verification message counts).
+/// Sends protocol messages through a net::Transport while keeping per-kind
+/// message/byte accounting — the raw data behind Table 5 (verification
+/// overhead as a fraction of stream bandwidth) and Table 3 (verification
+/// message counts).
+///
+/// The Mailer is the single choke point between the protocol stack and the
+/// backend: every Engine/Agent send passes through it, so swapping the
+/// transport (simulator vs real UDP sockets) never touches protocol code.
 ///
 /// Counter handles are resolved once per message kind (on its first send,
 /// preserving the registry's historical registration order) and cached by
@@ -23,9 +29,17 @@ namespace lifting::gossip {
 
 class Mailer {
  public:
+  /// Simulator convenience: wraps `network` in an owned SimTransport.
   /// `metrics` may be null (no accounting, e.g. in micro-tests).
   Mailer(sim::Network<Message>& network, sim::MetricsRegistry* metrics)
-      : network_(network), metrics_(metrics) {}
+      : sim_backend_(std::in_place, network),
+        transport_(*sim_backend_),
+        metrics_(metrics) {}
+
+  /// Backend-agnostic form: sends through `transport` (which must outlive
+  /// the Mailer). Used by the wire deployment (NodeHost over UdpTransport).
+  Mailer(net::Transport& transport, sim::MetricsRegistry* metrics)
+      : transport_(transport), metrics_(metrics) {}
 
   void send(NodeId from, NodeId to, sim::Channel channel, Message message) {
     const std::size_t bytes = wire_size(message);
@@ -39,10 +53,10 @@ class Mailer {
       kind_counters.count->add(1);
       kind_counters.bytes->add(bytes);
     }
-    network_.send(from, to, channel, bytes, std::move(message));
+    transport_.send(from, to, channel, bytes, std::move(message));
   }
 
-  [[nodiscard]] sim::Network<Message>& network() noexcept { return network_; }
+  [[nodiscard]] net::Transport& transport() noexcept { return transport_; }
   [[nodiscard]] sim::MetricsRegistry* metrics() noexcept { return metrics_; }
 
  private:
@@ -51,7 +65,10 @@ class Mailer {
     sim::Counter* bytes = nullptr;
   };
 
-  sim::Network<Message>& network_;
+  // Declared before transport_ so the simulator constructor can bind the
+  // reference to the engaged optional.
+  std::optional<net::SimTransport> sim_backend_;
+  net::Transport& transport_;
   sim::MetricsRegistry* metrics_;
   std::array<KindCounters, std::variant_size_v<Message>> counters_{};
 };

@@ -1,5 +1,7 @@
 #include "gossip/message.hpp"
 
+#include <iterator>
+
 namespace lifting::gossip {
 
 namespace {
@@ -105,6 +107,18 @@ std::size_t wire_size(const Message& msg) {
 
 const char* message_kind(const Message& msg) {
   return std::visit(KindVisitor{}, msg);
+}
+
+const char* message_kind_name(std::size_t index) {
+  static constexpr const char* kNames[] = {
+      "propose",       "request",       "serve",
+      "ack",           "confirm_req",   "confirm_resp",
+      "blame",         "score_query",   "score_reply",
+      "expel_request", "expel_vote",    "expel_commit",
+      "audit_request", "audit_history", "history_poll",
+      "history_poll_resp"};
+  static_assert(std::size(kNames) == std::variant_size_v<Message>);
+  return index < std::size(kNames) ? kNames[index] : "unknown";
 }
 
 }  // namespace lifting::gossip

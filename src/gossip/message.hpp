@@ -194,6 +194,11 @@ static_assert(std::is_same_v<std::variant_alternative_t<3, Message>, AckMsg>);
 /// Short name of the message alternative (metrics keys).
 [[nodiscard]] const char* message_kind(const Message& msg);
 
+/// Same names, addressed by variant index (per-kind stat tables that have
+/// no Message instance at hand, e.g. UdpTransport::wire_stats). Returns
+/// "unknown" for an out-of-range index.
+[[nodiscard]] const char* message_kind_name(std::size_t index);
+
 }  // namespace lifting::gossip
 
 #endif  // LIFTING_GOSSIP_MESSAGE_HPP

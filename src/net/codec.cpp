@@ -1,20 +1,21 @@
 #include "net/codec.hpp"
 
-#include <cstring>
+#include <bit>
 
 namespace lifting::net {
 
 namespace {
 
-// ---- writer
+// ---- writer (explicit little-endian: byte-shift serialization, not
+// memcpy, so the format is identical on big-endian hosts)
 
 class Writer {
  public:
   void u8(std::uint8_t v) { buf_.push_back(v); }
-  void u16(std::uint16_t v) { raw(&v, sizeof v); }
-  void u32(std::uint32_t v) { raw(&v, sizeof v); }
-  void u64(std::uint64_t v) { raw(&v, sizeof v); }
-  void f64(double v) { raw(&v, sizeof v); }
+  void u16(std::uint16_t v) { le(v); }
+  void u32(std::uint32_t v) { le(v); }
+  void u64(std::uint64_t v) { le(v); }
+  void f64(double v) { le(std::bit_cast<std::uint64_t>(v)); }
   void node(NodeId id) { u32(id.value()); }
   void chunk(ChunkId id) { u64(id.value()); }
   void chunks(const gossip::ChunkIdList& list) {
@@ -29,9 +30,11 @@ class Writer {
   [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(buf_); }
 
  private:
-  void raw(const void* p, std::size_t n) {
-    const auto* bytes = static_cast<const std::uint8_t*>(p);
-    buf_.insert(buf_.end(), bytes, bytes + n);
+  template <typename T>
+  void le(T v) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
   }
   std::vector<std::uint8_t> buf_;
 };
@@ -50,12 +53,18 @@ class Reader {
   std::uint16_t u16() { return take<std::uint16_t>(); }
   std::uint32_t u32() { return take<std::uint32_t>(); }
   std::uint64_t u64() { return take<std::uint64_t>(); }
-  double f64() { return take<double>(); }
+  double f64() { return std::bit_cast<double>(take<std::uint64_t>()); }
   NodeId node() { return NodeId{u32()}; }
   // Chunk ids travel as 8 bytes on the wire (the in-memory rep is 32-bit;
   // the wire format predates the shrink and the size model keeps pricing
-  // them at 8 B).
-  ChunkId chunk() { return ChunkId{static_cast<ChunkId::rep_type>(u64())}; }
+  // them at 8 B). An id outside the in-memory range cannot name a real
+  // chunk — truncating it would alias a valid one, so a corrupted or
+  // hostile frame carrying such an id is rejected as malformed.
+  ChunkId chunk() {
+    const std::uint64_t v = u64();
+    if (v > 0xFFFFFFFFULL) ok_ = false;
+    return ChunkId{static_cast<ChunkId::rep_type>(v)};
+  }
   gossip::ChunkIdList chunks() {
     const auto count = u16();
     gossip::ChunkIdList out;
@@ -85,12 +94,14 @@ class Reader {
  private:
   template <typename T>
   T take() {
-    T v{};
     if (!ok_ || size_ - pos_ < sizeof(T)) {
       ok_ = false;
-      return v;
+      return T{};
     }
-    std::memcpy(&v, data_ + pos_, sizeof(T));
+    T v{};
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v = static_cast<T>(v | static_cast<T>(data_[pos_ + i]) << (8 * i));
+    }
     pos_ += sizeof(T);
     return v;
   }

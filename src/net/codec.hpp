@@ -11,8 +11,24 @@
 ///
 /// The simulator models message *sizes* analytically (gossip::wire_size);
 /// this codec is the actual byte format used by the real UDP transport in
-/// src/net, and its round-trip property is enforced by tests so a future
-/// deployment speaks exactly what the simulation accounts for.
+/// src/net, and its round-trip property is enforced by tests so a deployment
+/// speaks exactly what the simulation accounts for.
+///
+/// All multi-byte integers are explicitly little-endian regardless of host
+/// byte order (byte-shift serialization, not memcpy). Doubles travel as the
+/// little-endian bytes of their IEEE-754 bit pattern. Chunk ids travel as
+/// 8 bytes; ids above the 32-bit in-memory range are rejected as malformed.
+///
+/// UDP datagram frame (UdpTransport wraps each encoded message):
+///
+///   sender_id  u32 LE   | node id of the sending endpoint
+///   codec_len  u16 LE   | length of the codec bytes that follow
+///   codec      bytes    | encode(msg) — tag byte + fields, as below
+///   payload    bytes    | chunk body, serve frames only (payload_bytes
+///                       | long; zero-filled placeholder in this repo)
+///
+/// Non-serve frames carry no trailing bytes; a serve frame whose trailing
+/// length differs from its payload_bytes field is a decode failure.
 
 namespace lifting::net {
 

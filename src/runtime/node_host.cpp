@@ -1,0 +1,136 @@
+#include "runtime/node_host.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/assert.hpp"
+#include "runtime/experiment.hpp"
+#include "runtime/wire_scenario.hpp"
+
+namespace lifting::runtime {
+
+namespace {
+/// After the stream ends, keep polling this long so in-flight datagrams
+/// (tail serves, acks of the final period) land before stats are read.
+constexpr Duration kDrainWindow = milliseconds(300);
+/// Longest poll_wait nap — bounds how late a timer can fire past its due
+/// time when no datagram wakes the loop earlier.
+constexpr Duration kMaxNap = milliseconds(5);
+}  // namespace
+
+NodeHost::NodeHost(const ScenarioConfig& config, NodeId self)
+    : config_(config),
+      self_(self),
+      mailer_(udp_, &metrics_),
+      directory_(config.nodes) {
+  config_.validate();
+  std::string why;
+  require(wire_supported(config_, &why), "wire deployment unsupported: " + why);
+  require(self_.value() < config_.nodes, "self id outside the population");
+
+  const bool bound =
+      udp_.add_endpoint(self_, [this](NodeId from, gossip::Message msg) {
+        // Same routing split as Experiment::make_node: the leading variant
+        // alternatives are the gossip kinds, the rest is LiFTinG traffic.
+        if (msg.index() < gossip::kGossipKindCount) {
+          engine_->handle(from, msg);
+        } else if (agent_) {
+          agent_->handle(from, msg);
+        }
+      });
+  require(bound, "failed to bind a loopback UDP endpoint");
+
+  // Roles are derived, not communicated: every process draws the same
+  // freerider set from the same role stream.
+  const auto freeriders = Experiment::derive_freerider_ids(
+      config_.seed, config_.nodes, config_.freerider_fraction);
+  freerider_ = std::binary_search(freeriders.begin(), freeriders.end(), self_);
+  const auto behavior =
+      freerider_ ? config_.freerider_behavior : gossip::BehaviorSpec::honest();
+
+  const std::uint32_t i = self_.value();
+  if (config_.lifting_enabled) {
+    assignment_ = std::make_shared<lifting::ManagerAssignment>(
+        config_.nodes, config_.lifting.managers, config_.seed);
+    agent_ = std::make_unique<lifting::Agent>(
+        sim_, mailer_, directory_, self_, config_.lifting, behavior,
+        derive_rng(config_.seed, 0xA00000000ULL + i), config_.seed, sim_.now(),
+        lifting::Agent::Hooks{}, assignment_);
+  }
+  auto params = config_.gossip;
+  params.emit_acks = config_.lifting_enabled;
+  engine_ = std::make_unique<gossip::Engine>(
+      sim_, mailer_, directory_, self_, params, behavior,
+      derive_rng(config_.seed, 0xB00000000ULL + i),
+      agent_ ? agent_.get() : nullptr);
+  engine_->reserve_stream_chunks(config_.stream.expected_chunks());
+  if (self_ == NodeId{0}) {
+    source_ = std::make_unique<gossip::StreamSource>(sim_, *engine_,
+                                                     config_.stream);
+  }
+}
+
+std::uint16_t NodeHost::port() const { return udp_.port_of(self_); }
+
+void NodeHost::set_roster(const std::vector<std::uint16_t>& ports) {
+  require(ports.size() == config_.nodes, "roster size != population");
+  for (std::uint32_t i = 0; i < config_.nodes; ++i) {
+    const NodeId id{i};
+    if (id == self_) continue;
+    require(ports[i] != 0, "roster carries a zero port");
+    require(udp_.add_route(id, ports[i]), "duplicate roster entry");
+  }
+  roster_set_ = true;
+}
+
+void NodeHost::run() {
+  require(roster_set_, "set_roster before run()");
+  using Clock = std::chrono::steady_clock;
+
+  // Desynchronized start like the simulator's population (the per-node
+  // stream constant is the joiner-offset base, unused in the static wire
+  // deployment, so it collides with nothing).
+  auto offset_rng =
+      derive_rng(config_.seed, 0x9000000000ULL + self_.value());
+  const auto offset = Duration{static_cast<Duration::rep>(
+      offset_rng.uniform() *
+      static_cast<double>(config_.gossip.period.count()))};
+  engine_->start(offset);
+  if (agent_) agent_->start(offset);
+  if (source_) source_->start();
+
+  const TimePoint end = kSimEpoch + config_.duration;
+  const TimePoint drain_end = end + kDrainWindow;
+  const auto wall0 = Clock::now();
+  const auto wall_now = [&] {
+    return kSimEpoch +
+           std::chrono::duration_cast<Duration>(Clock::now() - wall0);
+  };
+
+  // The drive loop: advance the virtual clock to the wall clock (firing
+  // every due protocol timer at its scheduled virtual timestamp), drain
+  // the socket, then sleep until the next timer or datagram.
+  bool wound_down = false;
+  for (;;) {
+    const TimePoint now = std::min(wall_now(), drain_end);
+    sim_.run_until(wound_down ? now : std::min(now, end));
+    udp_.poll();
+    if (!wound_down && now >= end) {
+      // Wind down in Experiment::wind_down order; the stopped stacks keep
+      // answering incoming traffic while the drain window runs.
+      wound_down = true;
+      if (source_) source_->stop();
+      engine_->stop();
+      if (agent_) agent_->stop();
+    }
+    if (now >= drain_end) break;
+    Duration nap = kMaxNap;
+    if (sim_.has_pending()) {
+      const TimePoint next = sim_.next_event_time();
+      nap = next > now ? std::min(nap, next - now) : Duration::zero();
+    }
+    udp_.poll_wait(static_cast<int>(nap.count() / 1000));
+  }
+}
+
+}  // namespace lifting::runtime

@@ -1,0 +1,96 @@
+#ifndef LIFTING_RUNTIME_NODE_HOST_HPP
+#define LIFTING_RUNTIME_NODE_HOST_HPP
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "gossip/engine.hpp"
+#include "gossip/mailer.hpp"
+#include "gossip/stream_source.hpp"
+#include "lifting/agent.hpp"
+#include "lifting/managers.hpp"
+#include "membership/directory.hpp"
+#include "net/udp_transport.hpp"
+#include "runtime/scenario.hpp"
+#include "sim/metrics.hpp"
+#include "sim/simulator.hpp"
+
+/// One node's full protocol stack over real UDP datagrams — the wire
+/// counterpart of Experiment::make_node. A NodeHost is what a lifting_node
+/// daemon process runs (and what in-process wire tests run on threads):
+/// Directory + ManagerAssignment + Mailer-over-UdpTransport + Engine +
+/// Agent (+ StreamSource on the source node), built from the same
+/// ScenarioConfig the simulator consumes.
+///
+/// Determinism across processes: the manager assignment is a pure function
+/// of (n, M, seed), freerider roles come from the same role rng stream
+/// Experiment draws (Experiment::derive_freerider_ids), and each node's
+/// agent/engine rng streams use the same per-node stream constants — so N
+/// independent processes given identical configs agree on every piece of
+/// shared state without exchanging anything but the port roster.
+///
+/// Time: protocol timers still run on the sim::Simulator event queue, but
+/// run() slaves the virtual clock to std::chrono::steady_clock — due
+/// timers fire at their scheduled virtual timestamps while the loop blocks
+/// in UdpTransport::poll_wait between deadlines. The same Engine/Agent
+/// code drives both backends; only the outermost loop differs.
+
+namespace lifting::runtime {
+
+class NodeHost {
+ public:
+  /// Builds the stack for node `self` of `config` and binds its UDP
+  /// endpoint (an ephemeral loopback port; see port()). Requires
+  /// wire_supported(config).
+  NodeHost(const ScenarioConfig& config, NodeId self);
+
+  NodeHost(const NodeHost&) = delete;
+  NodeHost& operator=(const NodeHost&) = delete;
+
+  /// The UDP port this node's endpoint bound.
+  [[nodiscard]] std::uint16_t port() const;
+
+  /// Installs the deployment's port roster: `ports[i]` is node i's port
+  /// (the own entry is ignored). Must be called before run().
+  void set_roster(const std::vector<std::uint16_t>& ports);
+
+  /// Runs the node for the scenario duration against the wall clock, then
+  /// winds down and drains in-flight traffic briefly. Blocking; a process
+  /// calls it once (in-process tests give each host its own thread).
+  void run();
+
+  [[nodiscard]] NodeId self() const noexcept { return self_; }
+  [[nodiscard]] bool is_source() const noexcept { return source_ != nullptr; }
+  [[nodiscard]] bool is_freerider() const noexcept { return freerider_; }
+  [[nodiscard]] const gossip::EngineStats& engine_stats() const noexcept {
+    return engine_->stats();
+  }
+  /// Chunks emitted by the stream source (0 on non-source nodes).
+  [[nodiscard]] std::uint64_t chunks_emitted() const noexcept {
+    return source_ ? source_->emitted().size() : 0;
+  }
+  [[nodiscard]] const net::UdpTransport& transport() const noexcept {
+    return udp_;
+  }
+
+ private:
+  ScenarioConfig config_;
+  NodeId self_;
+  bool freerider_ = false;
+
+  sim::Simulator sim_;
+  sim::MetricsRegistry metrics_;
+  net::UdpTransport udp_;
+  gossip::Mailer mailer_;
+  membership::Directory directory_;
+  std::shared_ptr<lifting::ManagerAssignment> assignment_;
+  std::unique_ptr<lifting::Agent> agent_;
+  std::unique_ptr<gossip::Engine> engine_;
+  std::unique_ptr<gossip::StreamSource> source_;
+  bool roster_set_ = false;
+};
+
+}  // namespace lifting::runtime
+
+#endif  // LIFTING_RUNTIME_NODE_HOST_HPP

@@ -1,0 +1,47 @@
+#ifndef LIFTING_RUNTIME_WIRE_SCENARIO_HPP
+#define LIFTING_RUNTIME_WIRE_SCENARIO_HPP
+
+#include <optional>
+#include <string>
+
+#include "runtime/scenario.hpp"
+
+/// Text serialization of a ScenarioConfig for the wire deployment: the
+/// lifting_loopback launcher encodes the scenario once and pipes it to
+/// every lifting_node daemon, which reconstructs an identical config —
+/// identical (nodes, seed, params) means every process independently
+/// derives the same manager assignment, freerider roles and rng streams,
+/// so no further coordination is needed beyond the port roster.
+///
+/// The format is one `key value` pair per line ('#' starts a comment);
+/// durations travel as integer microseconds, doubles with round-trip
+/// precision. Unknown keys are an error — the encoder and decoder ship in
+/// the same binary, so a mismatch means corruption, not version skew.
+
+namespace lifting::runtime {
+
+/// True when `config` only uses features the wire deployment supports.
+/// The v1 deployment is the static-membership streaming scenario: no
+/// timeline events, no adaptive adversary controllers, no expulsion
+/// propagation, no divergent membership views, and no collusion (all of
+/// which live in Experiment machinery above the per-node stack). Link
+/// profiles — including the weak-node class, which differs only by its
+/// profile — are simulator-only and simply ignored on the wire: the
+/// loopback path's loss/latency is the real thing. On false, `why` (if
+/// non-null) names the first unsupported feature.
+[[nodiscard]] bool wire_supported(const ScenarioConfig& config,
+                                  std::string* why = nullptr);
+
+/// Serializes the wire-relevant subset of `config` (population, gossip,
+/// stream, LiFTinG parameters, freerider roles/behavior).
+[[nodiscard]] std::string encode_wire_scenario(const ScenarioConfig& config);
+
+/// Parses encode_wire_scenario output back into a config (fields start at
+/// their defaults, so the round trip is exact on the serialized subset).
+/// Returns std::nullopt on malformed input; `error` (if non-null) says why.
+[[nodiscard]] std::optional<ScenarioConfig> decode_wire_scenario(
+    const std::string& text, std::string* error = nullptr);
+
+}  // namespace lifting::runtime
+
+#endif  // LIFTING_RUNTIME_WIRE_SCENARIO_HPP

@@ -64,6 +64,14 @@ class Simulator {
   [[nodiscard]] std::size_t pending_events() const noexcept {
     return queue_.size();
   }
+  [[nodiscard]] bool has_pending() const noexcept { return !queue_.empty(); }
+  /// Timestamp of the earliest pending event. Precondition: has_pending().
+  /// Lets an external driver (the wall-clock loop of the wire deployment)
+  /// sleep exactly until the next protocol timer is due.
+  [[nodiscard]] TimePoint next_event_time() {
+    LIFTING_ASSERT(has_pending(), "next_event_time on an empty queue");
+    return queue_.next_time();
+  }
 
  private:
   void step() {

@@ -1,0 +1,126 @@
+// lifting_node — one-node daemon of the wire deployment.
+//
+// Hosts a single node's Engine/Agent stack (runtime::NodeHost) over real
+// UDP datagrams. The launcher (lifting_loopback) speaks a line protocol
+// over stdin/stdout:
+//
+//   launcher -> daemon   the wire scenario (key value lines), then
+//                        "END_SCENARIO"
+//   daemon  -> launcher  "PORT <p>"           (endpoint bound)
+//   launcher -> daemon   "ROSTER <p0> ... <pn-1>", then "GO"
+//   daemon  -> launcher  (runs the scenario against the wall clock)
+//                        "STAT <key> <value>" lines,
+//                        "KIND <name> <count> <modeled> <wire>" lines,
+//                        "DONE"
+//
+// Standalone usage (mostly for debugging a single daemon by hand):
+//   ./lifting_node --self 3 < scenario_with_roster.txt
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gossip/message.hpp"
+#include "runtime/node_host.hpp"
+#include "runtime/wire_scenario.hpp"
+
+namespace {
+
+int fail(const std::string& why) {
+  std::printf("ERROR %s\n", why.c_str());
+  std::fflush(stdout);
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lifting;
+
+  std::uint32_t self_id = 0;
+  bool have_self = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--self") == 0 && i + 1 < argc) {
+      self_id = static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+      have_self = true;
+    } else {
+      return fail(std::string("unknown argument: ") + argv[i]);
+    }
+  }
+  if (!have_self) return fail("--self <node id> is required");
+
+  // ---- scenario block
+  std::string scenario_text;
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line == "END_SCENARIO") break;
+    scenario_text += line;
+    scenario_text += '\n';
+  }
+  std::string error;
+  const auto config = runtime::decode_wire_scenario(scenario_text, &error);
+  if (!config.has_value()) return fail("bad scenario: " + error);
+  if (!runtime::wire_supported(*config, &error)) {
+    return fail("unsupported scenario: " + error);
+  }
+  if (self_id >= config->nodes) return fail("--self outside the population");
+
+  runtime::NodeHost host(*config, NodeId{self_id});
+  std::printf("PORT %u\n", host.port());
+  std::fflush(stdout);
+
+  // ---- roster + go
+  std::vector<std::uint16_t> ports;
+  bool go = false;
+  while (std::getline(std::cin, line)) {
+    if (line == "GO") {
+      go = true;
+      break;
+    }
+    std::istringstream in(line);
+    std::string word;
+    in >> word;
+    if (word != "ROSTER") return fail("expected ROSTER or GO, got: " + line);
+    ports.clear();
+    unsigned long p = 0;
+    while (in >> p) ports.push_back(static_cast<std::uint16_t>(p));
+  }
+  if (!go) return fail("stdin closed before GO");
+  if (ports.size() != config->nodes) return fail("roster size mismatch");
+  host.set_roster(ports);
+
+  host.run();
+
+  // ---- report
+  const auto& stats = host.engine_stats();
+  std::printf("STAT chunks_received %llu\n",
+              static_cast<unsigned long long>(stats.chunks_received));
+  std::printf("STAT chunks_emitted %llu\n",
+              static_cast<unsigned long long>(host.chunks_emitted()));
+  std::printf("STAT duplicate_serves %llu\n",
+              static_cast<unsigned long long>(stats.duplicate_serves));
+  const auto& udp = host.transport();
+  std::printf("STAT messages_sent %llu\n",
+              static_cast<unsigned long long>(udp.messages_sent()));
+  std::printf("STAT decode_failures %llu\n",
+              static_cast<unsigned long long>(udp.decode_failures()));
+  std::printf("STAT socket_errors %llu\n",
+              static_cast<unsigned long long>(udp.socket_errors()));
+  std::printf("STAT send_failures %llu\n",
+              static_cast<unsigned long long>(udp.send_failures()));
+  const auto& kinds = udp.wire_stats();
+  for (std::size_t i = 0; i < kinds.size(); ++i) {
+    if (kinds[i].count == 0) continue;
+    std::printf("KIND %s %llu %llu %llu\n", gossip::message_kind_name(i),
+                static_cast<unsigned long long>(kinds[i].count),
+                static_cast<unsigned long long>(kinds[i].modeled_bytes),
+                static_cast<unsigned long long>(kinds[i].wire_bytes));
+  }
+  std::printf("DONE\n");
+  std::fflush(stdout);
+  return 0;
+}
