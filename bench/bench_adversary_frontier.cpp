@@ -53,6 +53,12 @@ struct Cell {
   const char* name;  ///< catalog name or "static"
   adversary::AdversaryConfig adversary;  ///< kNone = static baseline
   bool handoff_on = true;
+  /// With handoff off: retiring incarnations push their manager rows into
+  /// the rejoiner's fresh store (ScenarioConfig::carried_manager_store), so
+  /// blame survives a bounce without any promotion machinery. Isolates the
+  /// A/B: how much of the defended edge-collapse is blame conservation vs
+  /// quorum repair.
+  bool carried_store = false;
 };
 
 /// One repetition's measurements (means accumulate in task order).
@@ -176,6 +182,9 @@ int main(int argc, char** argv) {
   }
   cells.push_back({"static", {}, false});
   cells.push_back({"whitewash", whitewash, false});
+  // The carried-store arm: same broken quorums as handoff-off, but blame
+  // conserved across the bounce.
+  cells.push_back({"whitewash", whitewash, false, true});
 
   const std::size_t tasks = cells.size() * reps;
   const auto samples = runner.map<Sample>(tasks, [&](std::size_t task) {
@@ -184,6 +193,7 @@ int main(int argc, char** argv) {
     auto cfg = runtime::adversary_frontier_config(
         cell.handoff_on, runtime::derive_task_seed(0xF407ULL, rep));
     cfg.adversary = cell.adversary;
+    cfg.carried_manager_store = cell.carried_store;
     runtime::Experiment ex(cfg);
     ex.run();
     return measure(ex);
@@ -200,7 +210,10 @@ int main(int argc, char** argv) {
                    "probes", "expulsions"});
   for (std::size_t i = 0; i < cells.size(); ++i) {
     const auto& r = results[i];
-    table.add_row({cells[i].name, cells[i].handoff_on ? "on" : "off",
+    table.add_row({cells[i].name,
+                   cells[i].carried_store
+                       ? "off+carried"
+                       : (cells[i].handoff_on ? "on" : "off"),
                    TextTable::num(r.mean.gain, 3),
                    TextTable::num(r.mean.detection, 3),
                    TextTable::num(r.adjusted_gain(), 3),
@@ -225,14 +238,18 @@ int main(int argc, char** argv) {
       ww_on = &results[i];
     }
   }
-  const auto& static_off = results[cells.size() - 2];
-  const auto& ww_off = results[cells.size() - 1];
+  const auto& static_off = results[cells.size() - 3];
+  const auto& ww_off = results[cells.size() - 2];
+  const auto& ww_carried = results[cells.size() - 1];
 
   const double edge_off = ww_off.adjusted_gain() - static_off.adjusted_gain();
   const double edge_on = ww_on->adjusted_gain() - static_on.adjusted_gain();
+  const double edge_carried =
+      ww_carried.adjusted_gain() - static_off.adjusted_gain();
   std::printf("\nwhitewash edge over static (gain*(1-detection)): "
-              "handoff off %+0.3f | handoff+expulsion-handoff on %+0.3f\n",
-              edge_off, edge_on);
+              "handoff off %+0.3f | off+carried store %+0.3f | "
+              "handoff+expulsion-handoff on %+0.3f\n",
+              edge_off, edge_carried, edge_on);
 
   int failures = 0;
   if (edge_off <= 0.3) {
@@ -246,6 +263,13 @@ int main(int argc, char** argv) {
                  "handoff did not collapse the whitewash edge "
                  "(off %+0.3f, on %+0.3f, ceiling 0.8x)\n",
                  edge_off, edge_on);
+    ++failures;
+  }
+  if (edge_carried >= edge_off) {
+    std::fprintf(stderr, "bench_adversary_frontier: carrying the manager "
+                 "store across the bounce did not reduce the whitewash "
+                 "edge (off %+0.3f, off+carried %+0.3f)\n",
+                 edge_off, edge_carried);
     ++failures;
   }
   if (failures == 0) {

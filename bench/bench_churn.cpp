@@ -97,6 +97,13 @@ struct Row {
   double stayer_blame = 0.0;  // mean ledger blame per honest stayer
   double leaver_blame = 0.0;  // mean ledger blame per honest leaver
   std::size_t pool_leak = 0;
+  // Delivery-health counters (churn drops to departed nodes; the fault
+  // and audit columns stay 0 here — no fault plan, modeled-TCP audits —
+  // but are surfaced so a future faulty variant of this bench can't
+  // silently hide them).
+  std::uint64_t dropped = 0;          // network datagrams_dropped
+  std::uint64_t faults_duplicated = 0;
+  std::uint64_t audit_retries = 0;
 };
 
 /// The churn-resilient accountability scenario: churn_config's exact churn
@@ -172,6 +179,9 @@ Row run(std::uint32_t n) {
   const auto split = ex.honest_blame_split();
   row.stayer_blame = split.stayer_mean();
   row.leaver_blame = split.leaver_mean();
+  row.dropped = ex.network_stats().datagrams_dropped;
+  row.faults_duplicated = ex.fault_stats().duplicated;
+  row.audit_retries = ex.audit_channel_totals().retries;
 
   // Leak check: drain every in-flight delivery and one-shot timer; the
   // pooled slots must all come home.
@@ -210,17 +220,21 @@ int main(int argc, char** argv) {
       "2 s failure detector)\n\n");
 
   lifting::TextTable table({"nodes", "sim s", "events", "wall s", "events/s",
-                            "joins", "departs", "health@5s", "blame/stayer",
-                            "blame/leaver", "pool leak"});
+                            "joins", "departs", "dropped", "health@5s",
+                            "blame/stayer", "blame/leaver", "pool leak"});
   int leaks = 0;
   for (const auto n : populations) {
     const Row row = run(n);
     std::fprintf(stderr,
                  "[churn] n=%u: %llu events in %.2fs (%.0f ev/s), "
-                 "+%zu/-%zu nodes, leak=%zu\n",
+                 "+%zu/-%zu nodes, dropped=%llu dup=%llu retries=%llu, "
+                 "leak=%zu\n",
                  row.nodes, (unsigned long long)row.events, row.wall_seconds,
                  static_cast<double>(row.events) / row.wall_seconds,
-                 row.joins, row.departures, row.pool_leak);
+                 row.joins, row.departures,
+                 (unsigned long long)row.dropped,
+                 (unsigned long long)row.faults_duplicated,
+                 (unsigned long long)row.audit_retries, row.pool_leak);
     if (row.pool_leak != 0) ++leaks;
     table.add_row({lifting::TextTable::num(row.nodes, 0),
                    lifting::TextTable::num(row.sim_seconds, 0),
@@ -232,6 +246,7 @@ int main(int argc, char** argv) {
                    lifting::TextTable::num(static_cast<double>(row.joins), 0),
                    lifting::TextTable::num(static_cast<double>(row.departures),
                                            0),
+                   lifting::TextTable::num(static_cast<double>(row.dropped), 0),
                    lifting::TextTable::num(row.health, 3),
                    lifting::TextTable::num(row.stayer_blame, 2),
                    lifting::TextTable::num(row.leaver_blame, 2),

@@ -1,0 +1,225 @@
+/// Graceful-degradation matrix — the robustness deliverable for the fault
+/// subsystem (src/faults/): detection, wrongful blame, and delivery health
+/// over fault intensity x audit-channel mode, on the same simulator
+/// pipeline the deployment path shares (FaultInjector sits at the
+/// net::Transport seam in both).
+///
+/// Fault intensity is a Gilbert-Elliott bursty-loss level (stationary loss
+/// fraction; bursts of ~90% loss with mean length 4 datagrams — the same
+/// parameterization tools/lifting_loopback.cpp uses for --burst-loss), so
+/// a row here is directly comparable to a real-wire loopback run. The
+/// audit-channel axis compares the paper's modeled-TCP entropy audits
+/// (§5.3) against the reliable-UDP retry/backoff channel.
+///
+/// Determinism: the cell grid and rep count are fixed up front, per-rep
+/// seeds come from derive_task_seed and are shared across cells (paired
+/// comparisons), and reduction is task-ordered — every printed digit is
+/// bit-identical at any --threads value. The bench re-verifies that claim
+/// on a sample of tasks inline (exit 1 on divergence).
+///
+/// Usage: bench_fault_matrix [--threads N] [--reps N]
+
+#include <cstdio>
+#include <vector>
+
+#include "common/build_info.hpp"
+#include "common/table.hpp"
+#include "faults/plan.hpp"
+#include "runtime/experiment.hpp"
+#include "runtime/runner.hpp"
+
+namespace {
+
+using namespace lifting;
+
+struct Cell {
+  double burst_loss;  ///< stationary loss fraction of the GE chain
+  LiftingParams::AuditChannel channel;
+};
+
+/// One repetition's measurements. Every field is reduced bit-exactly
+/// (task-ordered sums of identical doubles), so the aggregate is as
+/// thread-count-invariant as the per-task values.
+struct Sample {
+  double detection = 0.0;
+  double false_positive = 0.0;
+  double stayer_blame = 0.0;
+  double delivery = 0.0;  ///< delivered / (sent + injector-dropped)
+  std::uint64_t faults_dropped = 0;
+  std::uint64_t audit_sends = 0;
+  std::uint64_t audit_retries = 0;
+  std::uint64_t audit_give_ups = 0;
+  std::uint64_t audit_acks = 0;
+
+  friend bool operator==(const Sample&, const Sample&) = default;
+};
+
+runtime::ScenarioConfig matrix_config(const Cell& cell, std::uint64_t seed) {
+  auto cfg = runtime::ScenarioConfig::small(60);
+  cfg.seed = seed;
+  cfg.freerider_fraction = 0.15;
+  cfg.freerider_behavior = gossip::BehaviorSpec::freerider(0.5);
+  cfg.link.loss = 0.02;
+  // Audits on for both channel modes, past the score-history warmup.
+  cfg.lifting.audit_probability = 0.1;
+  cfg.lifting.audit_warmup_periods = 10;
+  cfg.lifting.audit_channel = cell.channel;
+  if (cell.burst_loss > 0.0) {
+    // Stationary loss pi_bad * loss_bad = burst_loss, mean burst 4
+    // datagrams (p_bad_to_good = 0.25) — lifting_loopback's --burst-loss.
+    constexpr double kLossBad = 0.9;
+    constexpr double kBadToGood = 0.25;
+    const double pi_bad = cell.burst_loss / kLossBad;
+    cfg.faults.loss_bad = kLossBad;
+    cfg.faults.p_bad_to_good = kBadToGood;
+    cfg.faults.p_good_to_bad = pi_bad * kBadToGood / (1.0 - pi_bad);
+  }
+  return cfg;
+}
+
+Sample measure(runtime::Experiment& ex) {
+  Sample s;
+  const auto det = ex.detection_at(ex.config().lifting.eta);
+  s.detection = det.detection;
+  s.false_positive = det.false_positive;
+  s.stayer_blame = ex.honest_blame_split().stayer_mean();
+  // Injector drops happen above the network layer (the datagram never
+  // reaches it), so the denominator must add them back to show the real
+  // degradation.
+  const auto& net = ex.network_stats();
+  s.faults_dropped = ex.fault_stats().dropped();
+  const double offered = static_cast<double>(net.datagrams_sent) +
+                         static_cast<double>(s.faults_dropped);
+  s.delivery = offered == 0.0
+                   ? 0.0
+                   : static_cast<double>(net.datagrams_delivered) / offered;
+  const auto audit = ex.audit_channel_totals();
+  s.audit_sends = audit.sends;
+  s.audit_retries = audit.retries;
+  s.audit_give_ups = audit.give_ups;
+  s.audit_acks = audit.acks_received;
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint32_t reps =
+      runtime::parse_flag(argc, argv, "--reps", 1, 1'000, 2);
+  runtime::ParallelRunner runner(
+      runtime::ParallelRunner::threads_from_args(argc, argv));
+
+  std::printf("=== fault matrix: detection / wrongful blame / delivery "
+              "health over burst loss x audit channel ===\n");
+  std::printf("n=60, 20 s, delta=0.5, audits p=0.1, GE bursts ~4 datagrams, "
+              "%u reps/cell [build=%s threads=%u]\n\n",
+              reps, build_type(), runner.threads());
+
+  const double intensities[] = {0.0, 0.05, 0.10, 0.20};
+  const LiftingParams::AuditChannel channels[] = {
+      LiftingParams::AuditChannel::kModeledTcp,
+      LiftingParams::AuditChannel::kReliableUdp,
+  };
+  std::vector<Cell> cells;
+  for (const double burst : intensities) {
+    for (const auto channel : channels) cells.push_back({burst, channel});
+  }
+
+  const std::size_t tasks = cells.size() * reps;
+  const auto samples =
+      runner.map<Sample>(tasks, [&](std::size_t task) {
+        const Cell& cell = cells[task / reps];
+        runtime::Experiment ex(matrix_config(
+            cell, runtime::derive_task_seed(0xFA27ULL,
+                                            static_cast<std::uint64_t>(
+                                                task % reps))));
+        ex.run();
+        return measure(ex);
+      });
+
+  // Thread-invariance self-check: recompute a sample of tasks inline (the
+  // calling thread, no runner) — any scheduling dependence in the digest
+  // would show up as a field mismatch.
+  int failures = 0;
+  for (const std::size_t task : {std::size_t{0}, tasks - 1}) {
+    const Cell& cell = cells[task / reps];
+    runtime::Experiment ex(matrix_config(
+        cell, runtime::derive_task_seed(
+                  0xFA27ULL, static_cast<std::uint64_t>(task % reps))));
+    ex.run();
+    if (!(measure(ex) == samples[task])) {
+      std::fprintf(stderr,
+                   "bench_fault_matrix: task %zu diverged from its inline "
+                   "recomputation — the grid is NOT thread-invariant\n",
+                   task);
+      ++failures;
+    }
+  }
+
+  TextTable table({"burst", "audit channel", "detection", "false pos",
+                   "stayer blame", "delivery", "dropped", "audit sends",
+                   "retries", "give-ups", "acks"});
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    Sample mean;
+    for (std::uint32_t r = 0; r < reps; ++r) {
+      const Sample& s = samples[i * reps + r];
+      mean.detection += s.detection;
+      mean.false_positive += s.false_positive;
+      mean.stayer_blame += s.stayer_blame;
+      mean.delivery += s.delivery;
+      mean.faults_dropped += s.faults_dropped;
+      mean.audit_sends += s.audit_sends;
+      mean.audit_retries += s.audit_retries;
+      mean.audit_give_ups += s.audit_give_ups;
+      mean.audit_acks += s.audit_acks;
+    }
+    const double r = static_cast<double>(reps);
+    table.add_row(
+        {TextTable::num(cells[i].burst_loss, 2),
+         cells[i].channel == LiftingParams::AuditChannel::kReliableUdp
+             ? "reliable-udp"
+             : "modeled-tcp",
+         TextTable::num(mean.detection / r, 3),
+         TextTable::num(mean.false_positive / r, 3),
+         TextTable::num(mean.stayer_blame / r, 2),
+         TextTable::num(mean.delivery / r, 3),
+         TextTable::num(static_cast<double>(mean.faults_dropped) / r, 0),
+         TextTable::num(static_cast<double>(mean.audit_sends) / r, 0),
+         TextTable::num(static_cast<double>(mean.audit_retries) / r, 0),
+         TextTable::num(static_cast<double>(mean.audit_give_ups) / r, 0),
+         TextTable::num(static_cast<double>(mean.audit_acks) / r, 0)});
+  }
+  table.print();
+
+  // Degradation sanity (report-only trends are printed above; these two
+  // are structural and must hold for the matrix to mean anything): faults
+  // actually fired at nonzero intensity, and the reliable channel actually
+  // carried audits.
+  std::uint64_t dropped_total = 0;
+  std::uint64_t reliable_sends = 0;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    for (std::uint32_t r = 0; r < reps; ++r) {
+      const Sample& s = samples[i * reps + r];
+      if (cells[i].burst_loss > 0.0) dropped_total += s.faults_dropped;
+      if (cells[i].channel == LiftingParams::AuditChannel::kReliableUdp) {
+        reliable_sends += s.audit_sends;
+      }
+    }
+  }
+  if (dropped_total == 0) {
+    std::fprintf(stderr, "bench_fault_matrix: burst-loss cells dropped "
+                 "nothing — the fault plan did not engage\n");
+    ++failures;
+  }
+  if (reliable_sends == 0) {
+    std::fprintf(stderr, "bench_fault_matrix: reliable-udp cells sent no "
+                 "audits — the audit channel did not engage\n");
+    ++failures;
+  }
+  if (failures == 0) {
+    std::printf("\nthread-invariance self-check passed (%u threads); "
+                "fault and audit channels engaged.\n",
+                runner.threads());
+  }
+  return failures == 0 ? 0 : 1;
+}

@@ -122,11 +122,21 @@ int main(int argc, char** argv) {
                  identical ? "yes" : "NO");
   }
   table.print();
-  std::printf("\nserial aggregate: %llu events, %llu datagrams, %llu blame "
-              "emissions over %u runs\n",
+  std::printf("\nserial aggregate: %llu events, %llu datagrams (%llu "
+              "dropped), %llu blame emissions over %u runs\n",
               (unsigned long long)serial_total.events,
               (unsigned long long)serial_total.datagrams_sent,
+              (unsigned long long)serial_total.datagrams_dropped,
               (unsigned long long)serial_total.blame_emissions, cases);
+  std::printf("fault/audit columns (part of every digest compared above): "
+              "faults dropped %llu, duplicated %llu, delayed %llu; audit "
+              "retries %llu, give-ups %llu, dups suppressed %llu\n",
+              (unsigned long long)serial_total.faults_dropped,
+              (unsigned long long)serial_total.faults_duplicated,
+              (unsigned long long)serial_total.faults_delayed,
+              (unsigned long long)serial_total.audit_retries,
+              (unsigned long long)serial_total.audit_give_ups,
+              (unsigned long long)serial_total.audit_dups_suppressed);
 
   if (hw >= 4 && rate_at_4 > 0.0) {
     const double speedup = rate_at_4 / serial_rate;

@@ -45,6 +45,7 @@ while read -r subsystem docs; do
 done <<REQUIRED_CITATIONS
 src/adversary/ DESIGN.md README.md
 src/net/ DESIGN.md README.md
+src/faults/ DESIGN.md README.md
 REQUIRED_CITATIONS
 
 if [ "$status" -eq 0 ]; then

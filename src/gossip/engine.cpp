@@ -135,9 +135,9 @@ void Engine::handle_request(NodeId from, const RequestMsg& msg) {
   // this period (§3: invalid requests are ignored). Records are indexed by
   // period (one per propose phase, newest last), so the lookup scans a
   // handful of records from the most recent backwards.
-  const SentProposal* match = nullptr;
+  SentProposal* match = nullptr;
   for (std::size_t i = sent_proposals_.size(); i-- > 0;) {
-    const SentProposal& rec = sent_proposals_[i];
+    SentProposal& rec = sent_proposals_[i];
     if (rec.period < msg.period) break;
     if (rec.period == msg.period) {
       if (std::find(rec.partners.begin(), rec.partners.end(), from) !=
@@ -151,6 +151,14 @@ void Engine::handle_request(NodeId from, const RequestMsg& msg) {
     ++stats_.invalid_requests;
     return;
   }
+  if (std::find(match->served.begin(), match->served.end(), from) !=
+      match->served.end()) {
+    // Transport-duplicated request: the batch already went out. Serving
+    // again would waste uplink and (for partial-serve behaviors) draw rng
+    // on a duplicate arrival.
+    ++stats_.duplicate_requests;
+    return;
+  }
   ChunkIdList valid;
   for (const auto chunk : msg.chunks) {
     if (std::find(match->chunks.begin(), match->chunks.end(), chunk) !=
@@ -159,6 +167,7 @@ void Engine::handle_request(NodeId from, const RequestMsg& msg) {
     }
   }
   if (valid.empty()) return;
+  match->served.push_back(from);
 
   // Attack: partial serve — serve only (1-δ3)·|R| of the valid request.
   std::size_t serve_count = valid.size();
@@ -333,6 +342,7 @@ void Engine::propose_phase() {
         rec.at = sim_.now();
         rec.chunks.assign(proposal.begin(), proposal.end());
         rec.partners.assign(partners.begin(), partners.end());
+        rec.served.clear();  // recycled slot: forget the old period's serves
         for (const auto partner : partners) {
           mailer_.send(self_, partner, sim::Channel::kDatagram,
                        ProposeMsg{period_, proposal});

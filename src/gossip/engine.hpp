@@ -87,6 +87,7 @@ struct EngineStats {
   std::uint64_t requests_sent = 0;
   std::uint64_t chunks_served = 0;
   std::uint64_t invalid_requests = 0;  // requests not matching a proposal
+  std::uint64_t duplicate_requests = 0;  // already-served (transport dup)
 };
 
 class Engine {
@@ -225,6 +226,11 @@ class Engine {
     TimePoint at{};
     ChunkIdList chunks;
     SmallVector<NodeId, 8> partners;
+    /// Partners already served this period. A request is answered once: a
+    /// transport-duplicated request must not re-serve (or re-draw a
+    /// partial-serve behavior's rng) — the duplicate-delivery idempotence
+    /// contract (tests/test_faults.cpp).
+    SmallVector<NodeId, 8> served;
   };
   RingLog<SentProposal> sent_proposals_;
   /// Reusable (ack target, append seq, chunk) scratch for send_acks'

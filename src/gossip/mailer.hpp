@@ -41,8 +41,20 @@ class Mailer {
   Mailer(net::Transport& transport, sim::MetricsRegistry* metrics)
       : transport_(transport), metrics_(metrics) {}
 
+  /// Prices the §5.3 audit kinds (and their channel acks) with the exact
+  /// datagram model instead of amortized TCP framing — set by the runtime
+  /// when LiftingParams::audit_channel is kReliableUdp, where those kinds
+  /// travel as real datagrams. Off (the default) keeps the historical
+  /// byte-identical accounting.
+  void set_datagram_audit_pricing(bool on) noexcept {
+    datagram_audit_pricing_ = on;
+  }
+
   void send(NodeId from, NodeId to, sim::Channel channel, Message message) {
-    const std::size_t bytes = wire_size(message);
+    const bool audit_kind = message.index() >= kAuditKindFirst;
+    const std::size_t bytes = datagram_audit_pricing_ && audit_kind
+                                  ? datagram_wire_size(message)
+                                  : wire_size(message);
     if (metrics_ != nullptr) {
       auto& kind_counters = counters_[message.index()];
       if (kind_counters.count == nullptr) {
@@ -70,6 +82,7 @@ class Mailer {
   std::optional<net::SimTransport> sim_backend_;
   net::Transport& transport_;
   sim::MetricsRegistry* metrics_;
+  bool datagram_audit_pricing_ = false;
   std::array<KindCounters, std::variant_size_v<Message>> counters_{};
 };
 

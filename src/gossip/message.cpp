@@ -76,6 +76,75 @@ struct SizeVisitor {
     return kTcpFraming + kTag + 4 + kNode + 4 + 4 + kCount +
            kNode * m.confirm_askers.size();
   }
+  std::size_t operator()(const AuditAckMsg&) const {
+    // Channel-level ack of the reliable-UDP audit mode: a real datagram,
+    // never part of the modeled TCP stream.
+    return kUdpHeader + kTag + 1 + 4 + kNode;
+  }
+};
+
+/// Exact codec payload length (net/codec.cpp layouts, kept in lockstep by
+/// tests/test_faults.cpp round-trip size pins): tag 1 B, node 4 B, chunk
+/// 8 B, u32 4 B, list count 2 B.
+struct DatagramSizeVisitor {
+  static std::size_t records(
+      const std::vector<HistoryProposalRecord>& recs) {
+    std::size_t bytes = kCount;
+    for (const auto& rec : recs) {
+      bytes += kPeriod + kCount + kNode * rec.partners.size() + kCount +
+               kChunk * rec.chunks.size();
+    }
+    return bytes;
+  }
+  std::size_t operator()(const ProposeMsg& m) const {
+    return kTag + kPeriod + kCount + kChunk * m.chunks.size();
+  }
+  std::size_t operator()(const RequestMsg& m) const {
+    return kTag + kPeriod + kCount + kChunk * m.chunks.size();
+  }
+  std::size_t operator()(const ServeMsg& m) const {
+    return kTag + kPeriod + kChunk + 4 + kNode + m.payload_bytes;
+  }
+  std::size_t operator()(const AckMsg& m) const {
+    return kTag + kPeriod + kCount + kChunk * m.chunks.size() + kCount +
+           kNode * m.partners.size();
+  }
+  std::size_t operator()(const ConfirmReqMsg& m) const {
+    return kTag + kNode + kPeriod + kCount + kChunk * m.chunks.size();
+  }
+  std::size_t operator()(const ConfirmRespMsg&) const {
+    return kTag + kNode + kPeriod + 1;
+  }
+  std::size_t operator()(const BlameMsg&) const {
+    return kTag + kNode + kScore + 1;
+  }
+  std::size_t operator()(const ScoreQueryMsg&) const {
+    return kTag + kNode + 4;
+  }
+  std::size_t operator()(const ScoreReplyMsg&) const {
+    return kTag + kNode + 4 + kScore + 1;
+  }
+  std::size_t operator()(const ExpelRequestMsg&) const {
+    return kTag + kNode + kScore;
+  }
+  std::size_t operator()(const ExpelVoteMsg&) const { return kTag + kNode + 1; }
+  std::size_t operator()(const ExpelCommitMsg&) const {
+    return kTag + kNode + 1;
+  }
+  std::size_t operator()(const AuditRequestMsg&) const { return kTag + 4; }
+  std::size_t operator()(const AuditHistoryMsg& m) const {
+    return kTag + 4 + records(m.proposals);
+  }
+  std::size_t operator()(const HistoryPollMsg& m) const {
+    return kTag + 4 + kNode + records(m.claims);
+  }
+  std::size_t operator()(const HistoryPollRespMsg& m) const {
+    return kTag + 4 + kNode + 4 + 4 + kCount +
+           kNode * m.confirm_askers.size();
+  }
+  std::size_t operator()(const AuditAckMsg&) const {
+    return kTag + 1 + 4 + kNode;
+  }
 };
 
 struct KindVisitor {
@@ -97,12 +166,17 @@ struct KindVisitor {
   const char* operator()(const HistoryPollRespMsg&) const {
     return "history_poll_resp";
   }
+  const char* operator()(const AuditAckMsg&) const { return "audit_ack"; }
 };
 
 }  // namespace
 
 std::size_t wire_size(const Message& msg) {
   return std::visit(SizeVisitor{}, msg);
+}
+
+std::size_t datagram_wire_size(const Message& msg) {
+  return kUdpHeader + std::visit(DatagramSizeVisitor{}, msg);
 }
 
 const char* message_kind(const Message& msg) {
@@ -116,7 +190,7 @@ const char* message_kind_name(std::size_t index) {
       "blame",         "score_query",   "score_reply",
       "expel_request", "expel_vote",    "expel_commit",
       "audit_request", "audit_history", "history_poll",
-      "history_poll_resp"};
+      "history_poll_resp", "audit_ack"};
   static_assert(std::size(kNames) == std::variant_size_v<Message>);
   return index < std::size(kNames) ? kNames[index] : "unknown";
 }

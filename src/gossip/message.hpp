@@ -168,6 +168,19 @@ struct HistoryPollRespMsg {
   std::vector<NodeId> confirm_askers;  // F'_h contributions (with multiplicity)
 };
 
+/// Application-level acknowledgment for the reliable-UDP audit channel
+/// (LiftingParams::AuditChannel::kReliableUdp): the receiver of an audit
+/// kind echoes the sender's retry key so the pending retransmission can be
+/// cancelled. Never sent in the default modeled-TCP mode. The key is
+/// derived from the audit message's own content — (kind, audit_id,
+/// subject) — so no sequence numbers are added to existing messages and
+/// their wire sizes stay untouched.
+struct AuditAckMsg {
+  std::uint8_t acked_kind = 0;  // Message variant index of the acked kind
+  std::uint32_t audit_id = 0;
+  NodeId subject;  // NodeId{0} for kinds without a subject field
+};
+
 // ----------------------------------------------------------------- variant
 
 using Message =
@@ -175,7 +188,7 @@ using Message =
                  ConfirmRespMsg, BlameMsg, ScoreQueryMsg, ScoreReplyMsg,
                  ExpelRequestMsg, ExpelVoteMsg, ExpelCommitMsg,
                  AuditRequestMsg, AuditHistoryMsg, HistoryPollMsg,
-                 HistoryPollRespMsg>;
+                 HistoryPollRespMsg, AuditAckMsg>;
 
 /// The first kGossipKindCount Message alternatives are the dissemination
 /// kinds handled by the gossip engine (routing tests `index() < 4`); the
@@ -186,10 +199,31 @@ static_assert(std::is_same_v<std::variant_alternative_t<1, Message>, RequestMsg>
 static_assert(std::is_same_v<std::variant_alternative_t<2, Message>, ServeMsg>);
 static_assert(std::is_same_v<std::variant_alternative_t<3, Message>, AckMsg>);
 
+/// First variant index of the §5.3 audit kinds (audit_request,
+/// audit_history, history_poll, history_poll_resp) — the contiguous block
+/// the reliable-UDP audit channel reprices and retries. AuditAckMsg sits
+/// after the block: it is channel machinery, not an audited RPC.
+inline constexpr std::size_t kAuditKindFirst = 12;
+inline constexpr std::size_t kAuditKindCount = 4;
+static_assert(std::is_same_v<std::variant_alternative_t<12, Message>,
+                             AuditRequestMsg>);
+static_assert(std::is_same_v<std::variant_alternative_t<15, Message>,
+                             HistoryPollRespMsg>);
+static_assert(std::is_same_v<std::variant_alternative_t<16, Message>,
+                             AuditAckMsg>);
+
 /// Modeled wire size in bytes, including a per-datagram IP+UDP header
 /// (28 B) or amortized TCP framing (40 B). Field sizes: node id 4 B,
 /// chunk id 8 B, period 4 B, count 2 B, score 8 B, flag/tag 1 B.
 [[nodiscard]] std::size_t wire_size(const Message& msg);
+
+/// Exact datagram size model: IP+UDP header (28 B) plus the precise
+/// net::codec payload length of `msg` (plus any zero-filled serve payload).
+/// Used to price the audit kinds when they travel as real datagrams
+/// (reliable-UDP audit channel) instead of a modeled TCP stream — with it,
+/// measured wire bytes exceed modeled bytes by exactly the 6 B/datagram
+/// loopback frame header for every kind.
+[[nodiscard]] std::size_t datagram_wire_size(const Message& msg);
 
 /// Short name of the message alternative (metrics keys).
 [[nodiscard]] const char* message_kind(const Message& msg);

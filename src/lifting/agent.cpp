@@ -1,6 +1,7 @@
 #include "lifting/agent.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/assert.hpp"
 #include "membership/sampler.hpp"
@@ -182,7 +183,7 @@ void Agent::emit_blame(NodeId target, double value,
   }
   for (const auto manager : managers_for(target)) {
     if (manager == self_) {
-      handle_blame(gossip::BlameMsg{target, value, reason});
+      handle_blame(self_, gossip::BlameMsg{target, value, reason});
     } else {
       send_datagram(manager, gossip::BlameMsg{target, value, reason});
     }
@@ -193,8 +194,150 @@ void Agent::send_datagram(NodeId to, gossip::Message msg) {
   mailer_.send(self_, to, sim::Channel::kDatagram, std::move(msg));
 }
 
+// --------------------------------------- reliable-UDP audit channel
+
+Agent::AuditKey Agent::audit_key(const gossip::Message& msg) {
+  AuditKey key;
+  key.kind = static_cast<std::uint8_t>(msg.index());
+  if (const auto* req = std::get_if<gossip::AuditRequestMsg>(&msg)) {
+    key.audit_id = req->audit_id;
+  } else if (const auto* hist = std::get_if<gossip::AuditHistoryMsg>(&msg)) {
+    key.audit_id = hist->audit_id;
+  } else if (const auto* poll = std::get_if<gossip::HistoryPollMsg>(&msg)) {
+    key.audit_id = poll->audit_id;
+    key.subject = poll->subject;
+  } else if (const auto* resp =
+                 std::get_if<gossip::HistoryPollRespMsg>(&msg)) {
+    key.audit_id = resp->audit_id;
+    key.subject = resp->subject;
+  } else {
+    LIFTING_ASSERT(false, "audit_key on a non-audit message");
+  }
+  return key;
+}
+
+Duration Agent::retry_backoff(std::uint32_t attempt) {
+  // attempt = transmissions already made (>= 1): base · 2^(attempt-1),
+  // stretched by up to audit_retry_jitter to decorrelate peers whose
+  // sends were lost by the same burst.
+  Duration backoff = params_.audit_retry_base * (1ULL << (attempt - 1));
+  if (params_.audit_retry_jitter > 0.0) {
+    if (!retry_rng_.has_value()) {
+      retry_rng_ = derive_rng(deployment_seed_,
+                              0xD00000000ULL + self_.value());
+    }
+    const double stretch =
+        1.0 + params_.audit_retry_jitter * retry_rng_->uniform();
+    backoff = Duration{static_cast<Duration::rep>(
+        static_cast<double>(backoff.count()) * stretch)};
+  }
+  return backoff;
+}
+
+void Agent::arm_retry(std::uint64_t token) {
+  const auto it =
+      std::find_if(pending_audits_.begin(), pending_audits_.end(),
+                   [&](const PendingAudit& p) { return p.token == token; });
+  if (it == pending_audits_.end()) return;
+  sim_.schedule_after(retry_backoff(it->attempts),
+                      [this, token] { on_retry_timer(token); });
+}
+
+void Agent::on_retry_timer(std::uint64_t token) {
+  if (stopped_) return;
+  const auto it =
+      std::find_if(pending_audits_.begin(), pending_audits_.end(),
+                   [&](const PendingAudit& p) { return p.token == token; });
+  if (it == pending_audits_.end()) return;  // acked meanwhile
+  auto& stats =
+      audit_channel_stats_[it->key.kind - gossip::kAuditKindFirst];
+  if (it->attempts > params_.audit_max_retries) {
+    ++stats.give_ups;
+    pending_audits_.erase(it);
+    return;
+  }
+  ++stats.retries;
+  ++it->attempts;
+  mailer_.send(self_, it->to, sim::Channel::kDatagram, it->message);
+  arm_retry(token);
+}
+
 void Agent::send_reliable(NodeId to, gossip::Message msg) {
-  mailer_.send(self_, to, sim::Channel::kReliable, std::move(msg));
+  if (params_.audit_channel == LiftingParams::AuditChannel::kModeledTcp) {
+    mailer_.send(self_, to, sim::Channel::kReliable, std::move(msg));
+    return;
+  }
+  // Reliable-UDP mode: the message is a real datagram; reliability is
+  // bounded retransmission until the receiver's AuditAckMsg arrives.
+  const AuditKey key = audit_key(msg);
+  const std::uint64_t token = next_retry_token_++;
+  ++audit_channel_stats_[key.kind - gossip::kAuditKindFirst].sends;
+  pending_audits_.push_back(PendingAudit{to, key, 1, token, msg});
+  mailer_.send(self_, to, sim::Channel::kDatagram, std::move(msg));
+  arm_retry(token);
+}
+
+void Agent::handle_audit_ack(NodeId from, const gossip::AuditAckMsg& msg) {
+  const AuditKey key{msg.acked_kind, msg.audit_id, msg.subject};
+  const auto it = std::find_if(
+      pending_audits_.begin(), pending_audits_.end(),
+      [&](const PendingAudit& p) { return p.to == from && p.key == key; });
+  if (it == pending_audits_.end()) return;  // late/duplicate ack
+  if (key.kind >= gossip::kAuditKindFirst &&
+      key.kind < gossip::kAuditKindFirst + gossip::kAuditKindCount) {
+    ++audit_channel_stats_[key.kind - gossip::kAuditKindFirst].acks_received;
+  }
+  pending_audits_.erase(it);
+}
+
+bool Agent::audit_dedup_and_ack(NodeId from, const gossip::Message& msg) {
+  const AuditKey key = audit_key(msg);
+  // Ack every copy: the receiver cannot know whether its previous ack
+  // survived, and a lost ack is exactly why the copy exists.
+  send_datagram(from, gossip::AuditAckMsg{key.kind, key.audit_id,
+                                          key.subject});
+  for (const auto& seen : seen_audits_) {
+    if (seen.from == from && seen.key == key) {
+      ++audit_channel_stats_[key.kind - gossip::kAuditKindFirst]
+            .dups_suppressed;
+      return true;
+    }
+  }
+  const std::size_t cap = params_.audit_dedup_cap;
+  if (seen_audits_.size() < cap) {
+    seen_audits_.push_back(SeenAudit{from, key});
+  } else {
+    seen_audits_[seen_audits_head_] = SeenAudit{from, key};
+    seen_audits_head_ = (seen_audits_head_ + 1) % cap;
+  }
+  return false;
+}
+
+bool Agent::blame_is_duplicate(NodeId from, const gossip::BlameMsg& msg) {
+  if (params_.blame_dedup_window == Duration::zero() || from == self_) {
+    return false;
+  }
+  const TimePoint now = sim_.now();
+  const TimePoint since =
+      now - std::min(now.time_since_epoch(), params_.blame_dedup_window);
+  const std::uint64_t bits = std::bit_cast<std::uint64_t>(msg.value);
+  for (const auto& seen : seen_blames_) {
+    if (seen.from == from && seen.target == msg.target &&
+        seen.reason == msg.reason && seen.value_bits == bits &&
+        seen.at >= since) {
+      ++blame_dups_suppressed_;
+      return true;
+    }
+  }
+  constexpr std::size_t kSeenBlamesCap = 32;
+  const SeenBlame entry{from, msg.target, bits, msg.reason, now};
+  if (seen_blames_.size() < kSeenBlamesCap) {
+    seen_blames_.push_back(entry);
+  } else {
+    seen_blames_[seen_blames_head_] = entry;
+    seen_blames_head_ = (seen_blames_head_ + 1) % kSeenBlamesCap;
+  }
+  return false;
 }
 
 std::span<const NodeId> Agent::managers_for(NodeId target) {
@@ -220,6 +363,10 @@ void Agent::note_contact(NodeId id) {
 
 void Agent::on_propose_received(NodeId from, PeriodIndex period,
                                 const gossip::ChunkIdList& chunks) {
+  // Transport-duplicated propose: already logged. Skipping note_contact
+  // matters for determinism under faults — a full contact table replaces a
+  // random slot, and that draw must not depend on duplicate arrivals.
+  if (received_log_.has(from, period)) return;
   received_log_.record(sim_.now(), from, period, chunks);
   note_contact(from);
 }
@@ -262,32 +409,46 @@ void Agent::handle(NodeId from, const gossip::Message& message) {
                  std::get_if<gossip::ConfirmRespMsg>(&message)) {
     cross_checker_.on_confirm_response(from, *resp);
   } else if (const auto* blame = std::get_if<gossip::BlameMsg>(&message)) {
-    handle_blame(*blame);
+    handle_blame(from, *blame);
   } else if (const auto* query =
                  std::get_if<gossip::ScoreQueryMsg>(&message)) {
     handle_score_query(from, *query);
   } else if (const auto* reply =
                  std::get_if<gossip::ScoreReplyMsg>(&message)) {
-    handle_score_reply(*reply);
+    handle_score_reply(from, *reply);
   } else if (const auto* expel =
                  std::get_if<gossip::ExpelRequestMsg>(&message)) {
     handle_expel_request(from, *expel);
   } else if (const auto* vote = std::get_if<gossip::ExpelVoteMsg>(&message)) {
-    handle_expel_vote(*vote);
+    handle_expel_vote(from, *vote);
   } else if (const auto* commit =
                  std::get_if<gossip::ExpelCommitMsg>(&message)) {
     handle_expel_commit(*commit);
-  } else if (const auto* audit =
-                 std::get_if<gossip::AuditRequestMsg>(&message)) {
-    handle_audit_request(from, *audit);
-  } else if (const auto* history =
-                 std::get_if<gossip::AuditHistoryMsg>(&message)) {
-    auditor_.on_history(from, *history);
-  } else if (const auto* poll = std::get_if<gossip::HistoryPollMsg>(&message)) {
-    handle_history_poll(from, *poll);
-  } else if (const auto* poll_resp =
-                 std::get_if<gossip::HistoryPollRespMsg>(&message)) {
-    auditor_.on_poll_response(from, *poll_resp);
+  } else if (message.index() >= gossip::kAuditKindFirst &&
+             message.index() <
+                 gossip::kAuditKindFirst + gossip::kAuditKindCount) {
+    // Reliable-UDP mode acks every copy and suppresses re-processing of
+    // duplicates (retransmissions whose first copy already arrived, or
+    // fault-injected replays). Modeled TCP needs neither.
+    if (params_.audit_channel == LiftingParams::AuditChannel::kReliableUdp &&
+        audit_dedup_and_ack(from, message)) {
+      return;
+    }
+    if (const auto* audit =
+            std::get_if<gossip::AuditRequestMsg>(&message)) {
+      handle_audit_request(from, *audit);
+    } else if (const auto* history =
+                   std::get_if<gossip::AuditHistoryMsg>(&message)) {
+      auditor_.on_history(from, *history);
+    } else if (const auto* poll =
+                   std::get_if<gossip::HistoryPollMsg>(&message)) {
+      handle_history_poll(from, *poll);
+    } else if (const auto* poll_resp =
+                   std::get_if<gossip::HistoryPollRespMsg>(&message)) {
+      auditor_.on_poll_response(from, *poll_resp);
+    }
+  } else if (const auto* ack = std::get_if<gossip::AuditAckMsg>(&message)) {
+    handle_audit_ack(from, *ack);
   } else {
     LIFTING_ASSERT(false, "gossip message routed to Agent");
   }
@@ -311,11 +472,12 @@ void Agent::handle_confirm_request(NodeId from,
                                              confirmed});
 }
 
-void Agent::handle_blame(const gossip::BlameMsg& msg) {
+void Agent::handle_blame(NodeId from, const gossip::BlameMsg& msg) {
   if (!is_manager_of(msg.target)) return;  // stray blame: ignore
   // A colluding manager shields its coalition: it silently drops blames
   // against coalition members (countered by the min-vote read).
   if (behavior_.colludes_with(msg.target)) return;
+  if (blame_is_duplicate(from, msg)) return;
   managers_.apply_blame(msg.target, msg.value, msg.reason);
 }
 
@@ -349,8 +511,8 @@ void Agent::probe_score(NodeId target, ScoreFeedbackFn on_done) {
 
 void Agent::begin_score_read(NodeId target, ScoreFeedbackFn probe) {
   const std::uint32_t query_id = next_query_id_++;
-  score_reads_.emplace(query_id,
-                       PendingScoreRead{target, {}, false, std::move(probe)});
+  score_reads_.emplace(
+      query_id, PendingScoreRead{target, {}, {}, false, std::move(probe)});
   for (const auto manager : managers_for(target)) {
     if (manager == self_) {
       auto& read = score_reads_.at(query_id);
@@ -364,11 +526,17 @@ void Agent::begin_score_read(NodeId target, ScoreFeedbackFn probe) {
                       [this, query_id] { finish_score_read(query_id); });
 }
 
-void Agent::handle_score_reply(const gossip::ScoreReplyMsg& msg) {
+void Agent::handle_score_reply(NodeId from, const gossip::ScoreReplyMsg& msg) {
   const auto it = score_reads_.find(msg.query_id);
   if (it == score_reads_.end() || it->second.target != msg.target) return;
-  it->second.replies.push_back(msg.normalized_score);
-  it->second.target_already_expelled |= msg.expelled;
+  auto& read = it->second;
+  if (std::find(read.repliers.begin(), read.repliers.end(), from) !=
+      read.repliers.end()) {
+    return;  // transport-duplicated reply: one ballot per manager
+  }
+  read.repliers.push_back(from);
+  read.replies.push_back(msg.normalized_score);
+  read.target_already_expelled |= msg.expelled;
 }
 
 void Agent::finish_score_read(std::uint32_t query_id) {
@@ -435,10 +603,16 @@ void Agent::handle_expel_request(NodeId from,
   send_datagram(from, gossip::ExpelVoteMsg{msg.target, agree});
 }
 
-void Agent::handle_expel_vote(const gossip::ExpelVoteMsg& msg) {
+void Agent::handle_expel_vote(NodeId from, const gossip::ExpelVoteMsg& msg) {
   const auto it = expel_votes_.find(msg.target);
   if (it == expel_votes_.end() || it->second.committed) return;
-  if (msg.agree) ++it->second.yes;
+  auto& vote = it->second;
+  if (std::find(vote.voters.begin(), vote.voters.end(), from) !=
+      vote.voters.end()) {
+    return;  // transport-duplicated ballot: one vote per manager
+  }
+  vote.voters.push_back(from);
+  if (msg.agree) ++vote.yes;
 }
 
 void Agent::finish_expel_vote(NodeId target) {

@@ -1,9 +1,11 @@
 #ifndef LIFTING_LIFTING_AGENT_HPP
 #define LIFTING_LIFTING_AGENT_HPP
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <span>
 #include <unordered_map>
 #include <unordered_set>
@@ -150,6 +152,37 @@ class Agent final : public gossip::EngineObserver {
     return sent_history_;
   }
 
+  /// Delivery-health counters of the reliable-UDP audit channel, per audit
+  /// kind (index = variant index − kAuditKindFirst). All-zero in the
+  /// default modeled-TCP mode.
+  struct AuditChannelStats {
+    std::uint64_t sends = 0;            ///< first transmissions
+    std::uint64_t retries = 0;          ///< backoff retransmissions
+    std::uint64_t give_ups = 0;         ///< retry budget exhausted
+    std::uint64_t acks_received = 0;    ///< pending entries cancelled
+    std::uint64_t dups_suppressed = 0;  ///< receiver-side duplicate drops
+  };
+  [[nodiscard]] const std::array<AuditChannelStats, gossip::kAuditKindCount>&
+  audit_channel_stats() const noexcept {
+    return audit_channel_stats_;
+  }
+  [[nodiscard]] AuditChannelStats audit_channel_totals() const noexcept {
+    AuditChannelStats total;
+    for (const auto& s : audit_channel_stats_) {
+      total.sends += s.sends;
+      total.retries += s.retries;
+      total.give_ups += s.give_ups;
+      total.acks_received += s.acks_received;
+      total.dups_suppressed += s.dups_suppressed;
+    }
+    return total;
+  }
+  /// Duplicated blame datagrams dropped by the receiver-side window
+  /// (LiftingParams::blame_dedup_window; zero when the window is off).
+  [[nodiscard]] std::uint64_t blame_dups_suppressed() const noexcept {
+    return blame_dups_suppressed_;
+  }
+
  private:
   void tick();
   void emit_blame(NodeId target, double value, gossip::BlameReason reason);
@@ -158,14 +191,37 @@ class Agent final : public gossip::EngineObserver {
   [[nodiscard]] std::span<const NodeId> managers_for(NodeId target);
   [[nodiscard]] bool is_manager_of(NodeId target);
   void handle_confirm_request(NodeId from, const gossip::ConfirmReqMsg& msg);
-  void handle_blame(const gossip::BlameMsg& msg);
+  void handle_blame(NodeId from, const gossip::BlameMsg& msg);
   void handle_score_query(NodeId from, const gossip::ScoreQueryMsg& msg);
-  void handle_score_reply(const gossip::ScoreReplyMsg& msg);
+  void handle_score_reply(NodeId from, const gossip::ScoreReplyMsg& msg);
   void handle_expel_request(NodeId from, const gossip::ExpelRequestMsg& msg);
-  void handle_expel_vote(const gossip::ExpelVoteMsg& msg);
+  void handle_expel_vote(NodeId from, const gossip::ExpelVoteMsg& msg);
   void handle_expel_commit(const gossip::ExpelCommitMsg& msg);
   void handle_audit_request(NodeId from, const gossip::AuditRequestMsg& msg);
   void handle_history_poll(NodeId from, const gossip::HistoryPollMsg& msg);
+
+  // ---- reliable-UDP audit channel (inert under kModeledTcp)
+  /// Content-derived retry/dedup key of an audit-kind message.
+  struct AuditKey {
+    std::uint8_t kind = 0;  // Message variant index
+    std::uint32_t audit_id = 0;
+    NodeId subject;  // NodeId{0} for kinds without a subject
+    [[nodiscard]] bool operator==(const AuditKey& o) const noexcept {
+      return kind == o.kind && audit_id == o.audit_id && subject == o.subject;
+    }
+  };
+  [[nodiscard]] static AuditKey audit_key(const gossip::Message& msg);
+  [[nodiscard]] Duration retry_backoff(std::uint32_t attempt);
+  void arm_retry(std::uint64_t token);
+  void on_retry_timer(std::uint64_t token);
+  void handle_audit_ack(NodeId from, const gossip::AuditAckMsg& msg);
+  /// Receiver preamble for incoming audit kinds: acks every copy (the
+  /// previous ack may have been lost) and reports true when the message is
+  /// a recently seen duplicate that must not be re-processed.
+  [[nodiscard]] bool audit_dedup_and_ack(NodeId from,
+                                         const gossip::Message& msg);
+  [[nodiscard]] bool blame_is_duplicate(NodeId from,
+                                        const gossip::BlameMsg& msg);
   /// Fans the score queries out to `target`'s managers and arms the reply
   /// deadline — shared by score_check (expulsion path) and probe_score
   /// (feedback path, `probe` set).
@@ -201,6 +257,10 @@ class Agent final : public gossip::EngineObserver {
   struct PendingScoreRead {
     NodeId target;
     std::vector<double> replies;
+    /// Managers whose reply was counted — one reply per manager, so a
+    /// transport-duplicated reply cannot make an under-replicated read
+    /// look like it met min_score_replies.
+    std::vector<NodeId> repliers;
     bool target_already_expelled = false;
     /// Set for probe reads: the deadline reports here and the expulsion
     /// machinery is skipped.
@@ -213,9 +273,53 @@ class Agent final : public gossip::EngineObserver {
     std::size_t yes = 0;
     std::size_t total_managers = 0;
     bool committed = false;
+    /// Managers whose ballot was counted — a transport-duplicated agree
+    /// vote must not reach a majority by itself.
+    std::vector<NodeId> voters;
   };
   std::unordered_map<NodeId, PendingExpelVote> expel_votes_;
   std::unordered_set<NodeId> expel_requested_;
+
+  /// One in-flight reliable-UDP audit send awaiting its AuditAckMsg.
+  struct PendingAudit {
+    NodeId to;
+    AuditKey key;
+    std::uint32_t attempts = 0;  // transmissions so far
+    std::uint64_t token = 0;     // ties backoff timers to this entry
+    gossip::Message message;     // retained for retransmission
+  };
+  std::vector<PendingAudit> pending_audits_;
+  std::uint64_t next_retry_token_ = 1;
+  /// Backoff jitter draws come from their own stream (0xD00000000 + self)
+  /// so enabling the channel never perturbs the agent's main rng_ sequence
+  /// (which CrossChecker shares by reference). Engaged lazily, only in
+  /// kReliableUdp mode.
+  std::optional<Pcg32> retry_rng_;
+
+  /// Receiver-side duplicate suppression: ring of recently seen
+  /// (sender, key) pairs, capacity params_.audit_dedup_cap.
+  struct SeenAudit {
+    NodeId from;
+    AuditKey key;
+  };
+  std::vector<SeenAudit> seen_audits_;
+  std::size_t seen_audits_head_ = 0;
+
+  std::array<AuditChannelStats, gossip::kAuditKindCount> audit_channel_stats_{};
+
+  /// Windowed blame dedup (LiftingParams::blame_dedup_window): recently
+  /// applied network blames, so an exact transport-level duplicate cannot
+  /// double-count in the manager ledger.
+  struct SeenBlame {
+    NodeId from;
+    NodeId target;
+    std::uint64_t value_bits = 0;
+    gossip::BlameReason reason = gossip::BlameReason::kDirectVerification;
+    TimePoint at;
+  };
+  std::vector<SeenBlame> seen_blames_;
+  std::size_t seen_blames_head_ = 0;
+  std::uint64_t blame_dups_suppressed_ = 0;
 
   double blame_emitted_total_ = 0.0;
   std::uint64_t audit_requests_received_ = 0;

@@ -92,6 +92,18 @@ class ReceivedProposalLog {
     }
   }
 
+  /// Already holds a proposal from `from` for `period`? A proposer sends
+  /// one propose per period, so a second sighting is a transport duplicate
+  /// and must not be re-recorded (the duplicate-delivery idempotence
+  /// contract, tests/test_faults.cpp).
+  [[nodiscard]] bool has(NodeId from, PeriodIndex period) const {
+    for (std::size_t i = entries_.size(); i-- > 0;) {
+      const Entry& e = entries_[i];
+      if (e.from == from && e.period == period) return true;
+    }
+    return false;
+  }
+
   /// Does the log contain a proposal from `subject` (not older than
   /// `since`) containing every chunk in `chunks`? This is the witness-side
   /// test behind confirm responses and history polls.

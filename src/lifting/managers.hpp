@@ -299,6 +299,31 @@ class ManagerStore {
     }
   }
 
+  /// Moves every non-empty row into `dest` — the carried-store rejoin path
+  /// (ScenarioConfig::carried_manager_store): this store belongs to the
+  /// departed incarnation, `dest` to the returning one. Rows without a
+  /// per-incarnation genesis override are stamped with THIS store's genesis
+  /// first: the blame they hold accrued against it, and adopting them into
+  /// a store whose genesis is the rejoin instant would silently shrink
+  /// every target's period count to ~1 (a score cliff for everyone the
+  /// returning manager judges). Source rows are zeroed by the move, so a
+  /// row carries at most once. Returns the number of rows moved.
+  std::size_t carry_into(ManagerStore& dest) {
+    std::size_t moved = 0;
+    for (std::size_t i = 0; i < keys_.size(); ++i) {
+      Record& rec = recs_[i];
+      if (!rec.has_genesis && rec.blame_total == 0.0 && !rec.expelled) {
+        continue;  // empty row: nothing to conserve
+      }
+      const MigratedRecord out{rec.blame_total, rec.expelled, true,
+                               rec.has_genesis ? rec.genesis : genesis_, true};
+      rec = Record{};
+      dest.adopt_record(keys_[i], out);
+      ++moved;
+    }
+    return moved;
+  }
+
   /// Restarts the target's score history at `now` (rejoin with the fresh
   /// score policy): blame forgotten, period count restarted. The expulsion
   /// mark survives — an indictment is not erased by leaving and returning.

@@ -96,6 +96,32 @@ struct LiftingParams {
   /// emitted when fewer than rate_tolerance·n_h proposals are on record.
   double rate_tolerance = 0.5;
 
+  // ---- audit channel (§5.3 semantics, DESIGN.md §11)
+  /// How the four audit kinds travel. kModeledTcp (the default, and the
+  /// historical behavior) uses the simulator's lossless reliable channel
+  /// priced with amortized TCP framing. kReliableUdp sends them as real
+  /// datagrams priced with the exact codec length, made reliable in the
+  /// application: bounded retries with exponential backoff + jitter,
+  /// AuditAckMsg acknowledgments, duplicate suppression at the receiver.
+  enum class AuditChannel : std::uint8_t { kModeledTcp, kReliableUdp };
+  AuditChannel audit_channel = AuditChannel::kModeledTcp;
+  /// Retransmissions after the initial send before giving up.
+  std::uint32_t audit_max_retries = 4;
+  /// Backoff before retry k is audit_retry_base · 2^k, stretched by up to
+  /// audit_retry_jitter (uniform) to decorrelate loss-synchronized peers.
+  Duration audit_retry_base = milliseconds(200);
+  double audit_retry_jitter = 0.5;
+  /// Receiver-side duplicate-suppression ring capacity (recently seen
+  /// audit-message keys per node).
+  std::uint32_t audit_dedup_cap = 128;
+  /// Blame datagrams carry no sequence numbers (their wire size is
+  /// pinned), so transport-level duplicates are suppressed heuristically:
+  /// a manager drops a blame identical to one it applied from the same
+  /// sender within this window. Zero (the default) disables the window —
+  /// required for byte-identical goldens, since a legitimate identical
+  /// re-blame inside the window is indistinguishable from a duplicate.
+  Duration blame_dedup_window = Duration::zero();
+
   // ---- memory budget (DESIGN.md §9)
   /// Periods a confirm/history-poll answer may look back (§5.2: the
   /// verifier confirms against the witnesses' last few periods).
@@ -147,6 +173,13 @@ struct LiftingParams {
             "exceed history_window");
     require(rate_tolerance >= 0.0 && rate_tolerance <= 1.0,
             "rate_tolerance in [0,1]");
+    require(audit_retry_base > Duration::zero(),
+            "audit_retry_base must be positive");
+    require(audit_retry_jitter >= 0.0 && audit_retry_jitter <= 1.0,
+            "audit_retry_jitter must be in [0,1]");
+    require(audit_dedup_cap >= 1, "audit_dedup_cap must be >= 1");
+    require(blame_dedup_window >= Duration::zero(),
+            "blame_dedup_window must be non-negative");
   }
 };
 

@@ -124,12 +124,32 @@ void CrossChecker::on_ack_received(NodeId from, const gossip::AckMsg& ack) {
       [&](const Batch& b) { return b.receiver == from; });
   if (!expected) return;
 
-  // Fanout check happens once per ack: the ack asserts the receiver's
-  // partner set for one propose phase (§5.2, Table 1: blame f - f̂).
-  if (ack.partners.size() < params_.fanout) {
-    blame_(from,
-           static_cast<double>(params_.fanout - ack.partners.size()),
-           gossip::BlameReason::kFanoutDecrease);
+  // Fanout check happens once per (receiver, propose phase): the ack
+  // asserts the receiver's partner set for one propose phase (§5.2,
+  // Table 1: blame f - f̂). A transport-duplicated ack re-asserts the same
+  // phase and must not blame twice.
+  const auto fanout_key = std::make_pair(from, ack.period);
+  const auto checked_it = std::lower_bound(
+      fanout_checked_.begin(), fanout_checked_.end(), fanout_key);
+  if (checked_it == fanout_checked_.end() || *checked_it != fanout_key) {
+    // Bound the table against the advancing period horizon: anything
+    // older than the in-flight window (ack_timeout spans ~2 periods) can
+    // no longer be duplicated by a delay/reorder fault worth modeling.
+    constexpr PeriodIndex kFanoutCheckedWindow = 16;
+    if (fanout_checked_.size() >= 1024) {
+      std::erase_if(fanout_checked_, [&](const auto& e) {
+        return e.second + kFanoutCheckedWindow < ack.period;
+      });
+    }
+    fanout_checked_.insert(
+        std::lower_bound(fanout_checked_.begin(), fanout_checked_.end(),
+                         fanout_key),
+        fanout_key);
+    if (ack.partners.size() < params_.fanout) {
+      blame_(from,
+             static_cast<double>(params_.fanout - ack.partners.size()),
+             gossip::BlameReason::kFanoutDecrease);
+    }
   }
 
   // Mark every outstanding batch for this receiver whose chunks the ack
@@ -183,11 +203,16 @@ void CrossChecker::start_confirm_round(const gossip::AckMsg& ack,
                       });
 }
 
-void CrossChecker::on_confirm_response(NodeId /*witness*/,
+void CrossChecker::on_confirm_response(NodeId witness,
                                        const gossip::ConfirmRespMsg& msg) {
   ConfirmRound* round = find_round(msg.subject, msg.subject_period);
   if (round == nullptr) return;
+  if (std::find(round->responded.begin(), round->responded.end(), witness) !=
+      round->responded.end()) {
+    return;  // transport-duplicated testimony: one vote per witness
+  }
   if (round->yes + round->no >= round->witnesses) return;  // late duplicates
+  round->responded.push_back(witness);
   if (msg.confirmed) {
     ++round->yes;
   } else {

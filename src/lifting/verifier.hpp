@@ -138,6 +138,11 @@ class CrossChecker {
     std::size_t witnesses = 0;
     std::size_t yes = 0;
     std::size_t no = 0;
+    /// Witnesses whose testimony was counted. One vote per witness: a
+    /// transport-duplicated response must not fill the round's quota and
+    /// crowd out a real witness (duplicate-delivery idempotence,
+    /// tests/test_faults.cpp).
+    std::vector<NodeId> responded;
     [[nodiscard]] std::pair<NodeId, PeriodIndex> key() const noexcept {
       return {subject, subject_period};
     }
@@ -164,6 +169,12 @@ class CrossChecker {
   RecycledVector<Batch> batches_;
   /// Running confirm rounds, sorted by (subject, subject_period).
   RecycledVector<ConfirmRound> rounds_;
+  /// (receiver, ack period) pairs whose fanout assertion was already
+  /// judged — a transport-level duplicate of an ack must not double-blame
+  /// kFanoutDecrease (each ack asserts ONE propose phase's partner set).
+  /// Sorted flat vector; pruned against the advancing period horizon so it
+  /// stays bounded by the in-flight window.
+  std::vector<std::pair<NodeId, PeriodIndex>> fanout_checked_;
   std::uint64_t generation_ = 0;
   std::uint64_t rounds_started_ = 0;
 };

@@ -129,6 +129,7 @@ enum class Tag : std::uint8_t {
   kAuditHistory,
   kHistoryPoll,
   kHistoryPollResp,
+  kAuditAck,
 };
 
 void write_records(Writer& w,
@@ -246,6 +247,12 @@ struct EncodeVisitor {
     w.u32(m.confirmed);
     w.u32(m.denied);
     w.nodes(m.confirm_askers);
+  }
+  void operator()(const gossip::AuditAckMsg& m) const {
+    w.u8(static_cast<std::uint8_t>(Tag::kAuditAck));
+    w.u8(m.acked_kind);
+    w.u32(m.audit_id);
+    w.node(m.subject);
   }
 };
 
@@ -385,6 +392,14 @@ std::optional<gossip::Message> decode(const std::uint8_t* data,
       m.denied = r.u32();
       m.confirm_askers = r.nodes();
       msg = std::move(m);
+      break;
+    }
+    case Tag::kAuditAck: {
+      gossip::AuditAckMsg m;
+      m.acked_kind = r.u8();
+      m.audit_id = r.u32();
+      m.subject = r.node();
+      msg = m;
       break;
     }
     default:

@@ -101,6 +101,12 @@ std::uint16_t UdpTransport::destination_port(NodeId to) const {
 }
 
 bool UdpTransport::send(NodeId from, NodeId to, const gossip::Message& msg) {
+  return send_with_modeled(from, to, msg, gossip::wire_size(msg));
+}
+
+bool UdpTransport::send_with_modeled(NodeId from, NodeId to,
+                                     const gossip::Message& msg,
+                                     std::size_t modeled_bytes) {
   const auto src = sockets_.find(from);
   const std::uint16_t port = destination_port(to);
   if (src == sockets_.end() || port == 0) {
@@ -141,17 +147,18 @@ bool UdpTransport::send(NodeId from, NodeId to, const gossip::Message& msg) {
   auto& kind = wire_stats_[msg.index()];
   ++kind.count;
   kind.wire_bytes += frame.size() + kIpUdpHeaderBytes;
-  kind.modeled_bytes += gossip::wire_size(msg);
+  kind.modeled_bytes += modeled_bytes;
   return true;
 }
 
 void UdpTransport::send(NodeId from, NodeId to, sim::Channel /*channel*/,
-                        std::size_t /*bytes*/, gossip::Message message) {
-  // The modeled size is re-derived in the bool overload for the wire-vs-
-  // model stats; UDP has no reliable channel, so both channels collapse to
-  // a datagram (the reliable kinds stay priced with TCP framing in the
-  // model — the report accounts for the difference).
-  send(from, to, message);
+                        std::size_t bytes, gossip::Message message) {
+  // `bytes` is the Mailer's modeled price for this message — recorded
+  // as-is so the wire-vs-model stats agree with the sender's accounting
+  // (under reliable-UDP audit pricing the Mailer charges the exact
+  // datagram model, not TCP framing). UDP has no reliable channel, so both
+  // channels collapse to a datagram.
+  send_with_modeled(from, to, message, bytes);
 }
 
 std::size_t UdpTransport::poll() {

@@ -73,7 +73,9 @@ class UdpTransport final : public Transport {
   bool send(NodeId from, NodeId to, const gossip::Message& msg);
 
   /// net::Transport entry point (Mailer-facing). `bytes` is the modeled
-  /// size, re-derived internally; the channel collapses to a datagram.
+  /// size as priced by the Mailer (TCP framing or exact-datagram for audit
+  /// kinds) and is recorded verbatim in wire_stats; the channel collapses
+  /// to a datagram.
   void send(NodeId from, NodeId to, sim::Channel channel, std::size_t bytes,
             gossip::Message message) override;
 
@@ -119,6 +121,11 @@ class UdpTransport final : public Transport {
 
   /// Port of `to`: local endpoint first, then routes. 0 if unknown.
   [[nodiscard]] std::uint16_t destination_port(NodeId to) const;
+
+  /// Shared sender: frames + sends, recording `modeled_bytes` against the
+  /// message kind (the bool overload derives it with gossip::wire_size).
+  bool send_with_modeled(NodeId from, NodeId to, const gossip::Message& msg,
+                         std::size_t modeled_bytes);
 
   std::unordered_map<NodeId, Endpoint> sockets_;
   std::unordered_map<NodeId, std::uint16_t> routes_;

@@ -135,12 +135,27 @@ void Experiment::build() {
   if (network_ == nullptr) {
     network_ = std::make_unique<sim::Network<gossip::Message>>(
         sim_, derive_rng(config_.seed, 0x02));
-    mailer_ = std::make_unique<gossip::Mailer>(*network_, &metrics_);
+    // Transport stack: SimTransport over the network, the fault injector
+    // around it, the Mailer on top. With an empty FaultPlan (the default)
+    // the injector is a pure passthrough — no rng streams exist, no draws
+    // happen — so this stack is bit-identical to the historical
+    // Mailer-over-network wiring (test_determinism pins it).
+    transport_ = std::make_unique<net::SimTransport>(*network_);
+    injector_ =
+        std::make_unique<faults::FaultInjector>(*transport_, sim_, config_.seed);
+    mailer_ = std::make_unique<gossip::Mailer>(*injector_, &metrics_);
   } else {
     // Reset path: same network object (the Mailer's reference stays
     // valid), fresh endpoints and statistics, reused delivery pool.
     network_->reset(derive_rng(config_.seed, 0x02));
+    injector_->reset(config_.seed);
   }
+  injector_->set_plan(config_.faults);
+  // Reliable-UDP audits travel as real datagrams, so the Mailer prices
+  // them with the exact datagram model instead of TCP framing.
+  mailer_->set_datagram_audit_pricing(
+      config_.lifting_enabled &&
+      config_.lifting.audit_channel == LiftingParams::AuditChannel::kReliableUdp);
 
   hooks_.on_blame_emitted = [this](NodeId /*by*/, NodeId target, double value,
                                    gossip::BlameReason reason) {
@@ -415,6 +430,11 @@ void Experiment::apply_event(const ScenarioEvent& event) {
       network_->set_profile(event.node, event.link);
       break;
     }
+    case ScenarioEventKind::kSetFaults:
+      // Deployment-wide plan swap; injector chain state and rng streams
+      // persist across swaps (an empty plan heals without forgetting).
+      injector_->set_plan(event.faults);
+      break;
   }
 }
 
@@ -586,6 +606,22 @@ void Experiment::rejoin_node(NodeId id) {
                             : gossip::BehaviorSpec::honest();
   make_node(static_cast<std::uint32_t>(v), behavior,
             weak_[v] != 0 ? config_.weak_link : config_.link);
+
+  // Carried store (carried_manager_store): with handoff OFF, blame
+  // knowledge is conserved across the bounce by the returning manager
+  // keeping its own rows — move them from the retired incarnation's store
+  // into the fresh one (genesis-stamped so period counts don't restart).
+  // Inert while manager_handoff is on: the handoff path already migrated
+  // the rows to promoted replacements. Runs before the kFresh loop below
+  // so the rejoining node's own carried row still obeys the fresh policy.
+  if (config_.lifting_enabled && !config_.manager_handoff &&
+      config_.carried_manager_store) {
+    auto* old_agent = retired_.back().agent.get();
+    auto* new_agent = nodes_[v].agent.get();
+    if (old_agent != nullptr && new_agent != nullptr) {
+      old_agent->manager_store().carry_into(new_agent->manager_store());
+    }
+  }
 
   // Desynchronized start, keyed like make_node's streams so no incarnation
   // replays another's offset draw.
@@ -1035,7 +1071,8 @@ OverheadReport Experiment::overhead() const {
                                         "expel_request", "expel_vote",
                                         "expel_commit"};
   static const char* kAudit[] = {"audit_request", "audit_history",
-                                 "history_poll", "history_poll_resp"};
+                                 "history_poll", "history_poll_resp",
+                                 "audit_ack"};
   for (const auto* kind : kDissemination) {
     report.dissemination_bytes +=
         metrics_.value(std::string("sent.") + kind + ".bytes");

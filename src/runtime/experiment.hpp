@@ -8,6 +8,7 @@
 
 #include "adversary/controller.hpp"
 #include "common/rng.hpp"
+#include "faults/injector.hpp"
 #include "gossip/engine.hpp"
 #include "gossip/mailer.hpp"
 #include "gossip/playback.hpp"
@@ -414,6 +415,30 @@ class Experiment {
   [[nodiscard]] const sim::NetworkStats& network_stats() const {
     return network_->stats();
   }
+  /// Transport fault-injection outcomes (src/faults/, DESIGN.md §11); all
+  /// zero when the scenario's FaultPlan is empty.
+  [[nodiscard]] const faults::FaultInjector::Stats& fault_stats() const {
+    return injector_->stats();
+  }
+  /// Audit-channel delivery health summed over every live and retired
+  /// agent (reliable-UDP mode; all zero under the modeled-TCP default).
+  [[nodiscard]] lifting::Agent::AuditChannelStats audit_channel_totals() const {
+    lifting::Agent::AuditChannelStats totals;
+    const auto fold = [&totals](const std::vector<Node>& pool) {
+      for (const auto& node : pool) {
+        if (!node.agent) continue;
+        const auto t = node.agent->audit_channel_totals();
+        totals.sends += t.sends;
+        totals.retries += t.retries;
+        totals.give_ups += t.give_ups;
+        totals.acks_received += t.acks_received;
+        totals.dups_suppressed += t.dups_suppressed;
+      }
+    };
+    fold(nodes_);
+    fold(retired_);
+    return totals;
+  }
   [[nodiscard]] const BlameLedger& ledger() const noexcept { return ledger_; }
   [[nodiscard]] const std::vector<ExpulsionRecord>& expulsions()
       const noexcept {
@@ -480,6 +505,10 @@ class Experiment {
   sim::MetricsRegistry metrics_;
   membership::Directory directory_;
   std::unique_ptr<sim::Network<gossip::Message>> network_;
+  /// Transport stack under the Mailer: SimTransport over the network, the
+  /// fault injector wrapped around it (pure passthrough on an empty plan).
+  std::unique_ptr<net::SimTransport> transport_;
+  std::unique_ptr<faults::FaultInjector> injector_;
   std::unique_ptr<gossip::Mailer> mailer_;
   std::vector<Node> nodes_;
   std::unique_ptr<gossip::StreamSource> source_;

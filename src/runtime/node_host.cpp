@@ -21,12 +21,17 @@ constexpr Duration kMaxNap = milliseconds(5);
 NodeHost::NodeHost(const ScenarioConfig& config, NodeId self)
     : config_(config),
       self_(self),
-      mailer_(udp_, &metrics_),
+      injector_(udp_, sim_, config.seed),
+      mailer_(injector_, &metrics_),
       directory_(config.nodes) {
   config_.validate();
   std::string why;
   require(wire_supported(config_, &why), "wire deployment unsupported: " + why);
   require(self_.value() < config_.nodes, "self id outside the population");
+  injector_.set_plan(config_.faults);
+  mailer_.set_datagram_audit_pricing(
+      config_.lifting_enabled &&
+      config_.lifting.audit_channel == LiftingParams::AuditChannel::kReliableUdp);
 
   const bool bound =
       udp_.add_endpoint(self_, [this](NodeId from, gossip::Message msg) {

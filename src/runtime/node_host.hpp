@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "faults/injector.hpp"
 #include "gossip/engine.hpp"
 #include "gossip/mailer.hpp"
 #include "gossip/stream_source.hpp"
@@ -73,6 +74,19 @@ class NodeHost {
   [[nodiscard]] const net::UdpTransport& transport() const noexcept {
     return udp_;
   }
+  /// Local fault-injection outcomes (this node's sends only). The same
+  /// FaultPlan drives every process; each derives its own per-sender rng
+  /// stream, so no coordination is needed.
+  [[nodiscard]] const faults::FaultInjector::Stats& fault_stats() const {
+    return injector_.stats();
+  }
+  /// Audit-channel delivery health (reliable-UDP mode; zeros otherwise /
+  /// when LiFTinG is off).
+  [[nodiscard]] lifting::Agent::AuditChannelStats audit_channel_totals()
+      const {
+    return agent_ ? agent_->audit_channel_totals()
+                  : lifting::Agent::AuditChannelStats{};
+  }
 
  private:
   ScenarioConfig config_;
@@ -82,6 +96,11 @@ class NodeHost {
   sim::Simulator sim_;
   sim::MetricsRegistry metrics_;
   net::UdpTransport udp_;
+  /// Fault injector between Mailer and sockets — the SAME seam the
+  /// simulator injects at, so one FaultPlan means one fault model on both
+  /// backends. Held sends ride the sim event queue, which run() slaves to
+  /// the wall clock, so delay spikes happen in real time.
+  faults::FaultInjector injector_;
   gossip::Mailer mailer_;
   membership::Directory directory_;
   std::shared_ptr<lifting::ManagerAssignment> assignment_;

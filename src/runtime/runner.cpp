@@ -21,6 +21,16 @@ RunDigest RunDigest::of(Experiment& ex) {
   d.blame_emissions = ex.ledger().emissions();
   d.joins = ex.joins().size();
   d.departures = ex.departures().size();
+  const auto& faults = ex.fault_stats();
+  d.faults_dropped = faults.dropped();
+  d.faults_duplicated = faults.duplicated;
+  d.faults_delayed = faults.delayed + faults.reordered;
+  if (ex.has_agents()) {
+    const auto audit = ex.audit_channel_totals();
+    d.audit_retries = audit.retries;
+    d.audit_give_ups = audit.give_ups;
+    d.audit_dups_suppressed = audit.dups_suppressed;
+  }
   if (ex.has_agents()) {
     const auto snap = ex.snapshot_scores();
     d.honest_scored = snap.honest.size();
@@ -42,6 +52,12 @@ void RunDigest::accumulate(const RunDigest& other) noexcept {
   blame_emissions += other.blame_emissions;
   joins += other.joins;
   departures += other.departures;
+  faults_dropped += other.faults_dropped;
+  faults_duplicated += other.faults_duplicated;
+  faults_delayed += other.faults_delayed;
+  audit_retries += other.audit_retries;
+  audit_give_ups += other.audit_give_ups;
+  audit_dups_suppressed += other.audit_dups_suppressed;
   honest_scored += other.honest_scored;
   freeriders_scored += other.freeriders_scored;
   honest_score_sum += other.honest_score_sum;

@@ -19,12 +19,15 @@ void ScenarioConfig::validate() const {
           "view propagation lag must be non-negative");
   for (const auto& event : timeline.events()) {
     require(event.at >= Duration::zero(), "timeline event in the past");
-    if (event.kind != ScenarioEventKind::kJoin) {
+    if (event.kind == ScenarioEventKind::kSetFaults) {
+      event.faults.validate();
+    } else if (event.kind != ScenarioEventKind::kJoin) {
       require(event.node != kAutoNodeId, "timeline event needs a target node");
       require(event.node != NodeId{0},
               "the source (node 0) is pinned infrastructure");
     }
   }
+  faults.validate();
   adversary.validate();
   lifting.validate();
 }

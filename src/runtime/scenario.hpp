@@ -5,6 +5,7 @@
 
 #include "adversary/strategy.hpp"
 #include "common/time.hpp"
+#include "faults/plan.hpp"
 #include "gossip/behavior.hpp"
 #include "gossip/engine.hpp"
 #include "gossip/stream_source.hpp"
@@ -56,6 +57,13 @@ struct ScenarioConfig {
   sim::LinkProfile link;       ///< profile of well-connected nodes
   double weak_fraction = 0.0;  ///< fraction of weak (lossy/slow) honest nodes
   sim::LinkProfile weak_link;  ///< their profile (§7.3's poor connections)
+  /// Deterministic transport-seam fault injection (src/faults/,
+  /// DESIGN.md §11): bursty loss, delay spikes, duplication/reordering,
+  /// partition windows. Empty (the default) is fully inert — no rng, no
+  /// events — so goldens are untouched. The same plan drives both the
+  /// simulator and the wire deployment; timeline kSetFaults events can
+  /// swap it mid-run.
+  faults::FaultPlan faults;
 
   // ---- dynamic membership
   /// Scheduled deployment events (joins, leaves, crashes, rejoins,
@@ -97,6 +105,14 @@ struct ScenarioConfig {
   /// incarnation's record (a returning node answers for its past).
   enum class RejoinScores : std::uint8_t { kFresh, kCarried };
   RejoinScores rejoin_scores = RejoinScores::kFresh;
+  /// With manager_handoff OFF, conserve blame across a bounce anyway by
+  /// carrying the departed incarnation's manager-ledger rows into the
+  /// rejoining one (no migration protocol, no promotions — just the
+  /// returning manager keeping its own store). Closes the ROADMAP item
+  /// that made bench_adversary_frontier's handoff A/B compare "handoff"
+  /// against "handoff + store amnesia" instead of handoff alone. Inert
+  /// while manager_handoff is on (the handoff path already migrates).
+  bool carried_manager_store = false;
 
   void validate() const;
 

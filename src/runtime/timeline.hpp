@@ -6,6 +6,7 @@
 
 #include "common/time.hpp"
 #include "common/types.hpp"
+#include "faults/plan.hpp"
 #include "gossip/behavior.hpp"
 #include "sim/network.hpp"
 
@@ -35,6 +36,7 @@ enum class ScenarioEventKind : std::uint8_t {
   kRejoin,       ///< a previously-departed id re-enters (epoch bumps)
   kSetBehavior,  ///< node switches behavior mid-run
   kSetLink,      ///< node's link profile changes mid-run
+  kSetFaults,    ///< swap the transport fault plan (whole deployment)
 };
 
 struct ScenarioEvent {
@@ -52,6 +54,10 @@ struct ScenarioEvent {
   /// kJoin (when has_link) / kSetLink: the link profile.
   sim::LinkProfile link{};
   bool has_link = false;  ///< kJoin: false = use the scenario default link
+  /// kSetFaults: the new transport fault plan (replaces the current one;
+  /// an empty plan heals everything). Applies to the whole deployment, so
+  /// `node` is ignored for this kind.
+  faults::FaultPlan faults{};
 };
 
 class ScenarioTimeline {
@@ -122,6 +128,17 @@ class ScenarioTimeline {
     e.node = node;
     e.link = link;
     e.has_link = true;
+    return add(std::move(e));
+  }
+  /// Replaces the deployment-wide transport fault plan at `at` (src/faults/,
+  /// DESIGN.md §11). Pass an empty plan to heal: partitions lift, loss and
+  /// reordering stop. Injector chain state and rng streams persist across
+  /// swaps, so toggling a plan off and on does not replay fault decisions.
+  ScenarioTimeline& set_faults_at(Duration at, faults::FaultPlan plan) {
+    ScenarioEvent e;
+    e.at = at;
+    e.kind = ScenarioEventKind::kSetFaults;
+    e.faults = std::move(plan);
     return add(std::move(e));
   }
 

@@ -87,6 +87,40 @@ struct Parser {
   }
 };
 
+/// Indexed partition-window keys (`faults.partition.N.field`): the Parser
+/// matches fixed names, so the prefix and index are peeled off by hand and
+/// the remainder dispatches through the usual matchers. Windows are
+/// resized on demand, so entry order relative to the `faults.partitions`
+/// count key cannot matter.
+void parse_partition_field(Parser& p, ScenarioConfig& cfg) {
+  constexpr std::string_view kPrefix = "faults.partition.";
+  if (p.matched || p.failed || p.key.substr(0, kPrefix.size()) != kPrefix) {
+    return;
+  }
+  const std::string_view rest = p.key.substr(kPrefix.size());
+  const auto dot = rest.find('.');
+  if (dot == std::string_view::npos || dot == 0) return;  // unknown key
+  std::size_t index = 0;
+  for (const char c : rest.substr(0, dot)) {
+    if (c < '0' || c > '9') return;  // unknown key
+    index = index * 10 + static_cast<std::size_t>(c - '0');
+    if (index > 4096) {  // scenario files are human-scale; cap the resize
+      p.failed = true;
+      return;
+    }
+  }
+  auto& windows = cfg.faults.partitions;
+  if (index >= windows.size()) windows.resize(index + 1);
+  auto& w = windows[index];
+  p.key = rest.substr(dot + 1);
+  p.dur("start_us", w.start);
+  p.dur("end_us", w.end);
+  p.u("modulus", w.modulus);
+  p.u("remainder", w.remainder);
+  p.b("drop_island_to_main", w.drop_island_to_main);
+  p.b("drop_main_to_island", w.drop_main_to_island);
+}
+
 /// One field table walked by both encode (via put_*) and decode (via
 /// Parser) would be nicer, but the two sides differ enough (string
 /// building vs error handling) that the duplication below is the simpler
@@ -149,6 +183,42 @@ void parse_field(Parser& p, ScenarioConfig& cfg) {
   p.u("lifting.min_fanin_samples", cfg.lifting.min_fanin_samples);
   p.f("lifting.rate_tolerance", cfg.lifting.rate_tolerance);
   p.dur("lifting.history_retention_us", cfg.lifting.history_retention);
+  if (p.want("lifting.audit_channel")) {
+    if (p.value == "modeled_tcp") {
+      cfg.lifting.audit_channel = LiftingParams::AuditChannel::kModeledTcp;
+    } else if (p.value == "reliable_udp") {
+      cfg.lifting.audit_channel = LiftingParams::AuditChannel::kReliableUdp;
+    } else {
+      p.failed = true;
+    }
+  }
+  p.u("lifting.audit_max_retries", cfg.lifting.audit_max_retries);
+  p.dur("lifting.audit_retry_base_us", cfg.lifting.audit_retry_base);
+  p.f("lifting.audit_retry_jitter", cfg.lifting.audit_retry_jitter);
+  p.u("lifting.audit_dedup_cap", cfg.lifting.audit_dedup_cap);
+  p.dur("lifting.blame_dedup_window_us", cfg.lifting.blame_dedup_window);
+
+  p.f("faults.p_good_to_bad", cfg.faults.p_good_to_bad);
+  p.f("faults.p_bad_to_good", cfg.faults.p_bad_to_good);
+  p.f("faults.loss_good", cfg.faults.loss_good);
+  p.f("faults.loss_bad", cfg.faults.loss_bad);
+  p.f("faults.delay_spike_probability", cfg.faults.delay_spike_probability);
+  p.dur("faults.delay_spike_min_us", cfg.faults.delay_spike_min);
+  p.dur("faults.delay_spike_max_us", cfg.faults.delay_spike_max);
+  p.f("faults.duplicate_probability", cfg.faults.duplicate_probability);
+  p.f("faults.reorder_probability", cfg.faults.reorder_probability);
+  p.dur("faults.reorder_delay_us", cfg.faults.reorder_delay);
+  if (p.want("faults.partitions")) {
+    char* end = nullptr;
+    const std::string tmp(p.value);
+    const auto v = std::strtoull(tmp.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || v > 4096) {
+      p.failed = true;
+    } else {
+      cfg.faults.partitions.resize(static_cast<std::size_t>(v));
+    }
+  }
+  parse_partition_field(p, cfg);
 
   p.f("freerider_fraction", cfg.freerider_fraction);
   p.f("behavior.delta_fanout", cfg.freerider_behavior.delta_fanout);
@@ -242,6 +312,39 @@ std::string encode_wire_scenario(const ScenarioConfig& config) {
   put_u64(out, "lifting.min_fanin_samples", lp.min_fanin_samples);
   put_f64(out, "lifting.rate_tolerance", lp.rate_tolerance);
   put_duration(out, "lifting.history_retention_us", lp.history_retention);
+  out.append("lifting.audit_channel ");
+  out.append(lp.audit_channel == LiftingParams::AuditChannel::kReliableUdp
+                 ? "reliable_udp"
+                 : "modeled_tcp");
+  out.push_back('\n');
+  put_u64(out, "lifting.audit_max_retries", lp.audit_max_retries);
+  put_duration(out, "lifting.audit_retry_base_us", lp.audit_retry_base);
+  put_f64(out, "lifting.audit_retry_jitter", lp.audit_retry_jitter);
+  put_u64(out, "lifting.audit_dedup_cap", lp.audit_dedup_cap);
+  put_duration(out, "lifting.blame_dedup_window_us", lp.blame_dedup_window);
+
+  const auto& fp = config.faults;
+  put_f64(out, "faults.p_good_to_bad", fp.p_good_to_bad);
+  put_f64(out, "faults.p_bad_to_good", fp.p_bad_to_good);
+  put_f64(out, "faults.loss_good", fp.loss_good);
+  put_f64(out, "faults.loss_bad", fp.loss_bad);
+  put_f64(out, "faults.delay_spike_probability", fp.delay_spike_probability);
+  put_duration(out, "faults.delay_spike_min_us", fp.delay_spike_min);
+  put_duration(out, "faults.delay_spike_max_us", fp.delay_spike_max);
+  put_f64(out, "faults.duplicate_probability", fp.duplicate_probability);
+  put_f64(out, "faults.reorder_probability", fp.reorder_probability);
+  put_duration(out, "faults.reorder_delay_us", fp.reorder_delay);
+  put_u64(out, "faults.partitions", fp.partitions.size());
+  for (std::size_t i = 0; i < fp.partitions.size(); ++i) {
+    const auto& w = fp.partitions[i];
+    const std::string prefix = "faults.partition." + std::to_string(i) + ".";
+    put_duration(out, prefix + "start_us", w.start);
+    put_duration(out, prefix + "end_us", w.end);
+    put_u64(out, prefix + "modulus", w.modulus);
+    put_u64(out, prefix + "remainder", w.remainder);
+    put_u64(out, prefix + "drop_island_to_main", w.drop_island_to_main ? 1 : 0);
+    put_u64(out, prefix + "drop_main_to_island", w.drop_main_to_island ? 1 : 0);
+  }
 
   put_f64(out, "freerider_fraction", config.freerider_fraction);
   const auto& fb = config.freerider_behavior;

@@ -175,6 +175,7 @@ std::vector<gossip::Message> sample_messages() {
       hist,
       gossip::HistoryPollMsg{9, NodeId{7}, hist.proposals},
       gossip::HistoryPollRespMsg{9, NodeId{7}, 3, 1, {NodeId{1}}},
+      gossip::AuditAckMsg{13, 9, NodeId{7}},
   };
 }
 

@@ -48,6 +48,14 @@ struct Options {
   double health_min = 0.85;
   unsigned timeout_s = 0;  // 0 = derived from the duration
   bool verbose = false;
+  /// Run the §5.3 audit kinds over the reliable-UDP channel (retry/backoff
+  /// + receiver dedup) instead of the modeled-TCP default. Makes the audit
+  /// kinds' wire-vs-model delta exactly +6 B/msg like every other kind.
+  bool audit_reliable = false;
+  /// Stationary burst-loss fraction injected at every sender's transport
+  /// seam (Gilbert–Elliott; 0 = no fault plan). Health checks downgrade to
+  /// report-only: a degraded-but-reported run still exits 0.
+  double burst_loss = 0.0;
 };
 
 struct Child {
@@ -64,14 +72,63 @@ struct Child {
   std::uint64_t kind_count[kKinds] = {};
   std::uint64_t kind_modeled[kKinds] = {};
   std::uint64_t kind_wire[kKinds] = {};
+  std::uint64_t faults_dropped = 0;
+  std::uint64_t faults_duplicated = 0;
+  std::uint64_t faults_delayed = 0;
+  std::uint64_t audit_sends = 0;
+  std::uint64_t audit_retries = 0;
+  std::uint64_t audit_give_ups = 0;
+  std::uint64_t audit_acks = 0;
+  std::uint64_t audit_dups = 0;
   bool done = false;
 };
 
-std::vector<pid_t> g_pids;  // for the timeout signal handler
+// Timeout handler state: fixed-size plain arrays, mutated only between
+// alarm() arm/disarm points from the main flow, read by the handler —
+// std::vector would race its own reallocation against the signal.
+constexpr std::uint32_t kMaxNodes = 4096;
+pid_t g_pids[kMaxNodes] = {};
+volatile sig_atomic_t g_done[kMaxNodes] = {};
+volatile sig_atomic_t g_node_count = 0;
+
+// write()-based helpers (the only formatted output that is legal inside a
+// signal handler).
+void sig_write(const char* s) {
+  std::size_t n = 0;
+  while (s[n] != '\0') ++n;
+  (void)!::write(STDERR_FILENO, s, n);
+}
+void sig_write_u32(std::uint32_t v) {
+  char buf[12];
+  std::size_t i = sizeof buf;
+  do {
+    buf[--i] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  (void)!::write(STDERR_FILENO, buf + i, sizeof buf - i);
+}
 
 void on_timeout(int) {
-  for (const pid_t pid : g_pids) {
-    if (pid > 0) ::kill(pid, SIGKILL);
+  // Name the stall before killing anything: the first node that never
+  // reported DONE is where the deployment wedged (bind loop, drain hang,
+  // dead daemon) — "exit 124" alone made these undebuggable in CI.
+  sig_write("TIMEOUT: stalled before DONE:");
+  int listed = 0;
+  for (std::uint32_t i = 0; i < static_cast<std::uint32_t>(g_node_count);
+       ++i) {
+    if (g_done[i]) continue;
+    if (listed == 8) {
+      sig_write(" ...");
+      break;
+    }
+    sig_write(" node ");
+    sig_write_u32(i);
+    ++listed;
+  }
+  sig_write("\n");
+  for (std::uint32_t i = 0; i < static_cast<std::uint32_t>(g_node_count);
+       ++i) {
+    if (g_pids[i] > 0) ::kill(g_pids[i], SIGKILL);
   }
   // Async-signal-safe exit; 124 is the conventional timeout status.
   _exit(124);
@@ -93,15 +150,26 @@ int kind_index(const std::string& name) {
 /// history_poll additionally serializes per-record partner-count fields
 /// the model omits, so its delta is per-record, not per-message — the
 /// caller falls back to a tolerance band for it.
-bool exact_delta(std::size_t kind, long long& delta_per_msg) {
+///
+/// Under --audit-reliable (`datagram_audit`) the Mailer prices every audit
+/// kind with gossip::datagram_wire_size — IP/UDP headers plus the exact
+/// codec length — so the whole audit family (history_poll included)
+/// collapses to the universal +6 B frame-header delta. That exactness is
+/// the point of the reliable channel: the -6 modeling artifact disappears.
+bool exact_delta(std::size_t kind, long long& delta_per_msg,
+                 bool datagram_audit) {
   static_assert(gossip::kGossipKindCount == 4);
   if (kind == 2) {  // serve
     delta_per_msg = 10;
     return true;
   }
-  if (kind == 14) return false;            // history_poll: per-record delta
-  if (kind >= 12) {                        // audit kinds over UDP
-    delta_per_msg = -6;
+  if (kind >= 12) {  // the audit kinds
+    if (datagram_audit) {
+      delta_per_msg = 6;
+      return true;
+    }
+    if (kind == 14) return false;  // history_poll: per-record delta
+    delta_per_msg = -6;            // modeled-TCP framing vs UDP headers
     return true;
   }
   delta_per_msg = 6;
@@ -132,8 +200,53 @@ bool spawn(const std::string& node_bin, std::uint32_t self, Child& child) {
   child.pid = pid;
   child.in = ::fdopen(to_child[1], "w");
   child.out = ::fdopen(from_child[0], "r");
-  g_pids.push_back(pid);
+  g_pids[self] = pid;
   return child.in != nullptr && child.out != nullptr;
+}
+
+/// Tears a half-launched child down so its slot can be respawned.
+void reap(std::uint32_t self, Child& child) {
+  if (child.in != nullptr) std::fclose(child.in);
+  if (child.out != nullptr) std::fclose(child.out);
+  if (child.pid > 0) {
+    ::kill(child.pid, SIGKILL);
+    int status = 0;
+    ::waitpid(child.pid, &status, 0);
+  }
+  g_pids[self] = 0;
+  child = Child{};
+}
+
+bool read_line(Child& child, std::string& line);
+
+/// Spawns node `self`, feeds it the scenario, and waits for its PORT line.
+/// Transient failures here (a port-range clash inside the daemon's bind
+/// loop, a fork hiccup under CI load) were the top loopback-smoke flake, so
+/// the launcher retries ONE fresh process before giving up.
+bool launch_node(const Options& opt, const std::string& scenario,
+                 std::uint32_t self, Child& child) {
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    if (attempt > 0) {
+      std::fprintf(stderr, "node %u: launch failed, retrying once\n", self);
+      reap(self, child);
+    }
+    if (!spawn(opt.node_bin, self, child)) continue;
+    std::fputs(scenario.c_str(), child.in);
+    std::fputs("END_SCENARIO\n", child.in);
+    if (std::fflush(child.in) != 0) continue;
+    std::string line;
+    unsigned port = 0;
+    if (!read_line(child, line) ||
+        std::sscanf(line.c_str(), "PORT %u", &port) != 1 || port == 0) {
+      std::fprintf(stderr, "node %u failed to bind: %s\n", self,
+                   line.c_str());
+      continue;
+    }
+    child.port = static_cast<std::uint16_t>(port);
+    return true;
+  }
+  reap(self, child);
+  return false;
 }
 
 bool read_line(Child& child, std::string& line) {
@@ -163,6 +276,16 @@ bool read_report(Child& child, bool verbose) {
       if (std::strcmp(key, "decode_failures") == 0) child.decode_failures = a;
       if (std::strcmp(key, "socket_errors") == 0) child.socket_errors = a;
       if (std::strcmp(key, "send_failures") == 0) child.send_failures = a;
+      if (std::strcmp(key, "faults_dropped") == 0) child.faults_dropped = a;
+      if (std::strcmp(key, "faults_duplicated") == 0) {
+        child.faults_duplicated = a;
+      }
+      if (std::strcmp(key, "faults_delayed") == 0) child.faults_delayed = a;
+      if (std::strcmp(key, "audit_sends") == 0) child.audit_sends = a;
+      if (std::strcmp(key, "audit_retries") == 0) child.audit_retries = a;
+      if (std::strcmp(key, "audit_give_ups") == 0) child.audit_give_ups = a;
+      if (std::strcmp(key, "audit_acks") == 0) child.audit_acks = a;
+      if (std::strcmp(key, "audit_dups_suppressed") == 0) child.audit_dups = a;
       continue;
     }
     if (std::sscanf(line.c_str(), "KIND %63s %llu %llu %llu", key, &a, &b,
@@ -207,14 +330,22 @@ Options parse_options(int argc, char** argv) {
           static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
     } else if (arg == "--verbose") {
       opt.verbose = true;
+    } else if (arg == "--audit-reliable") {
+      opt.audit_reliable = true;
+    } else if (arg == "--burst-loss") {
+      opt.burst_loss = std::strtod(next(), nullptr);
     } else {
       std::fprintf(stderr,
                    "usage: lifting_loopback [--nodes N] [--seconds S] "
                    "[--node-bin PATH] [--preset small|planetlab] [--seed S] "
                    "[--freeriders F] [--health-min H] [--timeout S] "
-                   "[--verbose]\n");
+                   "[--audit-reliable] [--burst-loss F] [--verbose]\n");
       std::exit(2);
     }
+  }
+  if (opt.burst_loss < 0.0 || opt.burst_loss > 0.5) {
+    std::fprintf(stderr, "--burst-loss must be in [0, 0.5]\n");
+    std::exit(2);
   }
   return opt;
 }
@@ -237,6 +368,32 @@ int main(int argc, char** argv) {
     config.stream.duration = seconds(opt.seconds);
     config.duration = seconds(opt.seconds + 2.0);  // dissemination tail
   }
+  if (opt.audit_reliable) {
+    config.lifting.audit_channel = LiftingParams::AuditChannel::kReliableUdp;
+    // The point of the mode is audit traffic on the wire; presets default
+    // to audit_probability 0, which would validate nothing. Switch the
+    // entropy audits on (short warmup — smoke runs are seconds long)
+    // unless the preset already audits.
+    if (config.lifting.audit_probability == 0.0) {
+      config.lifting.audit_probability = 0.3;
+      config.lifting.audit_warmup_periods = 6;
+    }
+  }
+  if (opt.burst_loss > 0.0) {
+    // Gilbert–Elliott plan whose stationary loss equals --burst-loss F:
+    // the bad state drops loss_bad of datagrams, so we need the stationary
+    // bad fraction pi = F / loss_bad, and with a fixed recovery rate
+    // p_bad_to_good the entry rate follows from pi = g2b / (g2b + b2g).
+    constexpr double kLossBad = 0.9;
+    constexpr double kBadToGood = 0.25;
+    const double pi_bad = opt.burst_loss / kLossBad;
+    faults::FaultPlan plan;
+    plan.loss_bad = kLossBad;
+    plan.p_bad_to_good = kBadToGood;
+    plan.p_good_to_bad = pi_bad * kBadToGood / (1.0 - pi_bad);
+    config.faults = plan;
+  }
+  const bool faulty = !config.faults.empty();
   std::string why;
   if (!runtime::wire_supported(config, &why)) {
     std::fprintf(stderr, "scenario not wire-deployable: %s\n", why.c_str());
@@ -244,35 +401,28 @@ int main(int argc, char** argv) {
   }
   const std::string scenario = runtime::encode_wire_scenario(config);
 
+  if (config.nodes > kMaxNodes) {
+    std::fprintf(stderr, "--nodes is capped at %u\n", kMaxNodes);
+    return 2;
+  }
+
   const double duration_s =
       std::chrono::duration<double>(config.duration).count();
   const unsigned timeout_s =
       opt.timeout_s > 0 ? opt.timeout_s
                         : static_cast<unsigned>(duration_s) + 60;
+  g_node_count = static_cast<sig_atomic_t>(config.nodes);
   std::signal(SIGALRM, on_timeout);
   ::alarm(timeout_s);
 
-  // ---- spawn + handshake
+  // ---- spawn + handshake (per node: spawn, scenario, PORT; one retry)
   std::vector<Child> children(config.nodes);
   for (std::uint32_t i = 0; i < config.nodes; ++i) {
-    if (!spawn(opt.node_bin, i, children[i])) {
-      std::fprintf(stderr, "failed to spawn node %u (%s)\n", i,
+    if (!launch_node(opt, scenario, i, children[i])) {
+      std::fprintf(stderr, "failed to launch node %u (%s)\n", i,
                    opt.node_bin.c_str());
       return 1;
     }
-    std::fputs(scenario.c_str(), children[i].in);
-    std::fputs("END_SCENARIO\n", children[i].in);
-    std::fflush(children[i].in);
-  }
-  for (std::uint32_t i = 0; i < config.nodes; ++i) {
-    std::string line;
-    unsigned port = 0;
-    if (!read_line(children[i], line) ||
-        std::sscanf(line.c_str(), "PORT %u", &port) != 1 || port == 0) {
-      std::fprintf(stderr, "node %u failed to bind: %s\n", i, line.c_str());
-      return 1;
-    }
-    children[i].port = static_cast<std::uint16_t>(port);
   }
   std::string roster = "ROSTER";
   for (const auto& child : children) {
@@ -292,7 +442,9 @@ int main(int argc, char** argv) {
   // ---- collect reports
   bool ok = true;
   for (std::uint32_t i = 0; i < config.nodes; ++i) {
-    if (!read_report(children[i], opt.verbose)) {
+    if (read_report(children[i], opt.verbose)) {
+      g_done[i] = 1;  // the timeout handler skips nodes that reported
+    } else {
       std::fprintf(stderr, "node %u died without a report\n", i);
       ok = false;
     }
@@ -314,6 +466,9 @@ int main(int argc, char** argv) {
   std::uint64_t kind_modeled[kKinds] = {};
   std::uint64_t kind_wire[kKinds] = {};
   std::uint64_t decode_failures = 0, socket_errors = 0, send_failures = 0;
+  std::uint64_t faults_dropped = 0, faults_duplicated = 0, faults_delayed = 0;
+  std::uint64_t audit_sends = 0, audit_retries = 0, audit_give_ups = 0;
+  std::uint64_t audit_acks = 0, audit_dups = 0;
   const std::uint64_t emitted = children[0].chunks_emitted;
   double min_health = 1.0;
   std::uint32_t min_health_node = 0;
@@ -322,6 +477,14 @@ int main(int argc, char** argv) {
     decode_failures += child.decode_failures;
     socket_errors += child.socket_errors;
     send_failures += child.send_failures;
+    faults_dropped += child.faults_dropped;
+    faults_duplicated += child.faults_duplicated;
+    faults_delayed += child.faults_delayed;
+    audit_sends += child.audit_sends;
+    audit_retries += child.audit_retries;
+    audit_give_ups += child.audit_give_ups;
+    audit_acks += child.audit_acks;
+    audit_dups += child.audit_dups;
     for (std::size_t k = 0; k < kKinds; ++k) {
       kind_count[k] += child.kind_count[k];
       kind_modeled[k] += child.kind_modeled[k];
@@ -377,7 +540,7 @@ int main(int argc, char** argv) {
     const auto wire = static_cast<long long>(kind_wire[k]);
     const auto modeled = static_cast<long long>(kind_modeled[k]);
     const auto count = static_cast<long long>(kind_count[k]);
-    if (exact_delta(k, delta)) {
+    if (exact_delta(k, delta, opt.audit_reliable)) {
       if (wire != modeled + delta * count) {
         std::fprintf(stderr,
                      "FAIL %s: wire %lld != model %lld %+lld B/msg x %lld\n",
@@ -413,16 +576,38 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(decode_failures),
       static_cast<unsigned long long>(socket_errors),
       static_cast<unsigned long long>(send_failures));
+  if (faulty) {
+    std::printf(
+        "faults: dropped %llu, duplicated %llu, delayed %llu datagrams\n",
+        static_cast<unsigned long long>(faults_dropped),
+        static_cast<unsigned long long>(faults_duplicated),
+        static_cast<unsigned long long>(faults_delayed));
+  }
+  if (opt.audit_reliable) {
+    std::printf(
+        "audit channel: %llu sends, %llu retries, %llu give-ups, "
+        "%llu acks, %llu dups suppressed\n",
+        static_cast<unsigned long long>(audit_sends),
+        static_cast<unsigned long long>(audit_retries),
+        static_cast<unsigned long long>(audit_give_ups),
+        static_cast<unsigned long long>(audit_acks),
+        static_cast<unsigned long long>(audit_dups));
+  }
 
-  // ---- acceptance checks
+  // ---- acceptance checks. With a fault plan active the health and ratio
+  // bounds become report-only (a degraded-but-reported run is the point of
+  // the exercise); structural checks — the exact framing identity, clean
+  // sockets, a live source — stay hard either way, since faults are
+  // injected above the wire accounting and never excuse those.
   if (emitted == 0) {
     std::fprintf(stderr, "FAIL: the source emitted nothing\n");
     ok = false;
   }
   if (min_health < opt.health_min) {
-    std::fprintf(stderr, "FAIL: stream health %.3f < %.3f (node %u)\n",
-                 min_health, opt.health_min, min_health_node);
-    ok = false;
+    std::fprintf(stderr, "%s: stream health %.3f < %.3f (node %u)\n",
+                 faulty ? "DEGRADED" : "FAIL", min_health, opt.health_min,
+                 min_health_node);
+    if (!faulty) ok = false;
   }
   if (decode_failures != 0 || socket_errors != 0 || send_failures != 0) {
     std::fprintf(stderr, "FAIL: transport errors on a clean loopback run\n");
@@ -439,18 +624,19 @@ int main(int argc, char** argv) {
     // now measured on actual datagrams; and the wire ratio must agree with
     // the analytical one the simulator reports.
     if (verif_wire == 0 || verif_wire >= diss_wire) {
-      std::fprintf(stderr, "FAIL: verification/dissemination ordering\n");
-      ok = false;
+      std::fprintf(stderr, "%s: verification/dissemination ordering\n",
+                   faulty ? "DEGRADED" : "FAIL");
+      if (!faulty) ok = false;
     }
     if (ratio_wire >= 0.08) {
-      std::fprintf(stderr, "FAIL: wire verification overhead %.4f >= 8%%\n",
-                   ratio_wire);
-      ok = false;
+      std::fprintf(stderr, "%s: wire verification overhead %.4f >= 8%%\n",
+                   faulty ? "DEGRADED" : "FAIL", ratio_wire);
+      if (!faulty) ok = false;
     }
     if (ratio_wire - ratio_model > 0.02 || ratio_model - ratio_wire > 0.02) {
-      std::fprintf(stderr, "FAIL: wire ratio %.4f vs model ratio %.4f\n",
-                   ratio_wire, ratio_model);
-      ok = false;
+      std::fprintf(stderr, "%s: wire ratio %.4f vs model ratio %.4f\n",
+                   faulty ? "DEGRADED" : "FAIL", ratio_wire, ratio_model);
+      if (!faulty) ok = false;
     }
   }
 

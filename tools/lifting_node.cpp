@@ -112,6 +112,27 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(udp.socket_errors()));
   std::printf("STAT send_failures %llu\n",
               static_cast<unsigned long long>(udp.send_failures()));
+  // Local fault-injection outcomes (all zero when the plan is empty) and
+  // reliable-audit-channel health (zero under the modeled-TCP default).
+  const auto& faults = host.fault_stats();
+  std::printf("STAT faults_dropped %llu\n",
+              static_cast<unsigned long long>(faults.dropped()));
+  std::printf("STAT faults_duplicated %llu\n",
+              static_cast<unsigned long long>(faults.duplicated));
+  std::printf("STAT faults_delayed %llu\n",
+              static_cast<unsigned long long>(faults.delayed +
+                                              faults.reordered));
+  const auto audit = host.audit_channel_totals();
+  std::printf("STAT audit_sends %llu\n",
+              static_cast<unsigned long long>(audit.sends));
+  std::printf("STAT audit_retries %llu\n",
+              static_cast<unsigned long long>(audit.retries));
+  std::printf("STAT audit_give_ups %llu\n",
+              static_cast<unsigned long long>(audit.give_ups));
+  std::printf("STAT audit_acks %llu\n",
+              static_cast<unsigned long long>(audit.acks_received));
+  std::printf("STAT audit_dups_suppressed %llu\n",
+              static_cast<unsigned long long>(audit.dups_suppressed));
   const auto& kinds = udp.wire_stats();
   for (std::size_t i = 0; i < kinds.size(); ++i) {
     if (kinds[i].count == 0) continue;
