@@ -31,14 +31,32 @@
 /// migrate, the expulsion pipeline completes during the lay-low window,
 /// and the indictment latch must collapse that edge (exit 1 otherwise).
 ///
+/// The third section is the membership-compromise axis (DESIGN.md §12):
+/// the same detection question asked one layer down, where the adversary
+/// attacks the random-peer-sampling substrate instead of the gossip
+/// exchange. Every membership attack from src/adversary/membership.hpp
+/// runs against both sampler variants (legacy and hardened) at two
+/// colluder fractions over runtime::membership_frontier_config — colluding
+/// freeriders whose blame silence only matters once poisoned views steer
+/// partner selection into the coalition. Asserted A/B: under the legacy
+/// sampler the view attacks must measurably degrade detection vs the
+/// no-attack cell, and the hardened sampler must close most of that gap
+/// (exit 1 otherwise). Same fixed-grid / paired-seed / task-ordered-reduce
+/// construction, so this table is also bit-identical at any --threads.
+///
 /// Usage: bench_adversary_frontier [--threads N] [--reps N]
+///                                 [--membership-only]  (CI smoke: skip the
+///                                 catalog/whitewash sections)
 
 #include <cstdio>
+#include <cstring>
 #include <vector>
 
+#include "adversary/membership.hpp"
 #include "adversary/strategy.hpp"
 #include "common/build_info.hpp"
 #include "common/table.hpp"
+#include "membership/rps.hpp"
 #include "runtime/runner.hpp"
 #include "runtime/sweep.hpp"
 
@@ -150,14 +168,10 @@ Sample measure(runtime::Experiment& ex) {
   return s;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const std::uint32_t reps =
-      runtime::parse_flag(argc, argv, "--reps", 1, 1'000, 4);
-  runtime::ParallelRunner runner(
-      runtime::ParallelRunner::threads_from_args(argc, argv));
-
+/// Sections 1+2: the catalog frontier table and the whitewash A/B.
+/// Returns the number of failed assertions.
+int run_frontier_sections(std::uint32_t reps,
+                          runtime::ParallelRunner& runner) {
   std::printf("=== adversary frontier: catalog strategies vs the full "
               "accountability stack ===\n");
   std::printf("n=120, 35 s, delta=0.5, eta=-2.0, M=4, 40%% honest burst, "
@@ -276,5 +290,280 @@ int main(int argc, char** argv) {
     std::printf("whitewash A/B holds: evades without handoff, indicted "
                 "with handoff + expulsion handoff.\n");
   }
+  return failures;
+}
+
+// ---------------------------------------------------------------------------
+// Section 3: the membership-compromise axis (DESIGN.md §12).
+
+/// One membership-axis cell: colluder fraction × attack × sampler variant
+/// over runtime::membership_frontier_config.
+struct MemCell {
+  const char* attack_name;  ///< "none" or membership_catalog entry name
+  adversary::MembershipAttackConfig attack;
+  membership::SamplerPolicy sampler;
+  double fraction = 0.20;  ///< colluding-freerider population fraction
+};
+
+struct MemSample {
+  double detection = 0.0;
+  double false_positive = 0.0;
+  double fr_score = 0.0;       ///< mean min-vote score over the coalition
+  double stayer_blame = 0.0;   ///< wrongful blame per honest stayer
+  double colluder_share = 0.0; ///< mean coalition share of honest views
+  double victim_share = 0.0;   ///< same, over the eclipse victim subset
+};
+
+struct MemResult {
+  MemSample mean;
+  std::uint32_t reps = 0;
+  void add(const MemSample& s) {
+    ++reps;
+    mean.detection += s.detection;
+    mean.false_positive += s.false_positive;
+    mean.fr_score += s.fr_score;
+    mean.stayer_blame += s.stayer_blame;
+    mean.colluder_share += s.colluder_share;
+    mean.victim_share += s.victim_share;
+  }
+  void finalize() {
+    if (reps == 0) return;
+    const double r = static_cast<double>(reps);
+    mean.detection /= r;
+    mean.false_positive /= r;
+    mean.fr_score /= r;
+    mean.stayer_blame /= r;
+    mean.colluder_share /= r;
+    mean.victim_share /= r;
+  }
+};
+
+MemSample measure_membership(runtime::Experiment& ex) {
+  MemSample s;
+  const double eta = ex.config().lifting.eta;
+  std::size_t detected = 0;
+  std::size_t adversaries = 0;
+  std::vector<std::uint8_t> colluder(ex.population(), 0);
+  for (const auto id : ex.freerider_ids()) {
+    ++adversaries;
+    colluder[id.value()] = 1;
+    s.fr_score += ex.true_score(id);
+    // Expulsions are off in this scenario, so detection reduces to the
+    // end-of-run min-vote score read (same predicate as measure()).
+    if (ex.majority_expelled(id) ||
+        (!ex.is_departed(id) && ex.true_score(id) < eta)) {
+      ++detected;
+    }
+  }
+  s.detection = adversaries == 0 ? 0.0
+                                 : static_cast<double>(detected) /
+                                       static_cast<double>(adversaries);
+  if (adversaries != 0) s.fr_score /= static_cast<double>(adversaries);
+  s.false_positive = ex.detection_at(eta).false_positive;
+  s.stayer_blame = ex.honest_blame_split().stayer_mean();
+
+  // View compromise read directly off the RPS substrate. Computed against
+  // the freerider set rather than RpsNetwork::is_colluder so the unarmed
+  // baseline cells report the same statistic (their colluder mask is empty).
+  const auto* rps = ex.rps();
+  const auto share_of = [&](NodeId id) {
+    const auto& view = rps->view_of(id);
+    if (view.empty()) return -1.0;
+    std::size_t hits = 0;
+    for (const auto v : view) {
+      if (v.value() < colluder.size()) hits += colluder[v.value()];
+    }
+    return static_cast<double>(hits) / static_cast<double>(view.size());
+  };
+  double sum = 0.0;
+  std::size_t honest_views = 0;
+  for (std::uint32_t i = 1; i < ex.population(); ++i) {
+    const NodeId id{i};
+    if (colluder[i] != 0 || !rps->alive(id)) continue;
+    const double share = share_of(id);
+    if (share < 0.0) continue;
+    sum += share;
+    ++honest_views;
+  }
+  s.colluder_share = honest_views == 0
+                         ? 0.0
+                         : sum / static_cast<double>(honest_views);
+  const auto& victims = rps->eclipse_victims();
+  if (!victims.empty()) {
+    double vsum = 0.0;
+    std::size_t n = 0;
+    for (const auto v : victims) {
+      if (!rps->alive(v)) continue;
+      const double share = share_of(v);
+      if (share < 0.0) continue;
+      vsum += share;
+      ++n;
+    }
+    s.victim_share = n == 0 ? 0.0 : vsum / static_cast<double>(n);
+  }
+  return s;
+}
+
+/// Section 3 driver. Same fixed-grid construction as the frontier table:
+/// per-rep seeds shared across all cells (paired comparisons), task-ordered
+/// reduce, so the printed table is bit-identical at any --threads. Returns
+/// the number of failed assertions.
+int run_membership_axis(std::uint32_t reps, runtime::ParallelRunner& runner) {
+  std::printf("\n=== membership-compromise axis: view attack x sampler "
+              "variant ===\n");
+  std::printf("n=120, 30 s, colluding freeriders delta=0.5, eta=-3.0, M=4, "
+              "expulsions off, %u reps/cell [build=%s threads=%u]\n\n",
+              reps, build_type(), runner.threads());
+
+  const membership::SamplerPolicy legacy{};
+  const auto hardened = membership::SamplerPolicy::hardened_defaults();
+  static constexpr double kFractions[] = {0.10, 0.25};
+  const auto& catalog = adversary::membership_catalog();
+  const std::size_t n_attacks = 1 + catalog.size();  // "none" + catalog
+
+  std::vector<MemCell> cells;
+  for (const double fraction : kFractions) {
+    for (const auto& sampler : {legacy, hardened}) {
+      cells.push_back({"none", {}, sampler, fraction});
+      for (const auto& entry : catalog) {
+        cells.push_back({entry.name, entry.config, sampler, fraction});
+      }
+    }
+  }
+  // Cell layout: fraction-major, then sampler (0 legacy / 1 hardened),
+  // then attack (0 = none, 1.. = catalog order).
+  const auto idx = [n_attacks](std::size_t fi, std::size_t si,
+                               std::size_t ai) {
+    return (fi * 2 + si) * n_attacks + ai;
+  };
+
+  const std::size_t tasks = cells.size() * reps;
+  const auto samples = runner.map<MemSample>(tasks, [&](std::size_t task) {
+    const MemCell& cell = cells[task / reps];
+    const auto rep = static_cast<std::uint64_t>(task % reps);
+    auto cfg = runtime::membership_frontier_config(
+        runtime::derive_task_seed(0x4D454DF4ULL, rep));  // "MEM"+frontier
+    cfg.freerider_fraction = cell.fraction;
+    cfg.membership.sampler = cell.sampler;
+    cfg.membership.attack = cell.attack;
+    runtime::Experiment ex(cfg);
+    ex.run();
+    return measure_membership(ex);
+  });
+
+  std::vector<MemResult> results(cells.size());
+  for (std::size_t task = 0; task < samples.size(); ++task) {
+    results[task / reps].add(samples[task]);  // task order: deterministic
+  }
+  for (auto& r : results) r.finalize();
+
+  TextTable table({"fraction", "attack", "sampler", "detection", "false pos",
+                   "fr score", "stayer blame", "view share", "victim share"});
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const auto& m = results[i].mean;
+    table.add_row({TextTable::num(cells[i].fraction, 2),
+                   cells[i].attack_name,
+                   cells[i].sampler.hardened() ? "hardened" : "legacy",
+                   TextTable::num(m.detection, 3),
+                   TextTable::num(m.false_positive, 3),
+                   TextTable::num(m.fr_score, 2),
+                   TextTable::num(m.stayer_blame, 2),
+                   TextTable::num(m.colluder_share, 3),
+                   TextTable::num(m.victim_share, 3)});
+  }
+  table.print();
+
+  int failures = 0;
+  for (std::size_t fi = 0; fi < 2; ++fi) {
+    const auto& legacy_none = results[idx(fi, 0, 0)].mean;
+    const auto& hardened_none = results[idx(fi, 1, 0)].mean;
+    for (std::size_t ai = 1; ai < n_attacks; ++ai) {
+      const char* name = catalog[ai - 1].name;
+      const auto& la = results[idx(fi, 0, ai)].mean;  // legacy + attack
+      const auto& ha = results[idx(fi, 1, ai)].mean;  // hardened + attack
+      // The attack's footprint: eclipse concentrates on its victim subset,
+      // the broadcast attacks pack every honest view.
+      const double la_footprint =
+          la.victim_share > la.colluder_share ? la.victim_share
+                                              : la.colluder_share;
+      const double ha_footprint =
+          ha.victim_share > ha.colluder_share ? ha.victim_share
+                                              : ha.colluder_share;
+      // Structural: under the legacy sampler the attack must actually
+      // compromise views well past the honest-sampling baseline...
+      if (la_footprint < legacy_none.colluder_share + 0.10) {
+        std::fprintf(stderr, "bench_adversary_frontier: %s (fraction %.2f) "
+                     "did not compromise legacy views (share %.3f vs "
+                     "baseline %.3f + 0.10)\n",
+                     name, kFractions[fi], la_footprint,
+                     legacy_none.colluder_share);
+        ++failures;
+      }
+      // ...and the hardened sampler's attested merge must strip most of
+      // the packing (self-adverts are protocol-legal, so a small residual
+      // over the hardened baseline is expected).
+      const double la_excess = la_footprint - legacy_none.colluder_share;
+      const double ha_excess = ha_footprint - hardened_none.colluder_share;
+      if (ha_excess > la_excess * 0.5) {
+        std::fprintf(stderr, "bench_adversary_frontier: hardened sampler "
+                     "did not strip %s view packing (fraction %.2f: excess "
+                     "legacy %.3f, hardened %.3f, ceiling 0.5x)\n",
+                     name, kFractions[fi], la_excess, ha_excess);
+        ++failures;
+      }
+    }
+  }
+  // The detection A/B at the heavy colluder fraction: the broadcast view
+  // attacks must starve blame under the legacy sampler (partner slots land
+  // on coalition members who never blame — Agent::emit_blame), and the
+  // hardened sampler must close most of that detection gap. Eclipse is
+  // asserted structurally above only: its victim subset is too small to
+  // move the population-level detection mean reliably.
+  const auto& heavy_none = results[idx(1, 0, 0)].mean;
+  const auto& heavy_hard_none = results[idx(1, 1, 0)].mean;
+  for (std::size_t ai = 1; ai <= 2; ++ai) {  // view-poison, hub-capture
+    const char* name = catalog[ai - 1].name;
+    const double legacy_drop =
+        heavy_none.detection - results[idx(1, 0, ai)].mean.detection;
+    const double hardened_drop =
+        heavy_hard_none.detection - results[idx(1, 1, ai)].mean.detection;
+    if (legacy_drop < 0.15) {
+      std::fprintf(stderr, "bench_adversary_frontier: %s failed to degrade "
+                   "detection under the legacy sampler (drop %.3f, floor "
+                   "0.15)\n", name, legacy_drop);
+      ++failures;
+    }
+    if (hardened_drop > legacy_drop * 0.5) {
+      std::fprintf(stderr, "bench_adversary_frontier: hardened sampler did "
+                   "not close the %s detection gap (legacy drop %.3f, "
+                   "hardened drop %.3f, ceiling 0.5x)\n",
+                   name, legacy_drop, hardened_drop);
+      ++failures;
+    }
+    std::printf("%s detection drop at fraction 0.25: legacy %+0.3f | "
+                "hardened %+0.3f\n", name, legacy_drop, hardened_drop);
+  }
+  if (failures == 0) {
+    std::printf("membership A/B holds: view attacks starve detection under "
+                "the legacy sampler; the hardened sampler restores it.\n");
+  }
+  return failures;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint32_t reps =
+      runtime::parse_flag(argc, argv, "--reps", 1, 1'000, 4);
+  runtime::ParallelRunner runner(
+      runtime::ParallelRunner::threads_from_args(argc, argv));
+  bool membership_only = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--membership-only") == 0) membership_only = true;
+  }
+
+  int failures = 0;
+  if (!membership_only) failures += run_frontier_sections(reps, runner);
+  failures += run_membership_axis(reps, runner);
   return failures == 0 ? 0 : 1;
 }

@@ -46,6 +46,7 @@ done <<REQUIRED_CITATIONS
 src/adversary/ DESIGN.md README.md
 src/net/ DESIGN.md README.md
 src/faults/ DESIGN.md README.md
+src/membership/ DESIGN.md README.md
 REQUIRED_CITATIONS
 
 if [ "$status" -eq 0 ]; then

@@ -1,0 +1,75 @@
+#include "adversary/membership.hpp"
+
+#include "common/assert.hpp"
+
+namespace lifting::adversary {
+
+const char* membership_strategy_name(MembershipStrategy strategy) noexcept {
+  switch (strategy) {
+    case MembershipStrategy::kNone:
+      return "none";
+    case MembershipStrategy::kViewPoison:
+      return "view-poison";
+    case MembershipStrategy::kHubCapture:
+      return "hub-capture";
+    case MembershipStrategy::kEclipse:
+      return "eclipse";
+  }
+  return "?";
+}
+
+void MembershipAttackConfig::validate() const {
+  if (!enabled()) return;
+  require(poison_fill > 0.0 && poison_fill <= 1.0,
+          "poison fill must be in (0, 1]");
+  if (strategy == MembershipStrategy::kHubCapture ||
+      strategy == MembershipStrategy::kEclipse) {
+    require(extra_pushes >= 1, "directed-push strategies need extra_pushes >= 1");
+  }
+  if (strategy == MembershipStrategy::kEclipse) {
+    require(eclipse_fraction > 0.0 && eclipse_fraction < 1.0,
+            "eclipse fraction must be in (0, 1)");
+  }
+}
+
+const std::vector<MembershipCatalogEntry>& membership_catalog() {
+  static const std::vector<MembershipCatalogEntry> entries = [] {
+    std::vector<MembershipCatalogEntry> list;
+
+    {
+      MembershipAttackConfig cfg;
+      cfg.strategy = MembershipStrategy::kViewPoison;
+      cfg.poison_fill = 0.75;
+      list.push_back({"view-poison",
+                      "forged colluder-heavy shuffle offers vs the §2 "
+                      "uniform-sampling assumption (RAPTEE's baseline threat)",
+                      cfg});
+    }
+    {
+      MembershipAttackConfig cfg;
+      cfg.strategy = MembershipStrategy::kHubCapture;
+      cfg.poison_fill = 0.75;
+      cfg.extra_pushes = 3;
+      list.push_back({"hub-capture",
+                      "in-degree capture via directed forged pushes — "
+                      "colluders dominate partner sets, honest cross-checks "
+                      "(§5.2) starve",
+                      cfg});
+    }
+    {
+      MembershipAttackConfig cfg;
+      cfg.strategy = MembershipStrategy::kEclipse;
+      cfg.poison_fill = 0.75;
+      cfg.extra_pushes = 3;
+      cfg.eclipse_fraction = 0.2;
+      list.push_back({"eclipse",
+                      "eclipse-assisted freeriding: victim views captured "
+                      "entirely, composing with the §4 attack catalog",
+                      cfg});
+    }
+    return list;
+  }();
+  return entries;
+}
+
+}  // namespace lifting::adversary

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/assert.hpp"
+#include "membership/rps.hpp"
 #include "membership/sampler.hpp"
 
 namespace lifting::gossip {
@@ -237,6 +238,30 @@ void Engine::pick_partners_into(std::size_t count, std::vector<NodeId>& out) {
         behavior_.collusion->bias_pm);
     out.assign(partners.begin(), partners.end());
     return;
+  }
+  if (rps_view_ != nullptr) {
+    // RPS-driven selection (DESIGN.md §12): the candidate pool is this
+    // node's partial view, filtered through its membership view (a partner
+    // the node has not yet heard departed stays selectable — same wrongful
+    // blame window as the directory path). Partial Fisher-Yates over the
+    // pool; falls back to the directory below only when the view is empty
+    // (a freshly-joined node before its first shuffle round).
+    rps_pool_scratch_.clear();
+    for (const auto id : rps_view_->view_of(self_)) {
+      if (directory_.sees(self_, id, sim_.now())) rps_pool_scratch_.push_back(id);
+    }
+    if (!rps_pool_scratch_.empty()) {
+      auto& pool = rps_pool_scratch_;
+      const std::size_t take = std::min(count, pool.size());
+      out.clear();
+      for (std::size_t i = 0; i < take; ++i) {
+        const auto j = i + rng_.below(static_cast<std::uint32_t>(
+                               pool.size() - i));
+        std::swap(pool[i], pool[j]);
+        out.push_back(pool[i]);
+      }
+      return;
+    }
   }
   // View-aware: with a membership-propagation lag this node may still
   // select a recently-departed partner (wrongful blame follows when the

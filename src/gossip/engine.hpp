@@ -27,6 +27,10 @@
 /// cross-checking protocol (§5.2) at propose time, and reports protocol
 /// events to an EngineObserver (the LiFTinG agent).
 
+namespace lifting::membership {
+class RpsNetwork;
+}  // namespace lifting::membership
+
 namespace lifting::gossip {
 
 /// Protocol events consumed by the LiFTinG agent. All references are only
@@ -114,6 +118,14 @@ class Engine {
   /// an honest node turning freerider, a freerider going straight).
   void set_behavior(BehaviorSpec behavior);
 
+  /// Partner selection from an RPS partial view (DESIGN.md §12): when set,
+  /// honest partner draws come from `rps->view_of(self)` (filtered through
+  /// this node's membership view) instead of the full directory. Null (the
+  /// default) keeps the legacy directory sampling bit-identical.
+  void set_partner_view(const membership::RpsNetwork* rps) noexcept {
+    rps_view_ = rps;
+  }
+
   /// Routes one of the four gossip message kinds to the engine.
   void handle(NodeId from, const Message& message);
 
@@ -194,6 +206,8 @@ class Engine {
   BehaviorSpec behavior_;
   Pcg32 rng_;
   EngineObserver* observer_;
+  /// RPS partner-selection source (null = legacy directory sampling).
+  const membership::RpsNetwork* rps_view_ = nullptr;
 
   bool running_ = false;
   PeriodIndex period_ = 0;
@@ -250,6 +264,7 @@ class Engine {
   RecycledVector<FreshChunk> fresh_scratch_;
   std::vector<NodeId> partners_scratch_;
   std::vector<NodeId> claimed_scratch_;
+  std::vector<NodeId> rps_pool_scratch_;
   RecycledVector<NodeId> servers_scratch_;
   std::vector<std::uint32_t> sample_index_scratch_;
 

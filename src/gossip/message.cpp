@@ -81,6 +81,12 @@ struct SizeVisitor {
     // never part of the modeled TCP stream.
     return kUdpHeader + kTag + 1 + 4 + kNode;
   }
+  std::size_t operator()(const RpsShuffleMsg& m) const {
+    // Substrate shuffle exchange: one UDP datagram; entries are
+    // (id, age, epoch, flags) = 13 B each.
+    return kUdpHeader + kTag + 4 + 1 + kCount +
+           (kNode + 4 + 4 + 1) * m.entries.size();
+  }
 };
 
 /// Exact codec payload length (net/codec.cpp layouts, kept in lockstep by
@@ -145,6 +151,9 @@ struct DatagramSizeVisitor {
   std::size_t operator()(const AuditAckMsg&) const {
     return kTag + 1 + 4 + kNode;
   }
+  std::size_t operator()(const RpsShuffleMsg& m) const {
+    return kTag + 4 + 1 + kCount + (kNode + 4 + 4 + 1) * m.entries.size();
+  }
 };
 
 struct KindVisitor {
@@ -167,6 +176,7 @@ struct KindVisitor {
     return "history_poll_resp";
   }
   const char* operator()(const AuditAckMsg&) const { return "audit_ack"; }
+  const char* operator()(const RpsShuffleMsg&) const { return "rps_shuffle"; }
 };
 
 }  // namespace
@@ -190,7 +200,7 @@ const char* message_kind_name(std::size_t index) {
       "blame",         "score_query",   "score_reply",
       "expel_request", "expel_vote",    "expel_commit",
       "audit_request", "audit_history", "history_poll",
-      "history_poll_resp", "audit_ack"};
+      "history_poll_resp", "audit_ack", "rps_shuffle"};
   static_assert(std::size(kNames) == std::variant_size_v<Message>);
   return index < std::size(kNames) ? kNames[index] : "unknown";
 }

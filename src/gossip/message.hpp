@@ -181,6 +181,34 @@ struct AuditAckMsg {
   NodeId subject;  // NodeId{0} for kinds without a subject field
 };
 
+// ------------------------------------------------ membership substrate
+
+/// One partial-view entry as carried by an RPS shuffle exchange
+/// (membership::RpsNetwork, DESIGN.md §12). `flags` bit 0 is the
+/// ground-truth forged marker: set only by membership-layer attacks
+/// (adversary/membership.hpp) on fabricated entries, never by honest
+/// code — the modeled RAPTEE-style attested merge rejects flagged entries
+/// the way a TEE-backed sampler would reject entries without a valid
+/// attestation.
+struct RpsViewEntry {
+  NodeId id;
+  std::uint32_t age = 0;
+  std::uint32_t epoch = 1;
+  std::uint8_t flags = 0;
+};
+inline constexpr std::uint8_t kRpsEntryForged = 0x01;
+
+/// One RPS shuffle exchange (the initiator's offer or the contacted
+/// node's response). The attested flag marks exchanges produced under the
+/// hardened sampler's attestation option.
+struct RpsShuffleMsg {
+  std::uint32_t round = 0;
+  std::uint8_t flags = 0;
+  std::vector<RpsViewEntry> entries;
+};
+inline constexpr std::uint8_t kRpsShuffleAttested = 0x01;
+inline constexpr std::uint8_t kRpsShuffleResponse = 0x02;
+
 // ----------------------------------------------------------------- variant
 
 using Message =
@@ -188,7 +216,7 @@ using Message =
                  ConfirmRespMsg, BlameMsg, ScoreQueryMsg, ScoreReplyMsg,
                  ExpelRequestMsg, ExpelVoteMsg, ExpelCommitMsg,
                  AuditRequestMsg, AuditHistoryMsg, HistoryPollMsg,
-                 HistoryPollRespMsg, AuditAckMsg>;
+                 HistoryPollRespMsg, AuditAckMsg, RpsShuffleMsg>;
 
 /// The first kGossipKindCount Message alternatives are the dissemination
 /// kinds handled by the gossip engine (routing tests `index() < 4`); the
@@ -211,6 +239,11 @@ static_assert(std::is_same_v<std::variant_alternative_t<15, Message>,
                              HistoryPollRespMsg>);
 static_assert(std::is_same_v<std::variant_alternative_t<16, Message>,
                              AuditAckMsg>);
+
+/// The RPS shuffle sits after the audit block: substrate traffic, neither
+/// a gossip kind (engine routing) nor an audited RPC (retry channel).
+static_assert(std::is_same_v<std::variant_alternative_t<17, Message>,
+                             RpsShuffleMsg>);
 
 /// Modeled wire size in bytes, including a per-datagram IP+UDP header
 /// (28 B) or amortized TCP framing (40 B). Field sizes: node id 4 B,

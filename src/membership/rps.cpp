@@ -6,17 +6,33 @@
 
 namespace lifting::membership {
 
+namespace {
+
+/// Wire conversion: the forged bit is the only non-trivial field mapping.
+gossip::RpsViewEntry to_wire(NodeId id, std::uint32_t age, std::uint32_t epoch,
+                             bool forged) {
+  return gossip::RpsViewEntry{
+      id, age, epoch,
+      static_cast<std::uint8_t>(forged ? gossip::kRpsEntryForged : 0)};
+}
+
+}  // namespace
+
 RpsNetwork::RpsNetwork(std::uint32_t n, std::size_t view_size,
-                       std::size_t shuffle_length, std::uint64_t seed)
+                       std::size_t shuffle_length, std::uint64_t seed,
+                       SamplerPolicy policy)
     : view_size_(view_size),
       shuffle_length_(std::min(shuffle_length, view_size)),
+      policy_(policy),
       rng_(derive_rng(seed, 0x525053ULL)) {  // "RPS"
   require(n >= 3, "RPS needs at least three nodes");
   require(view_size >= 2 && view_size < n, "view size must be in [2, n)");
   require(shuffle_length >= 1, "shuffle length must be >= 1");
+  policy_.validate();
   views_.resize(n);
   alive_.assign(n, 1);
   epoch_.assign(n, 1);
+  responses_.assign(n, 0);
   // Bootstrap: successors on a ring plus random shortcuts. Deliberately
   // non-uniform — the shuffle rounds must do the mixing.
   for (std::uint32_t i = 0; i < n; ++i) {
@@ -34,12 +50,52 @@ RpsNetwork::RpsNetwork(std::uint32_t n, std::size_t view_size,
   }
 }
 
+void RpsNetwork::set_adversary(const adversary::MembershipAttackConfig& attack,
+                               const std::vector<NodeId>& colluders) {
+  attack.validate();
+  attack_ = attack;
+  colluders_.clear();
+  colluder_.assign(alive_.size(), 0);
+  victims_.clear();
+  victim_.assign(alive_.size(), 0);
+  if (!attack_.enabled()) return;
+  require(!colluders.empty(), "membership attack armed without colluders");
+  for (const auto c : colluders) {
+    const auto v = static_cast<std::size_t>(c.value());
+    require(v < alive_.size(), "membership colluder id out of range");
+    if (colluder_[v] != 0) continue;
+    colluder_[v] = 1;
+    colluders_.push_back(c);
+  }
+  if (attack_.strategy == adversary::MembershipStrategy::kEclipse) {
+    // Pick the victim subset once, deterministically: the attack tracks a
+    // fixed set of targets rather than re-rolling every round.
+    std::vector<NodeId> honest;
+    for (std::size_t i = 0; i < alive_.size(); ++i) {
+      if (alive_[i] != 0 && colluder_[i] == 0) {
+        honest.push_back(NodeId{static_cast<std::uint32_t>(i)});
+      }
+    }
+    require(!honest.empty(), "eclipse attack needs at least one honest node");
+    rng_.shuffle(honest);
+    auto take = static_cast<std::size_t>(
+        attack_.eclipse_fraction * static_cast<double>(honest.size()) + 0.5);
+    take = std::min(std::max<std::size_t>(take, 1), honest.size());
+    victims_.assign(honest.begin(),
+                    honest.begin() + static_cast<std::ptrdiff_t>(take));
+    for (const auto vic : victims_) victim_[vic.value()] = 1;
+  }
+}
+
 void RpsNetwork::join(NodeId id) {
   const auto v = static_cast<std::size_t>(id.value());
   if (v >= views_.size()) {
     views_.resize(v + 1);
     alive_.resize(v + 1, 0);
     epoch_.resize(v + 1, 0);
+    responses_.resize(v + 1, 0);
+    if (!colluder_.empty()) colluder_.resize(v + 1, 0);
+    if (!victim_.empty()) victim_.resize(v + 1, 0);
   }
   LIFTING_ASSERT(alive_[v] == 0, "RPS join of a node already alive");
   alive_[v] = 1;
@@ -80,6 +136,15 @@ void RpsNetwork::purge_stale(View& view) {
       view.entries.end());
 }
 
+void RpsNetwork::evict_old(View& view) {
+  view.entries.erase(
+      std::remove_if(view.entries.begin(), view.entries.end(),
+                     [this](const Entry& e) {
+                       return e.age > policy_.max_entry_age;
+                     }),
+      view.entries.end());
+}
+
 bool RpsNetwork::contains(const View& view, NodeId id) const {
   return std::any_of(view.entries.begin(), view.entries.end(),
                      [&](const Entry& e) { return e.id == id; });
@@ -95,6 +160,8 @@ void RpsNetwork::rebuild_cache(std::uint32_t node) {
 }
 
 void RpsNetwork::run_round() {
+  ++round_;
+  if (policy_.hardened()) responses_.assign(views_.size(), 0);
   // Synchronous sweep in random order (order affects nothing observable;
   // randomizing avoids systematic id-order artifacts).
   std::vector<std::uint32_t> order(views_.size());
@@ -104,12 +171,17 @@ void RpsNetwork::run_round() {
     if (alive_[initiator] == 0) continue;
     shuffle_pair(initiator);
   }
+  // Directed attack pushes run after the honest sweep: colluders cannot
+  // pre-burn a victim's responder budget before its honest exchanges land,
+  // so the hardened rate cap bounds attack traffic, not honest traffic.
+  if (attack_.enabled()) attack_pushes();
   for (std::uint32_t i = 0; i < views_.size(); ++i) rebuild_cache(i);
 }
 
 void RpsNetwork::shuffle_pair(std::uint32_t initiator) {
   auto& mine = views_[initiator];
   purge_stale(mine);
+  if (policy_.hardened()) evict_old(mine);
   if (mine.entries.empty()) return;
   for (auto& e : mine.entries) ++e.age;
 
@@ -119,34 +191,106 @@ void RpsNetwork::shuffle_pair(std::uint32_t initiator) {
       mine.entries.begin(), mine.entries.end(),
       [](const Entry& a, const Entry& b) { return a.age < b.age; });
   const NodeId peer_id = oldest->id;
+
+  // Hardened responder rate cap: a refused contact still cost the
+  // initiator its round (ages already bumped), like contacting a node
+  // that drops the exchange.
+  if (policy_.hardened()) {
+    auto& budget = responses_[peer_id.value()];
+    if (budget >= policy_.max_responses_per_round) return;
+    ++budget;
+  }
+
   auto& theirs = views_[peer_id.value()];
   purge_stale(theirs);
+  if (policy_.hardened()) evict_old(theirs);
 
-  // Pick subsets to exchange; the initiator always offers itself (age 0).
-  const auto pick_subset = [&](View& view, NodeId exclude,
-                               std::size_t count) {
-    std::vector<Entry> subset;
-    std::vector<std::size_t> idx(view.entries.size());
-    for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
-    rng_.shuffle(idx);
-    for (const auto i : idx) {
-      if (subset.size() >= count) break;
-      if (view.entries[i].id == exclude) continue;
-      subset.push_back(view.entries[i]);
-    }
-    return subset;
-  };
+  // The initiator's offer always carries itself at age 0; the response is
+  // a plain subset. Colluder sides substitute poisoned payloads inside
+  // make_exchange.
+  const gossip::RpsShuffleMsg offer =
+      make_exchange(NodeId{initiator}, peer_id, shuffle_length_ - 1, true);
+  const gossip::RpsShuffleMsg reply =
+      make_exchange(peer_id, NodeId{initiator}, shuffle_length_, false);
+  merge_into(mine, NodeId{initiator}, offer.entries, reply.entries);
+  merge_into(theirs, peer_id, reply.entries, offer.entries);
+}
 
-  auto sent = pick_subset(mine, peer_id, shuffle_length_ - 1);
-  sent.push_back(Entry{NodeId{initiator}, 0, epoch_[initiator]});
-  const auto received = pick_subset(theirs, NodeId{initiator},
-                                    shuffle_length_);
+gossip::RpsShuffleMsg RpsNetwork::make_exchange(NodeId from, NodeId to,
+                                                std::size_t count,
+                                                bool offer) {
+  gossip::RpsShuffleMsg msg;
+  msg.round = round_;
+  if (policy_.attestation_active()) msg.flags |= gossip::kRpsShuffleAttested;
+  if (!offer) msg.flags |= gossip::kRpsShuffleResponse;
+  if (attack_.enabled() && is_colluder(from)) {
+    fill_poisoned(msg, from, to, count);
+  } else {
+    pick_subset_into(msg, views_[static_cast<std::size_t>(from.value())], to,
+                     count);
+  }
+  if (offer) {
+    // The self-advert is genuine even from a colluder: a real node naming
+    // itself is exactly what the honest protocol allows, so attestation
+    // never strips it (RAPTEE bounds attacks to protocol-legal behavior,
+    // it does not unmask participants).
+    msg.entries.push_back(to_wire(from, 0, epoch_[from.value()], false));
+  }
+  return msg;
+}
 
-  // Merge policy: drop the entries we sent, insert what we received,
-  // dedupe (keep the younger), truncate to the view size by age.
-  const auto merge = [&](View& view, NodeId self,
-                         const std::vector<Entry>& outgoing,
-                         const std::vector<Entry>& incoming) {
+void RpsNetwork::pick_subset_into(gossip::RpsShuffleMsg& msg, View& view,
+                                  NodeId exclude, std::size_t count) {
+  std::vector<std::size_t> idx(view.entries.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  rng_.shuffle(idx);
+  for (const auto i : idx) {
+    if (msg.entries.size() >= count) break;
+    const Entry& e = view.entries[i];
+    if (e.id == exclude) continue;
+    // Skip ids the message already carries — a no-op for honest exchanges
+    // (view entries are unique by id) but needed when padding a poisoned
+    // offer that already names colluders.
+    const bool dup = std::any_of(
+        msg.entries.begin(), msg.entries.end(),
+        [&](const gossip::RpsViewEntry& w) { return w.id == e.id; });
+    if (dup) continue;
+    msg.entries.push_back(to_wire(e.id, e.age, e.epoch, e.forged));
+  }
+}
+
+void RpsNetwork::fill_poisoned(gossip::RpsShuffleMsg& msg, NodeId from,
+                               NodeId to, std::size_t count) {
+  if (count == 0) return;
+  // Forged coalition adverts at age 0: maximally attractive to the
+  // age-sorted merge, so they displace the oldest honest entries first.
+  std::vector<NodeId> pool;
+  for (const auto c : colluders_) {
+    if (c == from || c == to || !alive(c)) continue;
+    pool.push_back(c);
+  }
+  rng_.shuffle(pool);
+  auto forged_target = static_cast<std::size_t>(
+      attack_.poison_fill * static_cast<double>(count) + 0.5);
+  forged_target = std::min(std::max<std::size_t>(forged_target, 1), count);
+  for (std::size_t i = 0; i < pool.size() && msg.entries.size() < forged_target;
+       ++i) {
+    msg.entries.push_back(
+        to_wire(pool[i], 0, epoch_[pool[i].value()], true));
+  }
+  // Pad with genuinely held entries so the exchange keeps its natural
+  // size — a size anomaly would be trivially detectable.
+  pick_subset_into(msg, views_[static_cast<std::size_t>(from.value())], to,
+                   count);
+}
+
+void RpsNetwork::merge_into(View& view, NodeId self,
+                            const std::vector<gossip::RpsViewEntry>& outgoing,
+                            const std::vector<gossip::RpsViewEntry>& incoming) {
+  if (!policy_.hardened()) {
+    // Legacy merge (bit-identical to the pre-policy sampler): drop the
+    // entries we sent, insert what we received, dedupe (keep the younger),
+    // truncate to the view size by age.
     for (const auto& out : outgoing) {
       const auto it = std::find_if(
           view.entries.begin(), view.entries.end(),
@@ -154,14 +298,16 @@ void RpsNetwork::shuffle_pair(std::uint32_t initiator) {
       if (it != view.entries.end()) view.entries.erase(it);
     }
     for (const auto& in : incoming) {
-      if (in.id == self || stale(in)) continue;
+      const Entry e{in.id, in.age, in.epoch,
+                    (in.flags & gossip::kRpsEntryForged) != 0};
+      if (e.id == self || stale(e)) continue;
       const auto it = std::find_if(
           view.entries.begin(), view.entries.end(),
-          [&](const Entry& e) { return e.id == in.id; });
+          [&](const Entry& x) { return x.id == e.id; });
       if (it != view.entries.end()) {
-        it->age = std::min(it->age, in.age);
+        it->age = std::min(it->age, e.age);
       } else {
-        view.entries.push_back(in);
+        view.entries.push_back(e);
       }
     }
     if (view.entries.size() > view_size_) {
@@ -169,9 +315,99 @@ void RpsNetwork::shuffle_pair(std::uint32_t initiator) {
                 [](const Entry& a, const Entry& b) { return a.age < b.age; });
       view.entries.resize(view_size_);
     }
-  };
-  merge(mine, NodeId{initiator}, sent, received);
-  merge(theirs, peer_id, received, sent);
+    return;
+  }
+
+  // Hardened merge: filter the incoming entries first (attestation, age
+  // bound, bounded push acceptance), then spend the entries we handed away
+  // only as accepted replacements arrive — Cyclon's remove-as-needed swap.
+  // Removing everything sent regardless (the legacy rule) would let a
+  // mostly-rejected forged offer drain the victim's view: attestation
+  // strips the payload but the victim still paid full price, and repeated
+  // poisoned exchanges collapse views into a handful of overloaded targets.
+  std::vector<Entry> accepted;
+  for (const auto& in : incoming) {
+    const Entry e{in.id, in.age, in.epoch,
+                  (in.flags & gossip::kRpsEntryForged) != 0};
+    if (e.id == self || stale(e)) continue;
+    if (policy_.attestation_active() && e.forged) continue;
+    if (e.age > policy_.max_entry_age) continue;
+    const auto it = std::find_if(
+        view.entries.begin(), view.entries.end(),
+        [&](const Entry& x) { return x.id == e.id; });
+    if (it != view.entries.end()) {
+      it->age = std::min(it->age, e.age);
+      continue;
+    }
+    const bool dup = std::any_of(
+        accepted.begin(), accepted.end(),
+        [&](const Entry& x) { return x.id == e.id; });
+    if (dup) continue;
+    // Bounded push acceptance: a solicited shuffle may refill what it
+    // offered, an unsolicited push (empty outgoing) can plant at most
+    // max_push_accept new ids — a directed flood cannot flip a whole view
+    // in one round.
+    if (accepted.size() >= outgoing.size() + policy_.max_push_accept) break;
+    accepted.push_back(e);
+  }
+  std::size_t spent = 0;
+  for (const auto& out : outgoing) {
+    if (spent >= accepted.size()) break;
+    const auto it = std::find_if(
+        view.entries.begin(), view.entries.end(),
+        [&](const Entry& e) { return e.id == out.id; });
+    if (it != view.entries.end()) {
+      view.entries.erase(it);
+      ++spent;
+    }
+  }
+  view.entries.insert(view.entries.end(), accepted.begin(), accepted.end());
+  if (view.entries.size() > view_size_) {
+    std::sort(view.entries.begin(), view.entries.end(),
+              [](const Entry& a, const Entry& b) { return a.age < b.age; });
+    view.entries.resize(view_size_);
+  }
+}
+
+void RpsNetwork::attack_pushes() {
+  using adversary::MembershipStrategy;
+  if (attack_.strategy != MembershipStrategy::kHubCapture &&
+      attack_.strategy != MembershipStrategy::kEclipse) {
+    return;
+  }
+  static const std::vector<gossip::RpsViewEntry> kNoOutgoing;
+  for (const auto c : colluders_) {
+    if (!alive(c)) continue;
+    for (std::uint32_t p = 0; p < attack_.extra_pushes; ++p) {
+      // Bounded retries keep target selection deterministic even when most
+      // candidates are dead or fellow colluders.
+      NodeId target = c;  // sentinel: c itself means "none found"
+      for (int attempt = 0; attempt < 8; ++attempt) {
+        NodeId cand;
+        if (attack_.strategy == MembershipStrategy::kEclipse) {
+          if (victims_.empty()) break;
+          cand = victims_[rng_.below(
+              static_cast<std::uint32_t>(victims_.size()))];
+        } else {
+          cand = NodeId{rng_.below(
+              static_cast<std::uint32_t>(views_.size()))};
+        }
+        if (!alive(cand) || is_colluder(cand) || cand == c) continue;
+        target = cand;
+        break;
+      }
+      if (target == c) continue;
+      if (policy_.hardened()) {
+        auto& budget = responses_[target.value()];
+        if (budget >= policy_.max_responses_per_round) continue;
+        ++budget;
+      }
+      const gossip::RpsShuffleMsg push =
+          make_exchange(c, target, shuffle_length_ - 1, true);
+      merge_into(views_[static_cast<std::size_t>(target.value())], target,
+                 kNoOutgoing, push.entries);
+    }
+  }
 }
 
 NodeId RpsNetwork::sample(NodeId self, Pcg32& rng) const {
@@ -227,6 +463,31 @@ double RpsNetwork::coverage_of(NodeId id) const {
   return observers == 0 ? 0.0
                         : static_cast<double>(holders) /
                               static_cast<double>(observers);
+}
+
+double RpsNetwork::colluder_share_of(NodeId id) const {
+  const auto& entries = views_[static_cast<std::size_t>(id.value())].entries;
+  std::size_t live = 0;
+  std::size_t coll = 0;
+  for (const auto& e : entries) {
+    if (stale(e)) continue;
+    ++live;
+    if (is_colluder(e.id)) ++coll;
+  }
+  return live == 0 ? 0.0
+                   : static_cast<double>(coll) / static_cast<double>(live);
+}
+
+double RpsNetwork::colluder_view_share() const {
+  double sum = 0.0;
+  std::size_t honest = 0;
+  for (std::size_t i = 0; i < views_.size(); ++i) {
+    const NodeId id{static_cast<std::uint32_t>(i)};
+    if (alive_[i] == 0 || is_colluder(id)) continue;
+    sum += colluder_share_of(id);
+    ++honest;
+  }
+  return honest == 0 ? 0.0 : sum / static_cast<double>(honest);
 }
 
 }  // namespace lifting::membership

@@ -4,8 +4,11 @@
 #include <cstdint>
 #include <vector>
 
+#include "adversary/membership.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "gossip/message.hpp"
+#include "membership/sampler_policy.hpp"
 
 /// Gossip-based random peer sampling (paper §2: uniform selection "is
 /// usually achieved using full membership or a random peer sampling
@@ -20,9 +23,15 @@
 /// the entropy threshold γ to tolerate (validated in the test suite).
 ///
 /// The service is substrate-level: rounds advance synchronously over the
-/// population (the gossip engine itself keeps using the membership
-/// directory; the RPS exists to justify the uniformity assumption and to
-/// measure γ's tolerance under realistic sampling).
+/// population. It can be either a standalone calibration artifact (the
+/// historical role) or — with ScenarioConfig::membership.rps_partner_sampling
+/// — the actual partner-selection source of every gossip engine
+/// (DESIGN.md §12), which is where the membership-layer attacks bite.
+///
+/// Exchange subsets travel as gossip::RpsShuffleMsg (the wire type the
+/// net codec round-trips), so what the attacks forge and what the
+/// hardened sampler's attestation rejects is exactly what a deployment
+/// would put on the wire.
 
 namespace lifting::membership {
 
@@ -30,10 +39,20 @@ class RpsNetwork {
  public:
   /// Builds a population of n views bootstrapped from a random ring plus
   /// random shortcuts (a weakly connected start that shuffling must mix).
+  /// The default (legacy) policy leaves every rng draw and view mutation
+  /// byte-identical to the pre-policy sampler.
   RpsNetwork(std::uint32_t n, std::size_t view_size, std::size_t shuffle_length,
-             std::uint64_t seed);
+             std::uint64_t seed, SamplerPolicy policy = {});
 
-  /// Runs one synchronous shuffle round over every live node.
+  /// Arms a membership-layer attack (DESIGN.md §12) over `colluders`
+  /// (typically the deployment's freerider list). kEclipse picks its
+  /// victim subset now, deterministically from the network rng. A kNone
+  /// config disarms.
+  void set_adversary(const adversary::MembershipAttackConfig& attack,
+                     const std::vector<NodeId>& colluders);
+
+  /// Runs one synchronous shuffle round over every live node (plus the
+  /// armed attack's directed pushes, if any).
   void run_round();
   void run_rounds(std::uint32_t rounds) {
     for (std::uint32_t i = 0; i < rounds; ++i) run_round();
@@ -77,6 +96,8 @@ class RpsNetwork {
   [[nodiscard]] std::uint32_t size() const noexcept {
     return static_cast<std::uint32_t>(views_.size());
   }
+  [[nodiscard]] const SamplerPolicy& policy() const noexcept { return policy_; }
+  [[nodiscard]] std::uint32_t rounds_run() const noexcept { return round_; }
 
   /// In-degree of every live node (how many views contain it) — the classic
   /// RPS health metric: it concentrates around view_size after mixing.
@@ -93,11 +114,31 @@ class RpsNetwork {
   /// tests/test_churn_resilience.cpp measures both curves.
   [[nodiscard]] double coverage_of(NodeId id) const;
 
+  // ---- attack observability (all zero / empty when nothing is armed)
+  [[nodiscard]] bool is_colluder(NodeId id) const {
+    const auto v = static_cast<std::size_t>(id.value());
+    return v < colluder_.size() && colluder_[v] != 0;
+  }
+  /// Victim subset of an armed kEclipse attack (empty otherwise).
+  [[nodiscard]] const std::vector<NodeId>& eclipse_victims() const noexcept {
+    return victims_;
+  }
+  /// Fraction of `id`'s live view entries naming colluders.
+  [[nodiscard]] double colluder_share_of(NodeId id) const;
+  /// Mean colluder share over live NON-colluder views — the health metric
+  /// the membership bench axis reports (≈ colluder population share under
+  /// honest sampling; pinned much higher by a successful poisoning).
+  [[nodiscard]] double colluder_view_share() const;
+
  private:
   struct Entry {
     NodeId id;
     std::uint32_t age = 0;
     std::uint32_t epoch = 1;  // the target's epoch when learned
+    /// Ground-truth fabrication marker (gossip::kRpsEntryForged on the
+    /// wire): set only by membership attacks, propagated by honest
+    /// shuffles, rejected by the hardened sampler's attested merge.
+    bool forged = false;
   };
   struct View {
     std::vector<Entry> entries;
@@ -107,6 +148,25 @@ class RpsNetwork {
   void shuffle_pair(std::uint32_t initiator);
   void rebuild_cache(std::uint32_t node);
   void purge_stale(View& view);
+  /// Hardened-only hygiene: drop entries past the policy age bound.
+  void evict_old(View& view);
+  /// Builds one exchange message from `from` toward `to`: the honest
+  /// random subset (exact legacy rng draws), or a forged colluder-heavy
+  /// offer when `from` is an armed colluder.
+  [[nodiscard]] gossip::RpsShuffleMsg make_exchange(NodeId from, NodeId to,
+                                                    std::size_t count,
+                                                    bool offer);
+  void fill_poisoned(gossip::RpsShuffleMsg& msg, NodeId from, NodeId to,
+                     std::size_t count);
+  void pick_subset_into(gossip::RpsShuffleMsg& msg, View& view, NodeId exclude,
+                        std::size_t count);
+  /// Applies one exchange to `view`: drop what was sent, admit what was
+  /// received under the sampler policy, truncate by age.
+  void merge_into(View& view, NodeId self,
+                  const std::vector<gossip::RpsViewEntry>& outgoing,
+                  const std::vector<gossip::RpsViewEntry>& incoming);
+  /// Directed forged pushes of kHubCapture / kEclipse (after the sweep).
+  void attack_pushes();
   [[nodiscard]] bool stale(const Entry& e) const {
     const auto v = static_cast<std::size_t>(e.id.value());
     return v >= alive_.size() || alive_[v] == 0 || e.epoch != epoch_[v];
@@ -115,10 +175,22 @@ class RpsNetwork {
 
   std::size_t view_size_;
   std::size_t shuffle_length_;
+  SamplerPolicy policy_;
   Pcg32 rng_;
+  std::uint32_t round_ = 0;
   std::vector<View> views_;
   std::vector<std::uint8_t> alive_;    // dense, indexed by NodeId::value()
   std::vector<std::uint32_t> epoch_;   // joins so far per id
+  /// Hardened responder rate cap: exchanges accepted this round as the
+  /// contacted side (reset per round; untouched under legacy).
+  std::vector<std::uint16_t> responses_;
+
+  // ---- armed membership attack (empty/zero when disarmed)
+  adversary::MembershipAttackConfig attack_;
+  std::vector<NodeId> colluders_;
+  std::vector<std::uint8_t> colluder_;  // dense mask
+  std::vector<NodeId> victims_;         // kEclipse only
+  std::vector<std::uint8_t> victim_;    // dense mask
 };
 
 }  // namespace lifting::membership

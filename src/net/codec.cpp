@@ -48,6 +48,11 @@ class Reader {
 
   [[nodiscard]] bool ok() const noexcept { return ok_; }
   [[nodiscard]] bool done() const noexcept { return ok_ && pos_ == size_; }
+  /// Count×size pre-check for length-prefixed lists: a hostile count must
+  /// fail before any reserve() can amplify it.
+  [[nodiscard]] bool can_read(std::size_t bytes) const noexcept {
+    return ok_ && bytes <= size_ - pos_;
+  }
 
   std::uint8_t u8() { return take<std::uint8_t>(); }
   std::uint16_t u16() { return take<std::uint16_t>(); }
@@ -130,6 +135,7 @@ enum class Tag : std::uint8_t {
   kHistoryPoll,
   kHistoryPollResp,
   kAuditAck,
+  kRpsShuffle,
 };
 
 void write_records(Writer& w,
@@ -253,6 +259,18 @@ struct EncodeVisitor {
     w.u8(m.acked_kind);
     w.u32(m.audit_id);
     w.node(m.subject);
+  }
+  void operator()(const gossip::RpsShuffleMsg& m) const {
+    w.u8(static_cast<std::uint8_t>(Tag::kRpsShuffle));
+    w.u32(m.round);
+    w.u8(m.flags);
+    w.u16(static_cast<std::uint16_t>(m.entries.size()));
+    for (const auto& e : m.entries) {
+      w.node(e.id);
+      w.u32(e.age);
+      w.u32(e.epoch);
+      w.u8(e.flags);
+    }
   }
 };
 
@@ -400,6 +418,26 @@ std::optional<gossip::Message> decode(const std::uint8_t* data,
       m.audit_id = r.u32();
       m.subject = r.node();
       msg = m;
+      break;
+    }
+    case Tag::kRpsShuffle: {
+      gossip::RpsShuffleMsg m;
+      m.round = r.u32();
+      m.flags = r.u8();
+      const auto count = r.u16();
+      if (!r.ok() || !r.can_read(static_cast<std::size_t>(count) * 13)) {
+        return std::nullopt;
+      }
+      m.entries.reserve(count);
+      for (std::uint16_t i = 0; i < count && r.ok(); ++i) {
+        gossip::RpsViewEntry e;
+        e.id = r.node();
+        e.age = r.u32();
+        e.epoch = r.u32();
+        e.flags = r.u8();
+        m.entries.push_back(e);
+      }
+      msg = std::move(m);
       break;
     }
     default:

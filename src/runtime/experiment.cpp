@@ -78,6 +78,7 @@ void Experiment::rewind() {
   directory_.reset(config_.nodes);
   rng_ = derive_rng(config_.seed, /*stream=*/0xE58);
   ledger_.reset();
+  rps_.reset();
   expulsions_.clear();
   audit_reports_.clear();
   controllers_.clear();
@@ -184,6 +185,21 @@ void Experiment::build() {
         n, config_.lifting.managers, config_.seed);
   } else {
     assignment_->rebind(n, config_.lifting.managers, config_.seed);
+  }
+
+  // --- membership substrate (RPS, DESIGN.md §12). Guarded so the default
+  // constructs nothing and draws no rng stream — the fixed-seed goldens pin
+  // that inertness, exactly like the adversary block below.
+  if (config_.membership.rps_partner_sampling) {
+    rps_ = std::make_unique<membership::RpsNetwork>(
+        n, config_.membership.view_size, config_.membership.shuffle_length,
+        config_.seed, config_.membership.sampler);
+    if (config_.membership.attack.enabled()) {
+      rps_->set_adversary(config_.membership.attack, freerider_list_);
+    }
+    // Warm-up: views must be mixed (and, with an armed attack, poisoned)
+    // before the first partner draw.
+    rps_->run_rounds(config_.membership.bootstrap_rounds);
   }
 
   network_->reserve_nodes(n);
@@ -305,6 +321,7 @@ void Experiment::make_node(std::uint32_t i,
       derive_rng(config_.seed, stream(0xB00000000ULL, 0xB5)),
       node.agent ? node.agent.get() : nullptr);
   node.engine->reserve_stream_chunks(config_.stream.expected_chunks());
+  if (rps_) node.engine->set_partner_view(rps_.get());
 
   network_->add_node(id, profile, [this, i](
                                       sim::Delivery<gossip::Message>& d) {
@@ -342,6 +359,7 @@ void Experiment::run_until(TimePoint t) {
                        [this, i] { apply_event(timeline_events_[i]); });
     }
     if (score_sample_interval_ > Duration::zero()) schedule_score_sample();
+    if (rps_) schedule_rps_round();
     if (streamed_.enabled) schedule_health_fold();
   }
   sim_.run_until(t);
@@ -451,6 +469,7 @@ NodeId Experiment::join_node(const ScenarioEvent& event) {
   const NodeId id{idv};
 
   directory_.join(id, sim_.now());
+  if (rps_) rps_->join(id);
   set_freerider(id, event.freerider);
   join_time_[idv] = sim_.now();
   make_node(idv, resolve_behavior(event.behavior),
@@ -496,6 +515,9 @@ void Experiment::retire_node(NodeId id, bool crash) {
   node.engine->stop();
   if (node.agent) node.agent->stop();
   network_->remove_node(id);
+  // The RPS learns of the departure like the membership does: the node's
+  // own view empties now, references elsewhere decay as stale entries.
+  if (rps_) rps_->leave(id);
 
   if (crash) {
     // The membership only learns of a crash when the failure detector
@@ -593,6 +615,10 @@ void Experiment::rejoin_node(NodeId id) {
   // alive epoch (the stale detector lambda is epoch-guarded and fizzles).
   if (directory_.is_live(id)) directory_.leave(id, sim_.now());
   directory_.join(id, sim_.now());
+  if (rps_) {
+    rps_->leave(id);  // idempotent: retire_node already marked it dead
+    rps_->join(id);
+  }
   join_time_[v] = sim_.now();
 
   // The old incarnation's objects move to the graveyard — in-flight timers
@@ -679,6 +705,9 @@ void Experiment::on_expulsion_committed(NodeId victim, bool from_audit) {
                                                       from_audit] {
     if (!directory_.is_live(victim)) return;
     directory_.expel(victim);
+    // Honest nodes shun the victim: its RPS views die with the expulsion
+    // (entries naming it elsewhere go stale and decay over the next rounds).
+    if (rps_) rps_->leave(victim);
     expelled_applied_[victim.value()] = 1;
     expulsions_.push_back(ExpulsionRecord{victim, to_seconds(sim_.now()),
                                           from_audit,
@@ -942,6 +971,14 @@ void Experiment::enable_streamed_health(std::vector<double> lags_seconds,
                                streamed_.lags_seconds.size(),
                            0);
   if (arm_now) schedule_health_fold();
+}
+
+void Experiment::schedule_rps_round() {
+  sim_.schedule_after(config_.membership.rps_round_period, [this] {
+    if (wound_down_) return;
+    rps_->run_round();
+    schedule_rps_round();
+  });
 }
 
 void Experiment::schedule_health_fold() {

@@ -15,6 +15,7 @@
 #include "gossip/stream_source.hpp"
 #include "lifting/agent.hpp"
 #include "membership/directory.hpp"
+#include "membership/rps.hpp"
 #include "runtime/scenario.hpp"
 #include "sim/metrics.hpp"
 #include "sim/network.hpp"
@@ -217,6 +218,11 @@ class Experiment {
   }
   [[nodiscard]] membership::Directory& directory() noexcept {
     return directory_;
+  }
+  /// The RPS substrate (DESIGN.md §12), or null when
+  /// membership.rps_partner_sampling is off — the inert default.
+  [[nodiscard]] const membership::RpsNetwork* rps() const noexcept {
+    return rps_.get();
   }
   [[nodiscard]] const ScenarioConfig& config() const noexcept {
     return config_;
@@ -493,6 +499,7 @@ class Experiment {
   /// Grows every dense per-node table to cover ids < `n`.
   void ensure_tables(std::uint32_t n);
   void schedule_score_sample();
+  void schedule_rps_round();
   void schedule_health_fold();
   void fold_streamed_health();
   /// Fills an empty collusion coalition with the current freerider set.
@@ -504,6 +511,9 @@ class Experiment {
   sim::Simulator sim_;
   sim::MetricsRegistry metrics_;
   membership::Directory directory_;
+  /// RPS substrate; constructed only when membership.rps_partner_sampling
+  /// is on (null = bit-identical legacy partner selection).
+  std::unique_ptr<membership::RpsNetwork> rps_;
   std::unique_ptr<sim::Network<gossip::Message>> network_;
   /// Transport stack under the Mailer: SimTransport over the network, the
   /// fault injector wrapped around it (pure passthrough on an empty plan).

@@ -30,6 +30,20 @@ void ScenarioConfig::validate() const {
   faults.validate();
   adversary.validate();
   lifting.validate();
+  membership.sampler.validate();
+  membership.attack.validate();
+  if (membership.rps_partner_sampling) {
+    require(membership.view_size >= 2 && membership.view_size < nodes,
+            "RPS view size must be in [2, nodes)");
+    require(membership.shuffle_length >= 1 &&
+                membership.shuffle_length <= membership.view_size,
+            "RPS shuffle length must be in [1, view_size]");
+    require(membership.rps_round_period > Duration::zero(),
+            "RPS round period must be positive");
+  } else {
+    require(!membership.attack.enabled(),
+            "membership attack requires rps_partner_sampling");
+  }
 }
 
 ScenarioConfig ScenarioConfig::planetlab() {

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "adversary/membership.hpp"
 #include "adversary/strategy.hpp"
 #include "common/time.hpp"
 #include "faults/plan.hpp"
@@ -10,6 +11,7 @@
 #include "gossip/engine.hpp"
 #include "gossip/stream_source.hpp"
 #include "lifting/params.hpp"
+#include "membership/sampler_policy.hpp"
 #include "runtime/timeline.hpp"
 #include "sim/network.hpp"
 
@@ -64,6 +66,32 @@ struct ScenarioConfig {
   /// simulator and the wire deployment; timeline kSetFaults events can
   /// swap it mid-run.
   faults::FaultPlan faults;
+
+  // ---- membership substrate (RPS, DESIGN.md §12)
+  /// Random-peer-sampling configuration. Off by default (and fully inert:
+  /// no RpsNetwork is constructed, no rng stream is drawn, nothing is
+  /// scheduled — a run with the default block is bit-identical to one
+  /// predating the subsystem). With rps_partner_sampling on, every gossip
+  /// engine draws its partners from its node's RPS partial view instead of
+  /// the full directory, which is where the membership-layer attacks and
+  /// the hardened sampler variant become observable end to end.
+  struct MembershipConfig {
+    /// Master switch: run an RpsNetwork alongside the deployment and use
+    /// its per-node views as the partner-selection source.
+    bool rps_partner_sampling = false;
+    /// Wall-clock period of one synchronous shuffle round.
+    Duration rps_round_period = milliseconds(500);
+    std::uint32_t view_size = 12;
+    std::uint32_t shuffle_length = 6;
+    /// Shuffle rounds run before the deployment starts (view warm-up).
+    std::uint32_t bootstrap_rounds = 12;
+    /// Legacy (bit-identical) or hardened sampler (membership/).
+    membership::SamplerPolicy sampler;
+    /// Membership-level attack over the freerider coalition
+    /// (adversary/membership.hpp). Requires rps_partner_sampling.
+    adversary::MembershipAttackConfig attack;
+  };
+  MembershipConfig membership;
 
   // ---- dynamic membership
   /// Scheduled deployment events (joins, leaves, crashes, rejoins,

@@ -73,6 +73,29 @@ SweepCase make_case(std::uint32_t index, Pcg32& rng) {
                     static_cast<std::uint32_t>(entries.size()))]
             .config;
   }
+
+  // Membership knobs (DESIGN.md §12) draw from their own per-case stream —
+  // rule 2 again: every pre-membership case field keeps its historical
+  // value. ~30% of cases run RPS-driven partner selection; those split
+  // between the legacy and hardened sampler and some arm a membership
+  // attack over the case's freeriders.
+  auto membership_rng = derive_rng(c.config.seed, 0x4D454DULL);  // "MEM"
+  if (membership_rng.bernoulli(0.3)) {
+    auto& mem = c.config.membership;
+    mem.rps_partner_sampling = true;
+    mem.view_size = 8 + membership_rng.below(8);
+    mem.shuffle_length = 3 + membership_rng.below(3);
+    mem.bootstrap_rounds = 6 + membership_rng.below(10);
+    if (membership_rng.bernoulli(0.5)) {
+      mem.sampler = membership::SamplerPolicy::hardened_defaults();
+    }
+    if (membership_rng.bernoulli(0.4)) {
+      const auto& entries = adversary::membership_catalog();
+      mem.attack = entries[membership_rng.below(
+                               static_cast<std::uint32_t>(entries.size()))]
+                       .config;
+    }
+  }
   return c;
 }
 
@@ -149,18 +172,67 @@ ScenarioConfig adversary_frontier_config(bool handoff_on,
   return cfg;
 }
 
+ScenarioConfig membership_frontier_config(std::uint64_t seed) {
+  auto cfg = ScenarioConfig::small(120);
+  cfg.seed = seed;
+  cfg.duration = seconds(30.0);
+  cfg.stream.duration = seconds(28.0);
+
+  // A fifth of the population freerides aggressively AND colludes: an empty
+  // coalition is filled with the actual freerider set by the Experiment,
+  // and colluding freeriders never blame coalition members
+  // (Agent::emit_blame). Under honest sampling the coalition is a small
+  // minority of any node's partners, so blame starvation barely shows; a
+  // membership attack that packs honest views with colluders turns the
+  // same local rule into a detection collapse — the bench's A axis.
+  cfg.freerider_fraction = 0.20;
+  cfg.freerider_behavior = gossip::BehaviorSpec::freerider(0.5);
+  cfg.freerider_behavior.collusion = gossip::CollusionSpec{};
+
+  // η sits just above the honest-sampling freerider score band (≈ −4 ± 0.6
+  // for this population/duration; honest scores stay near 0), so baseline
+  // detection is ≈ 1 with comfortable false-positive margin — and the
+  // partial blame starvation a successful view attack buys (coalition
+  // partners never blame, but honest proposers still catch the freerider
+  // as a receiver) lifts scores above η and shows up as missed detections.
+  cfg.lifting.eta = -3.0;
+  cfg.lifting.score_check_probability = 0.7;
+  cfg.lifting.managers = 4;
+  cfg.lifting.min_score_replies = 3;
+  cfg.lifting.min_periods_before_detection = 8;
+  // Detection is read from scores (detection_at), not expulsions: leaving
+  // expulsions off keeps every freerider observable for the whole run.
+  cfg.expulsion_enabled = false;
+
+  cfg.membership.rps_partner_sampling = true;
+  cfg.membership.view_size = 10;
+  cfg.membership.shuffle_length = 5;
+  cfg.membership.bootstrap_rounds = 12;
+  return cfg;
+}
+
 std::vector<RunSpec> scenario_sweep_specs(std::uint32_t count) {
   auto cases = scenario_sweep_cases(count);
   std::vector<RunSpec> specs;
   specs.reserve(cases.size());
   for (auto& c : cases) {
-    char label[80];
-    std::snprintf(label, sizeof(label), "sweep/%02u n=%u delta=%.1f%s%s%s",
+    const auto& mem = c.config.membership;
+    char label[112];
+    std::snprintf(label, sizeof(label),
+                  "sweep/%02u n=%u delta=%.1f%s%s%s%s%s%s",
                   c.index, c.config.nodes, c.delta,
                   c.churn ? " churn" : "",
                   c.config.adversary.enabled() ? " adv=" : "",
                   c.config.adversary.enabled()
                       ? adversary::strategy_name(c.config.adversary.strategy)
+                      : "",
+                  mem.rps_partner_sampling
+                      ? (mem.sampler.hardened() ? " rps=hardened" : " rps")
+                      : "",
+                  mem.attack.enabled() ? " mem=" : "",
+                  mem.attack.enabled()
+                      ? adversary::membership_strategy_name(
+                            mem.attack.strategy)
                       : "");
     const std::uint64_t seed = c.config.seed;
     specs.emplace_back(std::move(c.config), seed, label);

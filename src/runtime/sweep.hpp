@@ -10,7 +10,9 @@
 /// The randomized scenario-sweep workload: ~count small configurations
 /// (population, δ-vector, loss, weak fraction, churn on/off — churn cases
 /// additionally draw rejoin rates, divergent-view lags and the rejoin
-/// score policy) derived from one fixed seed. Shared by
+/// score policy; ~30% of cases additionally draw RPS membership knobs —
+/// view size, shuffle length, sampler variant, membership attack) derived
+/// from one fixed seed. Shared by
 /// tests/test_scenario_sweep.cpp (structural invariants per case) and
 /// bench/bench_sweep_scaling.cpp (throughput and parallel-vs-serial
 /// identity over the same case set), so "the sweep workload" means the
@@ -58,6 +60,17 @@ struct SweepCase {
 /// `config.adversary` yourself.
 [[nodiscard]] ScenarioConfig adversary_frontier_config(bool handoff_on,
                                                        std::uint64_t seed);
+
+/// The membership-compromise accountability scenario (DESIGN.md §12),
+/// shared by bench_adversary_frontier's membership axis and
+/// tests/test_rps_properties.cpp: 120 nodes / 30 s with RPS-driven partner
+/// selection, 20% colluding aggressive freeriders (empty CollusionSpec —
+/// the coalition fills with the actual freerider set, so coalition members
+/// never blame each other), dense score policing over a small quorum, and
+/// expulsions off so detection stays a pure score read. Pure function of
+/// the seed; arm `config.membership.attack` / swap
+/// `config.membership.sampler` (and scale freerider_fraction) per cell.
+[[nodiscard]] ScenarioConfig membership_frontier_config(std::uint64_t seed);
 
 }  // namespace lifting::runtime
 

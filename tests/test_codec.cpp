@@ -176,7 +176,43 @@ std::vector<gossip::Message> sample_messages() {
       gossip::HistoryPollMsg{9, NodeId{7}, hist.proposals},
       gossip::HistoryPollRespMsg{9, NodeId{7}, 3, 1, {NodeId{1}}},
       gossip::AuditAckMsg{13, 9, NodeId{7}},
+      gossip::RpsShuffleMsg{
+          4,
+          static_cast<std::uint8_t>(gossip::kRpsShuffleAttested |
+                                    gossip::kRpsShuffleResponse),
+          {gossip::RpsViewEntry{NodeId{5}, 3, 1, 0},
+           gossip::RpsViewEntry{NodeId{11}, 0, 2, gossip::kRpsEntryForged}}},
   };
+}
+
+TEST(Codec, RpsShuffleRoundTrip) {
+  gossip::RpsShuffleMsg m;
+  m.round = 120;
+  m.flags = gossip::kRpsShuffleAttested;
+  m.entries.push_back(gossip::RpsViewEntry{NodeId{1}, 7, 1, 0});
+  m.entries.push_back(
+      gossip::RpsViewEntry{NodeId{42}, 0, 3, gossip::kRpsEntryForged});
+  const auto out = roundtrip(m);
+  EXPECT_EQ(out.round, 120u);
+  EXPECT_EQ(out.flags, gossip::kRpsShuffleAttested);
+  ASSERT_EQ(out.entries.size(), 2u);
+  EXPECT_EQ(out.entries[0].id, NodeId{1});
+  EXPECT_EQ(out.entries[0].age, 7u);
+  EXPECT_EQ(out.entries[0].epoch, 1u);
+  EXPECT_EQ(out.entries[0].flags, 0u);
+  EXPECT_EQ(out.entries[1].id, NodeId{42});
+  EXPECT_EQ(out.entries[1].epoch, 3u);
+  EXPECT_EQ(out.entries[1].flags, gossip::kRpsEntryForged);
+
+  // An empty exchange (a node with a drained view) is legal on the wire.
+  gossip::RpsShuffleMsg empty;
+  EXPECT_TRUE(roundtrip(empty).entries.empty());
+
+  // Claimed entry count without the bytes must fail cleanly (the count ×
+  // entry-size pre-check), like every other list-carrying kind.
+  std::vector<std::uint8_t> crafted{18 /*rps_shuffle tag*/, 0, 0, 0, 0,
+                                    0 /*flags*/, 0xFF, 0xFF};
+  EXPECT_FALSE(decode(crafted).has_value());
 }
 
 // Robustness sweep: every message type under systematic truncation. A

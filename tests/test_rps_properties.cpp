@@ -1,0 +1,403 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "adversary/membership.hpp"
+#include "membership/rps.hpp"
+#include "runtime/experiment.hpp"
+#include "runtime/runner.hpp"
+#include "runtime/sweep.hpp"
+#include "stats/entropy.hpp"
+#include "stats/summary.hpp"
+
+/// RPS sampler properties (DESIGN.md §12), both variants:
+///
+///   * honest invariants — view uniformity (chi-squared), in-degree
+///     concentration, shuffle-convergence calibration — hold for the
+///     legacy AND the hardened sampler (hardening must not degrade the
+///     honest substrate: the "small deviation with respect to the uniform
+///     distribution" §5.3's γ tolerates);
+///   * attack cases — view poisoning packs legacy views with colluders and
+///     skews in-degree; the hardened sampler's attestation + push bounds
+///     restore the honest bounds; eclipse concentrates compromise on its
+///     victim subset;
+///   * the inertness pin — an armed-but-kNone membership config with RPS
+///     partner sampling off leaves fixed-seed outcomes byte-identical to a
+///     config that never mentions membership (goldens are NOT re-pinned);
+///   * thread-count invariance — membership-armed experiments produce
+///     bit-identical outcomes on the ParallelRunner at any thread count
+///     (the TSan job runs exactly these cases);
+///   * the sweep draws its membership knobs deterministically from
+///     per-case rngs, preserving the historical case prefix.
+
+namespace lifting::membership {
+namespace {
+
+SamplerPolicy policy_for(bool hardened) {
+  return hardened ? SamplerPolicy::hardened_defaults() : SamplerPolicy{};
+}
+
+const char* variant_name(bool hardened) {
+  return hardened ? "hardened" : "legacy";
+}
+
+/// First k node ids as the colluder set — deterministic and independent of
+/// any rng stream the network consumes.
+std::vector<NodeId> first_ids(std::uint32_t k) {
+  std::vector<NodeId> ids;
+  for (std::uint32_t i = 0; i < k; ++i) ids.push_back(NodeId{i});
+  return ids;
+}
+
+// ------------------------------------------------- honest invariants
+
+TEST(RpsProperties, ViewUniformityChiSquaredBothVariants) {
+  // Sample one peer per node per round across re-shuffling views; the
+  // aggregate target distribution must be uniform to chi-squared within a
+  // loose bound (per-round draws are not iid — views overlap — so demand
+  // X²/df < 2 rather than a strict percentile) and near-full entropy.
+  constexpr std::uint32_t n = 150;
+  for (const bool hardened : {false, true}) {
+    SCOPED_TRACE(variant_name(hardened));
+    RpsNetwork rps(n, 10, 5, 44, policy_for(hardened));
+    rps.run_rounds(20);
+    Pcg32 rng{45};
+    std::vector<std::uint64_t> counts(n, 0);
+    std::uint64_t total = 0;
+    for (int round = 0; round < 60; ++round) {
+      for (std::uint32_t i = 0; i < n; ++i) {
+        ++counts[rps.sample(NodeId{i}, rng).value()];
+        ++total;
+      }
+      rps.run_round();
+    }
+    const double expected =
+        static_cast<double>(total) / static_cast<double>(n);
+    double chi2 = 0.0;
+    for (const auto c : counts) {
+      const double d = static_cast<double>(c) - expected;
+      chi2 += d * d / expected;
+    }
+    const double df = static_cast<double>(n - 1);
+    EXPECT_LT(chi2 / df, 2.0) << "sampling deviates from uniform";
+    EXPECT_GT(stats::shannon_entropy(counts), 0.98 * std::log2(n));
+  }
+}
+
+TEST(RpsProperties, InDegreeConcentratesBothVariants) {
+  for (const bool hardened : {false, true}) {
+    SCOPED_TRACE(variant_name(hardened));
+    RpsNetwork rps(300, 10, 5, 43, policy_for(hardened));
+    rps.run_rounds(30);
+    stats::Summary s;
+    for (const auto d : rps.in_degrees()) s.add(static_cast<double>(d));
+    // Total pointers = n·view_size ⇒ mean in-degree ≈ view_size; after
+    // mixing there are no starved or celebrity nodes under either variant.
+    EXPECT_NEAR(s.mean(), 10.0, 1.0);
+    EXPECT_GT(s.min(), 2.0);
+    EXPECT_LT(s.max(), 25.0);
+    // Views stay essentially full: the hardened hygiene (age eviction,
+    // bounded push acceptance, responder cap) must not drain them.
+    for (std::uint32_t i = 0; i < 300; ++i) {
+      EXPECT_GE(rps.view_of(NodeId{i}).size(), 6u);
+    }
+  }
+}
+
+TEST(RpsProperties, ShuffleConvergenceCalibrationBothVariants) {
+  // Convergence calibration via view diffusion: a node's view must turn
+  // over fast enough that across 30 rounds it cycles through a large
+  // fraction of the population (the property that makes history entropy
+  // pass §5.3's γ), while the in-degree spread stays bounded. The
+  // hardened hygiene rules may slow mixing slightly but not cripple it.
+  constexpr std::uint32_t n = 200;
+  const auto diffusion = [](bool hardened, double* spread) {
+    RpsNetwork rps(n, 12, 6, 42, policy_for(hardened));
+    std::set<NodeId> seen(rps.view_of(NodeId{0}).begin(),
+                          rps.view_of(NodeId{0}).end());
+    for (int r = 0; r < 30; ++r) {
+      rps.run_round();
+      const auto& v = rps.view_of(NodeId{0});
+      seen.insert(v.begin(), v.end());
+    }
+    stats::Summary s;
+    for (const auto d : rps.in_degrees()) s.add(static_cast<double>(d));
+    *spread = s.stddev();
+    return seen.size();
+  };
+  double legacy_spread = 0.0;
+  double hardened_spread = 0.0;
+  const auto legacy_seen = diffusion(false, &legacy_spread);
+  const auto hardened_seen = diffusion(true, &hardened_spread);
+  for (const bool hardened : {false, true}) {
+    SCOPED_TRACE(variant_name(hardened));
+    EXPECT_GT(hardened ? hardened_seen : legacy_seen, n / 2)
+        << "view diffusion stalled";
+    EXPECT_LT(hardened ? hardened_spread : legacy_spread, 4.0);
+  }
+  EXPECT_GT(static_cast<double>(hardened_seen),
+            0.6 * static_cast<double>(legacy_seen))
+      << "hardened sampler mixes materially worse than legacy";
+}
+
+// ------------------------------------------------------ attack cases
+
+TEST(RpsProperties, ViewPoisonPacksLegacyViewsAndSkewsInDegree) {
+  constexpr std::uint32_t n = 120;
+  RpsNetwork rps(n, 10, 5, 47);
+  adversary::MembershipAttackConfig attack;
+  attack.strategy = adversary::MembershipStrategy::kViewPoison;
+  rps.set_adversary(attack, first_ids(30));
+  rps.run_rounds(40);
+  // Colluders are 25% of the population but dominate honest views...
+  EXPECT_GT(rps.colluder_view_share(), 0.6);
+  // ...and the in-degree distribution splits: colluder entries (forged at
+  // age 0) crowd out honest ones everywhere.
+  stats::Summary colluder_deg;
+  stats::Summary honest_deg;
+  const auto degrees = rps.in_degrees();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    (rps.is_colluder(NodeId{i}) ? colluder_deg : honest_deg)
+        .add(static_cast<double>(degrees[i]));
+  }
+  EXPECT_GT(colluder_deg.mean(), 2.0 * honest_deg.mean());
+}
+
+TEST(RpsProperties, HardenedSamplerRestoresBoundsUnderPoison) {
+  constexpr std::uint32_t n = 120;
+  RpsNetwork rps(n, 10, 5, 47, SamplerPolicy::hardened_defaults());
+  adversary::MembershipAttackConfig attack;
+  attack.strategy = adversary::MembershipStrategy::kViewPoison;
+  rps.set_adversary(attack, first_ids(30));
+  rps.run_rounds(40);
+  // Attestation strips the forged payload; what survives is the colluders'
+  // protocol-legal self-adverts plus genuinely held entries, so the view
+  // share stays near the 25% population share.
+  EXPECT_LT(rps.colluder_view_share(), 0.4);
+  // Regression pin for the remove-as-needed merge: a mostly-rejected
+  // forged offer must not drain the victim's view (the victim spends sent
+  // entries only as accepted replacements arrive).
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (rps.is_colluder(NodeId{i})) continue;
+    EXPECT_GE(rps.view_of(NodeId{i}).size(), 5u)
+        << "node " << i << "'s view drained under rejected poison offers";
+  }
+}
+
+TEST(RpsProperties, HardenedPushBoundsBluntHubCapture) {
+  constexpr std::uint32_t n = 120;
+  adversary::MembershipAttackConfig attack;
+  attack.strategy = adversary::MembershipStrategy::kHubCapture;
+  const auto share_under = [&](SamplerPolicy policy) {
+    RpsNetwork rps(n, 10, 5, 48, policy);
+    rps.set_adversary(attack, first_ids(30));
+    rps.run_rounds(40);
+    return rps.colluder_view_share();
+  };
+  const double legacy = share_under({});
+  const double hardened = share_under(SamplerPolicy::hardened_defaults());
+  EXPECT_GT(legacy, 0.7);  // directed pushes amplify plain poisoning
+  // The responder cap + bounded push acceptance + attestation strip most
+  // of the directed-push amplification (self-adverts are protocol-legal,
+  // so the hardened share keeps a residual above the population share).
+  EXPECT_LT(hardened, 0.75 * legacy);
+}
+
+TEST(RpsProperties, EclipseConcentratesOnVictims) {
+  constexpr std::uint32_t n = 120;
+  adversary::MembershipAttackConfig attack;
+  attack.strategy = adversary::MembershipStrategy::kEclipse;
+  const auto victim_share_under = [&](SamplerPolicy policy, double* other) {
+    RpsNetwork rps(n, 10, 5, 49, policy);
+    rps.set_adversary(attack, first_ids(30));
+    rps.run_rounds(40);
+    EXPECT_FALSE(rps.eclipse_victims().empty());
+    stats::Summary victims;
+    std::set<std::uint32_t> victim_ids;
+    for (const auto v : rps.eclipse_victims()) {
+      victim_ids.insert(v.value());
+      victims.add(rps.colluder_share_of(v));
+    }
+    stats::Summary rest;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (rps.is_colluder(NodeId{i}) || victim_ids.count(i) != 0) continue;
+      rest.add(rps.colluder_share_of(NodeId{i}));
+    }
+    *other = rest.mean();
+    return victims.mean();
+  };
+  double legacy_rest = 0.0;
+  const double legacy_victims = victim_share_under({}, &legacy_rest);
+  // Victims' views are almost entirely coalition; the directed pushes
+  // concentrate there (the broadcast poisoning still lifts everyone).
+  EXPECT_GT(legacy_victims, 0.8);
+  EXPECT_GT(legacy_victims, legacy_rest);
+  double hardened_rest = 0.0;
+  const double hardened_victims =
+      victim_share_under(SamplerPolicy::hardened_defaults(), &hardened_rest);
+  // The hardened sampler strips the forged payload and rate-limits the
+  // directed pushes, but every accepted push still plants one
+  // protocol-legal self-advert at age 0 — concentrated on a small victim
+  // subset that residual stays visible (RAPTEE bounds attacks to legal
+  // behavior, it does not erase them). Demand a material reduction, not
+  // eradication.
+  EXPECT_LT(hardened_victims, 0.75 * legacy_victims);
+  EXPECT_LT(hardened_victims, 0.7);
+}
+
+}  // namespace
+}  // namespace lifting::membership
+
+namespace lifting::runtime {
+namespace {
+
+/// Outcome fingerprint (mirrors tests/test_determinism.cpp): enough state
+/// that any behavioral divergence shows up, cheap enough to compare.
+struct Outcome {
+  std::uint64_t events = 0;
+  std::uint64_t datagrams = 0;
+  std::uint64_t bytes = 0;
+  double blame_emissions = 0.0;
+  std::vector<double> honest_scores;
+  std::vector<double> freerider_scores;
+
+  bool operator==(const Outcome& other) const = default;
+};
+
+Outcome outcome_of(Experiment& ex) {
+  Outcome out;
+  out.events = ex.simulator().events_processed();
+  const auto net = ex.network_stats();
+  out.datagrams = net.datagrams_sent;
+  out.bytes = net.bytes_sent;
+  out.blame_emissions = static_cast<double>(ex.ledger().emissions());
+  auto snap = ex.snapshot_scores();
+  out.honest_scores = std::move(snap.honest);
+  out.freerider_scores = std::move(snap.freeriders);
+  return out;
+}
+
+Outcome run_outcome(const ScenarioConfig& cfg) {
+  Experiment ex(cfg);
+  ex.run();
+  return outcome_of(ex);
+}
+
+ScenarioConfig pin_config() {
+  auto cfg = ScenarioConfig::small(60);
+  cfg.freerider_fraction = 0.15;
+  cfg.freerider_behavior = gossip::BehaviorSpec::freerider(0.5);
+  cfg.link.loss = 0.02;
+  return cfg;
+}
+
+TEST(RpsProperties, ArmedButNoneMembershipConfigIsInert) {
+  // The inertness pin (the contract that lets goldens stay un-re-pinned):
+  // filling every membership knob — sampler thresholds, attack tuning,
+  // even the hardened *fields* with the legacy variant — while
+  // rps_partner_sampling is off and the strategy is kNone must leave the
+  // run byte-identical to a config that never mentions membership. No
+  // draw, no allocation, no schedule may depend on armed-but-inert knobs.
+  const auto baseline = run_outcome(pin_config());
+
+  auto cfg = pin_config();
+  cfg.membership.rps_partner_sampling = false;
+  cfg.membership.view_size = 14;
+  cfg.membership.shuffle_length = 7;
+  cfg.membership.bootstrap_rounds = 20;
+  cfg.membership.rps_round_period = milliseconds(250);
+  cfg.membership.sampler.max_push_accept = 1;
+  cfg.membership.sampler.max_responses_per_round = 1;
+  cfg.membership.sampler.max_entry_age = 2;
+  cfg.membership.sampler.attested = false;
+  cfg.membership.attack.strategy = adversary::MembershipStrategy::kNone;
+  cfg.membership.attack.poison_fill = 1.0;
+  cfg.membership.attack.extra_pushes = 9;
+  cfg.membership.attack.eclipse_fraction = 0.9;
+  EXPECT_TRUE(run_outcome(cfg) == baseline)
+      << "armed-but-kNone membership config changed a run it must not touch";
+}
+
+TEST(RpsProperties, MembershipOutcomesThreadCountInvariant) {
+  // The same membership-armed case grid must produce bit-identical
+  // outcomes at any ParallelRunner width — the bench's membership axis
+  // inherits its --threads invariance from exactly this property. The
+  // TSan CI job runs this test to race-check concurrent experiments that
+  // exercise the RPS shuffle path.
+  const auto& catalog = adversary::membership_catalog();
+  std::vector<ScenarioConfig> grid;
+  for (const bool hardened : {false, true}) {
+    auto cfg = membership_frontier_config(0xC0DEULL);
+    cfg.nodes = 60;
+    cfg.freerider_fraction = 0.2;
+    cfg.duration = seconds(8.0);
+    cfg.stream.duration = seconds(6.0);
+    if (hardened) {
+      cfg.membership.sampler = membership::SamplerPolicy::hardened_defaults();
+    }
+    grid.push_back(cfg);
+    auto attacked = cfg;
+    attacked.membership.attack = catalog[hardened ? 0 : 1].config;
+    grid.push_back(attacked);
+  }
+  std::vector<Outcome> serial;
+  for (const auto& cfg : grid) serial.push_back(run_outcome(cfg));
+  for (const unsigned threads : {2u, 4u}) {
+    SCOPED_TRACE(threads);
+    ParallelRunner runner(threads);
+    const auto parallel = runner.map<Outcome>(
+        grid.size(), [&](std::size_t i) { return run_outcome(grid[i]); });
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_TRUE(parallel[i] == serial[i]) << "grid case " << i;
+    }
+  }
+}
+
+TEST(RpsProperties, SweepDrawsMembershipKnobsDeterministically) {
+  // Rule 2 of the sweep contract (src/runtime/sweep.hpp): membership knobs
+  // come from per-case rngs, so (a) regeneration is exact and (b) the
+  // historical prefix is unchanged by sweep extension.
+  const auto a = scenario_sweep_cases(40);
+  const auto b = scenario_sweep_cases(40);
+  ASSERT_EQ(a.size(), 40u);
+  std::size_t with_rps = 0;
+  std::size_t with_attack = 0;
+  std::size_t with_hardened = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto& ma = a[i].config.membership;
+    const auto& mb = b[i].config.membership;
+    EXPECT_EQ(ma.rps_partner_sampling, mb.rps_partner_sampling);
+    EXPECT_EQ(ma.view_size, mb.view_size);
+    EXPECT_EQ(ma.shuffle_length, mb.shuffle_length);
+    EXPECT_EQ(ma.bootstrap_rounds, mb.bootstrap_rounds);
+    EXPECT_EQ(ma.sampler.variant, mb.sampler.variant);
+    EXPECT_EQ(ma.attack.strategy, mb.attack.strategy);
+    if (ma.rps_partner_sampling) ++with_rps;
+    if (ma.attack.enabled()) ++with_attack;
+    if (ma.sampler.hardened()) ++with_hardened;
+  }
+  // The draw rates are fixed by the sweep generator: ~30% rps, of which
+  // ~half hardened and ~40% attacked. Loose floors — the point is that
+  // the sweep actually exercises the subsystem, not the exact counts.
+  EXPECT_GE(with_rps, 6u);
+  EXPECT_GE(with_attack, 1u);
+  EXPECT_GE(with_hardened, 1u);
+
+  const auto prefix = scenario_sweep_cases(20);
+  for (std::size_t i = 0; i < prefix.size(); ++i) {
+    EXPECT_EQ(prefix[i].config.seed, a[i].config.seed);
+    EXPECT_EQ(prefix[i].config.nodes, a[i].config.nodes);
+    EXPECT_EQ(prefix[i].delta, a[i].delta);
+    EXPECT_EQ(prefix[i].config.membership.rps_partner_sampling,
+              a[i].config.membership.rps_partner_sampling);
+    EXPECT_EQ(prefix[i].config.membership.attack.strategy,
+              a[i].config.membership.attack.strategy);
+  }
+}
+
+}  // namespace
+}  // namespace lifting::runtime
