@@ -32,6 +32,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -39,6 +40,7 @@
 #include "alloc_tally.hpp"
 #include "common/build_info.hpp"
 #include "common/table.hpp"
+#include "obs/registry.hpp"
 #include "runtime/experiment.hpp"
 
 namespace {
@@ -92,6 +94,10 @@ struct Row {
   bool streamed = false;
   std::uint64_t heap_high_water = 0;  // peak live heap growth of the row
   std::uint64_t peak_rss_kb = 0;      // process-global, monotone
+  /// Per-row unified metrics (obs::Registry, DESIGN.md §13): the folded
+  /// deployment counters plus the scoped phase timers (phase.build /
+  /// phase.run / phase.health gauges).
+  obs::Registry metrics;
   [[nodiscard]] double bytes_per_node() const {
     return static_cast<double>(heap_high_water) / nodes;
   }
@@ -111,22 +117,35 @@ Row run(std::uint32_t n) {
 
   bench::reset_live_high_water();
   const auto mem_start = bench::AllocSnapshot::now();
-  runtime::Experiment ex(stream_health_config(n, row.sim_seconds));
-  if (row.streamed) {
-    ex.enable_streamed_health(lags, /*honest_only=*/true, playback,
-                              /*fold_interval=*/seconds(1.0));
+  std::optional<runtime::Experiment> ex;
+  {
+    obs::ScopedTimer t(row.metrics, "phase.build");
+    ex.emplace(stream_health_config(n, row.sim_seconds));
+    if (row.streamed) {
+      ex->enable_streamed_health(lags, /*honest_only=*/true, playback,
+                                 /*fold_interval=*/seconds(1.0));
+    }
   }
   const auto t0 = std::chrono::steady_clock::now();
-  ex.run();
+  {
+    obs::ScopedTimer t(row.metrics, "phase.run");
+    ex->run();
+  }
   const auto t1 = std::chrono::steady_clock::now();
-  row.events = ex.simulator().events_processed();
-  row.datagrams = ex.network_stats().datagrams_sent;
+  row.events = ex->simulator().events_processed();
+  row.datagrams = ex->network_stats().datagrams_sent;
   row.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
-  const auto curve = row.streamed
-                         ? ex.streamed_health_curve()
-                         : ex.health_curve(lags, /*honest_only=*/true,
-                                           playback);
-  row.health = curve.empty() ? 0.0 : curve.front().fraction_clear;
+  {
+    obs::ScopedTimer t(row.metrics, "phase.health");
+    const auto curve = row.streamed
+                           ? ex->streamed_health_curve()
+                           : ex->health_curve(lags, /*honest_only=*/true,
+                                              playback);
+    row.health = curve.empty() ? 0.0 : curve.front().fraction_clear;
+  }
+  // Fold the deployment's full counter set into the row — the JSON rows
+  // are self-describing without one accessor per counter family.
+  ex->collect_metrics(row.metrics);
   // Peak live heap this row added (construction + run + health read), per
   // node — the budgeted number. RSS is sampled after, for the OS view.
   row.heap_high_water = bench::AllocSnapshot::now().high_water_since(mem_start);
@@ -141,8 +160,11 @@ void write_json(const char* path, const std::vector<Row>& rows,
     std::fprintf(stderr, "bench_scale_nodes: cannot write %s\n", path);
     return;
   }
+  // schema_version 2: rows carry the folded obs::Registry counters
+  // ("metrics") and the scoped phase timers ("phase_seconds").
   std::fprintf(f,
                "{\n  \"bench\": \"bench_scale_nodes\",\n"
+               "  \"schema_version\": 2,\n"
                "  \"build\": \"%s\",\n  \"sanitizer\": \"%s\",\n"
                "  \"budget_bytes_per_node\": %llu,\n  \"rows\": [\n",
                build_type(), sanitizer_tag(), (unsigned long long)budget);
@@ -154,12 +176,28 @@ void write_json(const char* path, const std::vector<Row>& rows,
         "\"wall_seconds\": %.3f, \"events_per_second\": %.0f, "
         "\"health\": %.3f, \"streamed\": %s, "
         "\"heap_high_water_bytes\": %llu, \"bytes_per_node\": %.0f, "
-        "\"peak_rss_kb\": %llu}%s\n",
+        "\"peak_rss_kb\": %llu,\n     \"phase_seconds\": {",
         r.nodes, r.sim_seconds, (unsigned long long)r.events, r.wall_seconds,
         static_cast<double>(r.events) / r.wall_seconds, r.health,
         r.streamed ? "true" : "false", (unsigned long long)r.heap_high_water,
-        r.bytes_per_node(), (unsigned long long)r.peak_rss_kb,
-        i + 1 < rows.size() ? "," : "");
+        r.bytes_per_node(), (unsigned long long)r.peak_rss_kb);
+    bool first = true;
+    for (const auto& e : r.metrics.entries()) {
+      if (e.kind != obs::Registry::Kind::kGauge) continue;
+      if (e.name.rfind("phase.", 0) != 0) continue;
+      std::fprintf(f, "%s\"%s\": %.3f", first ? "" : ", ",
+                   e.name.c_str() + 6, e.gauge);
+      first = false;
+    }
+    std::fprintf(f, "},\n     \"metrics\": {");
+    first = true;
+    for (const auto& e : r.metrics.entries()) {
+      if (e.kind != obs::Registry::Kind::kCounter) continue;
+      std::fprintf(f, "%s\"%s\": %llu", first ? "" : ", ", e.name.c_str(),
+                   (unsigned long long)e.counter);
+      first = false;
+    }
+    std::fprintf(f, "}}%s\n", i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);

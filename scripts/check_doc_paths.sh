@@ -47,6 +47,7 @@ src/adversary/ DESIGN.md README.md
 src/net/ DESIGN.md README.md
 src/faults/ DESIGN.md README.md
 src/membership/ DESIGN.md README.md
+src/obs/ DESIGN.md README.md
 REQUIRED_CITATIONS
 
 if [ "$status" -eq 0 ]; then

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/assert.hpp"
+#include "obs/trace.hpp"
 
 namespace lifting::adversary {
 
@@ -139,6 +140,12 @@ void AdversaryController::tick() {
   // Integrate presence/gain at tick resolution so timeline-driven churn of
   // this node is attributed to within one decision period.
   account(now);
+  if (trace_ != nullptr) {
+    trace_->record(obs::EventKind::kAdversaryTick, self_, self_,
+                   stats_.probes, std::isnan(score_) ? 0.0 : score_,
+                   freeriding_ ? 1 : 0,
+                   static_cast<std::uint16_t>(stats_.bounces));
+  }
   decide(now);
   if (!dormant_) {
     sim_.schedule_after(config_.decision_period, [this] { tick(); });

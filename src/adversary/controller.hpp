@@ -31,6 +31,10 @@
 /// from tick events — runs are bit-identical at any thread count, and a
 /// scenario without adversaries never constructs any of this (inertness).
 
+namespace lifting::obs {
+class Recorder;
+}  // namespace lifting::obs
+
 namespace lifting::adversary {
 
 /// One completed self score probe, as the managers answered it.
@@ -147,6 +151,10 @@ class AdversaryController {
   /// while away): the controller stops rescheduling.
   [[nodiscard]] bool dormant() const noexcept { return dormant_; }
 
+  /// Arms decision-tick tracing (DESIGN.md §13); null disarms. Passive —
+  /// no draws, no events — so armed runs stay bit-identical.
+  void set_trace(obs::Recorder* trace) noexcept { trace_ = trace; }
+
  private:
   void tick();
   void decide(TimePoint now);
@@ -169,6 +177,7 @@ class AdversaryController {
   Pcg32 rng_;
   Hooks hooks_;
   CoalitionHub* hub_;
+  obs::Recorder* trace_ = nullptr;
 
   bool started_ = false;
   bool stopped_ = false;

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/trace.hpp"
+
 namespace lifting::faults {
 
 namespace {
@@ -41,6 +43,10 @@ void FaultInjector::send(NodeId from, NodeId to, sim::Channel channel,
     if ((from_island && w.drop_island_to_main) ||
         (!from_island && w.drop_main_to_island)) {
       ++stats_.dropped_partition;
+      if (trace_ != nullptr) {
+        trace_->record(obs::EventKind::kFaultDrop, from, to, 0, 0.0, 2,
+                       static_cast<std::uint16_t>(message.index()));
+      }
       return;
     }
   }
@@ -58,6 +64,10 @@ void FaultInjector::send(NodeId from, NodeId to, sim::Channel channel,
   }
   if (st.rng.bernoulli(st.bad ? plan_.loss_bad : plan_.loss_good)) {
     ++stats_.dropped_burst;
+    if (trace_ != nullptr) {
+      trace_->record(obs::EventKind::kFaultDrop, from, to, 0, 0.0, 1,
+                     static_cast<std::uint16_t>(message.index()));
+    }
     return;
   }
 
@@ -65,6 +75,10 @@ void FaultInjector::send(NodeId from, NodeId to, sim::Channel channel,
   // continues through the delay pipeline below.
   if (st.rng.bernoulli(plan_.duplicate_probability)) {
     ++stats_.duplicated;
+    if (trace_ != nullptr) {
+      trace_->record(obs::EventKind::kFaultDuplicate, from, to, 0, 0.0, 0,
+                     static_cast<std::uint16_t>(message.index()));
+    }
     inner_.send(from, to, channel, bytes, message);
   }
 
@@ -77,9 +91,19 @@ void FaultInjector::send(NodeId from, NodeId to, sim::Channel channel,
             Duration{static_cast<Duration::rep>(
                 st.rng.uniform() * static_cast<double>(range.count()))};
     ++stats_.delayed;
+    if (trace_ != nullptr) {
+      trace_->record(obs::EventKind::kFaultDelay, from, to,
+                     static_cast<std::uint64_t>(extra.count()), 0.0, 0,
+                     static_cast<std::uint16_t>(message.index()));
+    }
   } else if (st.rng.bernoulli(plan_.reorder_probability)) {
     extra = plan_.reorder_delay;
     ++stats_.reordered;
+    if (trace_ != nullptr) {
+      trace_->record(obs::EventKind::kFaultReorder, from, to,
+                     static_cast<std::uint64_t>(extra.count()), 0.0, 0,
+                     static_cast<std::uint16_t>(message.index()));
+    }
   }
 
   if (extra > Duration::zero()) {

@@ -27,6 +27,10 @@
 /// arithmetic. An empty plan constructs no generator and draws nothing, so
 /// fixed-seed goldens are byte-identical with the injector in place.
 
+namespace lifting::obs {
+class Recorder;
+}  // namespace lifting::obs
+
 namespace lifting::faults {
 
 class FaultInjector final : public net::Transport {
@@ -65,6 +69,9 @@ class FaultInjector final : public net::Transport {
 
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 
+  /// Arms fault tracing (DESIGN.md §13); null disarms.
+  void set_trace(obs::Recorder* trace) noexcept { trace_ = trace; }
+
   void send(NodeId from, NodeId to, sim::Channel channel, std::size_t bytes,
             gossip::Message message) override;
 
@@ -83,6 +90,7 @@ class FaultInjector final : public net::Transport {
   // non-empty plan, so empty-plan runs allocate nothing per node.
   std::vector<std::unique_ptr<SenderState>> senders_;
   Stats stats_;
+  obs::Recorder* trace_ = nullptr;
 };
 
 }  // namespace lifting::faults

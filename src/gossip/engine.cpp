@@ -5,6 +5,7 @@
 #include "common/assert.hpp"
 #include "membership/rps.hpp"
 #include "membership/sampler.hpp"
+#include "obs/trace.hpp"
 
 namespace lifting::gossip {
 
@@ -87,6 +88,10 @@ void Engine::handle(NodeId from, const Message& message) {
   } else if (const auto* serve = std::get_if<ServeMsg>(&message)) {
     handle_serve(from, *serve);
   } else if (const auto* ack = std::get_if<AckMsg>(&message)) {
+    if (trace_ != nullptr) {
+      trace_->record(obs::EventKind::kAckReceived, self_, from, ack->period,
+                     0.0, 0, static_cast<std::uint16_t>(ack->partners.size()));
+    }
     if (observer_ != nullptr) observer_->on_ack_received(from, *ack);
   } else {
     LIFTING_ASSERT(false, "non-gossip message routed to Engine");
@@ -94,6 +99,10 @@ void Engine::handle(NodeId from, const Message& message) {
 }
 
 void Engine::handle_propose(NodeId from, const ProposeMsg& msg) {
+  if (trace_ != nullptr) {
+    trace_->record(obs::EventKind::kProposeReceived, self_, from, msg.period,
+                   0.0, 0, static_cast<std::uint16_t>(msg.chunks.size()));
+  }
   if (observer_ != nullptr) {
     observer_->on_propose_received(from, msg.period, msg.chunks);
   }
@@ -124,6 +133,10 @@ void Engine::handle_propose(NodeId from, const ProposeMsg& msg) {
     set_pending(chunk, now + params_.request_timeout);
   }
   ++stats_.requests_sent;
+  if (trace_ != nullptr) {
+    trace_->record(obs::EventKind::kRequestSent, self_, from, msg.period,
+                   0.0, 0, static_cast<std::uint16_t>(needed.size()));
+  }
   if (observer_ != nullptr) {
     observer_->on_request_sent(from, msg.period, needed);
   }
@@ -190,6 +203,10 @@ void Engine::handle_request(NodeId from, const RequestMsg& msg) {
                  ServeMsg{msg.period, chunk, payload_bytes, ack_target});
   }
   stats_.chunks_served += served.size();
+  if (trace_ != nullptr && !served.empty()) {
+    trace_->record(obs::EventKind::kChunksServed, self_, from, msg.period,
+                   0.0, 0, static_cast<std::uint16_t>(served.size()));
+  }
   if (observer_ != nullptr && !served.empty()) {
     observer_->on_chunks_served(from, msg.period, served);
   }
@@ -213,7 +230,15 @@ NodeId Engine::choose_ack_target() {
 void Engine::handle_serve(NodeId from, const ServeMsg& msg) {
   if (has_chunk(msg.chunk)) {
     ++stats_.duplicate_serves;
+    if (trace_ != nullptr) {
+      trace_->record(obs::EventKind::kServeReceived, self_, from,
+                     msg.chunk.value(), 0.0, /*detail=*/1);
+    }
     return;
+  }
+  if (trace_ != nullptr) {
+    trace_->record(obs::EventKind::kServeReceived, self_, from,
+                   msg.chunk.value());
   }
   add_chunk(msg.chunk, msg.payload_bytes);
   clear_pending(msg.chunk);
@@ -373,6 +398,12 @@ void Engine::propose_phase() {
                        ProposeMsg{period_, proposal});
         }
         ++stats_.proposals_sent;
+        if (trace_ != nullptr) {
+          trace_->record(obs::EventKind::kProposeSent, self_, self_, period_,
+                         0.0,
+                         static_cast<std::uint8_t>(partners.size()),
+                         static_cast<std::uint16_t>(proposal.size()));
+        }
       }
 
       // Cross-checking ack: what we *claim* our partner set was. A MITM

@@ -31,6 +31,10 @@ namespace lifting::membership {
 class RpsNetwork;
 }  // namespace lifting::membership
 
+namespace lifting::obs {
+class Recorder;
+}  // namespace lifting::obs
+
 namespace lifting::gossip {
 
 /// Protocol events consumed by the LiFTinG agent. All references are only
@@ -126,6 +130,10 @@ class Engine {
     rps_view_ = rps;
   }
 
+  /// Arms the flight recorder for this engine's phase transitions
+  /// (DESIGN.md §13). Null (the default) disarms: no record is built.
+  void set_trace(obs::Recorder* trace) noexcept { trace_ = trace; }
+
   /// Routes one of the four gossip message kinds to the engine.
   void handle(NodeId from, const Message& message);
 
@@ -206,6 +214,8 @@ class Engine {
   BehaviorSpec behavior_;
   Pcg32 rng_;
   EngineObserver* observer_;
+  /// Flight recorder (null = disarmed, records nothing).
+  obs::Recorder* trace_ = nullptr;
   /// RPS partner-selection source (null = legacy directory sampling).
   const membership::RpsNetwork* rps_view_ = nullptr;
 

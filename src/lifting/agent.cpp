@@ -5,6 +5,7 @@
 
 #include "common/assert.hpp"
 #include "membership/sampler.hpp"
+#include "obs/trace.hpp"
 
 namespace lifting {
 
@@ -75,6 +76,16 @@ Agent::Agent(sim::Simulator& sim, gossip::Mailer& mailer,
             }
           },
           [this](const AuditReport& report) {
+            if (trace_ != nullptr) {
+              const std::uint8_t failed =
+                  static_cast<std::uint8_t>(
+                      (report.fanout_check_failed ? 1U : 0U) |
+                      (report.fanin_check_failed ? 2U : 0U) |
+                      (report.rate_check_failed ? 4U : 0U));
+              trace_->record(obs::EventKind::kAuditReport, self_,
+                             report.subject, 0, 0.0, failed,
+                             static_cast<std::uint16_t>(report.confirmed));
+            }
             if (hooks_.on_audit_report) {
               hooks_.on_audit_report(self_, report);
             }
@@ -90,6 +101,12 @@ void Agent::start(Duration offset) {
   LIFTING_ASSERT(!started_, "agent started twice");
   started_ = true;
   sim_.schedule_after(offset, [this] { tick(); });
+}
+
+void Agent::set_trace(obs::Recorder* trace) noexcept {
+  trace_ = trace;
+  direct_verifier_.set_trace(trace, self_);
+  cross_checker_.set_trace(trace);
 }
 
 void Agent::tick() {
@@ -178,6 +195,10 @@ void Agent::emit_blame(NodeId target, double value,
   if (behavior_.colludes_with(target)) return;
   blame_emitted_this_period_ += value;  // feeds the adaptive p_dcc controller
   blame_emitted_total_ += value;
+  if (trace_ != nullptr) {
+    trace_->record(obs::EventKind::kBlameEmitted, self_, target, 0, value,
+                   static_cast<std::uint8_t>(reason));
+  }
   if (hooks_.on_blame_emitted) {
     hooks_.on_blame_emitted(self_, target, value, reason);
   }
@@ -478,6 +499,11 @@ void Agent::handle_blame(NodeId from, const gossip::BlameMsg& msg) {
   // against coalition members (countered by the min-vote read).
   if (behavior_.colludes_with(msg.target)) return;
   if (blame_is_duplicate(from, msg)) return;
+  if (trace_ != nullptr) {
+    trace_->record(obs::EventKind::kBlameApplied, self_, msg.target,
+                   from.value(), msg.value,
+                   static_cast<std::uint8_t>(msg.reason));
+  }
   managers_.apply_blame(msg.target, msg.value, msg.reason);
 }
 
@@ -511,6 +537,10 @@ void Agent::probe_score(NodeId target, ScoreFeedbackFn on_done) {
 
 void Agent::begin_score_read(NodeId target, ScoreFeedbackFn probe) {
   const std::uint32_t query_id = next_query_id_++;
+  if (trace_ != nullptr) {
+    trace_->record(obs::EventKind::kScoreRead, self_, target, query_id, 0.0,
+                   probe ? 1 : 0);
+  }
   score_reads_.emplace(
       query_id, PendingScoreRead{target, {}, {}, false, std::move(probe)});
   for (const auto manager : managers_for(target)) {
@@ -576,6 +606,10 @@ void Agent::finish_score_read(std::uint32_t query_id) {
   }
   if (score >= params_.eta) return;
   if (!expel_requested_.insert(read.target).second) return;  // in flight
+  if (trace_ != nullptr) {
+    trace_->record(obs::EventKind::kExpelRequest, self_, read.target, 0,
+                   score);
+  }
   auto& vote = expel_votes_[read.target];
   vote = PendingExpelVote{};
   vote.total_managers = managers_for(read.target).size();
@@ -583,6 +617,10 @@ void Agent::finish_score_read(std::uint32_t query_id) {
     if (manager == self_) {
       const bool agree = managers_.normalized_score(read.target, sim_.now()) <
                          params_.eta * (1.0 - params_.expel_slack);
+      if (trace_ != nullptr) {
+        trace_->record(obs::EventKind::kExpelVote, self_, read.target, 0, 0.0,
+                       agree ? 1 : 0);
+      }
       if (agree) ++vote.yes;
     } else {
       send_datagram(manager, gossip::ExpelRequestMsg{read.target, score});
@@ -612,6 +650,10 @@ void Agent::handle_expel_vote(NodeId from, const gossip::ExpelVoteMsg& msg) {
     return;  // transport-duplicated ballot: one vote per manager
   }
   vote.voters.push_back(from);
+  if (trace_ != nullptr) {
+    trace_->record(obs::EventKind::kExpelVote, from, msg.target, 0, 0.0,
+                   msg.agree ? 1 : 0);
+  }
   if (msg.agree) ++vote.yes;
 }
 
@@ -656,14 +698,23 @@ void Agent::handle_expel_commit(const gossip::ExpelCommitMsg& msg) {
         params_.eta * (1.0 - params_.expel_slack);
     if (!corroborated) return;
   }
-  if (managers_.mark_expelled(msg.target) && hooks_.on_expulsion_committed) {
-    hooks_.on_expulsion_committed(msg.target, self_, msg.from_audit);
+  if (managers_.mark_expelled(msg.target)) {
+    if (trace_ != nullptr) {
+      trace_->record(obs::EventKind::kExpelCommit, self_, msg.target, 0, 0.0,
+                     msg.from_audit ? 1 : 0);
+    }
+    if (hooks_.on_expulsion_committed) {
+      hooks_.on_expulsion_committed(msg.target, self_, msg.from_audit);
+    }
   }
 }
 
 void Agent::handle_audit_request(NodeId from,
                                  const gossip::AuditRequestMsg& msg) {
   ++audit_requests_received_;
+  if (trace_ != nullptr) {
+    trace_->record(obs::EventKind::kAuditServed, self_, from, msg.audit_id);
+  }
   auto records = sent_history_.snapshot();
   if (behavior_.lie_in_history && behavior_.collusion.has_value()) {
     // Replace coalition partners with random live nodes: beats the entropy

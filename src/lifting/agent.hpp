@@ -82,6 +82,11 @@ class Agent final : public gossip::EngineObserver {
     behavior_ = std::move(behavior);
   }
 
+  /// Arms the flight recorder (DESIGN.md §13) on this agent and its
+  /// verifiers: verdicts, blame rows, score reads, expulsion ballots and
+  /// served audits. Null disarms (the default — nothing is recorded).
+  void set_trace(obs::Recorder* trace) noexcept;
+
   /// Routes a LiFTinG message (anything that is not propose/request/serve/
   /// ack) to the agent.
   void handle(NodeId from, const gossip::Message& message);
@@ -241,6 +246,7 @@ class Agent final : public gossip::EngineObserver {
   std::uint64_t deployment_seed_;
   TimePoint genesis_;
   Hooks hooks_;
+  obs::Recorder* trace_ = nullptr;
 
   std::shared_ptr<ManagerAssignment> assignment_;
   ManagerStore managers_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/assert.hpp"
+#include "obs/trace.hpp"
 
 namespace lifting {
 
@@ -68,6 +69,11 @@ void DirectVerifier::on_deadline(Key key) {
     const double value = static_cast<double>(params_.fanout) *
                          static_cast<double>(pending->outstanding.size()) /
                          static_cast<double>(pending->requested);
+    if (trace_ != nullptr) {
+      trace_->record(obs::EventKind::kVerdictUnserved, trace_self_,
+                     key.proposer, key.period, value, 0,
+                     static_cast<std::uint16_t>(pending->outstanding.size()));
+    }
     blame_(key.proposer, value, gossip::BlameReason::kDirectVerification);
   }
   ++completed_;
@@ -146,9 +152,14 @@ void CrossChecker::on_ack_received(NodeId from, const gossip::AckMsg& ack) {
                          fanout_key),
         fanout_key);
     if (ack.partners.size() < params_.fanout) {
-      blame_(from,
-             static_cast<double>(params_.fanout - ack.partners.size()),
-             gossip::BlameReason::kFanoutDecrease);
+      const double value =
+          static_cast<double>(params_.fanout - ack.partners.size());
+      if (trace_ != nullptr) {
+        trace_->record(obs::EventKind::kVerdictFanout, self_, from,
+                       ack.period, value, 0,
+                       static_cast<std::uint16_t>(ack.partners.size()));
+      }
+      blame_(from, value, gossip::BlameReason::kFanoutDecrease);
     }
   }
 
@@ -197,6 +208,10 @@ void CrossChecker::start_confirm_round(const gossip::AckMsg& ack,
   round.witnesses = sent;
   rounds_.insert(it, round);
   ++rounds_started_;
+  if (trace_ != nullptr) {
+    trace_->record(obs::EventKind::kConfirmRound, self_, subject, ack.period,
+                   0.0, 0, static_cast<std::uint16_t>(sent));
+  }
   sim_.schedule_after(params_.confirm_timeout,
                       [this, subject, period = ack.period] {
                         on_confirm_deadline(subject, period);
@@ -229,6 +244,12 @@ void CrossChecker::on_confirm_deadline(NodeId subject,
   // (Eq. 3's (1-pr³) term).
   const std::size_t failures = round->witnesses - round->yes;
   if (failures > 0) {
+    if (trace_ != nullptr) {
+      trace_->record(
+          obs::EventKind::kVerdictTestimony, self_, subject, subject_period,
+          static_cast<double>(failures), 0,
+          static_cast<std::uint16_t>((round->yes << 8) | (round->no & 0xFF)));
+    }
     blame_(subject, static_cast<double>(failures),
            gossip::BlameReason::kTestimony);
   }
@@ -243,6 +264,10 @@ void CrossChecker::on_ack_deadline(NodeId receiver, PeriodIndex serve_period,
   if (!batch->covered) {
     // No acknowledgment covering the batch: blame f (§5.2 — same value as
     // not proposing at all).
+    if (trace_ != nullptr) {
+      trace_->record(obs::EventKind::kVerdictNoAck, self_, receiver,
+                     serve_period, static_cast<double>(params_.fanout));
+    }
     blame_(receiver, static_cast<double>(params_.fanout),
            gossip::BlameReason::kInvalidAck);
   }

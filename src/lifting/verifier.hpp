@@ -13,6 +13,10 @@
 #include "lifting/params.hpp"
 #include "sim/simulator.hpp"
 
+namespace lifting::obs {
+class Recorder;
+}  // namespace lifting::obs
+
 /// The two direct verification procedures of LiFTinG (paper §5.2).
 ///
 /// DirectVerifier (requester side): after requesting R chunks against a
@@ -39,6 +43,13 @@ class DirectVerifier {
   DirectVerifier(sim::Simulator& sim, const LiftingParams& params,
                  BlameFn blame)
       : sim_(sim), params_(params), blame_(std::move(blame)) {}
+
+  /// Arms verdict tracing (DESIGN.md §13). The verifier does not know its
+  /// own id, so the arming agent passes it for the records' actor field.
+  void set_trace(obs::Recorder* trace, NodeId self) noexcept {
+    trace_ = trace;
+    trace_self_ = self;
+  }
 
   /// We requested `chunks` from `proposer` against its proposal `period`.
   void on_request_sent(NodeId proposer, PeriodIndex period,
@@ -83,6 +94,8 @@ class DirectVerifier {
   sim::Simulator& sim_;
   const LiftingParams& params_;
   BlameFn blame_;
+  obs::Recorder* trace_ = nullptr;
+  NodeId trace_self_;
   RecycledVector<Pending> pending_;  // sorted by key
   std::uint64_t completed_ = 0;
 };
@@ -97,6 +110,9 @@ class CrossChecker {
         rng_(rng),
         blame_(std::move(blame)),
         send_(std::move(send)) {}
+
+  /// Arms verdict tracing (records carry self_ as the actor).
+  void set_trace(obs::Recorder* trace) noexcept { trace_ = trace; }
 
   /// We served `chunks` to `receiver` (against our proposal of `period`).
   void on_chunks_served(NodeId receiver, PeriodIndex period,
@@ -164,6 +180,7 @@ class CrossChecker {
   Pcg32& rng_;
   BlameFn blame_;
   SendFn send_;
+  obs::Recorder* trace_ = nullptr;
 
   /// Outstanding serve batches, sorted by (receiver, serve_period).
   RecycledVector<Batch> batches_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/assert.hpp"
+#include "obs/trace.hpp"
 
 namespace lifting::membership {
 
@@ -214,6 +215,11 @@ void RpsNetwork::shuffle_pair(std::uint32_t initiator) {
       make_exchange(peer_id, NodeId{initiator}, shuffle_length_, false);
   merge_into(mine, NodeId{initiator}, offer.entries, reply.entries);
   merge_into(theirs, peer_id, reply.entries, offer.entries);
+  if (trace_ != nullptr) {
+    trace_->record(obs::EventKind::kRpsMerge, NodeId{initiator}, peer_id,
+                   round_, 0.0, 0,
+                   static_cast<std::uint16_t>(reply.entries.size()));
+  }
 }
 
 gossip::RpsShuffleMsg RpsNetwork::make_exchange(NodeId from, NodeId to,

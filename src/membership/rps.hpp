@@ -33,6 +33,10 @@
 /// hardened sampler's attestation rejects is exactly what a deployment
 /// would put on the wire.
 
+namespace lifting::obs {
+class Recorder;
+}  // namespace lifting::obs
+
 namespace lifting::membership {
 
 class RpsNetwork {
@@ -130,6 +134,10 @@ class RpsNetwork {
   /// honest sampling; pinned much higher by a successful poisoning).
   [[nodiscard]] double colluder_view_share() const;
 
+  /// Arms shuffle tracing (DESIGN.md §13); null disarms. Recording is
+  /// passive — no draws — so armed rounds stay bit-identical.
+  void set_trace(obs::Recorder* trace) noexcept { trace_ = trace; }
+
  private:
   struct Entry {
     NodeId id;
@@ -176,6 +184,7 @@ class RpsNetwork {
   std::size_t view_size_;
   std::size_t shuffle_length_;
   SamplerPolicy policy_;
+  obs::Recorder* trace_ = nullptr;
   Pcg32 rng_;
   std::uint32_t round_ = 0;
   std::vector<View> views_;

@@ -1,0 +1,257 @@
+#include "obs/explain.hpp"
+
+#include <cstdio>
+
+#include "gossip/message.hpp"
+
+namespace lifting::obs {
+
+const char* blame_reason_name(std::uint8_t reason) noexcept {
+  switch (static_cast<gossip::BlameReason>(reason)) {
+    case gossip::BlameReason::kDirectVerification:
+      return "direct_verification";
+    case gossip::BlameReason::kInvalidAck: return "invalid_ack";
+    case gossip::BlameReason::kFanoutDecrease: return "fanout_decrease";
+    case gossip::BlameReason::kTestimony: return "testimony";
+    case gossip::BlameReason::kAposterioriCheck: return "aposteriori_check";
+    case gossip::BlameReason::kRateCheck: return "rate_check";
+    case gossip::BlameReason::kPostDeparture: return "post_departure";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Is this record part of node's forensic story? Engine-phase records are
+/// excluded on purpose: they dominate the ring and carry no verdict.
+bool relevant(const TraceRecord& r, std::uint32_t node) {
+  switch (r.kind) {
+    case EventKind::kVerdictUnserved:
+    case EventKind::kVerdictNoAck:
+    case EventKind::kVerdictFanout:
+    case EventKind::kVerdictTestimony:
+    case EventKind::kConfirmRound:
+    case EventKind::kAuditReport:
+    case EventKind::kBlameEmitted:
+    case EventKind::kBlameApplied:
+    case EventKind::kBlameLedger:
+    case EventKind::kScoreRead:
+    case EventKind::kExpelRequest:
+    case EventKind::kExpelVote:
+    case EventKind::kExpelCommit:
+    case EventKind::kExpulsionApplied:
+    case EventKind::kHandoff:
+      return r.subject == node;
+    case EventKind::kAuditServed:
+      return r.actor == node;  // the node was made to hand over its history
+    default:
+      return false;
+  }
+}
+
+void format_line(std::string& out, const TraceRecord& r) {
+  char line[256];
+  const double at = static_cast<double>(r.at_us) / 1e6;
+  switch (r.kind) {
+    case EventKind::kVerdictUnserved:
+      std::snprintf(line, sizeof(line),
+                    "[%9.3fs] verdict by %u: %u of the requested chunks of "
+                    "period %llu never served -> blame %.3f "
+                    "(direct verification)\n",
+                    at, r.actor, r.extra,
+                    static_cast<unsigned long long>(r.evidence),
+                    static_cast<double>(r.value));
+      break;
+    case EventKind::kVerdictNoAck:
+      std::snprintf(line, sizeof(line),
+                    "[%9.3fs] verdict by %u: serve batch of period %llu "
+                    "never acknowledged -> blame %.3f (invalid ack)\n",
+                    at, r.actor, static_cast<unsigned long long>(r.evidence),
+                    static_cast<double>(r.value));
+      break;
+    case EventKind::kVerdictFanout:
+      std::snprintf(line, sizeof(line),
+                    "[%9.3fs] verdict by %u: ack of period %llu listed too "
+                    "few partners -> blame %.3f (fanout decrease)\n",
+                    at, r.actor, static_cast<unsigned long long>(r.evidence),
+                    static_cast<double>(r.value));
+      break;
+    case EventKind::kVerdictTestimony:
+      std::snprintf(line, sizeof(line),
+                    "[%9.3fs] verdict by %u: confirm round of period %llu "
+                    "closed %u yes / %u no -> blame %.3f (testimony)\n",
+                    at, r.actor, static_cast<unsigned long long>(r.evidence),
+                    r.extra >> 8, r.extra & 0xFF,
+                    static_cast<double>(r.value));
+      break;
+    case EventKind::kConfirmRound:
+      std::snprintf(line, sizeof(line),
+                    "[%9.3fs] confirm round opened by %u about period %llu "
+                    "(%u witnesses polled)\n",
+                    at, r.actor, static_cast<unsigned long long>(r.evidence),
+                    r.extra);
+      break;
+    case EventKind::kAuditServed:
+      std::snprintf(line, sizeof(line),
+                    "[%9.3fs] audit %llu: handed local history to auditor "
+                    "%u\n",
+                    at, static_cast<unsigned long long>(r.evidence),
+                    r.subject);
+      break;
+    case EventKind::kAuditReport:
+      std::snprintf(line, sizeof(line),
+                    "[%9.3fs] audit %llu report by %u: %u confirmed, checks "
+                    "failed:%s%s%s%s\n",
+                    at, static_cast<unsigned long long>(r.evidence), r.actor,
+                    r.extra, (r.detail & 1) != 0 ? " fanout-entropy" : "",
+                    (r.detail & 2) != 0 ? " fanin-entropy" : "",
+                    (r.detail & 4) != 0 ? " rate" : "",
+                    r.detail == 0 ? " none" : "");
+      break;
+    case EventKind::kBlameEmitted:
+      std::snprintf(line, sizeof(line),
+                    "[%9.3fs] blame emitted by %u: value %.3f reason %s\n",
+                    at, r.actor, static_cast<double>(r.value),
+                    blame_reason_name(r.detail));
+      break;
+    case EventKind::kBlameApplied:
+      std::snprintf(line, sizeof(line),
+                    "[%9.3fs] manager %u applied blame row: value %.3f "
+                    "reason %s (from %llu)\n",
+                    at, r.actor, static_cast<double>(r.value),
+                    blame_reason_name(r.detail),
+                    static_cast<unsigned long long>(r.evidence));
+      break;
+    case EventKind::kBlameLedger:
+      std::snprintf(line, sizeof(line),
+                    "[%9.3fs] ground-truth ledger row by %u: value %.3f "
+                    "reason %s\n",
+                    at, r.actor, static_cast<double>(r.value),
+                    blame_reason_name(r.detail));
+      break;
+    case EventKind::kScoreRead:
+      std::snprintf(line, sizeof(line),
+                    "[%9.3fs] score read %llu started by %u\n", at,
+                    static_cast<unsigned long long>(r.evidence), r.actor);
+      break;
+    case EventKind::kExpelRequest:
+      std::snprintf(line, sizeof(line),
+                    "[%9.3fs] expulsion requested by %u (observed score "
+                    "%.3f below threshold)\n",
+                    at, r.actor, static_cast<double>(r.value));
+      break;
+    case EventKind::kExpelVote:
+      std::snprintf(line, sizeof(line),
+                    "[%9.3fs] expulsion ballot from manager %u: %s\n", at,
+                    r.actor, r.detail != 0 ? "agree" : "refuse");
+      break;
+    case EventKind::kExpelCommit:
+      std::snprintf(line, sizeof(line),
+                    "[%9.3fs] manager %u committed the expulsion%s\n", at,
+                    r.actor,
+                    r.detail != 0 ? " (entropy audit, direct)" : "");
+      break;
+    case EventKind::kExpulsionApplied:
+      std::snprintf(line, sizeof(line),
+                    "[%9.3fs] deployment applied the expulsion (first "
+                    "committing manager %u)\n",
+                    at, r.actor);
+      break;
+    case EventKind::kHandoff:
+      std::snprintf(line, sizeof(line),
+                    "[%9.3fs] manager handoff: %llu's row migrated to "
+                    "replacement %u\n",
+                    at, static_cast<unsigned long long>(r.evidence),
+                    r.actor);
+      break;
+    default:
+      return;
+  }
+  out += line;
+}
+
+}  // namespace
+
+ExplainSummary summarize(const TraceRing& ring, NodeId node) {
+  ExplainSummary s;
+  const std::uint32_t id = node.value();
+  for (std::size_t i = 0; i < ring.size(); ++i) {
+    const TraceRecord& r = ring[i];
+    if (!relevant(r, id)) continue;
+    switch (r.kind) {
+      case EventKind::kVerdictUnserved:
+      case EventKind::kVerdictNoAck:
+      case EventKind::kVerdictFanout:
+      case EventKind::kVerdictTestimony:
+        ++s.verdicts;
+        break;
+      case EventKind::kBlameEmitted:
+        ++s.blames_emitted_against;
+        s.blame_value_against += static_cast<double>(r.value);
+        break;
+      case EventKind::kBlameApplied:
+        ++s.blame_rows_applied;
+        break;
+      case EventKind::kScoreRead:
+        ++s.score_reads;
+        break;
+      case EventKind::kExpelRequest:
+        ++s.expel_requests;
+        break;
+      case EventKind::kExpelVote:
+        ++s.expel_votes;
+        if (r.detail != 0) ++s.expel_agree_votes;
+        break;
+      case EventKind::kExpelCommit:
+        ++s.expel_commits;
+        break;
+      case EventKind::kExpulsionApplied:
+        s.expelled = true;
+        break;
+      default:
+        break;
+    }
+  }
+  return s;
+}
+
+std::string explain(const TraceRing& ring, NodeId node) {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "=== forensic report: node %u ===\n", node.value());
+  out += line;
+  if (ring.dropped() > 0) {
+    std::snprintf(line, sizeof(line),
+                  "(ring wrapped: %llu oldest records overwritten — the "
+                  "chain below may start mid-story)\n",
+                  static_cast<unsigned long long>(ring.dropped()));
+    out += line;
+  }
+  const std::uint32_t id = node.value();
+  for (std::size_t i = 0; i < ring.size(); ++i) {
+    if (relevant(ring[i], id)) format_line(out, ring[i]);
+  }
+  const ExplainSummary s = summarize(ring, node);
+  std::snprintf(line, sizeof(line),
+                "--- summary: %llu verdicts, %llu blames (total value "
+                "%.3f), %llu manager rows, %llu score reads\n",
+                static_cast<unsigned long long>(s.verdicts),
+                static_cast<unsigned long long>(s.blames_emitted_against),
+                s.blame_value_against,
+                static_cast<unsigned long long>(s.blame_rows_applied),
+                static_cast<unsigned long long>(s.score_reads));
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "--- expulsion: %llu requests, %llu/%llu agreeing ballots, "
+                "%llu manager commits -> %s\n",
+                static_cast<unsigned long long>(s.expel_requests),
+                static_cast<unsigned long long>(s.expel_agree_votes),
+                static_cast<unsigned long long>(s.expel_votes),
+                static_cast<unsigned long long>(s.expel_commits),
+                s.expelled ? "EXPELLED" : "not expelled");
+  out += line;
+  return out;
+}
+
+}  // namespace lifting::obs

@@ -1,0 +1,50 @@
+#ifndef LIFTING_OBS_EXPLAIN_HPP
+#define LIFTING_OBS_EXPLAIN_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+#include "obs/trace.hpp"
+
+/// Blame-provenance forensics (DESIGN.md §13): reconstruct the causal
+/// chain behind a node's score or expulsion from the flight-recorder
+/// ring — which verifications produced verdicts, which blame rows those
+/// verdicts became, which audit / confirm round supplied the evidence,
+/// which score read triggered the expulsion request, and how the
+/// managers voted. The output is a plain-text forensic report, one line
+/// per relevant record in virtual-time order, deterministic for a fixed
+/// ring (tests assert it bit-identical across thread counts).
+
+namespace lifting::obs {
+
+/// Stable name of a gossip::BlameReason raw value (report lines).
+[[nodiscard]] const char* blame_reason_name(std::uint8_t reason) noexcept;
+
+/// Per-category record counts plus the blame/expulsion summary the
+/// report's footer prints — also handy for tests.
+struct ExplainSummary {
+  std::uint64_t verdicts = 0;
+  std::uint64_t blames_emitted_against = 0;   ///< kBlameEmitted rows
+  std::uint64_t blame_rows_applied = 0;       ///< manager-side rows
+  double blame_value_against = 0.0;           ///< summed emitted value
+  std::uint64_t score_reads = 0;
+  std::uint64_t expel_requests = 0;
+  std::uint64_t expel_votes = 0;
+  std::uint64_t expel_agree_votes = 0;
+  std::uint64_t expel_commits = 0;
+  bool expelled = false;  ///< an expulsion was applied to the membership
+};
+
+/// Walks the ring and summarizes every record relevant to `node`.
+[[nodiscard]] ExplainSummary summarize(const TraceRing& ring, NodeId node);
+
+/// Walks the ring oldest-first and renders the forensic report for
+/// `node`: every verdict, blame row, audit, score read, expulsion vote
+/// and handoff in which the node is the subject (plus the audits it was
+/// made to serve), ending with the summary footer.
+[[nodiscard]] std::string explain(const TraceRing& ring, NodeId node);
+
+}  // namespace lifting::obs
+
+#endif  // LIFTING_OBS_EXPLAIN_HPP

@@ -1,0 +1,20 @@
+#include "obs/registry.hpp"
+
+#include "common/assert.hpp"
+
+namespace lifting::obs {
+
+Registry::Entry& Registry::slot(std::string_view name, Kind kind) {
+  for (auto& e : entries_) {
+    if (e.name == name) {
+      LIFTING_ASSERT(e.kind == kind, "registry name reused across kinds");
+      return e;
+    }
+  }
+  auto& e = entries_.emplace_back();
+  e.name.assign(name);
+  e.kind = kind;
+  return e;
+}
+
+}  // namespace lifting::obs

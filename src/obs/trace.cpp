@@ -1,0 +1,82 @@
+#include "obs/trace.hpp"
+
+namespace lifting::obs {
+
+const char* kind_name(EventKind kind) noexcept {
+  switch (kind) {
+    case EventKind::kProposeSent: return "propose_sent";
+    case EventKind::kProposeReceived: return "propose_received";
+    case EventKind::kRequestSent: return "request_sent";
+    case EventKind::kServeReceived: return "serve_received";
+    case EventKind::kChunksServed: return "chunks_served";
+    case EventKind::kAckReceived: return "ack_received";
+    case EventKind::kVerdictUnserved: return "verdict_unserved";
+    case EventKind::kVerdictNoAck: return "verdict_no_ack";
+    case EventKind::kVerdictFanout: return "verdict_fanout";
+    case EventKind::kVerdictTestimony: return "verdict_testimony";
+    case EventKind::kConfirmRound: return "confirm_round";
+    case EventKind::kAuditServed: return "audit_served";
+    case EventKind::kAuditReport: return "audit_report";
+    case EventKind::kBlameEmitted: return "blame_emitted";
+    case EventKind::kBlameApplied: return "blame_applied";
+    case EventKind::kBlameLedger: return "blame_ledger";
+    case EventKind::kScoreRead: return "score_read";
+    case EventKind::kExpelRequest: return "expel_request";
+    case EventKind::kExpelVote: return "expel_vote";
+    case EventKind::kExpelCommit: return "expel_commit";
+    case EventKind::kExpulsionApplied: return "expulsion_applied";
+    case EventKind::kHandoff: return "manager_handoff";
+    case EventKind::kRpsMerge: return "rps_merge";
+    case EventKind::kAdversaryTick: return "adversary_tick";
+    case EventKind::kFaultDrop: return "fault_drop";
+    case EventKind::kFaultDuplicate: return "fault_duplicate";
+    case EventKind::kFaultDelay: return "fault_delay";
+    case EventKind::kFaultReorder: return "fault_reorder";
+  }
+  return "unknown";
+}
+
+const char* kind_category(EventKind kind) noexcept {
+  switch (kind) {
+    case EventKind::kProposeSent:
+    case EventKind::kProposeReceived:
+    case EventKind::kRequestSent:
+    case EventKind::kServeReceived:
+    case EventKind::kChunksServed:
+    case EventKind::kAckReceived:
+      return "engine";
+    case EventKind::kVerdictUnserved:
+    case EventKind::kVerdictNoAck:
+    case EventKind::kVerdictFanout:
+    case EventKind::kVerdictTestimony:
+    case EventKind::kConfirmRound:
+      return "verdict";
+    case EventKind::kAuditServed:
+    case EventKind::kAuditReport:
+      return "audit";
+    case EventKind::kBlameEmitted:
+    case EventKind::kBlameApplied:
+    case EventKind::kBlameLedger:
+      return "blame";
+    case EventKind::kScoreRead:
+    case EventKind::kExpelRequest:
+    case EventKind::kExpelVote:
+    case EventKind::kExpelCommit:
+    case EventKind::kExpulsionApplied:
+      return "expel";
+    case EventKind::kHandoff:
+      return "handoff";
+    case EventKind::kRpsMerge:
+      return "rps";
+    case EventKind::kAdversaryTick:
+      return "adversary";
+    case EventKind::kFaultDrop:
+    case EventKind::kFaultDuplicate:
+    case EventKind::kFaultDelay:
+    case EventKind::kFaultReorder:
+      return "fault";
+  }
+  return "unknown";
+}
+
+}  // namespace lifting::obs

@@ -1,0 +1,200 @@
+#ifndef LIFTING_OBS_TRACE_HPP
+#define LIFTING_OBS_TRACE_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/time.hpp"
+#include "common/types.hpp"
+#include "sim/simulator.hpp"
+
+/// Flight recorder (DESIGN.md §13): structured protocol tracing for the
+/// simulator and the wire deployment.
+///
+/// Every instrumented component holds a nullable `obs::Recorder*` — the
+/// disarmed default. A null recorder constructs nothing, draws nothing and
+/// allocates nothing: the instrumentation is one pointer test per event,
+/// so fixed-seed goldens are byte-identical with the subsystem compiled in
+/// (tests/test_obs.cpp pins a traced-vs-untraced digest equality).
+///
+/// Armed, the recorder appends fixed-size POD records into a TraceRing —
+/// a bounded circular buffer allocated exactly once at arming (§9
+/// discipline: zero allocation per record, oldest records overwritten
+/// when the ring wraps). Records carry virtual time (sim::Simulator::now),
+/// which the wire deployment slaves to the steady clock, so per-node dumps
+/// merge by timestamp (tools/lifting_trace.cpp).
+
+namespace lifting::obs {
+
+/// One trace record kind per instrumented seam event.
+enum class EventKind : std::uint8_t {
+  // ---- gossip engine phase transitions (src/gossip/engine.cpp)
+  kProposeSent,      // actor proposed; evidence=period, extra=chunks
+  kProposeReceived,  // subject=proposer; evidence=period, extra=chunks
+  kRequestSent,      // subject=proposer; evidence=period, extra=requested
+  kServeReceived,    // subject=server; evidence=chunk id, detail=1 if dup
+  kChunksServed,     // subject=requester; evidence=period, extra=served
+  kAckReceived,      // subject=acker; evidence=ack period, extra=partners
+
+  // ---- verifier verdicts (src/lifting/verifier.cpp)
+  kVerdictUnserved,   // direct verification; evidence=period, extra=missing
+  kVerdictNoAck,      // missing/uncovered ack; evidence=serve period
+  kVerdictFanout,     // fanout shortfall; evidence=ack period
+  kVerdictTestimony,  // confirm round judged; extra=(yes<<8)|no
+  kConfirmRound,      // confirm round started; extra=witnesses polled
+
+  // ---- local-history audits (src/lifting/agent.cpp, auditor hooks)
+  kAuditServed,  // subject asked actor for history; evidence=audit id
+  kAuditReport,  // auditor verdict; detail bits: 1 fanout, 2 fanin, 4 rate
+
+  // ---- blame rows (agent emission, manager rows, ground-truth ledger)
+  kBlameEmitted,  // actor blames subject; value, detail=BlameReason
+  kBlameApplied,  // manager row mutated; evidence=blamer id
+  kBlameLedger,   // ground-truth ledger row (post-departure reclassified)
+
+  // ---- score reads and the expulsion protocol
+  kScoreRead,         // actor reads subject's score; evidence=query id
+  kExpelRequest,      // actor asks managers to expel; value=observed score
+  kExpelVote,         // actor's ballot about subject; detail=agree
+  kExpelCommit,       // manager marked subject expelled; detail=from_audit
+  kExpulsionApplied,  // deployment applied the expulsion (membership)
+
+  // ---- membership machinery
+  kHandoff,   // manager row migrated; actor=replacement, evidence=departed
+  kRpsMerge,  // shuffle exchange merged; subject=peer, extra=entries
+
+  // ---- adversary decisions and injected faults
+  kAdversaryTick,   // detail=1 freeriding, 2 probe sent, 4 flee, 8 rejoin
+  kFaultDrop,       // detail=1 burst, 2 partition; extra=message kind
+  kFaultDuplicate,  // extra=message kind
+  kFaultDelay,      // extra=message kind
+  kFaultReorder,    // extra=message kind
+};
+
+inline constexpr std::size_t kEventKindCount =
+    static_cast<std::size_t>(EventKind::kFaultReorder) + 1;
+
+/// Short stable name of the kind (trace JSON, forensic reports).
+[[nodiscard]] const char* kind_name(EventKind kind) noexcept;
+
+/// Seam category of the kind: "engine", "verdict", "audit", "blame",
+/// "expel", "handoff", "rps", "adversary" or "fault". The per-seam
+/// coverage requirement of the traced loopback smoke counts these.
+[[nodiscard]] const char* kind_category(EventKind kind) noexcept;
+
+/// One fixed-size POD record (32 bytes). Field semantics are per-kind
+/// (see EventKind comments); unused fields are zero.
+struct TraceRecord {
+  std::int64_t at_us = 0;     ///< virtual time, µs since the sim epoch
+  std::uint32_t actor = 0;    ///< node performing the event
+  std::uint32_t subject = 0;  ///< node acted upon (== actor when self-only)
+  std::uint64_t evidence = 0; ///< period / chunk / audit id / query id
+  float value = 0.0f;         ///< blame value / score, when meaningful
+  EventKind kind = EventKind::kProposeSent;
+  std::uint8_t detail = 0;    ///< reason / flags / ballot
+  std::uint16_t extra = 0;    ///< small counts (chunks, witnesses, …)
+};
+static_assert(sizeof(TraceRecord) == 32, "trace records are 32-byte POD");
+
+/// Bounded circular record store. arm() performs the single allocation;
+/// append() is O(1), never allocates and overwrites the oldest record
+/// once the ring is full (dropped() counts the overwritten ones).
+class TraceRing {
+ public:
+  TraceRing() = default;
+
+  void arm(std::size_t capacity) {
+    LIFTING_ASSERT(capacity > 0, "TraceRing capacity must be positive");
+    buf_.assign(capacity, TraceRecord{});
+    head_ = 0;
+    size_ = 0;
+    total_ = 0;
+  }
+  [[nodiscard]] bool armed() const noexcept { return !buf_.empty(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return buf_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  /// Records ever appended, including those the wrap overwrote.
+  [[nodiscard]] std::uint64_t total_recorded() const noexcept {
+    return total_;
+  }
+  [[nodiscard]] std::uint64_t dropped() const noexcept {
+    return total_ - size_;
+  }
+
+  void append(const TraceRecord& record) noexcept {
+    LIFTING_ASSERT(armed(), "append on a disarmed TraceRing");
+    buf_[wrap(head_ + size_)] = record;
+    if (size_ == buf_.size()) {
+      head_ = wrap(head_ + 1);  // overwrite: drop the oldest
+    } else {
+      ++size_;
+    }
+    ++total_;
+  }
+
+  /// Oldest-first access: (*this)[0] is the earliest retained record.
+  [[nodiscard]] const TraceRecord& operator[](std::size_t i) const noexcept {
+    LIFTING_ASSERT(i < size_, "TraceRing index out of range");
+    return buf_[wrap(head_ + i)];
+  }
+
+  /// Forgets the records; the buffer (and arming) stays.
+  void clear() noexcept {
+    head_ = 0;
+    size_ = 0;
+    total_ = 0;
+  }
+
+ private:
+  [[nodiscard]] std::size_t wrap(std::size_t i) const noexcept {
+    return i < buf_.size() ? i : i - buf_.size();
+  }
+
+  std::vector<TraceRecord> buf_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+/// The armed end of the flight recorder: stamps records with the virtual
+/// clock and appends them to the ring. Components reference it through a
+/// nullable pointer — constructing a Recorder is the arming act, owned by
+/// the deployment (Experiment::enable_trace / NodeHost::enable_trace).
+class Recorder {
+ public:
+  Recorder(const sim::Simulator& sim, std::size_t capacity) : sim_(sim) {
+    ring_.arm(capacity);
+  }
+
+  Recorder(const Recorder&) = delete;
+  Recorder& operator=(const Recorder&) = delete;
+
+  void record(EventKind kind, NodeId actor, NodeId subject,
+              std::uint64_t evidence = 0, double value = 0.0,
+              std::uint8_t detail = 0, std::uint16_t extra = 0) noexcept {
+    TraceRecord r;
+    r.at_us = sim_.now().time_since_epoch().count();
+    r.actor = actor.value();
+    r.subject = subject.value();
+    r.evidence = evidence;
+    r.value = static_cast<float>(value);
+    r.kind = kind;
+    r.detail = detail;
+    r.extra = extra;
+    ring_.append(r);
+  }
+
+  [[nodiscard]] const TraceRing& ring() const noexcept { return ring_; }
+  [[nodiscard]] TraceRing& ring() noexcept { return ring_; }
+
+ private:
+  const sim::Simulator& sim_;
+  TraceRing ring_;
+};
+
+}  // namespace lifting::obs
+
+#endif  // LIFTING_OBS_TRACE_HPP

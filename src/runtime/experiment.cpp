@@ -6,6 +6,7 @@
 
 #include "common/assert.hpp"
 #include "lifting/managers.hpp"
+#include "obs/registry.hpp"
 
 namespace lifting::runtime {
 
@@ -79,6 +80,11 @@ void Experiment::rewind() {
   rng_ = derive_rng(config_.seed, /*stream=*/0xE58);
   ledger_.reset();
   rps_.reset();
+  // Measurement hook: re-arm enable_trace after reset. The injector is the
+  // one traced component that survives rewinds, so disarm it before the
+  // recorder dies under its pointer.
+  if (injector_ != nullptr) injector_->set_trace(nullptr);
+  recorder_.reset();
   expulsions_.clear();
   audit_reports_.clear();
   controllers_.clear();
@@ -158,14 +164,19 @@ void Experiment::build() {
       config_.lifting_enabled &&
       config_.lifting.audit_channel == LiftingParams::AuditChannel::kReliableUdp);
 
-  hooks_.on_blame_emitted = [this](NodeId /*by*/, NodeId target, double value,
+  hooks_.on_blame_emitted = [this](NodeId by, NodeId target, double value,
                                    gossip::BlameReason reason) {
     // Ground truth reclassifies blame against already-departed targets:
     // the emission is real (the wire message carries `reason`), but the
     // target's "freeriding" was death — see HonestBlameSplit.
-    ledger_.record(target, value,
-                   is_departed(target) ? gossip::BlameReason::kPostDeparture
-                                       : reason);
+    const auto effective = is_departed(target)
+                               ? gossip::BlameReason::kPostDeparture
+                               : reason;
+    ledger_.record(target, value, effective);
+    if (recorder_ != nullptr) {
+      recorder_->record(obs::EventKind::kBlameLedger, by, target, 0, value,
+                        static_cast<std::uint8_t>(effective));
+    }
   };
   hooks_.on_expulsion_committed = [this](NodeId victim, NodeId /*manager*/,
                                          bool from_audit) {
@@ -278,6 +289,7 @@ void Experiment::make_controller(NodeId id) {
       resolve_behavior(config_.freerider_behavior), config_.lifting.eta,
       derive_rng(config_.seed, 0xC00000000ULL + v), std::move(hooks),
       coalition_hub_.get());
+  if (recorder_ != nullptr) controllers_[v]->set_trace(recorder_.get());
   controllers_[v]->start();
 }
 
@@ -322,6 +334,11 @@ void Experiment::make_node(std::uint32_t i,
       node.agent ? node.agent.get() : nullptr);
   node.engine->reserve_stream_chunks(config_.stream.expected_chunks());
   if (rps_) node.engine->set_partner_view(rps_.get());
+  // Late joiners and rejoiners enter an armed deployment already traced.
+  if (recorder_ != nullptr) {
+    node.engine->set_trace(recorder_.get());
+    if (node.agent) node.agent->set_trace(recorder_.get());
+  }
 
   network_->add_node(id, profile, [this, i](
                                       sim::Delivery<gossip::Message>& d) {
@@ -586,6 +603,13 @@ void Experiment::execute_handoffs(
                                       directory_.epoch_of(handoff.departed),
                                       to_seconds(sim_.now()), migrated,
                                       expelled});
+    if (recorder_ != nullptr) {
+      recorder_->record(
+          obs::EventKind::kHandoff, handoff.replacement, handoff.target,
+          handoff.departed.value(), 0.0,
+          static_cast<std::uint8_t>((migrated ? 1U : 0U) |
+                                    (expelled ? 2U : 0U)));
+    }
   }
 }
 
@@ -712,6 +736,11 @@ void Experiment::on_expulsion_committed(NodeId victim, bool from_audit) {
     expulsions_.push_back(ExpulsionRecord{victim, to_seconds(sim_.now()),
                                           from_audit,
                                           is_freerider(victim)});
+    if (recorder_ != nullptr) {
+      recorder_->record(obs::EventKind::kExpulsionApplied, victim, victim, 0,
+                        0.0, from_audit ? 1 : 0,
+                        is_freerider(victim) ? 1 : 0);
+    }
     // Expulsion handoff (DESIGN.md §7): an expelled manager vacates its
     // quorum slots the same way a departed one does — replacement promoted
     // after the reassignment round, ledger rows migrated. Without it the
@@ -1097,6 +1126,89 @@ std::vector<gossip::HealthPoint> Experiment::streamed_health_curve() {
                          static_cast<double>(included.size())});
   }
   return curve;
+}
+
+void Experiment::enable_trace(std::size_t capacity) {
+  require(recorder_ == nullptr, "flight recorder already armed");
+  recorder_ = std::make_unique<obs::Recorder>(sim_, capacity);
+  injector_->set_trace(recorder_.get());
+  if (rps_) rps_->set_trace(recorder_.get());
+  for (auto& node : nodes_) {
+    if (node.engine) node.engine->set_trace(recorder_.get());
+    if (node.agent) node.agent->set_trace(recorder_.get());
+  }
+  for (auto& controller : controllers_) {
+    if (controller) controller->set_trace(recorder_.get());
+  }
+}
+
+void Experiment::collect_metrics(obs::Registry& out) const {
+  // Wire stats: every sim::MetricsRegistry counter under its own name
+  // (sent.<kind>.count / sent.<kind>.bytes — the Mailer's naming). The
+  // sim registry orders slots by first use, which depends on deployment
+  // history across resets; sort by name so the folded registry's entry
+  // order is a function of the run alone (the reset audit compares two
+  // registries slot-by-slot).
+  auto wire = metrics_.snapshot();
+  std::sort(wire.begin(), wire.end());
+  for (const auto& [name, value] : wire) {
+    out.set_counter(name, value);
+  }
+  const auto& net = network_->stats();
+  out.set_counter("net.datagrams_sent", net.datagrams_sent);
+  out.set_counter("net.datagrams_lost", net.datagrams_lost);
+  out.set_counter("net.datagrams_dropped", net.datagrams_dropped);
+  out.set_counter("net.datagrams_delivered", net.datagrams_delivered);
+  out.set_counter("net.reliable_sent", net.reliable_sent);
+  out.set_counter("net.reliable_delivered", net.reliable_delivered);
+  out.set_counter("net.bytes_sent", net.bytes_sent);
+  out.set_counter("net.bytes_delivered", net.bytes_delivered);
+  out.set_counter("net.no_route", net.no_route);
+  const auto& faults = injector_->stats();
+  out.set_counter("faults.dropped_burst", faults.dropped_burst);
+  out.set_counter("faults.dropped_partition", faults.dropped_partition);
+  out.set_counter("faults.duplicated", faults.duplicated);
+  out.set_counter("faults.delayed", faults.delayed);
+  out.set_counter("faults.reordered", faults.reordered);
+  const auto audit = audit_channel_totals();
+  out.set_counter("audit_channel.sends", audit.sends);
+  out.set_counter("audit_channel.retries", audit.retries);
+  out.set_counter("audit_channel.give_ups", audit.give_ups);
+  out.set_counter("audit_channel.acks_received", audit.acks_received);
+  out.set_counter("audit_channel.dups_suppressed", audit.dups_suppressed);
+  gossip::EngineStats engines;
+  const auto fold_engines = [&engines](const std::vector<Node>& pool) {
+    for (const auto& node : pool) {
+      if (!node.engine) continue;
+      const auto& s = node.engine->stats();
+      engines.chunks_received += s.chunks_received;
+      engines.duplicate_serves += s.duplicate_serves;
+      engines.proposals_sent += s.proposals_sent;
+      engines.requests_sent += s.requests_sent;
+      engines.chunks_served += s.chunks_served;
+      engines.invalid_requests += s.invalid_requests;
+      engines.duplicate_requests += s.duplicate_requests;
+    }
+  };
+  fold_engines(nodes_);
+  fold_engines(retired_);
+  out.set_counter("engine.chunks_received", engines.chunks_received);
+  out.set_counter("engine.duplicate_serves", engines.duplicate_serves);
+  out.set_counter("engine.proposals_sent", engines.proposals_sent);
+  out.set_counter("engine.requests_sent", engines.requests_sent);
+  out.set_counter("engine.chunks_served", engines.chunks_served);
+  out.set_counter("engine.invalid_requests", engines.invalid_requests);
+  out.set_counter("engine.duplicate_requests", engines.duplicate_requests);
+  out.set_counter("blame.ledger_emissions", ledger_.emissions());
+  out.set_counter("expulsions.applied", expulsions_.size());
+  out.set_counter("handoffs.executed", handoffs_.size());
+  out.set_counter("churn.joins", joins_.size());
+  out.set_counter("churn.departures", departures_.size());
+  out.set_counter("churn.rejoins", rejoins_.size());
+  if (recorder_ != nullptr) {
+    out.set_counter("trace.recorded", recorder_->ring().total_recorded());
+    out.set_counter("trace.dropped", recorder_->ring().dropped());
+  }
 }
 
 OverheadReport Experiment::overhead() const {

@@ -16,6 +16,7 @@
 #include "lifting/agent.hpp"
 #include "membership/directory.hpp"
 #include "membership/rps.hpp"
+#include "obs/trace.hpp"
 #include "runtime/scenario.hpp"
 #include "sim/metrics.hpp"
 #include "sim/network.hpp"
@@ -26,6 +27,10 @@
 /// stream source at node 0, expulsion propagation, and all the measurement
 /// hooks the benches and tests need (score snapshots, detection statistics,
 /// health curves, bandwidth accounting, ground-truth blame ledger).
+
+namespace lifting::obs {
+class Registry;
+}  // namespace lifting::obs
 
 namespace lifting::runtime {
 
@@ -418,6 +423,28 @@ class Experiment {
   [[nodiscard]] const sim::MetricsRegistry& metrics() const noexcept {
     return metrics_;
   }
+
+  /// Arms the flight recorder (DESIGN.md §13): a TraceRing of `capacity`
+  /// records fed by every instrumented seam — engine phases, verifier
+  /// verdicts, blame/ledger rows, score reads and expulsion ballots,
+  /// manager handoffs, RPS merges, adversary ticks, injected faults.
+  /// Recording is passive (no rng draws, no events), so armed fixed-seed
+  /// runs stay bit-identical to disarmed ones; the disarmed default
+  /// constructs and allocates nothing. A measurement hook like
+  /// sample_scores_every: reset() drops the recorder, re-arm after it.
+  void enable_trace(std::size_t capacity);
+  /// The armed recorder, or null (disarmed).
+  [[nodiscard]] obs::Recorder* trace() noexcept { return recorder_.get(); }
+  /// The armed recorder's ring, or null (disarmed).
+  [[nodiscard]] const obs::TraceRing* trace_ring() const noexcept {
+    return recorder_ == nullptr ? nullptr : &recorder_->ring();
+  }
+
+  /// Folds every scattered counter family into one obs::Registry — wire
+  /// stats (sim metrics), network/transport totals, engine duplicate
+  /// counters, audit-channel delivery health, fault outcomes, ledger and
+  /// expulsion tallies. Absolute totals (idempotent re-fold, not deltas).
+  void collect_metrics(obs::Registry& out) const;
   [[nodiscard]] const sim::NetworkStats& network_stats() const {
     return network_->stats();
   }
@@ -521,6 +548,8 @@ class Experiment {
   std::unique_ptr<faults::FaultInjector> injector_;
   std::unique_ptr<gossip::Mailer> mailer_;
   std::vector<Node> nodes_;
+  /// Flight recorder (enable_trace); null = disarmed, the inert default.
+  std::unique_ptr<obs::Recorder> recorder_;
   std::unique_ptr<gossip::StreamSource> source_;
   std::shared_ptr<lifting::ManagerAssignment> assignment_;
   lifting::Agent::Hooks hooks_;

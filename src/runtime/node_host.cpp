@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "common/assert.hpp"
+#include "obs/registry.hpp"
 #include "runtime/experiment.hpp"
 #include "runtime/wire_scenario.hpp"
 
@@ -77,6 +78,57 @@ NodeHost::NodeHost(const ScenarioConfig& config, NodeId self)
 
 std::uint16_t NodeHost::port() const { return udp_.port_of(self_); }
 
+void NodeHost::enable_trace(std::size_t capacity) {
+  require(recorder_ == nullptr, "flight recorder already armed");
+  recorder_ = std::make_unique<obs::Recorder>(sim_, capacity);
+  injector_.set_trace(recorder_.get());
+  engine_->set_trace(recorder_.get());
+  if (agent_) agent_->set_trace(recorder_.get());
+}
+
+void NodeHost::set_stat_hook(Duration interval, std::function<void()> hook) {
+  require(interval > Duration::zero(), "stat interval must be positive");
+  stat_interval_ = interval;
+  stat_hook_ = std::move(hook);
+}
+
+void NodeHost::stat_tick(TimePoint end) {
+  stat_hook_();
+  if (sim_.now() + stat_interval_ <= end) {
+    sim_.schedule_after(stat_interval_, [this, end] { stat_tick(end); });
+  }
+}
+
+void NodeHost::collect_metrics(obs::Registry& out) const {
+  const auto& engine = engine_->stats();
+  out.set_counter("chunks_received", engine.chunks_received);
+  out.set_counter("chunks_emitted", chunks_emitted());
+  out.set_counter("duplicate_serves", engine.duplicate_serves);
+  out.set_counter("proposals_sent", engine.proposals_sent);
+  out.set_counter("requests_sent", engine.requests_sent);
+  out.set_counter("chunks_served", engine.chunks_served);
+  out.set_counter("invalid_requests", engine.invalid_requests);
+  out.set_counter("duplicate_requests", engine.duplicate_requests);
+  out.set_counter("messages_sent", udp_.messages_sent());
+  out.set_counter("decode_failures", udp_.decode_failures());
+  out.set_counter("socket_errors", udp_.socket_errors());
+  out.set_counter("send_failures", udp_.send_failures());
+  const auto& faults = injector_.stats();
+  out.set_counter("faults_dropped", faults.dropped());
+  out.set_counter("faults_duplicated", faults.duplicated);
+  out.set_counter("faults_delayed", faults.delayed + faults.reordered);
+  const auto audit = audit_channel_totals();
+  out.set_counter("audit_sends", audit.sends);
+  out.set_counter("audit_retries", audit.retries);
+  out.set_counter("audit_give_ups", audit.give_ups);
+  out.set_counter("audit_acks", audit.acks_received);
+  out.set_counter("audit_dups_suppressed", audit.dups_suppressed);
+  if (recorder_ != nullptr) {
+    out.set_counter("trace_recorded", recorder_->ring().total_recorded());
+    out.set_counter("trace_dropped", recorder_->ring().dropped());
+  }
+}
+
 void NodeHost::set_roster(const std::vector<std::uint16_t>& ports) {
   require(ports.size() == config_.nodes, "roster size != population");
   for (std::uint32_t i = 0; i < config_.nodes; ++i) {
@@ -105,6 +157,9 @@ void NodeHost::run() {
   if (source_) source_->start();
 
   const TimePoint end = kSimEpoch + config_.duration;
+  if (stat_hook_) {
+    sim_.schedule_after(stat_interval_, [this, end] { stat_tick(end); });
+  }
   const TimePoint drain_end = end + kDrainWindow;
   const auto wall0 = Clock::now();
   const auto wall_now = [&] {

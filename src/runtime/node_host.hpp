@@ -2,6 +2,7 @@
 #define LIFTING_RUNTIME_NODE_HOST_HPP
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -13,6 +14,7 @@
 #include "lifting/managers.hpp"
 #include "membership/directory.hpp"
 #include "net/udp_transport.hpp"
+#include "obs/trace.hpp"
 #include "runtime/scenario.hpp"
 #include "sim/metrics.hpp"
 #include "sim/simulator.hpp"
@@ -36,6 +38,10 @@
 /// timers fire at their scheduled virtual timestamps while the loop blocks
 /// in UdpTransport::poll_wait between deadlines. The same Engine/Agent
 /// code drives both backends; only the outermost loop differs.
+
+namespace lifting::obs {
+class Registry;
+}  // namespace lifting::obs
 
 namespace lifting::runtime {
 
@@ -88,7 +94,32 @@ class NodeHost {
                   : lifting::Agent::AuditChannelStats{};
   }
 
+  /// Arms the flight recorder over this process's stack — engine, agent
+  /// and fault injector (DESIGN.md §13). Record timestamps are virtual
+  /// time, which run() slaves to the wall clock, so the per-process dumps
+  /// of one deployment merge on a shared timeline (tools/lifting_trace).
+  /// Call before run().
+  void enable_trace(std::size_t capacity);
+  /// The armed ring, or null when tracing is disarmed.
+  [[nodiscard]] const obs::TraceRing* trace_ring() const noexcept {
+    return recorder_ == nullptr ? nullptr : &recorder_->ring();
+  }
+
+  /// Installs a periodic reporting hook that run() schedules on the event
+  /// queue (first firing one `interval` after start, last at or before
+  /// wind-down). The wire deployment pins no golden event order, so the
+  /// extra timer is safe; lifting_node uses it to stream STAT lines
+  /// mid-run. Call before run().
+  void set_stat_hook(Duration interval, std::function<void()> hook);
+
+  /// Folds every scattered counter family — engine, transport, faults,
+  /// audit channel, trace ring — into `out` as absolute totals
+  /// (idempotent re-fold; the wire counterpart of
+  /// Experiment::collect_metrics).
+  void collect_metrics(obs::Registry& out) const;
+
  private:
+  void stat_tick(TimePoint end);
   ScenarioConfig config_;
   NodeId self_;
   bool freerider_ = false;
@@ -107,6 +138,9 @@ class NodeHost {
   std::unique_ptr<lifting::Agent> agent_;
   std::unique_ptr<gossip::Engine> engine_;
   std::unique_ptr<gossip::StreamSource> source_;
+  std::unique_ptr<obs::Recorder> recorder_;
+  Duration stat_interval_ = Duration::zero();
+  std::function<void()> stat_hook_;
   bool roster_set_ = false;
 };
 

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "faults/plan.hpp"
+#include "obs/registry.hpp"
 #include "runtime/runner.hpp"
 #include "runtime/sweep.hpp"
 
@@ -151,6 +153,72 @@ TEST(ExperimentReset, SeedOnlyResetReseedsTheWholeDeployment) {
   reused.reset(s1);  // ...then rewound to s1
   reused.run();
   EXPECT_TRUE(RunDigest::of(reused) == want);
+}
+
+/// quick_spec(0) with every counter family added since the fault/audit
+/// PRs actually exercised: a FaultPlan firing all four fault paths at the
+/// transport seam, and entropy audits over the reliable-UDP channel.
+RunSpec faulty_audited_spec() {
+  auto spec = quick_spec(0);
+  auto& cfg = spec.config;
+  faults::FaultPlan plan;
+  plan.p_good_to_bad = 0.05;
+  plan.p_bad_to_good = 0.3;
+  plan.loss_bad = 0.8;
+  plan.duplicate_probability = 0.02;
+  plan.delay_spike_probability = 0.02;
+  plan.delay_spike_min = milliseconds(5);
+  plan.delay_spike_max = milliseconds(30);
+  plan.reorder_probability = 0.02;
+  plan.reorder_delay = milliseconds(10);
+  cfg.faults = plan;
+  cfg.lifting.audit_channel = LiftingParams::AuditChannel::kReliableUdp;
+  if (cfg.lifting.audit_probability == 0.0) {
+    cfg.lifting.audit_probability = 0.3;
+    cfg.lifting.audit_warmup_periods = 6;
+  }
+  return spec;
+}
+
+/// The reset audit for the counters added since the transport-seam fault
+/// and reliable-audit PRs: fault stats, audit-channel totals and the
+/// engine duplicate counters must come back from Experiment::reset exactly
+/// as from fresh construction. Compared through collect_metrics, which
+/// folds every scattered family into one registry — so a counter leaking
+/// across reset fails by name.
+TEST(ExperimentReset, FaultAndAuditCountersMatchFreshConstruction) {
+  const auto spec = faulty_audited_spec();
+
+  Experiment fresh(spec.config);
+  fresh.run();
+  // The scenario must actually exercise the audited families, or the
+  // equality below would vacuously pass on zeros.
+  const auto faults = fresh.fault_stats();
+  EXPECT_GT(faults.dropped(), 0u);
+  EXPECT_GT(faults.duplicated + faults.delayed + faults.reordered, 0u);
+  EXPECT_GT(fresh.audit_channel_totals().sends, 0u);
+  obs::Registry want;
+  fresh.collect_metrics(want);
+  const auto want_digest = RunDigest::of(fresh);
+
+  // Run an unrelated churny spec first, then reset into the faulty one.
+  Experiment reused(quick_spec(1).config);
+  reused.run();
+  reused.reset(spec.config);
+  reused.run();
+  obs::Registry got;
+  reused.collect_metrics(got);
+
+  EXPECT_TRUE(RunDigest::of(reused) == want_digest);
+  ASSERT_EQ(want.size(), got.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    const auto& w = want.entries()[i];
+    const auto& g = got.entries()[i];
+    EXPECT_EQ(w.name, g.name) << "registry order diverged at slot " << i;
+    EXPECT_EQ(w.counter, g.counter) << "counter leaked across reset: "
+                                    << w.name;
+    EXPECT_EQ(w.gauge, g.gauge) << "gauge leaked across reset: " << w.name;
+  }
 }
 
 TEST(ExperimentReset, ResetAfterWindDownDrainsClean) {

@@ -56,6 +56,12 @@ struct Options {
   /// seam (Gilbert–Elliott; 0 = no fault plan). Health checks downgrade to
   /// report-only: a degraded-but-reported run still exits 0.
   double burst_loss = 0.0;
+  /// Arm each daemon's flight recorder and collect the per-node binary
+  /// dumps as <trace_dir>/node<i>.trace (merge them with lifting_trace).
+  /// Empty = tracing disarmed.
+  std::string trace_dir;
+  /// Per-node ring capacity in records (32 B each) under --trace-dir.
+  std::size_t trace_capacity = 1 << 16;
 };
 
 struct Child {
@@ -334,17 +340,26 @@ Options parse_options(int argc, char** argv) {
       opt.audit_reliable = true;
     } else if (arg == "--burst-loss") {
       opt.burst_loss = std::strtod(next(), nullptr);
+    } else if (arg == "--trace-dir") {
+      opt.trace_dir = next();
+    } else if (arg == "--trace-capacity") {
+      opt.trace_capacity = std::strtoull(next(), nullptr, 10);
     } else {
       std::fprintf(stderr,
                    "usage: lifting_loopback [--nodes N] [--seconds S] "
                    "[--node-bin PATH] [--preset small|planetlab] [--seed S] "
                    "[--freeriders F] [--health-min H] [--timeout S] "
-                   "[--audit-reliable] [--burst-loss F] [--verbose]\n");
+                   "[--audit-reliable] [--burst-loss F] [--trace-dir D] "
+                   "[--trace-capacity R] [--verbose]\n");
       std::exit(2);
     }
   }
   if (opt.burst_loss < 0.0 || opt.burst_loss > 0.5) {
     std::fprintf(stderr, "--burst-loss must be in [0, 0.5]\n");
+    std::exit(2);
+  }
+  if (opt.trace_capacity == 0) {
+    std::fprintf(stderr, "--trace-capacity must be positive\n");
     std::exit(2);
   }
   return opt;
@@ -430,7 +445,15 @@ int main(int argc, char** argv) {
     roster += std::to_string(child.port);
   }
   roster += "\nGO\n";
-  for (auto& child : children) {
+  for (std::uint32_t i = 0; i < config.nodes; ++i) {
+    auto& child = children[i];
+    if (!opt.trace_dir.empty()) {
+      // Arm the daemon's flight recorder before GO; it dumps the ring to
+      // this path right before DONE.
+      std::fprintf(child.in, "TRACE %s/node%u.trace %llu\n",
+                   opt.trace_dir.c_str(), i,
+                   static_cast<unsigned long long>(opt.trace_capacity));
+    }
     std::fputs(roster.c_str(), child.in);
     std::fflush(child.in);
   }

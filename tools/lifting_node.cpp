@@ -7,15 +7,25 @@
 //   launcher -> daemon   the wire scenario (key value lines), then
 //                        "END_SCENARIO"
 //   daemon  -> launcher  "PORT <p>"           (endpoint bound)
-//   launcher -> daemon   "ROSTER <p0> ... <pn-1>", then "GO"
-//   daemon  -> launcher  (runs the scenario against the wall clock)
-//                        "STAT <key> <value>" lines,
+//   launcher -> daemon   "ROSTER <p0> ... <pn-1>",
+//                        optionally "TRACE <dump path> <ring capacity>",
+//                        then "GO"
+//   daemon  -> launcher  (runs the scenario against the wall clock,
+//                        streaming periodic "STAT <key> <value>" lines)
+//                        final "STAT <key> <value>" lines,
 //                        "KIND <name> <count> <modeled> <wire>" lines,
 //                        "DONE"
+//
+// STAT keys repeat across the periodic snapshots; consumers take the last
+// occurrence (the launcher's parser assigns, so re-reads are idempotent).
+// The optional TRACE line arms the flight recorder (DESIGN.md §13); the
+// binary dump is written right before DONE and merged across processes by
+// tools/lifting_trace.
 //
 // Standalone usage (mostly for debugging a single daemon by hand):
 //   ./lifting_node --self 3 < scenario_with_roster.txt
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -25,6 +35,8 @@
 #include <vector>
 
 #include "gossip/message.hpp"
+#include "obs/export.hpp"
+#include "obs/registry.hpp"
 #include "runtime/node_host.hpp"
 #include "runtime/wire_scenario.hpp"
 
@@ -34,6 +46,20 @@ int fail(const std::string& why) {
   std::printf("ERROR %s\n", why.c_str());
   std::fflush(stdout);
   return 1;
+}
+
+/// Folds the host's counters and prints one STAT line per registry
+/// counter. Called mid-run (stat hook) and once after the drain — the
+/// registry keeps its slots across calls, so every snapshot re-folds the
+/// same keys in the same order.
+void emit_stats(lifting::runtime::NodeHost& host, lifting::obs::Registry& reg) {
+  host.collect_metrics(reg);
+  for (const auto& entry : reg.entries()) {
+    if (entry.kind != lifting::obs::Registry::Kind::kCounter) continue;
+    std::printf("STAT %s %llu\n", entry.name.c_str(),
+                static_cast<unsigned long long>(entry.counter));
+  }
+  std::fflush(stdout);
 }
 
 }  // namespace
@@ -73,8 +99,9 @@ int main(int argc, char** argv) {
   std::printf("PORT %u\n", host.port());
   std::fflush(stdout);
 
-  // ---- roster + go
+  // ---- roster + optional trace arming + go
   std::vector<std::uint16_t> ports;
+  std::string trace_path;
   bool go = false;
   while (std::getline(std::cin, line)) {
     if (line == "GO") {
@@ -84,62 +111,50 @@ int main(int argc, char** argv) {
     std::istringstream in(line);
     std::string word;
     in >> word;
-    if (word != "ROSTER") return fail("expected ROSTER or GO, got: " + line);
-    ports.clear();
-    unsigned long p = 0;
-    while (in >> p) ports.push_back(static_cast<std::uint16_t>(p));
+    if (word == "ROSTER") {
+      ports.clear();
+      unsigned long p = 0;
+      while (in >> p) ports.push_back(static_cast<std::uint16_t>(p));
+    } else if (word == "TRACE") {
+      std::size_t capacity = 0;
+      if (!(in >> trace_path >> capacity) || capacity == 0) {
+        return fail("TRACE needs <dump path> <ring capacity>");
+      }
+      host.enable_trace(capacity);
+    } else {
+      return fail("expected ROSTER, TRACE or GO, got: " + line);
+    }
   }
   if (!go) return fail("stdin closed before GO");
   if (ports.size() != config->nodes) return fail("roster size mismatch");
   host.set_roster(ports);
 
+  // Stream counter snapshots while running so the launcher (or a human
+  // tailing the pipe) sees progress mid-run, not just the postmortem. At
+  // most ~30 snapshots per run: the launcher drains the pipe only after
+  // the stream ends, so unbounded streaming could fill the pipe buffer
+  // and wedge the event loop on a blocked printf.
+  obs::Registry registry;
+  const auto stat_interval =
+      std::max(seconds(1.0), Duration{config->duration.count() / 30});
+  host.set_stat_hook(stat_interval, [&] { emit_stats(host, registry); });
+
   host.run();
 
-  // ---- report
-  const auto& stats = host.engine_stats();
-  std::printf("STAT chunks_received %llu\n",
-              static_cast<unsigned long long>(stats.chunks_received));
-  std::printf("STAT chunks_emitted %llu\n",
-              static_cast<unsigned long long>(host.chunks_emitted()));
-  std::printf("STAT duplicate_serves %llu\n",
-              static_cast<unsigned long long>(stats.duplicate_serves));
-  const auto& udp = host.transport();
-  std::printf("STAT messages_sent %llu\n",
-              static_cast<unsigned long long>(udp.messages_sent()));
-  std::printf("STAT decode_failures %llu\n",
-              static_cast<unsigned long long>(udp.decode_failures()));
-  std::printf("STAT socket_errors %llu\n",
-              static_cast<unsigned long long>(udp.socket_errors()));
-  std::printf("STAT send_failures %llu\n",
-              static_cast<unsigned long long>(udp.send_failures()));
-  // Local fault-injection outcomes (all zero when the plan is empty) and
-  // reliable-audit-channel health (zero under the modeled-TCP default).
-  const auto& faults = host.fault_stats();
-  std::printf("STAT faults_dropped %llu\n",
-              static_cast<unsigned long long>(faults.dropped()));
-  std::printf("STAT faults_duplicated %llu\n",
-              static_cast<unsigned long long>(faults.duplicated));
-  std::printf("STAT faults_delayed %llu\n",
-              static_cast<unsigned long long>(faults.delayed +
-                                              faults.reordered));
-  const auto audit = host.audit_channel_totals();
-  std::printf("STAT audit_sends %llu\n",
-              static_cast<unsigned long long>(audit.sends));
-  std::printf("STAT audit_retries %llu\n",
-              static_cast<unsigned long long>(audit.retries));
-  std::printf("STAT audit_give_ups %llu\n",
-              static_cast<unsigned long long>(audit.give_ups));
-  std::printf("STAT audit_acks %llu\n",
-              static_cast<unsigned long long>(audit.acks_received));
-  std::printf("STAT audit_dups_suppressed %llu\n",
-              static_cast<unsigned long long>(audit.dups_suppressed));
-  const auto& kinds = udp.wire_stats();
+  // ---- report: final STAT totals, per-kind wire accounting, trace dump
+  emit_stats(host, registry);
+  const auto& kinds = host.transport().wire_stats();
   for (std::size_t i = 0; i < kinds.size(); ++i) {
     if (kinds[i].count == 0) continue;
     std::printf("KIND %s %llu %llu %llu\n", gossip::message_kind_name(i),
                 static_cast<unsigned long long>(kinds[i].count),
                 static_cast<unsigned long long>(kinds[i].modeled_bytes),
                 static_cast<unsigned long long>(kinds[i].wire_bytes));
+  }
+  if (!trace_path.empty()) {
+    if (!obs::write_binary_dump(trace_path, *host.trace_ring(), self_id)) {
+      return fail("failed to write trace dump: " + trace_path);
+    }
   }
   std::printf("DONE\n");
   std::fflush(stdout);
